@@ -1,0 +1,110 @@
+//! n-way replication.
+//!
+//! The oldest redundancy scheme: n identical copies, n parallel read paths,
+//! no decoding. The paper compares against 2-, 3- and 4-way replication
+//! (300% additional storage is the cap considered, §V.C). Replication "does
+//! not have overheads for single failures" — a repair is one read of one
+//! block — but pays linearly in storage for every level of fault tolerance.
+
+use ae_blocks::Block;
+
+/// An n-way replication scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replication {
+    n: usize,
+}
+
+impl Replication {
+    /// Creates n-way replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2`: one copy is no redundancy scheme.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "replication needs at least 2 copies, got {n}");
+        Replication { n }
+    }
+
+    /// Number of copies, original included.
+    pub fn copies(&self) -> usize {
+        self.n
+    }
+
+    /// Additional storage as a percentage: `(n − 1) · 100` (Table IV).
+    pub fn storage_overhead_pct(&self) -> f64 {
+        (self.n as f64 - 1.0) * 100.0
+    }
+
+    /// Blocks read to repair a single lost copy: always 1 (Table IV).
+    pub fn single_failure_reads(&self) -> usize {
+        1
+    }
+
+    /// Failures tolerated per block: any `n − 1` copies may vanish.
+    pub fn max_tolerated_failures(&self) -> usize {
+        self.n - 1
+    }
+
+    /// "Encodes" a block: n identical copies (clones are O(1) by design of
+    /// [`Block`]).
+    pub fn encode(&self, data: &Block) -> Vec<Block> {
+        vec![data.clone(); self.n]
+    }
+
+    /// Repairs from any surviving copy, verifying its checksum first so a
+    /// corrupted replica is never propagated.
+    pub fn repair<'a>(&self, survivors: impl IntoIterator<Item = &'a Block>) -> Option<Block> {
+        survivors.into_iter().find(|b| b.verify().is_ok()).cloned()
+    }
+
+    /// Whether a block with `available` surviving copies is recoverable.
+    pub fn recoverable(&self, available: usize) -> bool {
+        available >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_makes_n_copies() {
+        let r = Replication::new(3);
+        let b = Block::from_vec(vec![1, 2, 3]);
+        let copies = r.encode(&b);
+        assert_eq!(copies.len(), 3);
+        assert!(copies.iter().all(|c| *c == b));
+    }
+
+    #[test]
+    fn repair_returns_any_valid_copy() {
+        let r = Replication::new(4);
+        let b = Block::from_vec(vec![9; 32]);
+        let copies = r.encode(&b);
+        assert_eq!(r.repair(copies.iter().skip(3)), Some(b));
+        assert_eq!(r.repair(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn costs_match_table_iv() {
+        for (n, overhead) in [(2usize, 100.0), (3, 200.0), (4, 300.0)] {
+            let r = Replication::new(n);
+            assert_eq!(r.storage_overhead_pct(), overhead);
+            assert_eq!(r.single_failure_reads(), 1);
+            assert_eq!(r.max_tolerated_failures(), n - 1);
+        }
+    }
+
+    #[test]
+    fn recoverable_with_one_survivor() {
+        let r = Replication::new(2);
+        assert!(r.recoverable(1));
+        assert!(!r.recoverable(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_copy() {
+        Replication::new(1);
+    }
+}

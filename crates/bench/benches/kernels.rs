@@ -1,0 +1,52 @@
+//! Substrate micro-benchmarks: the XOR kernel that is the entire
+//! arithmetic of AE codes (§VII: "essentially based on exclusive-or
+//! operations"), versus the GF(2^8) multiply-accumulate RS needs.
+
+use ae_blocks::{crc32, xor};
+use ae_gf::{field, Gf256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/xor");
+    for size in [256usize, 4096, 65536] {
+        let a = vec![0xA5u8; size];
+        let b = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(BenchmarkId::from_parameter(size), |bch| {
+            let mut dst = a.clone();
+            bch.iter(|| {
+                xor::xor_into(&mut dst, &b);
+                black_box(&dst);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gf_mul_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/gf_mul_acc");
+    for size in [256usize, 4096, 65536] {
+        let data = vec![0x37u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(BenchmarkId::from_parameter(size), |bch| {
+            let mut acc = vec![0u8; size];
+            bch.iter(|| {
+                field::mul_slice_acc(Gf256(0x1D), &data, &mut acc);
+                black_box(&acc);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/crc32");
+    let data = vec![0xC3u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("4096", |b| b.iter(|| black_box(crc32(&data))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_gf_mul_slice, bench_crc);
+criterion_main!(benches);

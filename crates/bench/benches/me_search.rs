@@ -1,0 +1,54 @@
+//! Minimal-erasure search cost (the engine behind Figs 6–9).
+//!
+//! Pattern sizes themselves are checked by tests and printed by the
+//! `fig7_patterns` / `fig8_me2` / `fig9_me4` binaries; these benches track
+//! how expensive the branch-and-bound search is as patterns grow.
+
+use ae_lattice::{Config, MeSearch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Fig 6/7 patterns: |ME(2)| across the paper's settings.
+fn bench_me2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("me_search/me2");
+    g.sample_size(10);
+    for (a, s, p, expected) in [
+        (1u8, 1u16, 0u16, 3usize),
+        (2, 1, 1, 4),
+        (3, 1, 1, 5),
+        (3, 1, 4, 8),
+        (2, 2, 2, 6),
+        (3, 2, 2, 8),
+        (3, 4, 4, 14),
+    ] {
+        let cfg = Config::new(a, s, p).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
+            b.iter(|| {
+                let pat = MeSearch::new(cfg).min_erasure(2).unwrap();
+                assert_eq!(pat.size(), expected);
+                black_box(pat)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9's square: |ME(4)| for α = 2.
+fn bench_me4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("me_search/me4");
+    g.sample_size(10);
+    for (s, p) in [(1u16, 1u16), (2, 2)] {
+        let cfg = Config::new(2, s, p).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
+            b.iter(|| {
+                let pat = MeSearch::new(cfg).min_erasure(4).unwrap();
+                assert_eq!(pat.size(), 8);
+                black_box(pat)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_me2, bench_me4);
+criterion_main!(benches);

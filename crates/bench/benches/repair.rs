@@ -1,0 +1,93 @@
+//! Single-failure repair cost: the paper's central practical claim
+//! (Table IV "SF" row).
+//!
+//! An entangled store repairs any single missing block by XORing **two**
+//! blocks, for every code setting; RS(k, m) must read and combine **k**
+//! shards. These benches measure exactly that asymmetry on the byte plane,
+//! plus the round-based engine on clustered failures.
+
+use ae_baselines::ReedSolomon;
+use ae_bench::{data_blocks, data_shards};
+use ae_core::{BlockMap, Code};
+use ae_blocks::{BlockId, NodeId};
+use ae_lattice::Config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BLOCK: usize = 4096;
+
+fn build_store(cfg: Config, n: u64) -> (Code, BlockMap) {
+    let code = Code::new(cfg, BLOCK);
+    let mut store = BlockMap::new();
+    let mut enc = code.entangler();
+    for blk in data_blocks(n as usize, BLOCK, 3) {
+        enc.entangle(blk).unwrap().insert_into(&mut store);
+    }
+    (code, store)
+}
+
+/// AE single-failure repair: one XOR of two parities, any setting.
+fn bench_ae_single_failure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair/single_failure/ae");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for (a, s, p) in [(1u8, 1u16, 0u16), (2, 2, 5), (3, 2, 5)] {
+        let cfg = Config::new(a, s, p).unwrap();
+        let (code, mut store) = build_store(cfg, 500);
+        let victim = BlockId::Data(NodeId(250));
+        store.remove(&victim);
+        g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
+            b.iter(|| black_box(code.repair_block(&store, victim, 500).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// RS single-failure repair: k-shard matrix reconstruction.
+fn bench_rs_single_failure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair/single_failure/rs");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for (k, m) in [(10usize, 4usize), (8, 2), (5, 5), (4, 12)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data = data_shards(k, BLOCK, 3);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+        g.bench_function(BenchmarkId::from_parameter(format!("RS({k},{m})")), |b| {
+            b.iter(|| {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[k / 2] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                black_box(shards)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Round-based engine on a clustered failure (Table VI context).
+fn bench_clustered_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair/clustered");
+    g.sample_size(10);
+    let cfg = Config::new(3, 2, 5).unwrap();
+    let (code, store) = build_store(cfg, 1000);
+    let victims: Vec<BlockId> = (400..460).map(|i| BlockId::Data(NodeId(i))).collect();
+    g.bench_function("AE(3,2,5)/60_nodes", |b| {
+        b.iter(|| {
+            let mut damaged = store.clone();
+            for v in &victims {
+                damaged.remove(v);
+            }
+            let report = code.repair_engine(1000).repair_all(&mut damaged, victims.clone());
+            assert!(report.fully_recovered());
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ae_single_failure,
+    bench_rs_single_failure,
+    bench_clustered_repair
+);
+criterion_main!(benches);

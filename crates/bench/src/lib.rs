@@ -1,0 +1,65 @@
+//! Workload generators shared by the Criterion benches.
+//!
+//! The benches regenerate the paper's tables and figures at benchmark
+//! scale; the full-scale series come from the `ae-sim` binaries
+//! (`fig11_data_loss` etc.). Mapping:
+//!
+//! | bench target | paper artefact |
+//! |---|---|
+//! | `encode` (`benches/encode.rs`) | §V.B write performance, Fig 10 context |
+//! | `repair` (`benches/repair.rs`) | Table IV "SF" row: 2-read AE repair vs k-read RS repair |
+//! | `me_search` (`benches/me_search.rs`) | Figs 6–9 pattern search cost |
+//! | `disaster` (`benches/disaster.rs`) | Figs 11–13, Table VI at reduced scale |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ae_blocks::Block;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random data blocks for encoder workloads.
+pub fn data_blocks(count: usize, size: usize, seed: u64) -> Vec<Block> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut v = vec![0u8; size];
+            rng.fill(v.as_mut_slice());
+            Block::from_vec(v)
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random shard rows for RS workloads.
+pub fn data_shards(k: usize, size: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let mut v = vec![0u8; size];
+            rng.fill(v.as_mut_slice());
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(data_blocks(3, 64, 9), data_blocks(3, 64, 9));
+        assert_eq!(data_shards(4, 32, 9), data_shards(4, 32, 9));
+        assert_ne!(data_blocks(1, 64, 1), data_blocks(1, 64, 2));
+    }
+
+    #[test]
+    fn generators_honor_sizes() {
+        let blocks = data_blocks(5, 128, 3);
+        assert_eq!(blocks.len(), 5);
+        assert!(blocks.iter().all(|b| b.len() == 128));
+        let shards = data_shards(6, 16, 3);
+        assert_eq!(shards.len(), 6);
+        assert!(shards.iter().all(|s| s.len() == 16));
+    }
+}

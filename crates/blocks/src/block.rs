@@ -1,0 +1,229 @@
+//! The [`Block`] type: a fixed-size, cheaply clonable byte block.
+//!
+//! Data and parity blocks in an entanglement lattice always have identical
+//! sizes ("The encoder constructs a helical lattice using data and parity
+//! blocks with identical size", §III.B). `Block` wraps [`bytes::Bytes`] so
+//! that the many components holding references to the same block — encoder
+//! frontier, store, repair engine — share one allocation.
+
+use crate::crc::crc32;
+use crate::xor;
+use bytes::Bytes;
+use std::fmt;
+
+/// Errors arising from block-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// Two blocks that must have equal sizes did not.
+    SizeMismatch {
+        /// Size of the left/destination operand.
+        expected: usize,
+        /// Size of the right/source operand.
+        actual: usize,
+    },
+    /// A stored checksum did not match the block contents.
+    ChecksumMismatch {
+        /// Checksum recorded when the block was sealed.
+        stored: u32,
+        /// Checksum recomputed from the current contents.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::SizeMismatch { expected, actual } => {
+                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+            }
+            BlockError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "block checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// An immutable, fixed-size byte block with a cached CRC32 checksum.
+///
+/// Cloning is O(1) (reference-counted). Equality compares contents.
+///
+/// # Examples
+///
+/// ```
+/// use ae_blocks::Block;
+///
+/// let a = Block::from_vec(vec![1, 2, 3, 4]);
+/// let b = Block::from_vec(vec![5, 6, 7, 8]);
+/// let parity = a.xor(&b).unwrap();
+/// // XOR is self-inverse: recover `a` from the parity and `b`.
+/// assert_eq!(parity.xor(&b).unwrap(), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    bytes: Bytes,
+    crc: u32,
+}
+
+impl Block {
+    /// Wraps an owned byte vector as a block, computing its checksum.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        let crc = crc32(&bytes);
+        Block {
+            bytes: Bytes::from(bytes),
+            crc,
+        }
+    }
+
+    /// Copies a slice into a new block.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self::from_vec(bytes.to_vec())
+    }
+
+    /// The all-zero block of `len` bytes.
+    ///
+    /// Zero blocks serve as the virtual parities at strand heads: tangling
+    /// the first data block of a strand XORs it with zeros, so the first
+    /// parity equals the data block itself.
+    pub fn zero(len: usize) -> Self {
+        Self::from_vec(vec![0u8; len])
+    }
+
+    /// Block contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Block size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the block has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whether every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        xor::is_zero(&self.bytes)
+    }
+
+    /// The CRC32 checksum computed when the block was created.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Recomputes the checksum and verifies it against the cached value.
+    ///
+    /// A store calls this before using a fetched block in a repair, so a
+    /// corrupted or tampered replica is detected rather than silently XORed
+    /// into reconstructed data (the paper's integrity motivation, §I).
+    pub fn verify(&self) -> Result<(), BlockError> {
+        let computed = crc32(&self.bytes);
+        if computed == self.crc {
+            Ok(())
+        } else {
+            Err(BlockError::ChecksumMismatch {
+                stored: self.crc,
+                computed,
+            })
+        }
+    }
+
+    /// Returns `self XOR other` as a new block.
+    ///
+    /// This is the entanglement function: one XOR of two equal-size blocks.
+    pub fn xor(&self, other: &Block) -> Result<Block, BlockError> {
+        if self.len() != other.len() {
+            return Err(BlockError::SizeMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        Ok(Block::from_vec(xor::xor_of(&self.bytes, &other.bytes)))
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({} bytes, crc={:#010x})", self.len(), self.crc)
+    }
+}
+
+impl AsRef<[u8]> for Block {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl From<Vec<u8>> for Block {
+    fn from(v: Vec<u8>) -> Self {
+        Block::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_block_is_zero() {
+        let z = Block::zero(64);
+        assert!(z.is_zero());
+        assert_eq!(z.len(), 64);
+        assert!(!z.is_empty());
+        assert!(Block::zero(0).is_empty());
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let a = Block::from_vec((0..128u8).collect());
+        let b = Block::from_vec((0..128u8).map(|x| x.wrapping_mul(3)).collect());
+        let p = a.xor(&b).unwrap();
+        assert_eq!(p.xor(&b).unwrap(), a);
+        assert_eq!(p.xor(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn xor_with_zero_is_identity() {
+        let a = Block::from_vec(vec![7; 32]);
+        let z = Block::zero(32);
+        assert_eq!(a.xor(&z).unwrap(), a);
+    }
+
+    #[test]
+    fn xor_size_mismatch_errors() {
+        let a = Block::zero(8);
+        let b = Block::zero(9);
+        match a.xor(&b) {
+            Err(BlockError::SizeMismatch { expected: 8, actual: 9 }) => {}
+            other => panic!("expected size mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_passes_on_fresh_block() {
+        let a = Block::from_vec(vec![1, 2, 3]);
+        a.verify().unwrap();
+        assert_eq!(a.crc(), crc32(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn clone_shares_contents() {
+        let a = Block::from_vec(vec![9; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BlockError::SizeMismatch { expected: 4, actual: 5 };
+        assert!(e.to_string().contains("expected 4"));
+        let e = BlockError::ChecksumMismatch { stored: 1, computed: 2 };
+        assert!(e.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,124 @@
+//! CRC32 (IEEE 802.3 polynomial) implemented from scratch.
+//!
+//! Entangled storage systems place parity blocks on untrusted remote nodes
+//! (§IV.A). Before a fetched block participates in a repair XOR, the store
+//! verifies its checksum; otherwise a corrupted block would poison every
+//! block reconstructed from it. CRC32 is not cryptographic — the paper's
+//! anti-tampering property comes from redundancy propagation, not from the
+//! checksum — but it reliably catches accidental corruption.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// A streaming CRC32 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use ae_blocks::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), ae_blocks::crc32(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// 256-entry lookup table, generated once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Returns the checksum of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 test vectors (IEEE 802.3 / zlib).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for split in [0, 1, 9, 4999, 10_000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 4096];
+        let clean = crc32(&data);
+        data[2048] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut h = Crc32::new();
+        h.update(b"xyz");
+        assert_eq!(h.finalize(), h.finalize());
+    }
+}

@@ -1,0 +1,268 @@
+//! Typed identifiers for lattice blocks.
+//!
+//! The helical lattice of AE(α, s, p) is a graph whose vertices are data
+//! blocks and whose edges are parity blocks (§III). A vertex is uniquely
+//! identified by its position `i ≥ 1` in write order. Because every node has
+//! exactly one *output* edge per strand class, an edge is uniquely identified
+//! by `(class, left endpoint)`; the right endpoint follows from the code
+//! parameters. These identifiers are shared by every crate in the workspace
+//! so that a block referenced by the lattice, the repair engine and a store
+//! is unambiguously the same block.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Position of a data block (lattice node), starting at 1.
+///
+/// The paper writes nodes `d_i` with `i` the position in the sequential write
+/// order; position 0 is reserved for "before the lattice" (virtual zero
+/// blocks at strand heads).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Returns the raw 1-based position.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// The three strand classes of an alpha entanglement lattice.
+///
+/// A lattice has `s` horizontal strands and, per helical class present,
+/// `p` strands: double entanglements (α = 2) add the right-handed class,
+/// triple entanglements (α = 3) add the left-handed class as well (§III.B).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StrandClass {
+    /// Horizontal strand: connects `d_i` to `d_{i+s}`.
+    Horizontal,
+    /// Right-handed helical strand (diagonal of slope 1, wrapping downward).
+    RightHanded,
+    /// Left-handed helical strand (diagonal of slope −1, wrapping upward).
+    LeftHanded,
+}
+
+impl StrandClass {
+    /// All classes, in the order `[H, RH, LH]`.
+    pub const ALL: [StrandClass; 3] = [
+        StrandClass::Horizontal,
+        StrandClass::RightHanded,
+        StrandClass::LeftHanded,
+    ];
+
+    /// The classes present in a code with `alpha` parities per data block:
+    /// `[H]`, `[H, RH]` or `[H, RH, LH]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is 0 or greater than 3; codes beyond α = 3 are an
+    /// open problem in the paper ("it is not clear how to connect the extra
+    /// helical strands", §V.A).
+    pub fn for_alpha(alpha: u8) -> &'static [StrandClass] {
+        match alpha {
+            1 => &Self::ALL[..1],
+            2 => &Self::ALL[..2],
+            3 => &Self::ALL[..3],
+            _ => panic!("alpha entanglement codes support alpha in 1..=3, got {alpha}"),
+        }
+    }
+
+    /// Small dense index (0 = H, 1 = RH, 2 = LH) for array-backed tables.
+    pub fn index(self) -> usize {
+        match self {
+            StrandClass::Horizontal => 0,
+            StrandClass::RightHanded => 1,
+            StrandClass::LeftHanded => 2,
+        }
+    }
+
+    /// Short lower-case label used in tables and debug output (`h`, `rh`,
+    /// `lh`), matching the paper's Table V.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrandClass::Horizontal => "h",
+            StrandClass::RightHanded => "rh",
+            StrandClass::LeftHanded => "lh",
+        }
+    }
+}
+
+impl fmt::Debug for StrandClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl fmt::Display for StrandClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// Identifier of a parity block (lattice edge): the output edge of node
+/// `left` on strand class `class`.
+///
+/// The paper writes edges `p_{i,j}`; since `j` is a function of `(class, i)`
+/// and the code parameters, `(class, i)` is the canonical form. Use
+/// [`ae_lattice`-level helpers](https://docs.rs/ae-lattice) to recover `j`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// Strand class the parity belongs to (each edge belongs to exactly one
+    /// strand).
+    pub class: StrandClass,
+    /// Left endpoint `d_i`; the parity is `p_{i,j}`.
+    pub left: NodeId,
+}
+
+impl EdgeId {
+    /// Convenience constructor.
+    pub fn new(class: StrandClass, left: NodeId) -> Self {
+        EdgeId { class, left }
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p[{}]{}→", self.class.label(), self.left.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// Any block in an entangled storage system: a data block (node) or a parity
+/// block (edge).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BlockId {
+    /// A data block `d_i`.
+    Data(NodeId),
+    /// A parity block `p_{i,j}` identified by its class and left endpoint.
+    Parity(EdgeId),
+}
+
+impl BlockId {
+    /// Returns `true` for data blocks.
+    pub fn is_data(self) -> bool {
+        matches!(self, BlockId::Data(_))
+    }
+
+    /// Returns `true` for parity blocks.
+    pub fn is_parity(self) -> bool {
+        matches!(self, BlockId::Parity(_))
+    }
+
+    /// The node id if this is a data block.
+    pub fn as_data(self) -> Option<NodeId> {
+        match self {
+            BlockId::Data(n) => Some(n),
+            BlockId::Parity(_) => None,
+        }
+    }
+
+    /// The edge id if this is a parity block.
+    pub fn as_parity(self) -> Option<EdgeId> {
+        match self {
+            BlockId::Data(_) => None,
+            BlockId::Parity(e) => Some(e),
+        }
+    }
+}
+
+impl From<NodeId> for BlockId {
+    fn from(n: NodeId) -> Self {
+        BlockId::Data(n)
+    }
+}
+
+impl From<EdgeId> for BlockId {
+    fn from(e: EdgeId) -> Self {
+        BlockId::Parity(e)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockId::Data(n) => write!(f, "{n:?}"),
+            BlockId::Parity(e) => write!(f, "{e:?}"),
+        }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_for_alpha_slices() {
+        assert_eq!(StrandClass::for_alpha(1), &[StrandClass::Horizontal]);
+        assert_eq!(
+            StrandClass::for_alpha(2),
+            &[StrandClass::Horizontal, StrandClass::RightHanded]
+        );
+        assert_eq!(StrandClass::for_alpha(3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn class_for_alpha_rejects_zero() {
+        StrandClass::for_alpha(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn class_for_alpha_rejects_four() {
+        StrandClass::for_alpha(4);
+    }
+
+    #[test]
+    fn display_formats_match_paper_notation() {
+        assert_eq!(NodeId(26).to_string(), "d26");
+        let e = EdgeId::new(StrandClass::LeftHanded, NodeId(26));
+        assert_eq!(e.to_string(), "p[lh]26→");
+        assert_eq!(StrandClass::RightHanded.to_string(), "rh");
+    }
+
+    #[test]
+    fn block_id_accessors() {
+        let d: BlockId = NodeId(5).into();
+        let p: BlockId = EdgeId::new(StrandClass::Horizontal, NodeId(5)).into();
+        assert!(d.is_data() && !d.is_parity());
+        assert!(p.is_parity() && !p.is_data());
+        assert_eq!(d.as_data(), Some(NodeId(5)));
+        assert_eq!(p.as_data(), None);
+        assert_eq!(p.as_parity().unwrap().left, NodeId(5));
+        assert_eq!(d.as_parity(), None);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(BlockId::Data(NodeId(2)));
+        s.insert(BlockId::Data(NodeId(1)));
+        s.insert(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(1))));
+        assert_eq!(s.len(), 3);
+    }
+}

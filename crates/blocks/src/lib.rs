@@ -1,0 +1,36 @@
+//! Block primitives for alpha entanglement codes.
+//!
+//! Every redundancy scheme in this workspace — alpha entanglement codes,
+//! Reed-Solomon, replication — operates on fixed-size byte blocks. This crate
+//! provides the shared substrate:
+//!
+//! * [`Block`] — an owned, fixed-size byte block with cheap clones (backed by
+//!   [`bytes::Bytes`]).
+//! * [`xor`] — the XOR kernels used by the entanglement encoder and decoder.
+//!   A single-failure repair in an entangled storage system is exactly one
+//!   call to [`xor::xor_of`].
+//! * [`crc`] — CRC32 (IEEE 802.3) checksums so stores can detect corrupted or
+//!   tampered blocks before using them in a repair.
+//! * [`id`] — typed identifiers for data blocks (lattice nodes) and parity
+//!   blocks (lattice edges), shared by the lattice, core, store and sim
+//!   crates.
+//!
+//! # Design notes
+//!
+//! The paper's encoder and decoder are "lightweight — essentially based on
+//! exclusive-or operations" (§VII). The hot path is XORing two equal-length
+//! slices; [`xor::xor_into`] processes 8 bytes per step on the aligned body
+//! of the slices and falls back to byte-at-a-time on the unaligned tail, with
+//! a portable implementation that the compiler autovectorizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod crc;
+pub mod id;
+pub mod xor;
+
+pub use block::{Block, BlockError};
+pub use crc::{crc32, Crc32};
+pub use id::{BlockId, EdgeId, NodeId, StrandClass};

@@ -1,0 +1,146 @@
+//! XOR kernels.
+//!
+//! The entanglement function of AE(α, s, p) computes each parity as the XOR
+//! of two consecutive blocks at the head of a strand (§III of the paper), and
+//! every repair — of a data block from a pp-tuple or of a parity block from a
+//! dp-tuple — is again a single XOR of two blocks. These kernels are the
+//! entire arithmetic of the code.
+
+/// XORs `src` into `dst` in place: `dst[i] ^= src[i]`.
+///
+/// Processes the aligned body of the slices 8 bytes at a time; the compiler
+/// autovectorizes the chunked loop on all mainstream targets.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths. Blocks in one lattice always
+/// share a size; mismatched lengths indicate a logic error upstream, not a
+/// runtime condition to recover from.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_into requires equal-length blocks"
+    );
+    let mut dst_chunks = dst.chunks_exact_mut(8);
+    let mut src_chunks = src.chunks_exact(8);
+    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+        let x = u64::from_ne_bytes(d.try_into().expect("chunk of 8"))
+            ^ u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
+/// Returns the XOR of two equal-length slices as a fresh vector.
+///
+/// This is the exact cost of a single-failure repair in an entangled storage
+/// system: `SF = 2` block reads plus one `xor_of` (§V.C.3, Table IV).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_of(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = a.to_vec();
+    xor_into(&mut out, b);
+    out
+}
+
+/// XORs all `srcs` together into a fresh zero-initialized vector of `len`
+/// bytes.
+///
+/// Used by punctured-lattice repairs and by the RS baseline's XOR fast path.
+/// An empty `srcs` yields the all-zero block, which is also the virtual
+/// parity at a strand head (blocks before the start of the lattice read as
+/// zeros).
+///
+/// # Panics
+///
+/// Panics if any source has a length other than `len`.
+pub fn xor_all<'a, I>(len: usize, srcs: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut out = vec![0u8; len];
+    for s in srcs {
+        xor_into(&mut out, s);
+    }
+    out
+}
+
+/// Returns `true` if every byte of `b` is zero.
+///
+/// Zero blocks act as the virtual parities at strand heads; the decoder uses
+/// this to recognize them cheaply.
+pub fn is_zero(b: &[u8]) -> bool {
+    b.iter().all(|&x| x == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_into_basic() {
+        let mut a = vec![0b1010_1010u8; 20];
+        let b = vec![0b0101_0101u8; 20];
+        xor_into(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0xFF));
+    }
+
+    #[test]
+    fn xor_into_handles_unaligned_tail() {
+        for len in 0..=33 {
+            let a: Vec<u8> = (0..len as u8).collect();
+            let b: Vec<u8> = (0..len as u8).map(|x| x.wrapping_mul(7)).collect();
+            let mut got = a.clone();
+            xor_into(&mut got, &b);
+            let want: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            assert_eq!(got, want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn xor_of_is_involutive() {
+        let a: Vec<u8> = (0..255).collect();
+        let b: Vec<u8> = (0..255).map(|x: u8| x.wrapping_mul(31).wrapping_add(5)).collect();
+        let p = xor_of(&a, &b);
+        assert_eq!(xor_of(&p, &b), a, "a ^ b ^ b == a");
+        assert_eq!(xor_of(&p, &a), b, "a ^ b ^ a == b");
+    }
+
+    #[test]
+    fn xor_all_empty_is_zero() {
+        let z = xor_all(16, std::iter::empty());
+        assert!(is_zero(&z));
+    }
+
+    #[test]
+    fn xor_all_three_sources() {
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 8];
+        let c = vec![4u8; 8];
+        let out = xor_all(8, [a.as_slice(), b.as_slice(), c.as_slice()]);
+        assert!(out.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn xor_into_rejects_mismatched_lengths() {
+        let mut a = vec![0u8; 4];
+        xor_into(&mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn is_zero_detects_nonzero() {
+        assert!(is_zero(&[0, 0, 0]));
+        assert!(!is_zero(&[0, 1, 0]));
+        assert!(is_zero(&[]));
+    }
+}

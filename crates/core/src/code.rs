@@ -1,0 +1,102 @@
+//! The [`Code`] facade: one object tying configuration, block size, encoder
+//! and decoder together.
+
+use crate::decoder;
+use crate::encoder::Entangler;
+use crate::repair::RepairEngine;
+use ae_blocks::{Block, BlockId};
+use ae_lattice::Config;
+use std::collections::HashMap;
+
+/// In-memory block container used throughout the byte plane: block id →
+/// contents. Presence in the map *is* availability.
+pub type BlockMap = HashMap<BlockId, Block>;
+
+/// An alpha entanglement code bound to a block size.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Code {
+    cfg: Config,
+    block_size: usize,
+    zero: Block,
+}
+
+impl Code {
+    /// Creates a code for blocks of `block_size` bytes.
+    pub fn new(cfg: Config, block_size: usize) -> Self {
+        Code {
+            cfg,
+            block_size,
+            zero: Block::zero(block_size),
+        }
+    }
+
+    /// The code configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The cached all-zero block (virtual strand-head parity).
+    pub fn zero_block(&self) -> &Block {
+        &self.zero
+    }
+
+    /// A fresh streaming encoder for this code.
+    pub fn entangler(&self) -> Entangler {
+        Entangler::new(self.cfg, self.block_size)
+    }
+
+    /// Repairs a single block from the store (one XOR of two blocks), given
+    /// that `max_node` data blocks have been written to the lattice.
+    ///
+    /// Returns `None` if no complete repair tuple is available.
+    pub fn repair_block(&self, store: &BlockMap, id: BlockId, max_node: u64) -> Option<Block> {
+        let mut lookup = |id: BlockId| store.get(&id).cloned();
+        decoder::repair_block(&self.cfg, id, max_node, &self.zero, &mut lookup)
+            .map(|r| r.block)
+    }
+
+    /// A round-based global repair engine for disasters affecting many
+    /// blocks at once.
+    pub fn repair_engine(&self, max_node: u64) -> RepairEngine<'_> {
+        RepairEngine::new(&self.cfg, max_node, &self.zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::NodeId;
+
+    #[test]
+    fn facade_roundtrip() {
+        let code = Code::new(Config::new(2, 2, 5).unwrap(), 32);
+        assert_eq!(code.block_size(), 32);
+        assert_eq!(code.config().alpha(), 2);
+        assert!(code.zero_block().is_zero());
+
+        let mut store = BlockMap::new();
+        let mut enc = code.entangler();
+        for k in 0..60u8 {
+            enc.entangle(Block::from_vec(vec![k; 32]))
+                .unwrap()
+                .insert_into(&mut store);
+        }
+        let lost = BlockId::Data(NodeId(30));
+        let original = store.remove(&lost).unwrap();
+        assert_eq!(code.repair_block(&store, lost, 60).unwrap(), original);
+    }
+
+    #[test]
+    fn repair_block_returns_none_without_tuples() {
+        let code = Code::new(Config::single(), 8);
+        let store = BlockMap::new(); // nothing stored at all
+        assert!(code.repair_block(&store, BlockId::Data(NodeId(5)), 10).is_none());
+    }
+}

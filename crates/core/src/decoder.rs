@@ -1,0 +1,251 @@
+//! Single-block repairs.
+//!
+//! "The decoder repairs a node using two adjacent edges that belong to the
+//! same strand, thus, there are α options. [It] repairs an edge using any of
+//! the two incident nodes on the damaged edge and its corresponding adjacent
+//! edge, hence, there are always two options" (§III.B). Each repair is one
+//! XOR of two blocks — the fixed "k = 2" single-failure cost of Table IV.
+//!
+//! Functions here take a lookup closure rather than a concrete container so
+//! they serve both the in-memory [`crate::BlockMap`] and the distributed
+//! stores in `ae-store`.
+
+use ae_blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
+use ae_lattice::{rules, Config};
+
+/// How a successful repair was performed (for accounting: every variant
+/// costs exactly two block reads, or one at a strand head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPath {
+    /// Data block rebuilt from its pp-tuple on this strand class.
+    NodeViaStrand(StrandClass),
+    /// Parity rebuilt from its left dp-tuple (`d_i` and `p_{h,i}`).
+    EdgeFromLeft,
+    /// Parity rebuilt from its right dp-tuple (`d_j` and `p_{j,k}`).
+    EdgeFromRight,
+}
+
+/// A repaired block plus the path used.
+#[derive(Debug, Clone)]
+pub struct Repaired {
+    /// The reconstructed contents.
+    pub block: Block,
+    /// Which tuple produced it.
+    pub path: RepairPath,
+}
+
+/// Attempts to repair data block `d_i` from any complete pp-tuple.
+///
+/// `lookup` returns the contents of currently *available* blocks; `zero` is
+/// the all-zero block of the lattice's size (virtual parities at strand
+/// heads). Returns `None` when no strand has both incident parities.
+pub fn repair_node(
+    cfg: &Config,
+    i: u64,
+    zero: &Block,
+    lookup: &mut impl FnMut(BlockId) -> Option<Block>,
+) -> Option<Repaired> {
+    for &class in cfg.classes() {
+        let h = rules::input_source(cfg, class, i as i64);
+        let input = if h >= 1 {
+            lookup(BlockId::Parity(EdgeId::new(class, NodeId(h as u64))))
+        } else {
+            Some(zero.clone())
+        };
+        let Some(input) = input else { continue };
+        let Some(output) = lookup(BlockId::Parity(EdgeId::new(class, NodeId(i)))) else {
+            continue;
+        };
+        let block = input.xor(&output).expect("lattice blocks share one size");
+        return Some(Repaired {
+            block,
+            path: RepairPath::NodeViaStrand(class),
+        });
+    }
+    None
+}
+
+/// Attempts to repair parity `p_{i,j}` (edge `(class, i)`) from either
+/// dp-tuple. `max_node` bounds the written lattice: the right option needs
+/// `d_j` to exist.
+pub fn repair_edge(
+    cfg: &Config,
+    edge: EdgeId,
+    max_node: u64,
+    zero: &Block,
+    lookup: &mut impl FnMut(BlockId) -> Option<Block>,
+) -> Option<Repaired> {
+    let i = edge.left.0 as i64;
+    // Left tuple: p_{i,j} = d_i XOR p_{h,i}.
+    if let Some(d) = lookup(BlockId::Data(NodeId(i as u64))) {
+        let h = rules::input_source(cfg, edge.class, i);
+        let input = if h >= 1 {
+            lookup(BlockId::Parity(EdgeId::new(edge.class, NodeId(h as u64))))
+        } else {
+            Some(zero.clone())
+        };
+        if let Some(input) = input {
+            return Some(Repaired {
+                block: d.xor(&input).expect("lattice blocks share one size"),
+                path: RepairPath::EdgeFromLeft,
+            });
+        }
+    }
+    // Right tuple: p_{i,j} = d_j XOR p_{j,k}.
+    let j = rules::output_target(cfg, edge.class, i);
+    if j as u64 <= max_node {
+        if let (Some(d), Some(next)) = (
+            lookup(BlockId::Data(NodeId(j as u64))),
+            lookup(BlockId::Parity(EdgeId::new(edge.class, NodeId(j as u64)))),
+        ) {
+            return Some(Repaired {
+                block: d.xor(&next).expect("lattice blocks share one size"),
+                path: RepairPath::EdgeFromRight,
+            });
+        }
+    }
+    None
+}
+
+/// Attempts to repair any block by id.
+pub fn repair_block(
+    cfg: &Config,
+    id: BlockId,
+    max_node: u64,
+    zero: &Block,
+    lookup: &mut impl FnMut(BlockId) -> Option<Block>,
+) -> Option<Repaired> {
+    match id {
+        BlockId::Data(n) => repair_node(cfg, n.0, zero, lookup),
+        BlockId::Parity(e) => repair_edge(cfg, e, max_node, zero, lookup),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Entangler;
+    use std::collections::HashMap;
+
+    fn build(cfg: Config, n: u64, len: usize) -> HashMap<BlockId, Block> {
+        let mut enc = Entangler::new(cfg, len);
+        let mut store = HashMap::new();
+        for k in 0..n {
+            enc.entangle(Block::from_vec(vec![k as u8; len]))
+                .unwrap()
+                .insert_into(&mut store);
+        }
+        store
+    }
+
+    fn lookup_in(store: &HashMap<BlockId, Block>) -> impl FnMut(BlockId) -> Option<Block> + '_ {
+        move |id| store.get(&id).cloned()
+    }
+
+    #[test]
+    fn node_repair_uses_each_strand() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let mut store = build(cfg, 200, 16);
+        let zero = Block::zero(16);
+        let original = store.remove(&BlockId::Data(NodeId(100))).unwrap();
+
+        // Full store: repairs via the first class (horizontal).
+        let r = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap();
+        assert_eq!(r.block, original);
+        assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::Horizontal));
+
+        // Knock out the horizontal tuple: falls over to RH.
+        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(100))));
+        let r = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap();
+        assert_eq!(r.block, original);
+        assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::RightHanded));
+
+        // Knock out RH too: falls over to LH.
+        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(100))));
+        let r = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap();
+        assert_eq!(r.block, original);
+        assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::LeftHanded));
+
+        // All three output parities gone: no pp-tuple is complete.
+        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::LeftHanded, NodeId(100))));
+        assert!(repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).is_none());
+    }
+
+    #[test]
+    fn edge_repair_left_and_right() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let mut store = build(cfg, 40, 8);
+        let zero = Block::zero(8);
+        // Paper's example: repair p21,26 = XOR(d21, p16,21).
+        let target = BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(21)));
+        let original = store.remove(&target).unwrap();
+        let r = repair_edge(
+            &cfg,
+            EdgeId::new(StrandClass::Horizontal, NodeId(21)),
+            40,
+            &zero,
+            &mut lookup_in(&store),
+        )
+        .unwrap();
+        assert_eq!(r.block, original);
+        assert_eq!(r.path, RepairPath::EdgeFromLeft);
+
+        // Remove d21 as well: must fall back to the right tuple
+        // p21,26 = XOR(d26, p26,31).
+        store.remove(&BlockId::Data(NodeId(21)));
+        let r = repair_edge(
+            &cfg,
+            EdgeId::new(StrandClass::Horizontal, NodeId(21)),
+            40,
+            &zero,
+            &mut lookup_in(&store),
+        )
+        .unwrap();
+        assert_eq!(r.block, original);
+        assert_eq!(r.path, RepairPath::EdgeFromRight);
+    }
+
+    #[test]
+    fn edge_at_tail_has_no_right_tuple() {
+        let cfg = Config::single();
+        let store = build(cfg, 10, 8);
+        let zero = Block::zero(8);
+        let mut partial: HashMap<BlockId, Block> = store.clone();
+        // Remove the last edge and its left node: with only 10 nodes
+        // written, d11 does not exist, so p10,11 is unrepairable.
+        let target = EdgeId::new(StrandClass::Horizontal, NodeId(10));
+        partial.remove(&BlockId::Parity(target));
+        partial.remove(&BlockId::Data(NodeId(10)));
+        assert!(repair_edge(&cfg, target, 10, &zero, &mut lookup_in(&partial)).is_none());
+    }
+
+    #[test]
+    fn strand_head_repairs_use_virtual_zero() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let mut store = build(cfg, 50, 8);
+        let zero = Block::zero(8);
+        // Node 1's pp-tuples are (virtual, output): losing d1 still repairs.
+        let original = store.remove(&BlockId::Data(NodeId(1))).unwrap();
+        let r = repair_node(&cfg, 1, &zero, &mut lookup_in(&store)).unwrap();
+        assert_eq!(r.block, original);
+    }
+
+    #[test]
+    fn repair_block_dispatches() {
+        let cfg = Config::new(2, 2, 2).unwrap();
+        let mut store = build(cfg, 30, 8);
+        let zero = Block::zero(8);
+        let d = BlockId::Data(NodeId(15));
+        let e = BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(15)));
+        let od = store.remove(&d).unwrap();
+        let oe = store.remove(&e).unwrap();
+        assert_eq!(
+            repair_block(&cfg, d, 30, &zero, &mut lookup_in(&store)).unwrap().block,
+            od
+        );
+        assert_eq!(
+            repair_block(&cfg, e, 30, &zero, &mut lookup_in(&store)).unwrap().block,
+            oe
+        );
+    }
+}

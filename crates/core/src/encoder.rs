@@ -1,0 +1,326 @@
+//! The streaming entanglement encoder.
+//!
+//! "The entanglement function computes the exclusive-or (XOR) of two
+//! consecutive blocks at the head of a strand and inserts the output
+//! adjacent to the last block" (§III). Concretely, when data block `d_i`
+//! arrives, for each of its α strand classes the encoder XORs `d_i` with
+//! the parity currently at the head of that strand (`p_{h,i}`, the output
+//! of the strand's previous node, or the all-zero virtual parity if the
+//! strand has not started) and emits the result as `p_{i,j}`.
+//!
+//! The encoder's working state — the *frontier* — is the last parity of
+//! every strand: `s + (α−1)·p` blocks, exactly the broker memory footprint
+//! described in §IV.A ("AE(3,5,5) requires to keep in memory the last
+//! p-block of its 15 strands"). Because every parity is consumed by exactly
+//! one later node, the frontier never grows beyond that bound.
+
+use ae_blocks::{Block, BlockError, BlockId, EdgeId, NodeId};
+use ae_lattice::{rules, Config};
+use std::collections::HashMap;
+
+/// The result of entangling one data block: the node it became and the α
+/// parities the entanglement created.
+#[derive(Debug, Clone)]
+pub struct EntangleOutput {
+    /// Position assigned to the data block.
+    pub node: NodeId,
+    /// The data block itself.
+    pub data: Block,
+    /// The α new parities, one per strand class, in class order.
+    pub parities: Vec<(EdgeId, Block)>,
+}
+
+impl EntangleOutput {
+    /// Inserts the data block and all parities into a block map (a "sealed
+    /// bucket" write: the d-block plus its α parities, §V.B).
+    pub fn insert_into(&self, store: &mut HashMap<BlockId, Block>) {
+        store.insert(BlockId::Data(self.node), self.data.clone());
+        for (e, b) in &self.parities {
+            store.insert(BlockId::Parity(*e), b.clone());
+        }
+    }
+
+    /// All block ids this write produced.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        let mut out = vec![BlockId::Data(self.node)];
+        out.extend(self.parities.iter().map(|(e, _)| BlockId::Parity(*e)));
+        out
+    }
+}
+
+/// Streaming encoder for one entanglement lattice.
+///
+/// # Examples
+///
+/// ```
+/// use ae_core::Entangler;
+/// use ae_blocks::Block;
+/// use ae_lattice::Config;
+///
+/// let mut enc = Entangler::new(Config::new(3, 5, 5).unwrap(), 16);
+/// let out = enc.entangle(Block::from_vec(vec![7; 16])).unwrap();
+/// assert_eq!(out.node.0, 1);
+/// assert_eq!(out.parities.len(), 3);
+/// // The first parity of a strand equals the data block (XOR with zero).
+/// assert_eq!(out.parities[0].1, out.data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Entangler {
+    cfg: Config,
+    block_size: usize,
+    /// Last processed position (the paper's counter `c`).
+    counter: u64,
+    /// Strand frontier: parities produced but not yet consumed, keyed by
+    /// edge id. Bounded by the strand count.
+    frontier: HashMap<EdgeId, Block>,
+}
+
+impl Entangler {
+    /// Creates an encoder for blocks of `block_size` bytes.
+    pub fn new(cfg: Config, block_size: usize) -> Self {
+        Entangler {
+            cfg,
+            block_size,
+            counter: 0,
+            frontier: HashMap::new(),
+        }
+    }
+
+    /// The code configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Number of data blocks entangled so far.
+    pub fn written(&self) -> u64 {
+        self.counter
+    }
+
+    /// Current frontier size in parities. Once the lattice is warmed up this
+    /// equals [`Config::strand_count`].
+    pub fn memory_footprint(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Restores the frontier from previously stored parities, as a broker
+    /// does after a crash ("If the broker crashes, it only needs to retrieve
+    /// the p-blocks from the remote nodes", §IV.A).
+    ///
+    /// `counter` is the last written position; `fetch` must return the
+    /// stored parity for each in-flight edge id it is asked for.
+    ///
+    /// # Errors
+    ///
+    /// Returns the edge id for which `fetch` produced nothing.
+    pub fn restore(
+        cfg: Config,
+        block_size: usize,
+        counter: u64,
+        mut fetch: impl FnMut(EdgeId) -> Option<Block>,
+    ) -> Result<Self, EdgeId> {
+        let mut frontier = HashMap::new();
+        // In-flight edges: produced by a node ≤ counter but consumed by a
+        // node > counter. Producers lie within one maximal forward span of
+        // the counter, so scan that window.
+        let span = (cfg.s() as i64 * cfg.p().max(1) as i64 + cfg.s() as i64 + 2).max(4);
+        for &class in cfg.classes() {
+            for h in ((counter as i64 - span).max(1))..=(counter as i64) {
+                if rules::output_target(&cfg, class, h) > counter as i64 {
+                    let e = EdgeId::new(class, NodeId(h as u64));
+                    let block = fetch(e).ok_or(e)?;
+                    frontier.insert(e, block);
+                }
+            }
+        }
+        Ok(Entangler {
+            cfg,
+            block_size,
+            counter,
+            frontier,
+        })
+    }
+
+    /// Entangles the next data block, assigning it position `counter + 1`
+    /// and producing α parities.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BlockError::SizeMismatch`] if the block size differs
+    /// from the lattice's.
+    pub fn entangle(&mut self, data: Block) -> Result<EntangleOutput, BlockError> {
+        if data.len() != self.block_size {
+            return Err(BlockError::SizeMismatch {
+                expected: self.block_size,
+                actual: data.len(),
+            });
+        }
+        let i = self.counter + 1;
+        let mut parities = Vec::with_capacity(self.cfg.alpha() as usize);
+        for &class in self.cfg.classes() {
+            let h = rules::input_source(&self.cfg, class, i as i64);
+            let parity = if h >= 1 {
+                let input_edge = EdgeId::new(class, NodeId(h as u64));
+                // Consume: each parity is input to exactly one entanglement.
+                let input = self
+                    .frontier
+                    .remove(&input_edge)
+                    .expect("frontier holds the last parity of every live strand");
+                data.xor(&input)?
+            } else {
+                // Strand head: XOR with the virtual zero parity.
+                data.clone()
+            };
+            let out_edge = EdgeId::new(class, NodeId(i));
+            self.frontier.insert(out_edge, parity.clone());
+            parities.push((out_edge, parity));
+        }
+        self.counter = i;
+        Ok(EntangleOutput {
+            node: NodeId(i),
+            data,
+            parities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::StrandClass::*;
+    use ae_blocks::{xor, StrandClass};
+
+    fn blk(seed: u8, len: usize) -> Block {
+        Block::from_vec((0..len).map(|k| seed.wrapping_add(k as u8).wrapping_mul(31)).collect())
+    }
+
+    fn run_encoder(cfg: Config, n: u64, len: usize) -> (Entangler, HashMap<BlockId, Block>) {
+        let mut enc = Entangler::new(cfg, len);
+        let mut store = HashMap::new();
+        for k in 0..n {
+            let out = enc.entangle(blk(k as u8, len)).unwrap();
+            out.insert_into(&mut store);
+        }
+        (enc, store)
+    }
+
+    #[test]
+    fn produces_alpha_parities_per_block() {
+        for (a, s, p) in [(1u8, 1u16, 0u16), (2, 2, 3), (3, 2, 5)] {
+            let cfg = Config::new(a, s, p).unwrap();
+            let mut enc = Entangler::new(cfg, 8);
+            let out = enc.entangle(blk(1, 8)).unwrap();
+            assert_eq!(out.parities.len(), a as usize);
+            assert_eq!(out.block_ids().len(), 1 + a as usize);
+        }
+    }
+
+    #[test]
+    fn frontier_is_bounded_by_strand_count() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let (enc, _) = run_encoder(cfg, 500, 8);
+        assert_eq!(
+            enc.memory_footprint(),
+            cfg.strand_count() as usize,
+            "AE(3,5,5) keeps the last p-block of its 15 strands (§IV.A)"
+        );
+        assert_eq!(enc.written(), 500);
+    }
+
+    /// Every parity must satisfy the entanglement identity
+    /// p_{i,j} = d_i XOR p_{h,i} (with p_{h,i} = 0 at strand heads).
+    #[test]
+    fn parities_satisfy_entanglement_identity() {
+        for (a, s, p) in [(1u8, 1u16, 0u16), (2, 1, 2), (2, 2, 5), (3, 2, 5), (3, 5, 5)] {
+            let cfg = Config::new(a, s, p).unwrap();
+            let (_, store) = run_encoder(cfg, 300, 16);
+            for i in 1..=300i64 {
+                let d = &store[&BlockId::Data(NodeId(i as u64))];
+                for &class in cfg.classes() {
+                    let out_edge = BlockId::Parity(EdgeId::new(class, NodeId(i as u64)));
+                    let h = rules::input_source(&cfg, class, i);
+                    let expect = if h >= 1 {
+                        let input =
+                            &store[&BlockId::Parity(EdgeId::new(class, NodeId(h as u64)))];
+                        Block::from_vec(xor::xor_of(d.as_slice(), input.as_slice()))
+                    } else {
+                        d.clone()
+                    };
+                    assert_eq!(store[&out_edge], expect, "{cfg} node {i} class {class}");
+                }
+            }
+        }
+    }
+
+    /// The paper's Table V worked example: in AE(3,5,5), block d26's six
+    /// incident parities are p21,26 / p26,31 (h), p22,26 / p26,35 (lh),
+    /// p25,26 / p26,32 (rh), and d26 is recoverable from any complete pair.
+    #[test]
+    fn table5_worked_example() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let (_, store) = run_encoder(cfg, 40, 32);
+        let d26 = store[&BlockId::Data(NodeId(26))].clone();
+        let pairs: [(StrandClass, u64, u64); 3] = [
+            (Horizontal, 21, 26),
+            (RightHanded, 25, 26),
+            (LeftHanded, 22, 26),
+        ];
+        for (class, h, i) in pairs {
+            let input = &store[&BlockId::Parity(EdgeId::new(class, NodeId(h)))];
+            let output = &store[&BlockId::Parity(EdgeId::new(class, NodeId(i)))];
+            assert_eq!(
+                input.xor(output).unwrap(),
+                d26,
+                "d26 = p[{class}]{h},26 XOR p[{class}]26,*"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_block_size() {
+        let mut enc = Entangler::new(Config::single(), 8);
+        assert!(matches!(
+            enc.entangle(Block::zero(9)),
+            Err(BlockError::SizeMismatch { expected: 8, actual: 9 })
+        ));
+    }
+
+    #[test]
+    fn restore_resumes_identically() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let n = 123;
+        let (mut original, store) = run_encoder(cfg, n, 8);
+
+        // Rebuild a broker from the stored parities alone.
+        let mut restored = Entangler::restore(cfg, 8, n, |e| {
+            store.get(&BlockId::Parity(e)).cloned()
+        })
+        .unwrap();
+        assert_eq!(restored.memory_footprint(), original.memory_footprint());
+
+        // Both encoders must produce identical parities from here on.
+        for k in 0..50 {
+            let a = original.entangle(blk(k, 8)).unwrap();
+            let b = restored.entangle(blk(k, 8)).unwrap();
+            assert_eq!(a.node, b.node);
+            for ((ea, pa), (eb, pb)) in a.parities.iter().zip(&b.parities) {
+                assert_eq!(ea, eb);
+                assert_eq!(pa, pb);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_reports_missing_parity() {
+        let cfg = Config::new(2, 2, 2).unwrap();
+        let (_, store) = run_encoder(cfg, 50, 8);
+        let result = Entangler::restore(cfg, 8, 50, |e| {
+            // Withhold one frontier parity.
+            if e.left == NodeId(50) {
+                None
+            } else {
+                store.get(&BlockId::Parity(e)).cloned()
+            }
+        });
+        assert!(matches!(result, Err(e) if e.left == NodeId(50)));
+    }
+}

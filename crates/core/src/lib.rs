@@ -1,0 +1,118 @@
+//! Alpha entanglement codes: the byte-plane implementation of AE(α, s, p).
+//!
+//! This crate is the paper's primary contribution as runnable code. It sits
+//! on top of [`ae_lattice`] (which knows *which* blocks connect) and
+//! [`ae_blocks`] (which knows how to XOR them), and provides:
+//!
+//! * [`encoder::Entangler`] — the streaming encoder: each incoming data
+//!   block is tangled with the α parities at the heads of its strands,
+//!   producing α new parities. Memory footprint is exactly one parity per
+//!   strand (`s + (α−1)·p` blocks), matching §IV.A's broker description.
+//! * [`decoder`] — single-block repairs: a data block from any complete
+//!   pp-tuple (two parities, one XOR), a parity block from either dp-tuple.
+//! * [`repair::RepairEngine`] — the round-based global decoder used after
+//!   disasters: each round repairs every block that has a complete tuple,
+//!   newly repaired blocks enable further repairs next round (§V.C.4).
+//! * [`writer::WriteScheduler`] — the Fig 10 write-performance model:
+//!   full-writes vs deferred buckets as a function of s and p.
+//! * [`puncture`] — the storage-overhead reduction sketched in §III
+//!   ("Reducing Storage Overhead"): deterministically skip storing a
+//!   fraction of parities.
+//! * [`upgrade`] — dynamic fault tolerance: raise α without re-encoding
+//!   existing blocks (§I: "alpha entanglements permit changes in the
+//!   parameters without the need to encode the content again").
+//! * [`tamper`] — the anti-tampering cost analysis of §III: how many blocks
+//!   an attacker must rewrite to alter one data block undetectably.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ae_core::{Code, BlockMap};
+//! use ae_blocks::{Block, BlockId, NodeId};
+//! use ae_lattice::Config;
+//!
+//! // AE(3,2,5): triple entanglement, the paper's 5-HEC equivalent.
+//! let code = Code::new(Config::new(3, 2, 5).unwrap(), 64);
+//! let mut store = BlockMap::new();
+//! let mut enc = code.entangler();
+//! for n in 0u8..100 {
+//!     let out = enc.entangle(Block::from_vec(vec![n; 64])).unwrap();
+//!     out.insert_into(&mut store);
+//! }
+//!
+//! // Lose a data block; repair it with a single XOR of two parities.
+//! let lost = BlockId::Data(NodeId(42));
+//! let original = store.remove(&lost).unwrap();
+//! let repaired = code.repair_block(&store, lost, 100).unwrap();
+//! assert_eq!(repaired, original);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod decoder;
+pub mod encoder;
+pub mod puncture;
+pub mod repair;
+pub mod tamper;
+pub mod upgrade;
+pub mod writer;
+
+pub use code::{BlockMap, Code};
+pub use encoder::{EntangleOutput, Entangler};
+pub use repair::{RepairEngine, RepairReport};
+pub use writer::{WriteReport, WriteScheduler};
+
+use ae_blocks::{BlockId, EdgeId, NodeId};
+use ae_lattice::LatticeBlock;
+
+/// Converts a byte-plane block id to the lattice analysis plane.
+pub fn to_lattice(id: BlockId) -> LatticeBlock {
+    match id {
+        BlockId::Data(NodeId(i)) => LatticeBlock::Node(i as i64),
+        BlockId::Parity(EdgeId { class, left }) => LatticeBlock::Edge(class, left.0 as i64),
+    }
+}
+
+/// Converts a lattice block back to a byte-plane id.
+///
+/// # Panics
+///
+/// Panics on virtual positions (`i < 1`), which have no stored counterpart.
+pub fn from_lattice(b: LatticeBlock) -> BlockId {
+    match b {
+        LatticeBlock::Node(i) => {
+            assert!(i >= 1, "virtual node {i} has no block id");
+            BlockId::Data(NodeId(i as u64))
+        }
+        LatticeBlock::Edge(class, i) => {
+            assert!(i >= 1, "virtual edge {i} has no block id");
+            BlockId::Parity(EdgeId::new(class, NodeId(i as u64)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::StrandClass;
+
+    #[test]
+    fn lattice_conversion_roundtrip() {
+        let ids = [
+            BlockId::Data(NodeId(1)),
+            BlockId::Data(NodeId(26)),
+            BlockId::Parity(EdgeId::new(StrandClass::LeftHanded, NodeId(26))),
+        ];
+        for id in ids {
+            assert_eq!(from_lattice(to_lattice(id)), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual")]
+    fn virtual_positions_rejected() {
+        from_lattice(LatticeBlock::Node(0));
+    }
+}

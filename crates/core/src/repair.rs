@@ -1,0 +1,248 @@
+//! Round-based global repair.
+//!
+//! After a disaster, many blocks are missing at once. "At each round, our AE
+//! decoder computes 1 XOR between two available blocks for any data and
+//! parity blocks that is repaired. When data blocks cannot be repaired at
+//! the first round, the decoder will do it at the second round if other
+//! required data or parity block becomes available" (§V.C.4). Repairs
+//! within one round read only blocks available at the start of the round,
+//! so a round models one parallel wave of distributed repairs; the number
+//! of rounds to fixpoint is the paper's Table VI metric.
+
+use crate::decoder;
+use ae_blocks::{Block, BlockId};
+use ae_lattice::Config;
+use std::collections::HashMap;
+
+/// Statistics of one repair round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Blocks repaired this round (data + parity).
+    pub repaired: usize,
+    /// Of which data blocks.
+    pub data_repaired: usize,
+}
+
+/// Outcome of a global repair.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Per-round statistics, in order.
+    pub rounds: Vec<RoundStats>,
+    /// Targets the decoder could not reconstruct (a dead pattern remains).
+    pub unrecovered: Vec<BlockId>,
+}
+
+impl RepairReport {
+    /// Number of rounds that made progress.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total blocks repaired.
+    pub fn total_repaired(&self) -> usize {
+        self.rounds.iter().map(|r| r.repaired).sum()
+    }
+
+    /// Total data blocks repaired.
+    pub fn total_data_repaired(&self) -> usize {
+        self.rounds.iter().map(|r| r.data_repaired).sum()
+    }
+
+    /// Data blocks repaired in round 1 — the paper's *single failures*: one
+    /// XOR of two available blocks with no dependency on other repairs
+    /// (§V.C.3, Fig 13).
+    pub fn single_failure_data_repairs(&self) -> usize {
+        self.rounds.first().map_or(0, |r| r.data_repaired)
+    }
+
+    /// Whether every target was reconstructed.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered.is_empty()
+    }
+}
+
+/// Round-based repair engine over an in-memory block map.
+#[derive(Debug)]
+pub struct RepairEngine<'a> {
+    cfg: &'a Config,
+    max_node: u64,
+    zero: &'a Block,
+}
+
+impl<'a> RepairEngine<'a> {
+    /// Creates an engine for a lattice with nodes `1..=max_node`; `zero` is
+    /// the all-zero block of the lattice's block size.
+    pub fn new(cfg: &'a Config, max_node: u64, zero: &'a Block) -> Self {
+        RepairEngine { cfg, max_node, zero }
+    }
+
+    /// Repairs `targets` in rounds until fixpoint. Repaired blocks are
+    /// inserted into `store`; each round only reads blocks present at the
+    /// round's start.
+    pub fn repair_all(
+        &self,
+        store: &mut HashMap<BlockId, Block>,
+        targets: impl IntoIterator<Item = BlockId>,
+    ) -> RepairReport {
+        let mut missing: Vec<BlockId> = targets
+            .into_iter()
+            .filter(|id| !store.contains_key(id))
+            .collect();
+        let mut rounds = Vec::new();
+        while !missing.is_empty() {
+            // Plan all repairs against the round-start snapshot…
+            let mut planned: Vec<(BlockId, Block)> = Vec::new();
+            let mut still_missing = Vec::new();
+            for &id in &missing {
+                let mut lookup = |q: BlockId| store.get(&q).cloned();
+                match decoder::repair_block(self.cfg, id, self.max_node, self.zero, &mut lookup) {
+                    Some(r) => planned.push((id, r.block)),
+                    None => still_missing.push(id),
+                }
+            }
+            if planned.is_empty() {
+                break; // fixpoint: a dead pattern remains
+            }
+            // …then commit them together, making them visible next round.
+            let stats = RoundStats {
+                repaired: planned.len(),
+                data_repaired: planned.iter().filter(|(id, _)| id.is_data()).count(),
+            };
+            for (id, block) in planned {
+                store.insert(id, block);
+            }
+            rounds.push(stats);
+            missing = still_missing;
+        }
+        RepairReport {
+            rounds,
+            unrecovered: missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{BlockMap, Code};
+    use ae_blocks::{EdgeId, NodeId, StrandClass};
+
+    fn build(cfg: Config, n: u64, len: usize) -> (Code, BlockMap) {
+        let code = Code::new(cfg, len);
+        let mut store = BlockMap::new();
+        let mut enc = code.entangler();
+        for k in 0..n {
+            enc.entangle(Block::from_vec(vec![(k % 251) as u8; len]))
+                .unwrap()
+                .insert_into(&mut store);
+        }
+        (code, store)
+    }
+
+    /// Deleting scattered single blocks repairs in one round, one XOR each.
+    #[test]
+    fn scattered_singles_repair_in_one_round() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let (code, mut store) = build(cfg, 300, 16);
+        let full = store.clone();
+        let victims: Vec<BlockId> = vec![
+            BlockId::Data(NodeId(50)),
+            BlockId::Data(NodeId(120)),
+            BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(200))),
+        ];
+        for v in &victims {
+            store.remove(v);
+        }
+        let report = code.repair_engine(300).repair_all(&mut store, victims.clone());
+        assert!(report.fully_recovered());
+        assert_eq!(report.round_count(), 1);
+        assert_eq!(report.total_repaired(), 3);
+        assert_eq!(report.single_failure_data_repairs(), 2);
+        for v in &victims {
+            assert_eq!(store[v], full[v], "{v:?}");
+        }
+    }
+
+    /// A clustered failure needs multiple rounds: repairing the cluster's
+    /// data blocks through surviving helical strands in round 1 unlocks the
+    /// horizontal parities in round 2.
+    #[test]
+    fn clustered_failure_needs_multiple_rounds() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let (code, mut store) = build(cfg, 400, 8);
+        let full = store.clone();
+        // Erase a contiguous range of nodes together with their horizontal
+        // parities: the H pp-tuples are gone, so data blocks must repair via
+        // RH/LH first, and the H parities only become repairable afterwards.
+        let mut victims = Vec::new();
+        for i in 100..=140u64 {
+            victims.push(BlockId::Data(NodeId(i)));
+            victims.push(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(i))));
+        }
+        for v in &victims {
+            store.remove(v);
+        }
+        let report = code.repair_engine(400).repair_all(&mut store, victims.clone());
+        assert!(report.fully_recovered(), "unrecovered: {:?}", report.unrecovered);
+        assert!(report.round_count() > 1, "rounds: {:?}", report.rounds);
+        for v in &victims {
+            assert_eq!(store[v], full[v], "{v:?}");
+        }
+    }
+
+    /// A minimal erasure pattern is genuinely irrecoverable; the engine
+    /// reports it rather than looping.
+    #[test]
+    fn dead_pattern_reported_unrecovered() {
+        let cfg = Config::new(2, 1, 1).unwrap();
+        let (code, mut store) = build(cfg, 100, 8);
+        // Fig 7 A: two adjacent nodes plus both parallel edges between them.
+        let victims = vec![
+            BlockId::Data(NodeId(50)),
+            BlockId::Data(NodeId(51)),
+            BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(50))),
+            BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(50))),
+        ];
+        for v in &victims {
+            store.remove(v);
+        }
+        let report = code.repair_engine(100).repair_all(&mut store, victims.clone());
+        assert!(!report.fully_recovered());
+        assert_eq!(report.unrecovered.len(), 4);
+        assert_eq!(report.round_count(), 0);
+    }
+
+    /// Removing a dead pattern plus extra repairable blocks: the decoder
+    /// recovers everything outside the dead core.
+    #[test]
+    fn partial_recovery_around_dead_core() {
+        let cfg = Config::new(2, 1, 1).unwrap();
+        let (code, mut store) = build(cfg, 100, 8);
+        let mut victims = vec![
+            BlockId::Data(NodeId(50)),
+            BlockId::Data(NodeId(51)),
+            BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(50))),
+            BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(50))),
+        ];
+        // Plus repairable extras.
+        victims.push(BlockId::Data(NodeId(10)));
+        victims.push(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(70))));
+        for v in &victims {
+            store.remove(v);
+        }
+        let report = code.repair_engine(100).repair_all(&mut store, victims);
+        assert_eq!(report.unrecovered.len(), 4);
+        assert_eq!(report.total_repaired(), 2);
+    }
+
+    #[test]
+    fn already_present_targets_are_skipped() {
+        let cfg = Config::single();
+        let (code, mut store) = build(cfg, 20, 8);
+        let report = code
+            .repair_engine(20)
+            .repair_all(&mut store, vec![BlockId::Data(NodeId(5))]);
+        assert_eq!(report.round_count(), 0);
+        assert!(report.fully_recovered());
+    }
+}

@@ -1,0 +1,100 @@
+//! Anti-tampering cost analysis (§III "Anti-tampering Property").
+//!
+//! "To go undetected, an attacker should modify the α strands in which the
+//! targeted block participates by replacing all the parities computed from
+//! its position to the closest strand extremity." Because every parity on a
+//! strand after position `i` transitively depends on `d_i`, altering `d_i`
+//! forces recomputing every following parity on all α strands. This module
+//! quantifies that cost; it grows with lattice size, so tampering becomes
+//! harder the longer the system lives.
+
+use ae_blocks::StrandClass;
+use ae_lattice::{strand, Config};
+
+/// Cost to tamper with one data block undetectably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperReport {
+    /// Target node position.
+    pub node: u64,
+    /// Parities to recompute per strand class, in class order.
+    pub per_strand: Vec<(StrandClass, u64)>,
+}
+
+impl TamperReport {
+    /// Total parity blocks the attacker must rewrite.
+    pub fn total_parities(&self) -> u64 {
+        self.per_strand.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total blocks to rewrite, including the data block itself.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_parities() + 1
+    }
+}
+
+/// Computes the tamper cost for node `i` in a lattice of `n` written nodes:
+/// on each of its α strands, every parity from `i`'s output to the strand's
+/// current end must be recomputed.
+pub fn tamper_cost(cfg: &Config, i: u64, n: u64) -> TamperReport {
+    assert!(i >= 1 && i <= n, "node {i} outside lattice 1..={n}");
+    let per_strand = cfg
+        .classes()
+        .iter()
+        .map(|&class| {
+            (
+                class,
+                strand::parities_to_strand_end(cfg, class, i as i64, n as i64),
+            )
+        })
+        .collect();
+    TamperReport { node: i, per_strand }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_covers_alpha_strands() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let r = tamper_cost(&cfg, 26, 1000);
+        assert_eq!(r.per_strand.len(), 3);
+        assert!(r.per_strand.iter().all(|&(_, n)| n > 0));
+        assert_eq!(r.total_blocks(), r.total_parities() + 1);
+    }
+
+    #[test]
+    fn older_blocks_cost_more() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let early = tamper_cost(&cfg, 10, 10_000).total_parities();
+        let late = tamper_cost(&cfg, 9_990, 10_000).total_parities();
+        assert!(
+            early > 100 * late.max(1) / 10,
+            "early {early} should dwarf late {late}"
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_lattice_size() {
+        // Permanent storage keeps appending, so tampering any fixed block
+        // keeps getting more expensive.
+        let cfg = Config::new(2, 2, 2).unwrap();
+        let small = tamper_cost(&cfg, 100, 1_000).total_parities();
+        let large = tamper_cost(&cfg, 100, 100_000).total_parities();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn single_chain_cost_is_distance_to_end() {
+        let cfg = Config::single();
+        let r = tamper_cost(&cfg, 7, 10);
+        // Outputs of nodes 7, 8, 9, 10.
+        assert_eq!(r.total_parities(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside lattice")]
+    fn rejects_out_of_range_node() {
+        tamper_cost(&Config::single(), 11, 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! Quick sanity sweep of the minimal-erasure search against the pattern
+//! sizes printed in the paper (Fig 7 and §I).
+use ae_lattice::{Config, MeSearch};
+
+fn main() {
+    for (a, s, p, x, expect) in [
+        (1u8, 1u16, 0u16, 2usize, 3usize), // Fig 6 primitive form I
+        (2, 1, 1, 2, 4),                   // Fig 7 A
+        (3, 1, 1, 2, 5),                   // Fig 7 B
+        (3, 1, 4, 2, 8),                   // Fig 7 C
+        (3, 4, 4, 2, 14),                  // Fig 7 D
+    ] {
+        let cfg = Config::new(a, s, p).unwrap();
+        let t = std::time::Instant::now();
+        let pat = MeSearch::new(cfg).min_erasure(x).expect("pattern exists");
+        println!(
+            "{cfg} |ME({x})| = {} (paper: {expect}) in {:?}",
+            pat.size(),
+            t.elapsed()
+        );
+        assert_eq!(pat.size(), expect);
+    }
+    println!("all pattern sizes match the paper");
+}

@@ -1,0 +1,273 @@
+//! Constructive minimal-erasure pattern families (§V.A).
+//!
+//! The branch-and-bound search in [`crate::me`] finds minimal patterns from
+//! nothing, but its cost grows exponentially with pattern size. This module
+//! *constructs* the pattern families the paper names — primitive forms I
+//! and II for single entanglements, the α = 2 **square**, and the α = 3
+//! **cube** whose |ME(8)| = 20 instance for AE(3,3,3) the paper quotes —
+//! and verifies them with the shared deadness/irreducibility checkers.
+//! Constructions give upper bounds on |ME(x)| instantly; the search
+//! certifies minimality where it is feasible.
+
+use crate::config::Config;
+use crate::graph::LatticeBlock;
+use crate::rules;
+use ae_blocks::StrandClass;
+use std::collections::BTreeSet;
+
+/// Primitive form I (Fig 6): two adjacent nodes on a strand plus their
+/// shared edge — the minimal fatal pattern of a single entanglement.
+///
+/// Valid for any configuration; for α ≥ 2 the form alone is *not* dead
+/// (the other strands repair it), matching the paper's "when α ≥ 2
+/// primitive forms do not cause data loss".
+pub fn primitive_form_i(cfg: &Config, class: StrandClass, left: i64) -> BTreeSet<LatticeBlock> {
+    let right = rules::output_target(cfg, class, left);
+    [
+        LatticeBlock::Node(left),
+        LatticeBlock::Node(right),
+        LatticeBlock::Edge(class, left),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Primitive form II (Fig 6): two nodes at strand distance `hops` with all
+/// connecting edges erased (form I is the `hops = 1` case).
+pub fn primitive_form_ii(
+    cfg: &Config,
+    class: StrandClass,
+    left: i64,
+    hops: usize,
+) -> BTreeSet<LatticeBlock> {
+    assert!(hops >= 1, "a form needs at least one edge");
+    let mut set = BTreeSet::new();
+    set.insert(LatticeBlock::Node(left));
+    let mut cur = left;
+    for _ in 0..hops {
+        set.insert(LatticeBlock::Edge(class, cur));
+        cur = rules::output_target(cfg, class, cur);
+    }
+    set.insert(LatticeBlock::Node(cur));
+    set
+}
+
+/// The strand segment (all edges) between two nodes along `class`, assuming
+/// `to` is reachable from `from`; `None` otherwise.
+fn segment(
+    cfg: &Config,
+    class: StrandClass,
+    from: i64,
+    to: i64,
+) -> Option<Vec<LatticeBlock>> {
+    let mut cur = from;
+    let mut edges = Vec::new();
+    while cur < to {
+        edges.push(LatticeBlock::Edge(class, cur));
+        cur = rules::output_target(cfg, class, cur);
+    }
+    (cur == to).then_some(edges)
+}
+
+/// The α = 2 **square** (Fig 9's explanation): 4 nodes pairwise linked into
+/// a cycle that alternates the two strand classes, plus the 4 connecting
+/// edge segments. For AE(2,s,p) with s = p this is exactly 4 nodes + 4
+/// edges = 8 blocks, the constant |ME(4)| of Fig 9.
+///
+/// Returns `None` when the anchor's neighbourhood does not close into a
+/// 4-cycle (some lattice alignments need a different anchor row; try all
+/// rows of a column).
+pub fn square(cfg: &Config, anchor: i64) -> Option<BTreeSet<LatticeBlock>> {
+    assert!(cfg.alpha() >= 2, "the square needs two strand classes");
+    let h = StrandClass::Horizontal;
+    let rh = StrandClass::RightHanded;
+    // Corners: anchor --H--> b; anchor --RH--> c; then b --RH--> d and
+    // c --H--> d must meet at the same node d.
+    let b = rules::output_target(cfg, h, anchor);
+    let c = rules::output_target(cfg, rh, anchor);
+    let d_via_b = rules::output_target(cfg, rh, b);
+    let d_via_c = rules::output_target(cfg, h, c);
+    if d_via_b != d_via_c {
+        return None;
+    }
+    let mut set: BTreeSet<LatticeBlock> = [anchor, b, c, d_via_b]
+        .into_iter()
+        .map(LatticeBlock::Node)
+        .collect();
+    if set.len() != 4 {
+        return None; // degenerate: corners collide
+    }
+    set.insert(LatticeBlock::Edge(h, anchor));
+    set.insert(LatticeBlock::Edge(rh, anchor));
+    set.insert(LatticeBlock::Edge(rh, b));
+    set.insert(LatticeBlock::Edge(h, c));
+    Some(set)
+}
+
+/// The α = 3 **cube**: 8 nodes on the corners of a combinatorial cube whose
+/// 12 edges are strand segments in the three classes — the paper's
+/// |ME(8)| = 20 pattern for AE(3,3,3) (8 nodes + 12 edges).
+///
+/// Corners are reached from the anchor by applying subsets of the three
+/// "directions" (one output hop per class); an edge of the cube erases the
+/// full strand segment between its two corners. Returns `None` when the
+/// walk does not close (corner collisions or non-commuting hops that no
+/// segment can bridge).
+pub fn cube(cfg: &Config, anchor: i64) -> Option<BTreeSet<LatticeBlock>> {
+    assert_eq!(cfg.alpha(), 3, "the cube needs all three strand classes");
+    let classes = [
+        StrandClass::Horizontal,
+        StrandClass::RightHanded,
+        StrandClass::LeftHanded,
+    ];
+    // Corner positions by direction bitmask, applying hops in class order
+    // (H first, then RH, then LH) for determinism.
+    let mut corner = [0i64; 8];
+    for (mask, slot) in corner.iter_mut().enumerate() {
+        let mut pos = anchor;
+        for (bit, &class) in classes.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                pos = rules::output_target(cfg, class, pos);
+            }
+        }
+        *slot = pos;
+    }
+    let nodes: BTreeSet<i64> = corner.iter().copied().collect();
+    if nodes.len() != 8 {
+        return None;
+    }
+    let mut set: BTreeSet<LatticeBlock> = nodes.into_iter().map(LatticeBlock::Node).collect();
+    // Cube edges: masks differing in one bit; erase the strand segment of
+    // that bit's class between the two corners.
+    for mask in 0..8usize {
+        for (bit, &class) in classes.iter().enumerate() {
+            if mask & (1 << bit) == 0 {
+                let from = corner[mask];
+                let to = corner[mask | (1 << bit)];
+                let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+                for e in segment(cfg, class, lo, hi)? {
+                    set.insert(e);
+                }
+            }
+        }
+    }
+    Some(set)
+}
+
+/// Tries `square` on every row of the anchor column, returning the first
+/// closing alignment.
+pub fn square_anywhere(cfg: &Config, anchor_column: i64) -> Option<BTreeSet<LatticeBlock>> {
+    let s = cfg.s() as i64;
+    (0..s).find_map(|row| square(cfg, anchor_column * s + row + 1))
+}
+
+/// Tries `cube` on every row of the anchor column.
+pub fn cube_anywhere(cfg: &Config, anchor_column: i64) -> Option<BTreeSet<LatticeBlock>> {
+    let s = cfg.s() as i64;
+    (0..s).find_map(|row| cube(cfg, anchor_column * s + row + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::me;
+
+    fn cfg(a: u8, s: u16, p: u16) -> Config {
+        Config::new(a, s, p).unwrap()
+    }
+
+    #[test]
+    fn form_i_is_fatal_only_for_single_entanglements() {
+        let single = Config::single();
+        let pat = primitive_form_i(&single, StrandClass::Horizontal, 5000);
+        assert_eq!(pat.len(), 3);
+        assert!(me::is_dead(&single, &pat));
+        assert!(me::is_irreducible(&single, &pat));
+
+        // With α = 2 the same shape is innocuous (Fig 7's caption).
+        let double = cfg(2, 2, 2);
+        let pat = primitive_form_i(&double, StrandClass::Horizontal, 5000);
+        assert!(!me::is_dead(&double, &pat));
+        assert!(me::decode_fixpoint(&double, &pat).is_empty());
+    }
+
+    #[test]
+    fn form_ii_matches_figure_6() {
+        let single = Config::single();
+        // The drawn example: 4 connecting edges, |ME(2)| = 6.
+        let pat = primitive_form_ii(&single, StrandClass::Horizontal, 5000, 4);
+        assert_eq!(pat.len(), 6);
+        assert!(me::is_dead(&single, &pat));
+        assert!(me::is_irreducible(&single, &pat));
+        // Form I is the 1-hop special case.
+        assert_eq!(
+            primitive_form_ii(&single, StrandClass::Horizontal, 5000, 1),
+            primitive_form_i(&single, StrandClass::Horizontal, 5000)
+        );
+    }
+
+    #[test]
+    fn square_is_the_constant_me4_of_alpha2() {
+        for (s, p) in [(1u16, 2u16), (2, 2), (3, 3), (2, 3)] {
+            let c = cfg(2, s, p);
+            let pat = square_anywhere(&c, 1000).unwrap_or_else(|| panic!("AE(2,{s},{p})"));
+            assert_eq!(pat.len(), 8, "AE(2,{s},{p}): {pat:?}");
+            assert_eq!(pat.iter().filter(|b| b.is_node()).count(), 4);
+            assert!(me::is_dead(&c, &pat), "AE(2,{s},{p})");
+            assert!(me::is_irreducible(&c, &pat), "AE(2,{s},{p})");
+        }
+    }
+
+    #[test]
+    fn square_matches_search_minimum() {
+        let c = cfg(2, 2, 2);
+        let constructed = square_anywhere(&c, 1000).unwrap().len();
+        let searched = me::MeSearch::new(c).min_erasure(4).unwrap().size();
+        assert_eq!(constructed, searched, "construction is tight at s = p");
+    }
+
+    /// The paper's quoted bound: |ME(8)| = 20 for AE(3,3,3) — the cube.
+    #[test]
+    fn cube_gives_me8_20_for_ae333() {
+        let c = cfg(3, 3, 3);
+        let pat = cube_anywhere(&c, 400).expect("cube closes for s = p = 3");
+        assert_eq!(pat.len(), 20, "{pat:?}");
+        assert_eq!(pat.iter().filter(|b| b.is_node()).count(), 8);
+        assert!(me::is_dead(&c, &pat));
+        assert!(me::is_irreducible(&c, &pat));
+    }
+
+    #[test]
+    fn cube_grows_beyond_s_equals_p() {
+        // For p > s the cube's segments lengthen: still dead, more blocks.
+        let c = cfg(3, 3, 5);
+        if let Some(pat) = cube_anywhere(&c, 400) {
+            assert!(pat.len() >= 20, "{}", pat.len());
+            assert!(me::is_dead(&c, &pat));
+        }
+    }
+
+    #[test]
+    fn constructions_upper_bound_the_search() {
+        // Wherever both are available, the search can only match or beat
+        // the construction.
+        for (s, p) in [(1u16, 2u16), (2, 2)] {
+            let c = cfg(2, s, p);
+            let constructed = square_anywhere(&c, 1000).unwrap().len();
+            let searched = me::MeSearch::new(c).min_erasure(4).unwrap().size();
+            assert!(searched <= constructed, "AE(2,{s},{p})");
+        }
+    }
+
+    /// With s = p = 1 both classes are parallel, so no geometric square
+    /// exists; ME(4) = 8 is instead two disjoint ME(2) dominoes, which the
+    /// partition step of the search finds.
+    #[test]
+    fn degenerate_square_falls_back_to_partition() {
+        let c = cfg(2, 1, 1);
+        assert!(square_anywhere(&c, 1000).is_none());
+        let pat = me::MeSearch::new(c).min_erasure(4).unwrap();
+        assert_eq!(pat.size(), 8);
+        assert!(me::is_dead(&c, &pat.blocks));
+    }
+}

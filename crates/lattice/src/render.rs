@@ -1,0 +1,152 @@
+//! ASCII rendering of lattice windows and erasure patterns.
+//!
+//! Produces Fig 4-style views: nodes arranged in `s` rows, one column per
+//! write group, with markers for erased or highlighted blocks. Horizontal
+//! edges are drawn inline; helical edges are summarized below the grid
+//! (drawing every diagonal in ASCII is noise rather than signal).
+
+use crate::config::Config;
+use crate::graph::LatticeBlock;
+use crate::rules;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders the nodes of columns `[first_col, last_col]` as a grid.
+///
+/// Markers: `(i)` for highlighted nodes, `[i]` for ordinary nodes. An `x`
+/// after a horizontal gap marks an erased H edge leaving the left node.
+///
+/// # Examples
+///
+/// ```
+/// use ae_lattice::{Config, render};
+/// use std::collections::BTreeSet;
+///
+/// let cfg = Config::new(3, 5, 5).unwrap();
+/// let grid = render::grid(&cfg, 0, 7, &BTreeSet::new());
+/// assert!(grid.contains("[26]")); // Fig 4's example node
+/// ```
+pub fn grid(cfg: &Config, first_col: i64, last_col: i64, marked: &BTreeSet<LatticeBlock>) -> String {
+    let s = cfg.s() as i64;
+    let mut out = String::new();
+    let width = ((last_col + 1) * s).to_string().len() + 2;
+    for row in 0..s {
+        for col in first_col..=last_col {
+            let i = col * s + row + 1;
+            let node = LatticeBlock::Node(i);
+            let cell = if marked.contains(&node) {
+                format!("({i})")
+            } else {
+                format!("[{i}]")
+            };
+            let _ = write!(out, "{cell:>width$}");
+            let h_edge = LatticeBlock::Edge(ae_blocks::StrandClass::Horizontal, i);
+            let gap = if marked.contains(&h_edge) { "--x--" } else { "-----" };
+            if col < last_col {
+                out.push_str(gap);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line description of every marked block, grouped by kind, e.g.
+/// `nodes: d26 d27 | edges: p[h]26(26,31) p[rh]25(25,26)`.
+pub fn describe(cfg: &Config, marked: &BTreeSet<LatticeBlock>) -> String {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for &b in marked {
+        match b {
+            LatticeBlock::Node(i) => nodes.push(format!("d{i}")),
+            LatticeBlock::Edge(c, i) => {
+                let j = rules::output_target(cfg, c, i);
+                edges.push(format!("p[{c}]({i},{j})"));
+            }
+        }
+    }
+    format!("nodes: {} | edges: {}", nodes.join(" "), edges.join(" "))
+}
+
+/// Renders a minimal-erasure pattern: the grid window covering it plus the
+/// block list, ready to print from examples and experiment binaries.
+pub fn pattern(cfg: &Config, marked: &BTreeSet<LatticeBlock>) -> String {
+    if marked.is_empty() {
+        return "(empty pattern)".to_string();
+    }
+    let s = cfg.s() as i64;
+    let min_pos = marked.iter().map(|b| b.position()).min().expect("non-empty");
+    let max_pos = marked
+        .iter()
+        .map(|b| match b {
+            LatticeBlock::Node(i) => *i,
+            LatticeBlock::Edge(c, i) => rules::output_target(cfg, *c, *i),
+        })
+        .max()
+        .expect("non-empty");
+    let first_col = (min_pos - 1).div_euclid(s);
+    let last_col = (max_pos - 1).div_euclid(s);
+    format!(
+        "{}\n{}",
+        grid(cfg, first_col, last_col, marked),
+        describe(cfg, marked)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::StrandClass::*;
+
+    #[test]
+    fn grid_places_nodes_in_columns() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let g = grid(&cfg, 5, 6, &BTreeSet::new());
+        // Column 5 holds nodes 26..=30 (Fig 4 layout).
+        for i in 26..=30 {
+            assert!(g.contains(&format!("[{i}]")), "node {i} in {g}");
+        }
+        assert_eq!(g.lines().count(), 5, "one line per row");
+    }
+
+    #[test]
+    fn marked_nodes_get_parentheses() {
+        let cfg = Config::new(2, 2, 2).unwrap();
+        let mut marked = BTreeSet::new();
+        marked.insert(LatticeBlock::Node(13));
+        let g = grid(&cfg, 5, 7, &marked);
+        assert!(g.contains("(13)"));
+        assert!(g.contains("[14]"));
+    }
+
+    #[test]
+    fn erased_horizontal_edges_marked() {
+        let cfg = Config::new(2, 2, 2).unwrap();
+        let mut marked = BTreeSet::new();
+        marked.insert(LatticeBlock::Edge(Horizontal, 13));
+        let g = grid(&cfg, 6, 8, &marked);
+        assert!(g.contains("--x--"));
+    }
+
+    #[test]
+    fn describe_lists_endpoints() {
+        let cfg = Config::new(3, 5, 5).unwrap();
+        let mut marked = BTreeSet::new();
+        marked.insert(LatticeBlock::Node(26));
+        marked.insert(LatticeBlock::Edge(LeftHanded, 26));
+        let d = describe(&cfg, &marked);
+        assert!(d.contains("d26"));
+        assert!(d.contains("p[lh](26,35)"), "{d}");
+    }
+
+    #[test]
+    fn pattern_covers_its_window() {
+        let cfg = Config::new(2, 2, 3).unwrap();
+        let mut marked = BTreeSet::new();
+        marked.insert(LatticeBlock::Node(41));
+        marked.insert(LatticeBlock::Node(44));
+        let out = pattern(&cfg, &marked);
+        assert!(out.contains("(41)") && out.contains("(44)"));
+        assert_eq!(pattern(&cfg, &BTreeSet::new()), "(empty pattern)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Strand navigation: walking chains of alternating data and parity blocks.
+//!
+//! Each strand is a single entanglement: `… → d_h → p_{h,i} → d_i → p_{i,j}
+//! → …`. A node belongs to exactly one strand per class, so walking from any
+//! node along a class is unambiguous. Strand *heads* are the nodes whose
+//! input on the class is virtual (position ≤ 0); they identify the strand.
+
+use crate::config::Config;
+use crate::rules;
+use ae_blocks::StrandClass;
+
+/// Walks backward from node `i` along `class` to the strand head (the node
+/// whose input parity on the class is virtual).
+///
+/// Cost is linear in the distance to the origin; intended for analysis and
+/// display, not hot paths (the encoder and decoder never need strand
+/// identity, only local adjacency).
+pub fn strand_head(cfg: &Config, class: StrandClass, i: i64) -> i64 {
+    let mut cur = i;
+    loop {
+        let h = rules::input_source(cfg, class, cur);
+        if h < 1 {
+            return cur;
+        }
+        cur = h;
+    }
+}
+
+/// Walks forward from node `i` along `class`, returning the next `count`
+/// node positions (exclusive of `i`).
+pub fn walk_forward(cfg: &Config, class: StrandClass, i: i64, count: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity(count);
+    let mut cur = i;
+    for _ in 0..count {
+        cur = rules::output_target(cfg, class, cur);
+        out.push(cur);
+    }
+    out
+}
+
+/// Walks backward from node `i` along `class`, returning up to `count`
+/// previous node positions (exclusive of `i`), stopping at the strand head.
+pub fn walk_backward(cfg: &Config, class: StrandClass, i: i64, count: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity(count);
+    let mut cur = i;
+    for _ in 0..count {
+        let h = rules::input_source(cfg, class, cur);
+        if h < 1 {
+            break;
+        }
+        out.push(h);
+        cur = h;
+    }
+    out
+}
+
+/// Number of parities between node `i` and the end of its strand on `class`,
+/// in a lattice of `n` nodes: the count of parities an attacker must
+/// recompute on this strand to tamper with `d_i` undetectably (§III
+/// "Anti-tampering Property").
+pub fn parities_to_strand_end(cfg: &Config, class: StrandClass, i: i64, n: i64) -> u64 {
+    let mut count = 0u64;
+    let mut cur = i;
+    // d_i's own output parity, then every following node's output on the
+    // strand, until outputs fall beyond the written lattice.
+    while cur <= n {
+        count += 1;
+        cur = rules::output_target(cfg, class, cur);
+    }
+    count
+}
+
+/// The strands of `class` in a lattice of `n` nodes, each represented by its
+/// head node, in increasing head order.
+pub fn strand_heads(cfg: &Config, class: StrandClass, n: i64) -> Vec<i64> {
+    (1..=n)
+        .filter(|&i| rules::input_source(cfg, class, i) < 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::StrandClass::*;
+
+    fn cfg(a: u8, s: u16, p: u16) -> Config {
+        Config::new(a, s, p).unwrap()
+    }
+
+    #[test]
+    fn horizontal_strand_count_is_s() {
+        let c = cfg(3, 5, 5);
+        assert_eq!(strand_heads(&c, Horizontal, 200), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn helical_strand_count_is_p() {
+        // AE(3,5,5): 5 RH and 5 LH strands (15 total with H, §III.B).
+        let c = cfg(3, 5, 5);
+        assert_eq!(strand_heads(&c, RightHanded, 200).len(), 5);
+        assert_eq!(strand_heads(&c, LeftHanded, 200).len(), 5);
+        // AE(2,2,5): 5 RH strands.
+        let c = cfg(2, 2, 5);
+        assert_eq!(strand_heads(&c, RightHanded, 200).len(), 5);
+    }
+
+    #[test]
+    fn walk_forward_then_backward_returns_home() {
+        let c = cfg(3, 2, 5);
+        for &class in c.classes() {
+            let start = 300;
+            let fwd = walk_forward(&c, class, start, 10);
+            let back = walk_backward(&c, class, *fwd.last().unwrap(), 10);
+            assert_eq!(*back.last().unwrap(), start, "{class}");
+        }
+    }
+
+    #[test]
+    fn walk_is_strictly_monotonic() {
+        let c = cfg(3, 4, 4);
+        for &class in c.classes() {
+            let w = walk_forward(&c, class, 100, 20);
+            for pair in w.windows(2) {
+                assert!(pair[0] < pair[1], "{class}");
+            }
+        }
+    }
+
+    #[test]
+    fn strand_head_is_fixed_point_of_walking() {
+        let c = cfg(3, 3, 6);
+        for i in [1, 7, 50, 123] {
+            for &class in c.classes() {
+                let head = strand_head(&c, class, i);
+                assert!(head >= 1);
+                // Head has virtual input; walking back from i passes it.
+                assert!(crate::rules::input_source(&c, class, head) < 1);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_on_same_horizontal_strand_share_head() {
+        let c = cfg(3, 5, 5);
+        // 26 is on H1 with 1, 6, 11, … (Fig 4).
+        assert_eq!(strand_head(&c, Horizontal, 26), 1);
+        assert_eq!(strand_head(&c, Horizontal, 27), 2);
+    }
+
+    #[test]
+    fn tamper_cost_counts_parities_to_strand_end() {
+        // Single chain of 10 nodes: tampering d_7 on H requires recomputing
+        // p7,8 … p10,11-tail: outputs of 7, 8, 9, 10 → 4 parities.
+        let c = Config::single();
+        assert_eq!(parities_to_strand_end(&c, Horizontal, 7, 10), 4);
+        assert_eq!(parities_to_strand_end(&c, Horizontal, 10, 10), 1);
+    }
+
+    #[test]
+    fn tamper_cost_scales_with_strand_position() {
+        let c = cfg(3, 5, 5);
+        let early = parities_to_strand_end(&c, RightHanded, 26, 1000);
+        let late = parities_to_strand_end(&c, RightHanded, 900, 1000);
+        assert!(early > late, "earlier blocks cost more to tamper");
+    }
+}

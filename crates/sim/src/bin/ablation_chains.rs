@@ -1,0 +1,10 @@
+//! Entangled-mirror reliability Monte Carlo (§IV.B.1): probability of data
+//! loss for mirroring vs open and closed entangled chains, at equal space
+//! overhead.
+
+use ae_sim::experiments;
+
+fn main() {
+    let sweep = experiments::ablation_chains(16, 400_000, 7);
+    print!("{}", sweep.to_table());
+}

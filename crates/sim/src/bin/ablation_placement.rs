@@ -1,0 +1,11 @@
+//! Placement ablation (§V.C "Block Placements"): does the random placement
+//! the paper adopts hurt recovery compared to the round-robin its earlier
+//! work assumed?
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::ablation_placement(&cli.env));
+}

@@ -1,0 +1,10 @@
+//! Puncturing ablation (§III "Reducing Storage Overhead"): data loss of
+//! AE(3,2,5) as a growing fraction of parities is never stored.
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::ablation_puncture(&cli.env));
+}

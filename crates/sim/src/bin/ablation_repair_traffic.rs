@@ -1,0 +1,11 @@
+//! Repair-traffic ablation (§V.C.3 context): total blocks read to complete
+//! all repairs after a disaster, per scheme — the maintenance-bandwidth
+//! story behind the paper's fixed "k = 2" repairs.
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::ablation_repair_traffic(&cli.env));
+}

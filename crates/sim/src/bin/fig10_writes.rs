@@ -1,0 +1,9 @@
+//! Regenerates Fig 10: full-write behaviour for s = p versus p > s under
+//! the column-batched writer model (see `ae_core::writer`).
+
+use ae_sim::experiments;
+
+fn main() {
+    let sweep = experiments::fig10_writes();
+    print!("{}", sweep.to_table());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig 11: data blocks that the decoder failed to repair, per
+//! redundancy scheme, for disasters failing 10–50% of the locations.
+//!
+//! Run with the paper's scale (1M data blocks, ~1 min in release) or scale
+//! down with `--blocks`.
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::fig11_data_loss(&cli.env));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig 12: data blocks left without redundancy after
+//! minimal-maintenance repairs.
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::fig12_vulnerable(&cli.env));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 13: the share of repairs that are single failures
+//! (solved with one XOR in round 1 for AE; the stripe's only missing block
+//! for the RS(4,12) reference).
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::fig13_single_failures(&cli.env));
+}

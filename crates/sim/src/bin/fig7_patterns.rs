@@ -1,0 +1,27 @@
+//! Regenerates the Fig 6/Fig 7 pattern gallery: minimal erasure patterns
+//! and their sizes for the code settings shown in the paper, rendered on
+//! the lattice grid.
+
+use ae_lattice::{me, render, Config, MeSearch};
+
+fn main() {
+    let settings: [(u8, u16, u16, usize, &str); 5] = [
+        (1, 1, 0, 2, "Fig 6 primitive form I"),
+        (2, 1, 1, 2, "Fig 7 A"),
+        (3, 1, 1, 2, "Fig 7 B"),
+        (3, 1, 4, 2, "Fig 7 C"),
+        (3, 4, 4, 2, "Fig 7 D"),
+    ];
+    for (a, s, p, x, label) in settings {
+        let cfg = Config::new(a, s, p).expect("paper settings are valid");
+        let pat = MeSearch::new(cfg)
+            .min_erasure(x)
+            .expect("pattern exists within the search cap");
+        println!("== {label}: {cfg} |ME({x})| = {} ==", pat.size());
+        println!(
+            "irreducible: {}",
+            me::is_irreducible(&cfg, &pat.blocks)
+        );
+        println!("{}\n", render::pattern(&cfg, &pat.blocks));
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig 8: |ME(2)| as a function of p for AE(2,2,p), AE(2,3,p),
+//! AE(3,2,p), AE(3,3,p). Pattern sizes come from the exhaustive
+//! minimal-erasure search (run in release; large p take seconds each).
+
+use ae_sim::experiments;
+
+fn main() {
+    let sweep = experiments::fig8_me2(2..=8);
+    print!("{}", sweep.to_table());
+    println!();
+    print!("{}", sweep.to_csv());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig 9: |ME(4)| as a function of p for the Fig 8 settings.
+
+use ae_sim::experiments;
+
+fn main() {
+    let sweep = experiments::fig9_me4(2..=8);
+    print!("{}", sweep.to_table());
+    println!();
+    print!("{}", sweep.to_csv());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table IV: additional storage (AS) and single-failure repair
+//! reads (SF) for every scheme in the paper's comparison.
+
+use ae_sim::schemes::Scheme;
+
+fn main() {
+    println!("# Table IV: redundancy schemes");
+    println!("{:<16} {:>8} {:>10} {:>20}", "scheme", "AS %", "SF reads", "encoded blocks / 1M");
+    for s in Scheme::paper_lineup() {
+        println!(
+            "{:<16} {:>8} {:>10} {:>20}",
+            s.name(),
+            s.additional_storage_pct(),
+            s.single_failure_reads(),
+            s.encoded_blocks(1_000_000),
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table VI: repair rounds to fixpoint for the AE schemes.
+
+use ae_sim::cli::Cli;
+use ae_sim::experiments;
+
+fn main() {
+    let cli = Cli::from_process_args();
+    cli.emit(&experiments::table6_rounds(&cli.env));
+}

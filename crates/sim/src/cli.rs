@@ -1,0 +1,123 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Flags: `--blocks N`, `--locations N`, `--seed N`, `--csv` (emit CSV
+//! after the table). Unknown flags abort with usage help; no external
+//! dependency needed for a handful of options.
+
+use crate::experiments::Env;
+
+/// Parsed command line for an experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Simulation environment (paper defaults unless overridden).
+    pub env: Env,
+    /// Also print CSV after the table.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown or malformed flags.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut env = Env::paper();
+        let mut csv = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--blocks" => {
+                    let v = next_u64(&mut it, "--blocks")?;
+                    env = env.with_blocks(v.max(40));
+                }
+                "--locations" => {
+                    env.locations = next_u64(&mut it, "--locations")?.max(1) as u32;
+                }
+                "--seed" => {
+                    let v = next_u64(&mut it, "--seed")?;
+                    env.placement_seed = v;
+                    env.disaster_seed = v.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+                }
+                "--csv" => csv = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(Cli { env, csv })
+    }
+
+    /// Parses the process arguments, exiting with usage on error.
+    pub fn from_process_args() -> Cli {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Prints a sweep as a table, plus CSV when requested.
+    pub fn emit(&self, sweep: &crate::report::Sweep) {
+        print!("{}", sweep.to_table());
+        if self.csv {
+            println!();
+            print!("{}", sweep.to_csv());
+        }
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--blocks N] [--locations N] [--seed N] [--csv]";
+
+fn next_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}\n{USAGE}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_env() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.env, Env::paper());
+        assert!(!cli.csv);
+    }
+
+    #[test]
+    fn overrides() {
+        let cli = parse(&["--blocks", "100000", "--locations", "50", "--csv"]).unwrap();
+        assert_eq!(cli.env.data_blocks, 100_000);
+        assert_eq!(cli.env.locations, 50);
+        assert!(cli.csv);
+    }
+
+    #[test]
+    fn blocks_are_stripe_aligned() {
+        let cli = parse(&["--blocks", "100001"]).unwrap();
+        assert_eq!(cli.env.data_blocks % 40, 0);
+    }
+
+    #[test]
+    fn seed_changes_both_seeds() {
+        let a = parse(&["--seed", "1"]).unwrap();
+        let b = parse(&["--seed", "2"]).unwrap();
+        assert_ne!(a.env.placement_seed, b.env.placement_seed);
+        assert_ne!(a.env.disaster_seed, b.env.disaster_seed);
+    }
+
+    #[test]
+    fn unknown_flag_is_error() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--blocks"]).is_err());
+        assert!(parse(&["--blocks", "abc"]).is_err());
+    }
+}

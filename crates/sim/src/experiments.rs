@@ -1,0 +1,707 @@
+//! Sweep drivers: one function per figure/table of the paper's evaluation.
+//!
+//! Each driver returns a [`Sweep`] that the corresponding binary prints as
+//! a table and CSV. All drivers take an [`Env`] describing the simulation
+//! environment; [`Env::paper`] is the paper's (1M data blocks, 100
+//! locations), and smaller environments are used by tests and quick runs.
+
+use crate::ae_plane::AeSimulation;
+use crate::repl_plane::ReplicationSimulation;
+use crate::report::{Series, Sweep};
+use crate::rs_plane::RsSimulation;
+use crate::schemes::Scheme;
+use ae_core::WriteScheduler;
+use ae_lattice::{Config, MeSearch};
+
+/// Simulation environment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Env {
+    /// Data blocks (the paper uses one million).
+    pub data_blocks: u64,
+    /// Storage locations (the paper uses 100).
+    pub locations: u32,
+    /// Placement seed.
+    pub placement_seed: u64,
+    /// Disaster seed.
+    pub disaster_seed: u64,
+    /// Disaster sizes as fractions of failed locations.
+    pub disaster_sizes: [f64; 5],
+}
+
+impl Env {
+    /// The paper's environment: 1M data blocks, 100 locations, disasters of
+    /// 10–50%.
+    pub fn paper() -> Self {
+        Env {
+            data_blocks: 1_000_000,
+            locations: 100,
+            placement_seed: 20180625, // DSN 2018's opening day
+            disaster_seed: 42,
+            disaster_sizes: [0.1, 0.2, 0.3, 0.4, 0.5],
+        }
+    }
+
+    /// A scaled-down environment for tests and smoke runs.
+    pub fn small() -> Self {
+        Env {
+            data_blocks: 40_000,
+            ..Self::paper()
+        }
+    }
+
+    /// Overrides the block count, keeping it stripe-aligned for every
+    /// RS(k, m) in the paper lineup (multiples of 40 cover k ∈ {4, 5, 8, 10}).
+    pub fn with_blocks(mut self, blocks: u64) -> Self {
+        self.data_blocks = blocks - blocks % 40;
+        self
+    }
+}
+
+/// Runs one AE scheme over all disaster sizes, returning
+/// (data-loss, single-failure-share, rounds, vulnerable) series.
+struct AeSweepRow {
+    loss: Vec<(f64, Option<f64>)>,
+    single_share: Vec<(f64, Option<f64>)>,
+    rounds: Vec<(f64, Option<f64>)>,
+    vulnerable_pct: Vec<(f64, Option<f64>)>,
+}
+
+fn run_ae(cfg: Config, env: &Env) -> AeSweepRow {
+    let mut row = AeSweepRow {
+        loss: Vec::new(),
+        single_share: Vec::new(),
+        rounds: Vec::new(),
+        vulnerable_pct: Vec::new(),
+    };
+    for &size in &env.disaster_sizes {
+        let x = size * 100.0;
+        // Full repair for Fig 11 / Fig 13 / Table VI.
+        let mut sim = AeSimulation::new(cfg, env.data_blocks, env.locations, env.placement_seed);
+        sim.inject_disaster(size, env.disaster_seed);
+        let full = sim.repair_full();
+        row.loss.push((x, Some(full.data_lost as f64)));
+        row.single_share
+            .push((x, full.single_failure_share().map(|s| s * 100.0)));
+        row.rounds.push((x, Some(full.round_count() as f64)));
+        // Minimal maintenance for Fig 12 (fresh state, same disaster).
+        let mut sim = AeSimulation::new(cfg, env.data_blocks, env.locations, env.placement_seed);
+        sim.inject_disaster(size, env.disaster_seed);
+        let minimal = sim.repair_minimal();
+        row.vulnerable_pct.push((
+            x,
+            Some(minimal.vulnerable_data as f64 / env.data_blocks as f64 * 100.0),
+        ));
+    }
+    row
+}
+
+fn ae_configs() -> Vec<Config> {
+    vec![
+        Config::single(),
+        Config::new(2, 2, 5).expect("paper setting"),
+        Config::new(3, 2, 5).expect("paper setting"),
+    ]
+}
+
+fn rs_settings() -> Vec<(u32, u32)> {
+    vec![(10, 4), (8, 2), (5, 5), (4, 12)]
+}
+
+/// Fig 11: data blocks the decoder failed to repair, per scheme and
+/// disaster size.
+pub fn fig11_data_loss(env: &Env) -> Sweep {
+    let mut series = Vec::new();
+    for (k, m) in rs_settings() {
+        let sim = RsSimulation::new(k, m, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (size * 100.0, out.data_lost as f64)
+            })
+            .collect();
+        series.push(Series::new(format!("RS({k},{m})"), pts));
+    }
+    for cfg in ae_configs() {
+        let row = run_ae(cfg, env);
+        series.push(Series {
+            label: cfg.name(),
+            points: row.loss,
+        });
+    }
+    for n in [2u32, 3, 4] {
+        let sim = ReplicationSimulation::new(n, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (size * 100.0, out.data_lost as f64)
+            })
+            .collect();
+        series.push(Series::new(format!("{n}-way replic."), pts));
+    }
+    Sweep {
+        title: "Fig 11: data blocks that the decoder failed to repair".into(),
+        x_label: "disaster %".into(),
+        y_label: "data loss AFTER repairs (# of data blocks)".into(),
+        series,
+    }
+}
+
+/// Fig 12: data blocks left without redundancy under minimal maintenance.
+pub fn fig12_vulnerable(env: &Env) -> Sweep {
+    let mut series = Vec::new();
+    for (k, m) in rs_settings() {
+        let sim = RsSimulation::new(k, m, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (
+                    size * 100.0,
+                    out.vulnerable_data as f64 / env.data_blocks as f64 * 100.0,
+                )
+            })
+            .collect();
+        series.push(Series::new(format!("RS({k},{m})"), pts));
+    }
+    for cfg in ae_configs() {
+        let row = run_ae(cfg, env);
+        series.push(Series {
+            label: cfg.name(),
+            points: row.vulnerable_pct,
+        });
+    }
+    for n in [2u32, 3, 4] {
+        let sim = ReplicationSimulation::new(n, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (
+                    size * 100.0,
+                    out.vulnerable_data as f64 / env.data_blocks as f64 * 100.0,
+                )
+            })
+            .collect();
+        series.push(Series::new(format!("{n}-way replic."), pts));
+    }
+    Sweep {
+        title: "Fig 12: data blocks without redundancy (minimal maintenance)".into(),
+        x_label: "disaster %".into(),
+        y_label: "blocks without redundancy (% of data blocks)".into(),
+        series,
+    }
+}
+
+/// Fig 13: share of repairs that are single failures (one tuple, round 1),
+/// for RS(4,12) and the AE schemes.
+pub fn fig13_single_failures(env: &Env) -> Sweep {
+    let mut series = Vec::new();
+    let sim = RsSimulation::new(4, 12, env.data_blocks, env.locations, env.placement_seed);
+    let pts = env
+        .disaster_sizes
+        .iter()
+        .map(|&size| {
+            let out = sim.run_disaster(size, env.disaster_seed);
+            let share = if out.data_repaired > 0 {
+                Some(out.single_failure_repairs as f64 / out.data_repaired as f64 * 100.0)
+            } else {
+                None
+            };
+            (size * 100.0, share)
+        })
+        .collect();
+    series.push(Series {
+        label: "RS(4,12)".into(),
+        points: pts,
+    });
+    for cfg in ae_configs() {
+        let row = run_ae(cfg, env);
+        series.push(Series {
+            label: cfg.name(),
+            points: row.single_share,
+        });
+    }
+    Sweep {
+        title: "Fig 13: what part of repairs are single-failure repairs?".into(),
+        x_label: "disaster %".into(),
+        y_label: "single failures (% single/total repaired)".into(),
+        series,
+    }
+}
+
+/// Table VI: repair rounds to fixpoint for the AE schemes.
+pub fn table6_rounds(env: &Env) -> Sweep {
+    let series = ae_configs()
+        .into_iter()
+        .map(|cfg| {
+            let row = run_ae(cfg, env);
+            Series {
+                label: cfg.name(),
+                points: row.rounds,
+            }
+        })
+        .collect();
+    Sweep {
+        title: "Table VI: number of repair rounds".into(),
+        x_label: "disaster %".into(),
+        y_label: "rounds to fixpoint".into(),
+        series,
+    }
+}
+
+/// Table IV: storage and single-failure costs per scheme.
+pub fn table4_costs() -> Sweep {
+    let schemes = Scheme::paper_lineup();
+    let as_pts: Vec<(f64, f64)> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as f64, s.additional_storage_pct()))
+        .collect();
+    let sf_pts: Vec<(f64, f64)> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as f64, s.single_failure_reads() as f64))
+        .collect();
+    Sweep {
+        title: format!(
+            "Table IV: redundancy scheme costs ({})",
+            schemes
+                .iter()
+                .map(Scheme::name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        x_label: "scheme #".into(),
+        y_label: "AS: additional storage %; SF: blocks read per single-failure repair".into(),
+        series: vec![Series::new("AS %", as_pts), Series::new("SF reads", sf_pts)],
+    }
+}
+
+/// Fig 8: |ME(2)| as a function of p for α ∈ {2, 3}, s ∈ {2, 3}.
+pub fn fig8_me2(p_range: std::ops::RangeInclusive<u16>) -> Sweep {
+    me_sweep(2, p_range, "Fig 8: |ME(2)| increases with larger s and p")
+}
+
+/// Fig 9: |ME(4)| as a function of p for the same settings.
+pub fn fig9_me4(p_range: std::ops::RangeInclusive<u16>) -> Sweep {
+    me_sweep(
+        4,
+        p_range,
+        "Fig 9: |ME(4)| remains constant for alpha=2 and increases with s for alpha=3",
+    )
+}
+
+fn me_sweep(x: usize, p_range: std::ops::RangeInclusive<u16>, title: &str) -> Sweep {
+    let mut series = Vec::new();
+    for (alpha, s) in [(2u8, 2u16), (2, 3), (3, 2), (3, 3)] {
+        let mut pts = Vec::new();
+        for p in p_range.clone() {
+            if p < s {
+                continue; // deformed lattice
+            }
+            let cfg = Config::new(alpha, s, p).expect("p >= s checked");
+            let pat = MeSearch::new(cfg).min_erasure(x);
+            pts.push((p as f64, pat.map(|m| m.size() as f64)));
+        }
+        series.push(Series {
+            label: format!("AE({alpha},{s},p)"),
+            points: pts,
+        });
+    }
+    Sweep {
+        title: title.into(),
+        x_label: "p".into(),
+        y_label: format!("|ME({x})| (pattern size in blocks)"),
+        series,
+    }
+}
+
+/// Fig 10: full-write behaviour for p = s versus p > s.
+pub fn fig10_writes() -> Sweep {
+    let settings = [(3u8, 10u16, 10u16), (3, 5, 10), (3, 5, 5), (2, 5, 10)];
+    let mut full = Vec::new();
+    let mut horizon = Vec::new();
+    let mut labels = Vec::new();
+    for (idx, (a, s, p)) in settings.iter().enumerate() {
+        let cfg = Config::new(*a, *s, *p).expect("valid settings");
+        let r = WriteScheduler::new(cfg, 1).simulate(2 * *p as u64, 50);
+        full.push((idx as f64, r.full_write_ratio() * 100.0));
+        horizon.push((idx as f64, r.required_horizon as f64));
+        labels.push(cfg.name());
+    }
+    Sweep {
+        title: format!("Fig 10: write performance ({})", labels.join(", ")),
+        x_label: "setting #".into(),
+        y_label: "full writes % with 1-column memory; required horizon in columns".into(),
+        series: vec![
+            Series::new("full writes %", full),
+            Series::new("required horizon", horizon),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Env {
+        Env {
+            data_blocks: 20_000,
+            ..Env::paper()
+        }
+    }
+
+    #[test]
+    fn fig11_has_all_ten_series() {
+        let sweep = fig11_data_loss(&tiny());
+        assert_eq!(sweep.series.len(), 10);
+        let labels: Vec<&str> = sweep.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"RS(10,4)"));
+        assert!(labels.contains(&"AE(3,2,5)"));
+        assert!(labels.contains(&"4-way replic."));
+        for s in &sweep.series {
+            assert_eq!(s.points.len(), 5, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn fig11_headline_result_ae325_beats_rs412() {
+        // The paper's headline: AE(3,2,5) outperforms RS(4,12) at equal
+        // storage overhead in large disasters.
+        let sweep = fig11_data_loss(&tiny());
+        let get = |label: &str| {
+            sweep
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .points
+                .clone()
+        };
+        let ae = get("AE(3,2,5)");
+        let rs = get("RS(4,12)");
+        // At 40% and 50% disasters AE(3,2,5) must lose no more than RS(4,12).
+        for i in [3, 4] {
+            assert!(
+                ae[i].1.unwrap() <= rs[i].1.unwrap(),
+                "at {}%: AE {} vs RS {}",
+                ae[i].0,
+                ae[i].1.unwrap(),
+                rs[i].1.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_percentages_bounded() {
+        let sweep = fig12_vulnerable(&tiny());
+        for s in &sweep.series {
+            for (x, y) in &s.points {
+                let y = y.expect("fig12 always has values");
+                assert!((0.0..=100.0).contains(&y), "{} at {x}: {y}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_ae_mostly_single_failures() {
+        let sweep = fig13_single_failures(&tiny());
+        let ae = sweep
+            .series
+            .iter()
+            .find(|s| s.label == "AE(3,2,5)")
+            .unwrap();
+        for (x, y) in &ae.points {
+            let y = y.expect("disasters repaired something");
+            assert!(y > 50.0, "AE(3,2,5) at {x}%: {y}% single failures");
+        }
+        // Small disasters are almost entirely single failures (Fig 13).
+        assert!(ae.points[0].1.unwrap() > 80.0);
+    }
+
+    #[test]
+    fn table6_rounds_grow_with_disaster() {
+        let sweep = table6_rounds(&tiny());
+        for s in &sweep.series {
+            let first = s.points.first().unwrap().1.unwrap();
+            let last = s.points.last().unwrap().1.unwrap();
+            assert!(last >= first, "{}: {first} -> {last}", s.label);
+            assert!(last >= 2.0, "{}: heavy disasters need multiple rounds", s.label);
+        }
+    }
+
+    #[test]
+    fn table4_matches_scheme_costs() {
+        let sweep = table4_costs();
+        assert_eq!(sweep.series[0].points[0].1, Some(40.0), "RS(10,4) AS");
+        assert_eq!(sweep.series[1].points[6].1, Some(2.0), "AE(3,2,5) SF");
+    }
+
+    #[test]
+    fn fig8_curves_have_paper_shape() {
+        // Small p range keeps test time low; release binaries sweep 2..=8.
+        let sweep = fig8_me2(2..=4);
+        for s in &sweep.series {
+            // Sizes never decrease with p (minimum at p = s).
+            let ys: Vec<f64> = s.points.iter().filter_map(|p| p.1).collect();
+            for w in ys.windows(2) {
+                assert!(w[1] >= w[0], "{}: {ys:?}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_s_equals_p_wins() {
+        let sweep = fig10_writes();
+        let full = &sweep.series[0].points;
+        // Setting 0 is AE(3,10,10): 100% full writes; setting 1 is
+        // AE(3,5,10): strictly fewer.
+        assert_eq!(full[0].1, Some(100.0));
+        assert!(full[1].1.unwrap() < 100.0);
+    }
+}
+
+/// Placement ablation (§V.C "Block Placements"): data loss for random vs
+/// round-robin placement. Round-robin guarantees lattice neighbours sit in
+/// different failure domains; the paper asks whether random placement hurts
+/// recovery.
+pub fn ablation_placement(env: &Env) -> Sweep {
+    use crate::ae_plane::SimPlacement;
+    use ae_core::puncture::PuncturePlan;
+    let mut series = Vec::new();
+    for cfg in ae_configs() {
+        for placement in [
+            SimPlacement::Random { seed: env.placement_seed },
+            SimPlacement::RoundRobin,
+        ] {
+            let mut pts = Vec::new();
+            for &size in &env.disaster_sizes {
+                let mut sim = AeSimulation::with_options(
+                    cfg,
+                    env.data_blocks,
+                    env.locations,
+                    placement,
+                    PuncturePlan::none(),
+                );
+                sim.inject_disaster(size, env.disaster_seed);
+                pts.push((size * 100.0, Some(sim.repair_full().data_lost as f64)));
+            }
+            let label = match placement {
+                SimPlacement::Random { .. } => format!("{} random", cfg.name()),
+                SimPlacement::RoundRobin => format!("{} round-robin", cfg.name()),
+            };
+            series.push(Series { label, points: pts });
+        }
+    }
+    Sweep {
+        title: "Ablation: random vs round-robin placement (data loss after repairs)".into(),
+        x_label: "disaster %".into(),
+        y_label: "data loss (# of data blocks)".into(),
+        series,
+    }
+}
+
+/// Puncturing ablation (§III "Reducing Storage Overhead"): data loss when a
+/// fraction of parities is never stored.
+pub fn ablation_puncture(env: &Env) -> Sweep {
+    use ae_core::puncture::PuncturePlan;
+    let cfg = Config::new(3, 2, 5).expect("paper setting");
+    let plans: [(String, PuncturePlan); 4] = [
+        ("no puncturing (300%)".into(), PuncturePlan::none()),
+        ("drop 1/8 (262%)".into(), PuncturePlan::every(8)),
+        ("drop 1/4 (225%)".into(), PuncturePlan::every(4)),
+        ("drop 1/2 (150%)".into(), PuncturePlan::every(2)),
+    ];
+    let series = plans
+        .into_iter()
+        .map(|(label, plan)| {
+            let pts = env
+                .disaster_sizes
+                .iter()
+                .map(|&size| {
+                    let mut sim = AeSimulation::with_options(
+                        cfg,
+                        env.data_blocks,
+                        env.locations,
+                        crate::ae_plane::SimPlacement::Random { seed: env.placement_seed },
+                        plan,
+                    );
+                    sim.inject_disaster(size, env.disaster_seed);
+                    (size * 100.0, Some(sim.repair_full().data_lost as f64))
+                })
+                .collect();
+            Series { label, points: pts }
+        })
+        .collect();
+    Sweep {
+        title: "Ablation: puncturing AE(3,2,5) (data loss after repairs)".into(),
+        x_label: "disaster %".into(),
+        y_label: "data loss (# of data blocks)".into(),
+        series,
+    }
+}
+
+/// Repair traffic (§V.C.3 context): blocks read to complete all repairs.
+/// AE reads exactly 2 blocks per repaired block; RS reads k per decoded
+/// stripe; replication reads 1 per re-copied block.
+pub fn ablation_repair_traffic(env: &Env) -> Sweep {
+    let mut series = Vec::new();
+    for (k, m) in rs_settings() {
+        let sim = RsSimulation::new(k, m, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (size * 100.0, Some(out.blocks_read as f64))
+            })
+            .collect();
+        series.push(Series {
+            label: format!("RS({k},{m})"),
+            points: pts,
+        });
+    }
+    for cfg in ae_configs() {
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let mut sim =
+                    AeSimulation::new(cfg, env.data_blocks, env.locations, env.placement_seed);
+                sim.inject_disaster(size, env.disaster_seed);
+                (size * 100.0, Some(sim.repair_full().blocks_read() as f64))
+            })
+            .collect();
+        series.push(Series {
+            label: cfg.name(),
+            points: pts,
+        });
+    }
+    for n in [2u32, 3, 4] {
+        let sim = ReplicationSimulation::new(n, env.data_blocks, env.locations, env.placement_seed);
+        let pts = env
+            .disaster_sizes
+            .iter()
+            .map(|&size| {
+                let out = sim.run_disaster(size, env.disaster_seed);
+                (size * 100.0, Some(out.blocks_read as f64))
+            })
+            .collect();
+        series.push(Series {
+            label: format!("{n}-way replic."),
+            points: pts,
+        });
+    }
+    Sweep {
+        title: "Ablation: repair traffic (blocks read to finish all repairs)".into(),
+        x_label: "disaster %".into(),
+        y_label: "blocks read".into(),
+        series,
+    }
+}
+
+/// Entangled-mirror reliability (§IV.B.1): mirroring vs open/closed chains.
+pub fn ablation_chains(drives: usize, trials: u64, seed: u64) -> Sweep {
+    use crate::mirror::{monte_carlo, ArrayKind};
+    let qs = [0.01, 0.02, 0.03, 0.05, 0.08];
+    let series = [
+        ArrayKind::Mirroring,
+        ArrayKind::EntangledOpen,
+        ArrayKind::EntangledClosed,
+    ]
+    .into_iter()
+    .map(|kind| Series {
+        label: kind.name().to_string(),
+        points: qs
+            .iter()
+            .map(|&q| {
+                let out = monte_carlo(kind, drives, q, trials, seed);
+                (q * 100.0, Some(out.loss_probability() * 100.0))
+            })
+            .collect(),
+    })
+    .collect();
+    Sweep {
+        title: format!(
+            "Ablation: mirroring vs entangled chains ({drives}+{drives} drives, {trials} trials)"
+        ),
+        x_label: "drive death probability %".into(),
+        y_label: "P(data loss) %".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    fn tiny() -> Env {
+        Env {
+            data_blocks: 20_000,
+            ..Env::paper()
+        }
+    }
+
+    #[test]
+    fn placement_ablation_has_paired_series() {
+        let sweep = ablation_placement(&tiny());
+        assert_eq!(sweep.series.len(), 6, "3 schemes x 2 policies");
+        // Round-robin never loses more than random for the same scheme.
+        for pair in sweep.series.chunks(2) {
+            for (r, rr) in pair[0].points.iter().zip(&pair[1].points) {
+                assert!(rr.1.unwrap() <= r.1.unwrap(), "{} vs {}", pair[1].label, pair[0].label);
+            }
+        }
+    }
+
+    #[test]
+    fn puncture_ablation_orders_by_rate() {
+        let sweep = ablation_puncture(&tiny());
+        assert_eq!(sweep.series.len(), 4);
+        // At the heaviest disaster, more puncturing means no less loss.
+        let last: Vec<f64> = sweep
+            .series
+            .iter()
+            .map(|s| s.points.last().unwrap().1.unwrap())
+            .collect();
+        for w in last.windows(2) {
+            assert!(w[1] >= w[0], "{last:?}");
+        }
+    }
+
+    #[test]
+    fn repair_traffic_rs_pays_k_per_stripe() {
+        let sweep = ablation_repair_traffic(&tiny());
+        let get = |label: &str| {
+            sweep
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points[1] // 20% disaster
+                .1
+                .unwrap()
+        };
+        // Replication reads least, AE twice its repairs, RS the most per
+        // repaired block; at 20% RS(10,4) reads far more than AE(3,2,5)
+        // repairs the same environment.
+        assert!(get("2-way replic.") < get("AE(1,-,-)"));
+        assert!(get("RS(10,4)") > 0.0);
+    }
+
+    #[test]
+    fn chains_ablation_matches_paper_reductions() {
+        let sweep = ablation_chains(16, 60_000, 5);
+        let at = |idx: usize, q: usize| sweep.series[idx].points[q].1.unwrap();
+        // Series order: mirroring, open, closed; q index 2 = 3%.
+        let (m, o, c) = (at(0, 2), at(1, 2), at(2, 2));
+        assert!(o < m * 0.3, "open {o} vs mirroring {m}");
+        assert!(c < o, "closed {c} vs open {o}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Disaster-recovery simulation framework (§V.C of the paper).
+//!
+//! Reproduces the paper's evaluation environment: one million data blocks,
+//! encoded under each redundancy scheme, spread uniformly at random over
+//! `n = 100` locations; a disaster takes out 10–50% of the locations; the
+//! decoder then repairs what it can. Simulations run on the *availability
+//! plane* — blocks are flags, not bytes — because every §V.C metric depends
+//! only on which blocks are reachable (the byte plane is exercised by the
+//! `ae-core` and integration tests instead).
+//!
+//! * [`schemes`] — the redundancy schemes of Table IV with their
+//!   storage/repair costs.
+//! * [`ae_plane`] — the AE lattice simulation: full round-based repair
+//!   (Fig 11, Fig 13, Table VI) and minimal-maintenance repair (Fig 12).
+//! * [`rs_plane`] — the RS(k, m) stripe simulation with the same metrics.
+//! * [`repl_plane`] — n-way replication.
+//! * [`mirror`] — the entangled-mirror reliability Monte Carlo (§IV.B.1:
+//!   mirroring vs open/closed chains).
+//! * [`experiments`] — the sweep drivers behind each figure and table
+//!   binary (`fig11_data_loss`, `table6_rounds`, …) and the ablations
+//!   (placement policy, puncturing, repair traffic).
+//! * [`report`] — plain-text table and CSV rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ae_plane;
+pub mod cli;
+pub mod experiments;
+pub mod mirror;
+pub mod repl_plane;
+pub mod report;
+pub mod rs_plane;
+pub mod schemes;
+
+pub use ae_plane::{AeSimulation, SimPlacement};
+pub use repl_plane::ReplicationSimulation;
+pub use rs_plane::RsSimulation;
+pub use schemes::Scheme;

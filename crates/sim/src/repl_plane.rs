@@ -1,0 +1,133 @@
+//! Availability-plane simulation of n-way replication.
+//!
+//! Every data block has `n` copies at independently chosen random
+//! locations. A block is lost when all copies sit on failed locations;
+//! vulnerable when exactly one copy survives ("not protected by any other
+//! redundant block").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a replication disaster analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationOutcome {
+    /// Blocks with zero surviving copies (Fig 11).
+    pub data_lost: u64,
+    /// Blocks that lost at least one copy but survived (repaired by copying
+    /// a survivor — one read each).
+    pub data_repaired: u64,
+    /// Blocks with exactly one surviving copy (Fig 12).
+    pub vulnerable_data: u64,
+    /// Blocks read during repairs: one read per block that lost copies.
+    pub blocks_read: u64,
+}
+
+/// An n-way replicated deployment.
+pub struct ReplicationSimulation {
+    n_copies: u32,
+    blocks: u64,
+    /// Copy locations, block-major: `loc[block * n_copies + copy]`.
+    loc: Vec<u32>,
+    locations: u32,
+}
+
+impl ReplicationSimulation {
+    /// Builds a deployment of `blocks` data blocks with `n_copies` copies
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 2 copies.
+    pub fn new(n_copies: u32, blocks: u64, locations: u32, placement_seed: u64) -> Self {
+        assert!(n_copies >= 2, "replication needs at least 2 copies");
+        let mut rng = StdRng::seed_from_u64(placement_seed);
+        let loc = (0..blocks * n_copies as u64)
+            .map(|_| rng.random_range(0..locations))
+            .collect();
+        ReplicationSimulation {
+            n_copies,
+            blocks,
+            loc,
+            locations,
+        }
+    }
+
+    /// Applies a disaster and classifies every block.
+    pub fn run_disaster(&self, fraction: f64, disaster_seed: u64) -> ReplicationOutcome {
+        let failed = crate::ae_plane::failed_locations(self.locations, fraction, disaster_seed);
+        let n = self.n_copies as usize;
+        let mut out = ReplicationOutcome {
+            data_lost: 0,
+            data_repaired: 0,
+            vulnerable_data: 0,
+            blocks_read: 0,
+        };
+        for b in 0..self.blocks as usize {
+            let copies = &self.loc[b * n..(b + 1) * n];
+            let alive = copies.iter().filter(|&&l| !failed[l as usize]).count();
+            if alive == 0 {
+                out.data_lost += 1;
+            } else {
+                if alive < n {
+                    out.data_repaired += 1;
+                    out.blocks_read += 1;
+                }
+                if alive == 1 {
+                    out.vulnerable_data += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_scales_with_copy_count() {
+        let blocks = 200_000;
+        let mut losses = Vec::new();
+        for n in [2, 3, 4] {
+            let s = ReplicationSimulation::new(n, blocks, 100, 5);
+            losses.push(s.run_disaster(0.3, 9).data_lost);
+        }
+        assert!(losses[0] > losses[1] && losses[1] > losses[2], "{losses:?}");
+        // 2-way at 30%: expect ≈ 0.3² = 9% of blocks.
+        let frac = losses[0] as f64 / blocks as f64;
+        assert!((0.07..0.11).contains(&frac), "2-way loss fraction {frac}");
+    }
+
+    #[test]
+    fn vulnerable_matches_binomial_expectation() {
+        let blocks = 200_000u64;
+        let s = ReplicationSimulation::new(2, blocks, 100, 7);
+        let out = s.run_disaster(0.3, 3);
+        // Exactly one of two copies failed: 2·0.3·0.7 = 42%.
+        let frac = out.vulnerable_data as f64 / blocks as f64;
+        assert!((0.38..0.46).contains(&frac), "vulnerable fraction {frac}");
+    }
+
+    #[test]
+    fn no_disaster_all_healthy() {
+        let s = ReplicationSimulation::new(3, 10_000, 100, 1);
+        let out = s.run_disaster(0.0, 1);
+        assert_eq!(
+            out,
+            ReplicationOutcome { data_lost: 0, data_repaired: 0, vulnerable_data: 0, blocks_read: 0 }
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = ReplicationSimulation::new(4, 50_000, 100, 2);
+        assert_eq!(s.run_disaster(0.2, 8), s.run_disaster(0.2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_copy() {
+        ReplicationSimulation::new(1, 10, 10, 0);
+    }
+}

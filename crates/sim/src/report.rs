@@ -1,0 +1,167 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! Each figure binary prints the same series the paper plots, as a table
+//! with one row per scheme and one column per disaster size (or per `p`
+//! value for the fault-tolerance figures), plus a CSV block for plotting.
+
+use std::fmt::Write as _;
+
+/// One plotted series: a label and (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `RS(10,4)`.
+    pub label: String,
+    /// Points in x order. `y = None` marks "no value" (e.g. pattern not
+    /// found within the search cap).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+impl Series {
+    /// Builds a series from complete points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points: points.into_iter().map(|(x, y)| (x, Some(y))).collect(),
+        }
+    }
+}
+
+/// A full experiment result: what the paper draws as one figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Figure/table title.
+    pub title: String,
+    /// Meaning of x (column header prefix).
+    pub x_label: String,
+    /// Meaning of y.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl Sweep {
+    /// Renders an aligned text table: one column per distinct x value (the
+    /// union across series), one row per series; cells a series lacks show
+    /// a dash.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "# y = {}", self.y_label);
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs.dedup();
+        let label_w = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(self.x_label.len());
+        let _ = write!(out, "{:<label_w$}", self.x_label);
+        for x in &xs {
+            let _ = write!(out, " {:>12}", trim_float(*x));
+        }
+        out.push('\n');
+        for s in &self.series {
+            let _ = write!(out, "{:<label_w$}", s.label);
+            for x in &xs {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|(px, _)| px == x)
+                    .and_then(|(_, y)| *y);
+                match cell {
+                    Some(v) => {
+                        let _ = write!(out, " {:>12}", trim_float(v));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV: `series,x,y` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for (x, y) in &s.points {
+                match y {
+                    Some(v) => {
+                        let _ = writeln!(out, "{},{},{}", s.label, trim_float(*x), trim_float(*v));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{},{},", s.label, trim_float(*x));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats floats without trailing noise: integers bare, otherwise 4
+/// significant decimals.
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sweep {
+        Sweep {
+            title: "Fig X".into(),
+            x_label: "disaster %".into(),
+            y_label: "data loss".into(),
+            series: vec![
+                Series::new("RS(10,4)", vec![(10.0, 120.0), (20.0, 4000.5)]),
+                Series {
+                    label: "AE(3,2,5)".into(),
+                    points: vec![(10.0, Some(0.0)), (20.0, None)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = sample().to_table();
+        assert!(t.contains("# Fig X"));
+        assert!(t.contains("RS(10,4)"));
+        assert!(t.contains("4000.5"));
+        assert!(t.contains('-'), "missing values rendered as dash");
+        // Row per series + 3 header-ish lines.
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let c = sample().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 5);
+        assert!(lines.contains(&"RS(10,4),10,120"));
+        assert!(lines.contains(&"AE(3,2,5),20,"), "{c}");
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(10.0), "10");
+        assert_eq!(trim_float(0.125), "0.125");
+        assert_eq!(trim_float(1.0 / 3.0), "0.3333");
+    }
+}

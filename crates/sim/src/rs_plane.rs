@@ -1,0 +1,250 @@
+//! Availability-plane simulation of Reed-Solomon stripes.
+//!
+//! One million data blocks become `1M / k` stripes of `k + m` blocks each;
+//! blocks land on uniform random locations; a disaster fails a fraction of
+//! the locations. A stripe with more than `m` unavailable blocks is
+//! *damaged*: its unavailable data blocks are lost ("other available data
+//! blocks that belong to damaged stripes are not counted as lost",
+//! §V.C.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of analysing all stripes after a disaster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsOutcome {
+    /// Data blocks on failed locations in damaged stripes (Fig 11).
+    pub data_lost: u64,
+    /// Data blocks repaired (in recoverable stripes).
+    pub data_repaired: u64,
+    /// Repaired data blocks that were the *only* missing block of their
+    /// stripe — the single failures of Fig 13.
+    pub single_failure_repairs: u64,
+    /// Data blocks left vulnerable after minimal maintenance (Fig 12): the
+    /// stripe could not afford to lose them (fewer than k available other
+    /// blocks), counting repaired data but unrepaired parities.
+    pub vulnerable_data: u64,
+    /// Stripes damaged beyond recovery.
+    pub damaged_stripes: u64,
+    /// Blocks read during repairs: every stripe decode reads k surviving
+    /// shards (Table IV's "SF" cost, aggregated).
+    pub blocks_read: u64,
+}
+
+/// An RS(k, m) deployment over `stripes` stripes.
+pub struct RsSimulation {
+    k: u32,
+    m: u32,
+    stripes: u64,
+    /// Location of every block, stripe-major: `loc[stripe * (k+m) + idx]`,
+    /// data blocks first.
+    loc: Vec<u32>,
+    locations: u32,
+}
+
+impl RsSimulation {
+    /// Builds an RS deployment holding `data_blocks` data blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data_blocks` is divisible by `k` (the paper's counts
+    /// all are).
+    pub fn new(k: u32, m: u32, data_blocks: u64, locations: u32, placement_seed: u64) -> Self {
+        assert!(k >= 1 && m >= 1);
+        assert_eq!(
+            data_blocks % k as u64,
+            0,
+            "data blocks must fill whole stripes"
+        );
+        let stripes = data_blocks / k as u64;
+        let width = (k + m) as u64;
+        let mut rng = StdRng::seed_from_u64(placement_seed);
+        let loc = (0..stripes * width)
+            .map(|_| rng.random_range(0..locations))
+            .collect();
+        RsSimulation {
+            k,
+            m,
+            stripes,
+            loc,
+            locations,
+        }
+    }
+
+    /// Stripes in the deployment.
+    pub fn stripes(&self) -> u64 {
+        self.stripes
+    }
+
+    /// Distribution quality diagnostic: how many stripes have all `k + m`
+    /// blocks on distinct locations (the paper reports 38,429 of 100,000
+    /// for RS(10,4) at n = 100, §V.C "Block Placements").
+    pub fn stripes_fully_spread(&self) -> u64 {
+        let width = (self.k + self.m) as usize;
+        let mut count = 0;
+        let mut seen = vec![false; self.locations as usize];
+        for s in 0..self.stripes as usize {
+            let blocks = &self.loc[s * width..(s + 1) * width];
+            let mut distinct = true;
+            for &l in blocks {
+                if seen[l as usize] {
+                    distinct = false;
+                    break;
+                }
+                seen[l as usize] = true;
+            }
+            for &l in blocks {
+                seen[l as usize] = false;
+            }
+            if distinct {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Applies a disaster (shared location set, see
+    /// [`crate::ae_plane::failed_locations`]) and analyses every stripe.
+    pub fn run_disaster(&self, fraction: f64, disaster_seed: u64) -> RsOutcome {
+        let failed = crate::ae_plane::failed_locations(self.locations, fraction, disaster_seed);
+        let width = (self.k + self.m) as usize;
+        let k = self.k as usize;
+        let mut out = RsOutcome {
+            data_lost: 0,
+            data_repaired: 0,
+            single_failure_repairs: 0,
+            vulnerable_data: 0,
+            damaged_stripes: 0,
+            blocks_read: 0,
+        };
+        for s in 0..self.stripes as usize {
+            let blocks = &self.loc[s * width..(s + 1) * width];
+            let missing_total = blocks.iter().filter(|&&l| failed[l as usize]).count();
+            let missing_data = blocks[..k].iter().filter(|&&l| failed[l as usize]).count();
+            let missing_parity = missing_total - missing_data;
+            let recoverable = missing_total <= self.m as usize;
+            if !recoverable {
+                out.damaged_stripes += 1;
+                out.data_lost += missing_data as u64;
+                // Surviving data blocks of a damaged stripe have no working
+                // redundancy at all: vulnerable.
+                out.vulnerable_data += (k - missing_data) as u64;
+                continue;
+            }
+            if missing_data > 0 {
+                out.data_repaired += missing_data as u64;
+                // One decode per stripe, reading k surviving shards.
+                out.blocks_read += k as u64;
+                if missing_total == 1 {
+                    out.single_failure_repairs += 1;
+                }
+            }
+            // Minimal maintenance: data repaired, parities not. A data
+            // block is vulnerable when fewer than k *other* blocks are
+            // available: with all k data present that means more than m−1
+            // parities missing.
+            if missing_parity >= self.m as usize {
+                out.vulnerable_data += k as u64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(k: u32, m: u32) -> RsSimulation {
+        RsSimulation::new(k, m, 100_000, 100, 42)
+    }
+
+    #[test]
+    fn no_disaster_no_loss() {
+        let out = sim(10, 4).run_disaster(0.0, 1);
+        assert_eq!(out.data_lost, 0);
+        assert_eq!(out.data_repaired, 0);
+        assert_eq!(out.vulnerable_data, 0);
+        assert_eq!(out.damaged_stripes, 0);
+    }
+
+    #[test]
+    fn stripe_counts_match_paper_shapes() {
+        assert_eq!(sim(10, 4).stripes(), 10_000);
+        assert_eq!(sim(8, 2).stripes(), 12_500);
+        assert_eq!(sim(5, 5).stripes(), 20_000);
+        assert_eq!(sim(4, 12).stripes(), 25_000);
+    }
+
+    #[test]
+    fn fully_spread_fraction_is_partial_at_n100() {
+        // The paper: at n = 100 only ~38% of RS(10,4) stripes have all 14
+        // blocks on distinct locations.
+        let s = sim(10, 4);
+        let frac = s.stripes_fully_spread() as f64 / s.stripes() as f64;
+        assert!((0.3..0.5).contains(&frac), "fraction {frac}");
+    }
+
+    /// §V.C: "91,167 stripes had their 14 blocks in different locations
+    /// with n = 1,000" — i.e. ~91% (the binomial expectation
+    /// Π(1 − i/1000) ≈ 0.913), versus ~38% at n = 100.
+    #[test]
+    fn spread_fraction_improves_with_more_locations() {
+        let s = RsSimulation::new(10, 4, 100_000, 1_000, 42);
+        let frac = s.stripes_fully_spread() as f64 / s.stripes() as f64;
+        assert!((0.89..0.94).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn bigger_disasters_lose_more() {
+        let s = sim(8, 2);
+        let small = s.run_disaster(0.1, 7).data_lost;
+        let large = s.run_disaster(0.4, 7).data_lost;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn rs_4_12_survives_heavy_disasters() {
+        // 12 parities tolerate a lot; RS(4,12) should lose (almost) nothing
+        // at 30%.
+        // A stripe only dies when 13+ of its 16 blocks are unreachable;
+        // with random placement a handful of collision-heavy stripes can
+        // still die, but loss stays near zero.
+        let out = sim(4, 12).run_disaster(0.3, 3).data_lost;
+        assert!(out < 20, "RS(4,12) at 30%: {out}");
+        // While RS(8,2) bleeds.
+        assert!(sim(8, 2).run_disaster(0.3, 3).data_lost > 1_000);
+    }
+
+    #[test]
+    fn single_failure_share_drops_with_disaster_size() {
+        let s = sim(4, 12);
+        let small = s.run_disaster(0.1, 5);
+        let large = s.run_disaster(0.5, 5);
+        let share = |o: RsOutcome| o.single_failure_repairs as f64 / o.data_repaired.max(1) as f64;
+        assert!(
+            share(small) > share(large),
+            "single-failure share decreases for larger disasters (Fig 13)"
+        );
+    }
+
+    #[test]
+    fn vulnerable_data_grows_with_disaster() {
+        let s = sim(10, 4);
+        let v10 = s.run_disaster(0.1, 9).vulnerable_data;
+        let v40 = s.run_disaster(0.4, 9).vulnerable_data;
+        assert!(v40 > v10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = sim(5, 5);
+        assert_eq!(s.run_disaster(0.3, 11), s.run_disaster(0.3, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole stripes")]
+    fn rejects_partial_stripes() {
+        RsSimulation::new(7, 2, 100, 10, 1);
+    }
+}

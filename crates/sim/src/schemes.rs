@@ -1,0 +1,136 @@
+//! The redundancy schemes compared in the paper (Table IV).
+
+use ae_lattice::Config;
+use std::fmt;
+
+/// A redundancy scheme with the cost model of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Alpha entanglement AE(α, s, p).
+    Ae(Config),
+    /// Reed-Solomon RS(k, m).
+    Rs {
+        /// Data shards per stripe.
+        k: u32,
+        /// Parity shards per stripe.
+        m: u32,
+    },
+    /// n-way replication.
+    Replication {
+        /// Copies, original included.
+        n: u32,
+    },
+}
+
+impl Scheme {
+    /// The seven non-trivial schemes of Table IV, in the paper's column
+    /// order, followed by the replication baselines.
+    pub fn paper_lineup() -> Vec<Scheme> {
+        vec![
+            Scheme::Rs { k: 10, m: 4 },
+            Scheme::Rs { k: 8, m: 2 },
+            Scheme::Rs { k: 5, m: 5 },
+            Scheme::Rs { k: 4, m: 12 },
+            Scheme::Ae(Config::single()),
+            Scheme::Ae(Config::new(2, 2, 5).expect("valid paper setting")),
+            Scheme::Ae(Config::new(3, 2, 5).expect("valid paper setting")),
+            Scheme::Replication { n: 2 },
+            Scheme::Replication { n: 3 },
+            Scheme::Replication { n: 4 },
+        ]
+    }
+
+    /// Additional storage as a percentage of the original data (Table IV's
+    /// "AS" row): `m/k · 100` for RS, `α · 100` for AE, `(n−1) · 100` for
+    /// replication.
+    pub fn additional_storage_pct(&self) -> f64 {
+        match self {
+            Scheme::Ae(cfg) => cfg.storage_overhead_pct() as f64,
+            Scheme::Rs { k, m } => *m as f64 / *k as f64 * 100.0,
+            Scheme::Replication { n } => (*n as f64 - 1.0) * 100.0,
+        }
+    }
+
+    /// Blocks read to repair one missing block (Table IV's "SF" row):
+    /// `k` for RS, always 2 for AE, 1 for replication.
+    pub fn single_failure_reads(&self) -> u32 {
+        match self {
+            Scheme::Ae(_) => Config::SINGLE_FAILURE_READS,
+            Scheme::Rs { k, .. } => *k,
+            Scheme::Replication { .. } => 1,
+        }
+    }
+
+    /// Paper-style name: `RS(10,4)`, `AE(3,2,5)`, `3-way replic.`.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Ae(cfg) => cfg.name(),
+            Scheme::Rs { k, m } => format!("RS({k},{m})"),
+            Scheme::Replication { n } => format!("{n}-way replic."),
+        }
+    }
+
+    /// Encoded (redundant) blocks generated for `data_blocks` data blocks,
+    /// e.g. "RS(10,4) generates 400,000 encoded blocks" for one million
+    /// (§V.C "Simulation Environment").
+    pub fn encoded_blocks(&self, data_blocks: u64) -> u64 {
+        match self {
+            Scheme::Ae(cfg) => data_blocks * cfg.alpha() as u64,
+            Scheme::Rs { k, m } => data_blocks / *k as u64 * *m as u64,
+            Scheme::Replication { n } => data_blocks * (*n as u64 - 1),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every "AS" and "SF" entry of Table IV.
+    #[test]
+    fn table_iv_costs() {
+        let expected: [(&str, f64, u32); 10] = [
+            ("RS(10,4)", 40.0, 10),
+            ("RS(8,2)", 25.0, 8),
+            ("RS(5,5)", 100.0, 5),
+            ("RS(4,12)", 300.0, 4),
+            ("AE(1,-,-)", 100.0, 2),
+            ("AE(2,2,5)", 200.0, 2),
+            ("AE(3,2,5)", 300.0, 2),
+            ("2-way replic.", 100.0, 1),
+            ("3-way replic.", 200.0, 1),
+            ("4-way replic.", 300.0, 1),
+        ];
+        for (scheme, (name, storage, sf)) in Scheme::paper_lineup().iter().zip(expected) {
+            assert_eq!(scheme.name(), name);
+            assert!(
+                (scheme.additional_storage_pct() - storage).abs() < 1e-9,
+                "{name} AS"
+            );
+            assert_eq!(scheme.single_failure_reads(), sf, "{name} SF");
+        }
+    }
+
+    /// The encoded-block counts quoted in §V.C.
+    #[test]
+    fn encoded_block_counts_match_paper() {
+        let m = 1_000_000;
+        assert_eq!(Scheme::Rs { k: 10, m: 4 }.encoded_blocks(m), 400_000);
+        assert_eq!(Scheme::Rs { k: 8, m: 2 }.encoded_blocks(m), 250_000);
+        assert_eq!(Scheme::Rs { k: 5, m: 5 }.encoded_blocks(m), 1_000_000);
+        assert_eq!(Scheme::Ae(Config::new(3, 2, 5).unwrap()).encoded_blocks(m), 3_000_000);
+        assert_eq!(Scheme::Replication { n: 4 }.encoded_blocks(m), 3_000_000);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = Scheme::Rs { k: 5, m: 5 };
+        assert_eq!(format!("{s}"), s.name());
+    }
+}

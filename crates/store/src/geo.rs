@@ -1,0 +1,469 @@
+//! Use case A: a geo-replicated cooperative backup (§IV.A).
+//!
+//! A community shares storage: "Users keep their own data in their local
+//! computers (nodes) and upload redundant information to geographically
+//! distributed nodes." The lower tier is storage nodes holding p-blocks for
+//! others; the upper tier is broker nodes that encode and decode. Here one
+//! [`GeoBackup`] is a user's broker: it entangles local files, pushes the
+//! parities to a [`DistributedStore`] of remote nodes, and repairs local
+//! data loss from complete pp-tuples fetched remotely — following the
+//! Table III steps (obtain tuple ids → choose p-block → locate → get →
+//! repair).
+
+use crate::distributed::DistributedStore;
+use crate::placement::Placement;
+use crate::store::{BlockStore, MemStore, StoreError};
+use ae_core::{decoder, Code, Entangler};
+use ae_blocks::{Block, BlockId, EdgeId, NodeId};
+use ae_lattice::Config;
+use std::fmt;
+use std::sync::Arc;
+
+/// High bits used to namespace one user's lattice within a shared remote
+/// tier: multiple lattices coexist in the system (§IV.A), so block keys are
+/// "derived from the node id and the block position in the lattice".
+const NS_SHIFT: u32 = 48;
+
+/// Handle to a backed-up file: which lattice positions hold its blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHandle {
+    /// First lattice position of the file's data blocks.
+    pub first_node: u64,
+    /// Number of data blocks.
+    pub block_count: u64,
+    /// Original byte length (the last block is zero-padded).
+    pub byte_len: usize,
+}
+
+/// Errors from backup operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// A data block was lost locally and no complete pp-tuple was available
+    /// remotely to rebuild it.
+    Unrecoverable(BlockId),
+    /// Underlying store failure.
+    Store(StoreError),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::Unrecoverable(id) => write!(f, "no complete repair tuple for {id}"),
+            GeoError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+/// One user's broker plus their view of the cooperative network.
+pub struct GeoBackup {
+    code: Code,
+    entangler: Entangler,
+    /// Tier 1: the user's own machine, holding d-blocks.
+    local: MemStore,
+    /// Tier 2: remote storage nodes, holding p-blocks — possibly shared
+    /// with other users' lattices.
+    remote: Arc<DistributedStore>,
+    /// This user's namespace tag within the shared tier.
+    user: u64,
+}
+
+impl GeoBackup {
+    /// Creates a broker entangling `block_size`-byte blocks over
+    /// `storage_nodes` remote nodes.
+    pub fn new(cfg: Config, block_size: usize, storage_nodes: u32, seed: u64) -> Self {
+        Self::with_shared_remote(
+            cfg,
+            block_size,
+            Arc::new(DistributedStore::new(storage_nodes, Placement::Random { seed })),
+            0,
+        )
+    }
+
+    /// Creates a broker whose parities live on a remote tier shared with
+    /// other users; `user` namespaces this lattice's block keys (lattice
+    /// positions must stay below 2^48).
+    pub fn with_shared_remote(
+        cfg: Config,
+        block_size: usize,
+        remote: Arc<DistributedStore>,
+        user: u64,
+    ) -> Self {
+        let code = Code::new(cfg, block_size);
+        GeoBackup {
+            entangler: code.entangler(),
+            code,
+            local: MemStore::new(),
+            remote,
+            user,
+        }
+    }
+
+    /// Maps a lattice-local block id into the shared key space.
+    fn ns(&self, id: BlockId) -> BlockId {
+        let tag = self.user << NS_SHIFT;
+        match id {
+            BlockId::Data(NodeId(i)) => BlockId::Data(NodeId(i | tag)),
+            BlockId::Parity(EdgeId { class, left }) => {
+                BlockId::Parity(EdgeId::new(class, NodeId(left.0 | tag)))
+            }
+        }
+    }
+
+    /// The code in use.
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// Remote tier (exposed so tests and examples can fail storage nodes).
+    pub fn remote(&self) -> &DistributedStore {
+        &self.remote
+    }
+
+    /// Backs up a file: splits it into d-blocks (zero-padding the tail),
+    /// entangles each, keeps d-blocks locally and uploads p-blocks to the
+    /// remote nodes.
+    pub fn backup(&mut self, file: &[u8]) -> FileHandle {
+        let bs = self.code.block_size();
+        let first_node = self.entangler.written() + 1;
+        let mut block_count = 0;
+        for chunk in file.chunks(bs) {
+            let mut bytes = chunk.to_vec();
+            bytes.resize(bs, 0);
+            let out = self
+                .entangler
+                .entangle(Block::from_vec(bytes))
+                .expect("broker blocks are always block_size bytes");
+            self.local.put(BlockId::Data(out.node), out.data.clone());
+            for (e, b) in &out.parities {
+                self.remote.put(self.ns(BlockId::Parity(*e)), b.clone());
+            }
+            block_count += 1;
+        }
+        FileHandle {
+            first_node,
+            block_count,
+            byte_len: file.len(),
+        }
+    }
+
+    /// Reads a file back. Missing local blocks are decoded from remote
+    /// parities on the fly (a degraded read); the local copy is *not*
+    /// modified — use [`Self::repair_local`] to restore it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a block is missing locally and unrecoverable remotely.
+    pub fn read(&self, handle: FileHandle) -> Result<Vec<u8>, GeoError> {
+        let mut out = Vec::with_capacity(handle.byte_len);
+        for i in handle.first_node..handle.first_node + handle.block_count {
+            let id = BlockId::Data(NodeId(i));
+            let block = match self.local.get(id) {
+                Ok(b) => b,
+                Err(_) => self.decode_remote(i).ok_or(GeoError::Unrecoverable(id))?,
+            };
+            out.extend_from_slice(block.as_slice());
+        }
+        out.truncate(handle.byte_len);
+        Ok(out)
+    }
+
+    /// Simulates local data loss (disk crash, accidental deletion).
+    pub fn lose_local(&mut self, node: u64) {
+        self.local.remove(BlockId::Data(NodeId(node)));
+    }
+
+    /// Repairs every missing local d-block of a file from remote pp-tuples,
+    /// skipping blocks without a complete tuple (they may become repairable
+    /// after a [`Self::repair_remote`] round, mirroring the paper's
+    /// round-based decoder). Returns the repaired count and the ids still
+    /// missing.
+    pub fn repair_local(&mut self, handle: FileHandle) -> (u64, Vec<BlockId>) {
+        let mut repaired = 0;
+        let mut unrecovered = Vec::new();
+        for i in handle.first_node..handle.first_node + handle.block_count {
+            let id = BlockId::Data(NodeId(i));
+            if self.local.contains(id) {
+                continue;
+            }
+            match self.decode_remote(i) {
+                Some(block) => {
+                    self.local.put(id, block);
+                    repaired += 1;
+                }
+                None => unrecovered.push(id),
+            }
+        }
+        (repaired, unrecovered)
+    }
+
+    /// Regenerates p-blocks lost to failed storage nodes (the Table III
+    /// flow) and re-homes them on available nodes. Blocks whose tuples are
+    /// incomplete are skipped; returns how many parities were regenerated.
+    pub fn repair_remote(&self) -> u64 {
+        let max_node = self.entangler.written();
+        let zero = self.code.zero_block().clone();
+        let mut repaired = 0;
+        // Walk every parity the lattice should hold; regenerate missing
+        // ones from the dp-tuples that survive.
+        for i in 1..=max_node {
+            for &class in self.code.config().classes() {
+                let edge = ae_blocks::EdgeId::new(class, NodeId(i));
+                let id = BlockId::Parity(edge);
+                if self.remote.contains(self.ns(id)) {
+                    continue;
+                }
+                let mut lookup = |q: BlockId| match q {
+                    BlockId::Data(_) => self.local.get(q).ok(),
+                    BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
+                };
+                if let Some(r) = decoder::repair_edge(
+                    self.code.config(),
+                    edge,
+                    max_node,
+                    &zero,
+                    &mut lookup,
+                ) {
+                    if self.remote.put_rehomed(self.ns(id), r.block).is_some() {
+                        repaired += 1;
+                    }
+                }
+            }
+        }
+        repaired
+    }
+
+    /// Decodes data block `i` from remote parities only (the broker lost its
+    /// local copy). One XOR of two fetched p-blocks when a pp-tuple is
+    /// complete.
+    fn decode_remote(&self, i: u64) -> Option<Block> {
+        let mut lookup = |q: BlockId| match q {
+            // Only parities live remotely; other data blocks may also be
+            // gone, so never rely on them here.
+            BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
+            BlockId::Data(_) => self.local.get(q).ok(),
+        };
+        decoder::repair_node(self.code.config(), i, self.code.zero_block(), &mut lookup)
+            .map(|r| r.block)
+    }
+}
+
+/// A cooperative community: several users' entanglement lattices coexisting
+/// on one shared tier of storage nodes (§IV.A: "multiple lattices coexist
+/// in the system … the system could keep lattices with different
+/// settings").
+///
+/// Each user gets a namespaced key range, so lattices never collide, and
+/// any member can run maintenance for the whole community ("If a node is
+/// not able to repair the lattice, other nodes can do repairs on their
+/// behalf as well").
+pub struct Community {
+    remote: Arc<DistributedStore>,
+    users: Vec<GeoBackup>,
+}
+
+impl Community {
+    /// Creates a community of brokers over `storage_nodes` shared nodes;
+    /// `configs[i]` is user i's code (lattices may differ per user).
+    pub fn new(configs: &[Config], block_size: usize, storage_nodes: u32, seed: u64) -> Self {
+        let remote = Arc::new(DistributedStore::new(
+            storage_nodes,
+            Placement::Random { seed },
+        ));
+        let users = configs
+            .iter()
+            .enumerate()
+            .map(|(u, &cfg)| {
+                GeoBackup::with_shared_remote(cfg, block_size, Arc::clone(&remote), u as u64 + 1)
+            })
+            .collect();
+        Community { remote, users }
+    }
+
+    /// Number of member users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the community has no members.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The shared remote tier.
+    pub fn remote(&self) -> &Arc<DistributedStore> {
+        &self.remote
+    }
+
+    /// Borrows user `u`'s broker.
+    pub fn user(&self, u: usize) -> &GeoBackup {
+        &self.users[u]
+    }
+
+    /// Mutably borrows user `u`'s broker.
+    pub fn user_mut(&mut self, u: usize) -> &mut GeoBackup {
+        &mut self.users[u]
+    }
+
+    /// Community-wide maintenance: every member regenerates the parities of
+    /// every lattice it can (its own and, altruistically, the others').
+    /// Returns total parities regenerated.
+    pub fn maintain_all(&self) -> u64 {
+        self.users.iter().map(GeoBackup::repair_remote).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 131 + 7) % 256) as u8).collect()
+    }
+
+    fn backup_one(cfg: Config, file_len: usize) -> (GeoBackup, FileHandle, Vec<u8>) {
+        let mut geo = GeoBackup::new(cfg, 64, 20, 3);
+        let file = sample_file(file_len);
+        let handle = geo.backup(&file);
+        (geo, handle, file)
+    }
+
+    #[test]
+    fn backup_and_read_roundtrip() {
+        let (geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 1000);
+        assert_eq!(handle.block_count, 16, "1000 bytes / 64-byte blocks, padded");
+        assert_eq!(geo.read(handle).unwrap(), file);
+    }
+
+    #[test]
+    fn degraded_read_after_local_loss() {
+        let (mut geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 640);
+        geo.lose_local(handle.first_node + 3);
+        geo.lose_local(handle.first_node + 7);
+        assert_eq!(geo.read(handle).unwrap(), file, "read decodes remotely");
+        // Local copies are still missing until an explicit repair.
+        let (repaired, unrecovered) = geo.repair_local(handle);
+        assert_eq!((repaired, unrecovered.len()), (2, 0));
+        assert_eq!(geo.repair_local(handle).0, 0, "idempotent");
+    }
+
+    #[test]
+    fn repairs_survive_storage_node_failures() {
+        let (mut geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 2000);
+        // Fail some remote nodes and lose ALL local data; repair in rounds,
+        // regenerating reachable parities between data passes (the paper's
+        // round-based decoding).
+        geo.remote().with_cluster(|c| {
+            for l in [1, 5, 9] {
+                c.fail(crate::cluster::LocationId(l));
+            }
+        });
+        for k in 0..handle.block_count {
+            geo.lose_local(handle.first_node + k);
+        }
+        for round in 0..10 {
+            let (_, unrecovered) = geo.repair_local(handle);
+            if unrecovered.is_empty() {
+                break;
+            }
+            let regenerated = geo.repair_remote();
+            assert!(
+                regenerated > 0 || round > 0,
+                "no progress: {unrecovered:?}"
+            );
+        }
+        assert_eq!(geo.read(handle).unwrap(), file);
+    }
+
+    #[test]
+    fn remote_parity_regeneration() {
+        let (geo, _, _) = backup_one(Config::new(2, 2, 2).unwrap(), 1280);
+        // Knock out one storage node for good: its parities are lost.
+        let lost_loc = crate::cluster::LocationId(4);
+        let lost: Vec<_> = geo.remote().blocks_at(lost_loc);
+        for id in &lost {
+            geo.remote().remove(*id);
+        }
+        assert!(!lost.is_empty(), "test requires some parities at n4");
+        let regenerated = geo.repair_remote();
+        assert_eq!(regenerated as usize, lost.len());
+        for id in &lost {
+            assert!(geo.remote().contains(*id), "{id} regenerated");
+        }
+    }
+
+    #[test]
+    fn multiple_files_share_one_lattice() {
+        let mut geo = GeoBackup::new(Config::new(2, 1, 2).unwrap(), 32, 10, 1);
+        let f1 = sample_file(100);
+        let f2 = sample_file(300);
+        let h1 = geo.backup(&f1);
+        let h2 = geo.backup(&f2);
+        assert_eq!(h2.first_node, h1.first_node + h1.block_count);
+        assert_eq!(geo.read(h1).unwrap(), f1);
+        assert_eq!(geo.read(h2).unwrap(), f2);
+    }
+
+    #[test]
+    fn unrecoverable_loss_is_reported() {
+        let (mut geo, handle, _) = backup_one(Config::new(2, 1, 1).unwrap(), 320);
+        // Lose a local block AND all remote nodes.
+        geo.lose_local(handle.first_node + 2);
+        geo.remote().with_cluster(|c| {
+            for l in 0..20 {
+                c.fail(crate::cluster::LocationId(l));
+            }
+        });
+        assert!(matches!(
+            geo.read(handle),
+            Err(GeoError::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn community_lattices_do_not_collide() {
+        let configs = [Config::new(3, 2, 5).unwrap(), Config::new(2, 1, 2).unwrap()];
+        let mut com = Community::new(&configs, 64, 25, 11);
+        assert_eq!(com.len(), 2);
+        assert!(!com.is_empty());
+        let f0 = sample_file(500);
+        let f1: Vec<u8> = sample_file(500).iter().map(|b| b ^ 0xFF).collect();
+        let h0 = com.user_mut(0).backup(&f0);
+        let h1 = com.user_mut(1).backup(&f1);
+        // Same lattice positions, different users: contents must not mix.
+        assert_eq!(h0.first_node, h1.first_node);
+        assert_eq!(com.user(0).read(h0).unwrap(), f0);
+        assert_eq!(com.user(1).read(h1).unwrap(), f1);
+    }
+
+    #[test]
+    fn community_survives_shared_tier_failures() {
+        let configs = [Config::new(3, 2, 5).unwrap(), Config::new(3, 2, 5).unwrap()];
+        let mut com = Community::new(&configs, 64, 25, 13);
+        let files: Vec<Vec<u8>> = (0..2).map(|k| sample_file(800 + k * 64)).collect();
+        let handles: Vec<FileHandle> = files
+            .iter()
+            .enumerate()
+            .map(|(u, f)| com.user_mut(u).backup(f))
+            .collect();
+        // Fail a slice of the shared tier; both users lose some local data.
+        com.remote().with_cluster(|c| {
+            for l in [0, 5, 10, 15] {
+                c.fail(crate::cluster::LocationId(l));
+            }
+        });
+        for (u, h) in handles.iter().enumerate() {
+            com.user_mut(u).lose_local(h.first_node + 2);
+            com.user_mut(u).lose_local(h.first_node + 5);
+        }
+        // Community-wide maintenance re-homes what it can, then each user
+        // repairs locally.
+        com.maintain_all();
+        for (u, h) in handles.iter().enumerate() {
+            let (_, missing) = com.user_mut(u).repair_local(*h);
+            assert!(missing.is_empty(), "user {u}: {missing:?}");
+            assert_eq!(com.user(u).read(*h).unwrap(), files[u]);
+        }
+    }
+}

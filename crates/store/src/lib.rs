@@ -1,0 +1,40 @@
+//! Simulated distributed storage substrate for entangled storage systems.
+//!
+//! The paper's evaluation (§V.C) and use cases (§IV) assume a storage layer
+//! with *locations* (disks, machines or peers) that hold blocks and fail —
+//! individually or en masse. This crate builds that layer:
+//!
+//! * [`store`] — the [`store::BlockStore`] trait and a thread-safe in-memory
+//!   implementation with checksum verification on reads.
+//! * [`cluster`] — failure domains: a set of locations with availability
+//!   state, plus disaster injection ("simulates disasters by changing the
+//!   availability of a certain number of locations", §V.C).
+//! * [`placement`] — block-to-location mapping policies: uniform random
+//!   (the paper's default) and round-robin (the earlier work's assumption,
+//!   kept for the placement ablation).
+//! * [`distributed`] — [`distributed::DistributedStore`]: a block store
+//!   sharded over cluster locations; reads fail while a block's location is
+//!   down.
+//! * [`geo`] — use case A (§IV.A): the two-tier cooperative backup with
+//!   broker nodes that entangle local files and storage nodes that hold
+//!   parities for others.
+//! * [`array`] — use case B (§IV.B): entangled mirror disk arrays with full
+//!   partition and block-level striping layouts, open or closed chains.
+//! * [`archive`] — the user-facing layer: an append-only file archive with
+//!   a manifest, degraded reads, scrubbing and end-to-end verification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod array;
+pub mod cluster;
+pub mod distributed;
+pub mod geo;
+pub mod placement;
+pub mod store;
+
+pub use cluster::{Cluster, LocationId};
+pub use distributed::DistributedStore;
+pub use placement::Placement;
+pub use store::{BlockStore, MemStore, StoreError};

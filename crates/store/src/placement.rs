@@ -1,0 +1,151 @@
+//! Placement policies: mapping blocks to locations.
+//!
+//! The paper's simulations distribute blocks "in n locations using random
+//! placements, i.e., each block is assigned a random number from 0 to n−1"
+//! (§V.C), and note that their earlier work assumed round-robin placement,
+//! which guarantees that lattice neighbours land in different failure
+//! domains but "might be difficult to implement". Both policies live here
+//! so the placement ablation can compare them.
+
+use crate::cluster::LocationId;
+use ae_blocks::{BlockId, EdgeId, NodeId};
+
+/// A deterministic block-to-location mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Uniform pseudo-random placement keyed by block id and seed — the
+    /// paper's default model.
+    Random {
+        /// Seed mixed into the hash so different runs get different maps.
+        seed: u64,
+    },
+    /// Round-robin by lattice position: block k of the write sequence goes
+    /// to location `k mod n`. Guarantees neighbouring lattice elements sit
+    /// in distinct failure domains when `n` exceeds the neighbourhood size.
+    RoundRobin,
+}
+
+impl Placement {
+    /// The location for `id` among `n` locations.
+    pub fn place(&self, id: BlockId, n: u32) -> LocationId {
+        assert!(n > 0, "placement needs at least one location");
+        match self {
+            Placement::Random { seed } => {
+                LocationId((mix(block_key(id), *seed) % n as u64) as u32)
+            }
+            Placement::RoundRobin => LocationId((sequence_index(id) % n as u64) as u32),
+        }
+    }
+}
+
+/// Stable 64-bit key for a block id.
+fn block_key(id: BlockId) -> u64 {
+    match id {
+        BlockId::Data(NodeId(i)) => i << 2,
+        BlockId::Parity(EdgeId { class, left }) => (left.0 << 2) | (class.index() as u64 + 1),
+    }
+}
+
+/// Sequential index for round-robin: interleave node and its parities in
+/// write order (node i, then its α parities).
+fn sequence_index(id: BlockId) -> u64 {
+    match id {
+        BlockId::Data(NodeId(i)) => i * 4,
+        BlockId::Parity(EdgeId { class, left }) => left.0 * 4 + 1 + class.index() as u64,
+    }
+}
+
+/// SplitMix64 finalizer: a well-distributed 64-bit mix.
+fn mix(x: u64, seed: u64) -> u64 {
+    let mut z = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::StrandClass;
+
+    fn data(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
+
+    fn parity(class: StrandClass, i: u64) -> BlockId {
+        BlockId::Parity(EdgeId::new(class, NodeId(i)))
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let p = Placement::Random { seed: 99 };
+        for i in 1..100 {
+            assert_eq!(p.place(data(i), 100), p.place(data(i), 100));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Placement::Random { seed: 1 };
+        let b = Placement::Random { seed: 2 };
+        let moved = (1..1000)
+            .filter(|&i| a.place(data(i), 100) != b.place(data(i), 100))
+            .count();
+        assert!(moved > 900, "only {moved} of 999 moved");
+    }
+
+    #[test]
+    fn random_placement_is_roughly_uniform() {
+        let p = Placement::Random { seed: 5 };
+        let n = 100u32;
+        let mut counts = vec![0u32; n as usize];
+        for i in 1..=100_000u64 {
+            counts[p.place(data(i), n).0 as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Mean 1000 per location; allow generous but telling bounds.
+        assert!(*min > 800 && *max < 1200, "min {min}, max {max}");
+    }
+
+    #[test]
+    fn nodes_and_their_parities_get_distinct_keys() {
+        let p = Placement::Random { seed: 5 };
+        // Distinct blocks must be able to land in distinct locations: check
+        // keys differ (collisions in a 100-way map are fine and expected).
+        let ids = [
+            data(10),
+            parity(StrandClass::Horizontal, 10),
+            parity(StrandClass::RightHanded, 10),
+            parity(StrandClass::LeftHanded, 10),
+        ];
+        let keys: std::collections::HashSet<u64> =
+            ids.iter().map(|&i| super::block_key(i)).collect();
+        assert_eq!(keys.len(), 4);
+        let _ = p; // placement itself exercised elsewhere
+    }
+
+    #[test]
+    fn round_robin_separates_lattice_neighbours() {
+        let p = Placement::RoundRobin;
+        let n = 100;
+        // A node and its α parities occupy consecutive slots.
+        let a = p.place(data(10), n);
+        let b = p.place(parity(StrandClass::Horizontal, 10), n);
+        let c = p.place(parity(StrandClass::RightHanded, 10), n);
+        let d = p.place(data(11), n);
+        let set: std::collections::HashSet<_> = [a, b, c, d].into_iter().collect();
+        assert_eq!(set.len(), 4, "neighbours in distinct locations");
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let p = Placement::RoundRobin;
+        assert_eq!(p.place(data(1), 4), p.place(data(2), 4), "4 slots per node, n=4");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_locations_rejected() {
+        Placement::RoundRobin.place(data(1), 0);
+    }
+}

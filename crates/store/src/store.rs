@@ -1,0 +1,169 @@
+//! Block stores: where block contents live.
+
+use ae_blocks::{Block, BlockId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested block is not in the store (or its location is down).
+    NotFound(BlockId),
+    /// The stored block failed checksum verification — corruption or
+    /// tampering detected at read time.
+    Corrupted(BlockId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(id) => write!(f, "block {id} not found"),
+            StoreError::Corrupted(id) => write!(f, "block {id} failed integrity verification"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Anything that stores blocks by id.
+///
+/// Implementations must be safe for concurrent use; the geo-backup broker
+/// and repair workers share stores across threads.
+pub trait BlockStore: Send + Sync {
+    /// Stores a block, replacing any previous contents.
+    fn put(&self, id: BlockId, block: Block);
+
+    /// Fetches a block, verifying its integrity.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent; [`StoreError::Corrupted`] if the
+    /// stored checksum no longer matches.
+    fn get(&self, id: BlockId) -> Result<Block, StoreError>;
+
+    /// Removes a block, returning whether it was present.
+    fn remove(&self, id: BlockId) -> bool;
+
+    /// Whether the block is present (without reading it).
+    fn contains(&self, id: BlockId) -> bool;
+
+    /// Number of blocks held.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thread-safe in-memory block store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blocks: RwLock<HashMap<BlockId, Block>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All ids currently present (snapshot).
+    pub fn ids(&self) -> Vec<BlockId> {
+        self.blocks.read().keys().copied().collect()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn put(&self, id: BlockId, block: Block) {
+        self.blocks.write().insert(id, block);
+    }
+
+    fn get(&self, id: BlockId) -> Result<Block, StoreError> {
+        let guard = self.blocks.read();
+        let block = guard.get(&id).ok_or(StoreError::NotFound(id))?;
+        block.verify().map_err(|_| StoreError::Corrupted(id))?;
+        Ok(block.clone())
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        self.blocks.write().remove(&id).is_some()
+    }
+
+    fn contains(&self, id: BlockId) -> bool {
+        self.blocks.read().contains_key(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::NodeId;
+
+    fn id(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let s = MemStore::new();
+        assert!(s.is_empty());
+        s.put(id(1), Block::from_vec(vec![1, 2, 3]));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(id(1)));
+        assert_eq!(s.get(id(1)).unwrap().as_slice(), &[1, 2, 3]);
+        assert!(s.remove(id(1)));
+        assert!(!s.remove(id(1)));
+        assert_eq!(s.get(id(1)), Err(StoreError::NotFound(id(1))));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = MemStore::new();
+        s.put(id(2), Block::from_vec(vec![1]));
+        s.put(id(2), Block::from_vec(vec![9]));
+        assert_eq!(s.get(id(2)).unwrap().as_slice(), &[9]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ids_snapshot() {
+        let s = MemStore::new();
+        s.put(id(1), Block::zero(4));
+        s.put(id(2), Block::zero(4));
+        let mut ids = s.ids();
+        ids.sort();
+        assert_eq!(ids, vec![id(1), id(2)]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for k in 0..100u64 {
+                        s.put(id(t * 1000 + k), Block::from_vec(vec![t as u8; 16]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 800);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StoreError::NotFound(id(7)).to_string().contains("not found"));
+        assert!(StoreError::Corrupted(id(7)).to_string().contains("integrity"));
+    }
+}

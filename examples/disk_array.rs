@@ -1,0 +1,81 @@
+//! Use case B (§IV.B): entangled mirror disk arrays.
+//!
+//! An array with equal numbers of data and parity drives — mirroring's
+//! space overhead — where parity drives hold an α = 1 entanglement chain
+//! instead of copies. Demonstrates both layouts, a double drive failure
+//! rebuild, and why closed chains beat open chains at the extremities.
+//!
+//! ```sh
+//! cargo run --example disk_array
+//! ```
+
+use aecodes::blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
+use aecodes::store::array::{ChainMode, DriveId, EntangledArray, Layout};
+
+fn fill(mode: ChainMode, layout: Layout) -> (EntangledArray, Vec<Block>) {
+    let mut arr = EntangledArray::new(4, layout, mode, 512);
+    let data: Vec<Block> = (0..80u32)
+        .map(|k| Block::from_vec((0..512).map(|b| ((k as usize * 31 + b) % 256) as u8).collect()))
+        .collect();
+    for d in &data {
+        arr.write(d.clone());
+    }
+    arr.seal();
+    (arr, data)
+}
+
+/// Removes the tail data block and its parity, then counts what a rebuild
+/// cannot bring back.
+fn tail_loss(mode: ChainMode) -> usize {
+    let (mut arr, _) = fill(mode, Layout::Striping);
+    let n = arr.written();
+    arr.remove_block(BlockId::Data(NodeId(n)));
+    arr.remove_block(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(n))));
+    arr.rebuild().len()
+}
+
+fn main() {
+    // Striped, closed-chain array: 4 data drives + 4 parity drives.
+    let (mut arr, data) = fill(ChainMode::Closed, Layout::Striping);
+    println!(
+        "entangled mirror: {} data drives + {} parity drives, 80 blocks, closed chain",
+        arr.drives(),
+        arr.drives()
+    );
+
+    // Lose one data drive AND one parity drive at once.
+    arr.fail_drive(DriveId(2));
+    arr.fail_drive(DriveId(5));
+    println!("failed drives d2 (data) and d5 (parity)");
+    let unrecovered = arr.rebuild();
+    assert!(unrecovered.is_empty(), "rebuild must fully recover");
+    for (k, d) in data.iter().enumerate() {
+        assert_eq!(&arr.get(BlockId::Data(NodeId(k as u64 + 1))).unwrap(), d);
+    }
+    println!("rebuild complete: all 80 blocks verified byte-identical\n");
+
+    // MAID-style full partition: sequential fills keep most drives idle.
+    let (mut maid, _) = fill(
+        ChainMode::Closed,
+        Layout::FullPartition { blocks_per_drive: 20 },
+    );
+    println!(
+        "full-partition (MAID) layout: block 1 on drive {:?}, block 21 on drive {:?}",
+        maid.data_drive_of(1),
+        maid.data_drive_of(21)
+    );
+    maid.fail_drive(DriveId(0));
+    assert!(maid.rebuild().is_empty());
+    println!("lost the first data drive entirely; chain rebuilt it\n");
+
+    // Open vs closed chains at the extremity (the paper's motivation for
+    // closed chains): losing the tail block plus its only parity is fatal
+    // for an open chain, harmless for a closed one.
+    let open_lost = tail_loss(ChainMode::Open);
+    let closed_lost = tail_loss(ChainMode::Closed);
+    println!(
+        "tail loss (d80 + its parity): open chain loses {open_lost} blocks, closed chain loses {closed_lost}"
+    );
+    assert!(open_lost > 0 && closed_lost == 0);
+    println!("closed chains remove the extremity weakness, as §IV.B.1 argues");
+}

@@ -1,0 +1,21 @@
+//! Alpha entanglement codes — umbrella crate.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single package. See the individual crates for the
+//! full APIs:
+//!
+//! * [`blocks`] — block primitives, XOR kernels, CRC32.
+//! * [`gf`] — GF(2^8) arithmetic for the Reed-Solomon baseline.
+//! * [`lattice`] — the helical lattice and minimal-erasure analysis.
+//! * [`core`] — the AE(α, s, p) encoder, decoder and repair engine.
+//! * [`baselines`] — Reed-Solomon and replication comparison codes.
+//! * [`store`] — the simulated distributed storage substrate.
+//! * [`sim`] — the disaster-recovery simulation framework.
+
+pub use ae_baselines as baselines;
+pub use ae_blocks as blocks;
+pub use ae_core as core;
+pub use ae_gf as gf;
+pub use ae_lattice as lattice;
+pub use ae_sim as sim;
+pub use ae_store as store;

@@ -1,0 +1,218 @@
+//! Property-based tests on the core invariants.
+
+use aecodes::baselines::ReedSolomon;
+use aecodes::blocks::{Block, BlockId, EdgeId, NodeId};
+use aecodes::core::{BlockMap, Code};
+use aecodes::gf::Gf256;
+use aecodes::lattice::{me, Config, LatticeBlock, MeSearch};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The paper's code settings used across the random tests.
+fn any_config() -> impl Strategy<Value = Config> {
+    prop_oneof![
+        Just(Config::single()),
+        Just(Config::new(2, 1, 2).unwrap()),
+        Just(Config::new(2, 2, 5).unwrap()),
+        Just(Config::new(3, 2, 5).unwrap()),
+        Just(Config::new(3, 3, 3).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GF(2^8) field axioms on random triples.
+    #[test]
+    fn gf256_field_axioms(a: u8, b: u8, c: u8) {
+        let (x, y, z) = (Gf256(a), Gf256(b), Gf256(c));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!((x * y) * z, x * (y * z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!(x + x, Gf256::ZERO);
+        if !y.is_zero() {
+            prop_assert_eq!((x * y) / y, x);
+            prop_assert_eq!(y * y.inv(), Gf256::ONE);
+        }
+    }
+
+    /// XOR entanglement identity: every parity equals its data block XOR
+    /// the previous parity on the strand, for random data.
+    #[test]
+    fn encoder_identity_holds(cfg in any_config(), seed: u64) {
+        let n = 120u64;
+        let code = Code::new(cfg, 32);
+        let mut store = BlockMap::new();
+        let mut enc = code.entangler();
+        let mut state = seed;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bytes: Vec<u8> = (0..32).map(|k| (state >> (k % 8)) as u8).collect();
+            enc.entangle(Block::from_vec(bytes)).unwrap().insert_into(&mut store);
+        }
+        for i in 1..=n {
+            let d = &store[&BlockId::Data(NodeId(i))];
+            for &class in cfg.classes() {
+                let out = &store[&BlockId::Parity(EdgeId::new(class, NodeId(i)))];
+                let h = aecodes::lattice::rules::input_source(&cfg, class, i as i64);
+                let expected = if h >= 1 {
+                    d.xor(&store[&BlockId::Parity(EdgeId::new(class, NodeId(h as u64)))]).unwrap()
+                } else {
+                    d.clone()
+                };
+                prop_assert_eq!(out, &expected);
+            }
+        }
+    }
+
+    /// Any erasure strictly smaller than |ME(2)| is fully recoverable —
+    /// the defining guarantee of the minimal-erasure analysis.
+    #[test]
+    fn erasures_below_me2_always_recover(
+        cfg in prop_oneof![
+            Just(Config::new(2, 1, 1).unwrap()),
+            Just(Config::new(2, 2, 2).unwrap()),
+            Just(Config::new(3, 1, 1).unwrap()),
+            Just(Config::new(3, 2, 2).unwrap()),
+        ],
+        picks in proptest::collection::vec((0u8..4, 0i64..60), 1..8),
+    ) {
+        let me2 = match (cfg.alpha(), cfg.s()) {
+            (2, 1) => 4usize, // Fig 7 A
+            (2, 2) => 6,      // Fig 8 at p = s = 2
+            (3, 1) => 5,      // Fig 7 B
+            (3, 2) => 8,      // Fig 8 at p = s = 2
+            _ => unreachable!("strategy covers exactly four configs"),
+        };
+        let base = 10_000i64;
+        let mut erased = BTreeSet::new();
+        for (kind, off) in picks {
+            let b = match kind % (1 + cfg.alpha()) {
+                0 => LatticeBlock::Node(base + off),
+                k => LatticeBlock::Edge(cfg.classes()[(k - 1) as usize], base + off),
+            };
+            erased.insert(b);
+            if erased.len() == me2 - 1 {
+                break;
+            }
+        }
+        let rest = me::decode_fixpoint(&cfg, &erased);
+        prop_assert!(
+            rest.is_empty(),
+            "{} erasure of {} blocks stuck: {:?}",
+            cfg, erased.len(), rest
+        );
+    }
+
+    /// Reed-Solomon tolerates any erasure pattern of at most m shards and
+    /// reconstructs byte-identically.
+    #[test]
+    fn rs_tolerates_any_m_erasures(
+        k in 2usize..9,
+        m in 1usize..5,
+        seed: u64,
+        erase_seed: u64,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let mut state = seed;
+        let data: Vec<Vec<u8>> = (0..k).map(|_| {
+            (0..40).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            }).collect()
+        }).collect();
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        // Erase exactly m pseudo-random positions.
+        let mut state = erase_seed;
+        let mut erased = std::collections::HashSet::new();
+        while erased.len() < m {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            erased.insert((state >> 33) as usize % (k + m));
+        }
+        for &e in &erased {
+            shards[e] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+        }
+    }
+
+    /// Byte-plane repair and lattice-plane fixpoint agree on what is
+    /// recoverable, for random interior erasures.
+    #[test]
+    fn byte_plane_matches_lattice_plane(
+        cfg in prop_oneof![
+            Just(Config::new(2, 1, 1).unwrap()),
+            Just(Config::new(2, 2, 3).unwrap()),
+            Just(Config::new(3, 2, 5).unwrap()),
+        ],
+        picks in proptest::collection::vec((0u8..4, 0i64..40), 1..14),
+    ) {
+        let n = 400u64;
+        let base = 150i64; // interior: far from both head and tail
+        let code = Code::new(cfg, 16);
+        let mut store = BlockMap::new();
+        let mut enc = code.entangler();
+        for k in 0..n {
+            enc.entangle(Block::from_vec(vec![(k % 255) as u8; 16])).unwrap()
+                .insert_into(&mut store);
+        }
+        // Build the erasure on both planes.
+        let mut lattice_erased = BTreeSet::new();
+        let mut ids = Vec::new();
+        for (kind, off) in picks {
+            let pos = base + off;
+            let (lb, id) = match kind % (1 + cfg.alpha()) {
+                0 => (LatticeBlock::Node(pos), BlockId::Data(NodeId(pos as u64))),
+                k => {
+                    let class = cfg.classes()[(k - 1) as usize];
+                    (
+                        LatticeBlock::Edge(class, pos),
+                        BlockId::Parity(EdgeId::new(class, NodeId(pos as u64))),
+                    )
+                }
+            };
+            if lattice_erased.insert(lb) {
+                ids.push(id);
+                store.remove(&id);
+            }
+        }
+        let report = code.repair_engine(n).repair_all(&mut store, ids);
+        let lattice_rest = me::decode_fixpoint(&cfg, &lattice_erased);
+        let byte_rest: BTreeSet<LatticeBlock> = report
+            .unrecovered
+            .iter()
+            .map(|&id| aecodes::core::to_lattice(id))
+            .collect();
+        prop_assert_eq!(byte_rest, lattice_rest);
+    }
+}
+
+/// The ME search finds patterns that the decoder indeed cannot repair and
+/// that are irreducible (non-random sanity anchor for the suite above).
+#[test]
+fn me_patterns_are_sharp() {
+    for cfg in [
+        Config::new(2, 1, 1).unwrap(),
+        Config::new(2, 2, 2).unwrap(),
+        Config::new(3, 1, 2).unwrap(),
+    ] {
+        let pat = MeSearch::new(cfg).min_erasure(2).expect("pattern exists");
+        assert!(me::is_dead(&cfg, &pat.blocks), "{cfg}");
+        assert!(me::is_irreducible(&cfg, &pat.blocks), "{cfg}");
+        // One block fewer is always recoverable.
+        for b in &pat.blocks {
+            let mut smaller = pat.blocks.clone();
+            smaller.remove(b);
+            assert!(
+                me::decode_fixpoint(&cfg, &smaller).len() < smaller.len(),
+                "{cfg}: removing {b:?} must unlock something"
+            );
+        }
+    }
+}
