@@ -1,0 +1,213 @@
+//! The error hierarchy of the scheme-agnostic API.
+//!
+//! Two families, mirroring the two halves of [`crate::RedundancyScheme`]:
+//! [`AeError`] for encoding and configuration, [`RepairError`] for decode
+//! paths. Repair errors carry the block ids that made the repair
+//! impossible, so callers (and log readers) see *which* tuple members were
+//! missing rather than a bare `None`.
+
+use ae_blocks::{BlockError, BlockId};
+use std::fmt;
+
+/// Top-level error for encode and configuration operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AeError {
+    /// A block had the wrong size for the scheme.
+    SizeMismatch {
+        /// Size the scheme encodes, in bytes.
+        expected: usize,
+        /// Size of the offending block.
+        actual: usize,
+    },
+    /// A block-level operation failed (checksum, XOR size, ...).
+    Block(BlockError),
+    /// A repair failed; see the wrapped error for the missing members.
+    Repair(RepairError),
+    /// The scheme cannot handle the given block id (for example an
+    /// entanglement code asked about a Reed-Solomon shard).
+    ForeignBlock {
+        /// The id the scheme does not recognise.
+        id: BlockId,
+    },
+}
+
+impl fmt::Display for AeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AeError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "block size mismatch: scheme encodes {expected} bytes, got {actual}"
+                )
+            }
+            AeError::Block(e) => write!(f, "block error: {e}"),
+            AeError::Repair(e) => write!(f, "repair failed: {e}"),
+            AeError::ForeignBlock { id } => {
+                write!(f, "block {id} does not belong to this scheme")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AeError::Block(e) => Some(e),
+            AeError::Repair(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for AeError {
+    fn from(e: BlockError) -> Self {
+        AeError::Block(e)
+    }
+}
+
+impl From<RepairError> for AeError {
+    fn from(e: RepairError) -> Self {
+        AeError::Repair(e)
+    }
+}
+
+/// Why a repair could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RepairError {
+    /// No repair tuple of the target is complete. `missing` lists the
+    /// blocks that would have completed a tuple — the exact reads that
+    /// failed, deduplicated, in tuple order.
+    NoCompleteTuple {
+        /// The block that could not be repaired.
+        target: BlockId,
+        /// Tuple members that were unavailable.
+        missing: Vec<BlockId>,
+    },
+    /// Round-based repair reached a fixpoint with targets left over (a
+    /// dead pattern in entanglement terms; an over-erased stripe for
+    /// Reed-Solomon; all copies gone for replication).
+    Unrecoverable {
+        /// Targets still missing at the fixpoint.
+        targets: Vec<BlockId>,
+    },
+    /// The id does not belong to the scheme performing the repair.
+    ForeignBlock {
+        /// The unrecognised id.
+        id: BlockId,
+    },
+    /// The id lies outside the written extent of the scheme.
+    OutOfExtent {
+        /// The offending id.
+        id: BlockId,
+        /// Number of data blocks actually written.
+        written: u64,
+    },
+}
+
+impl RepairError {
+    /// The blocks whose unavailability caused this error (empty for
+    /// [`RepairError::ForeignBlock`] / [`RepairError::OutOfExtent`]).
+    pub fn missing_blocks(&self) -> &[BlockId] {
+        match self {
+            RepairError::NoCompleteTuple { missing, .. } => missing,
+            RepairError::Unrecoverable { targets } => targets,
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::NoCompleteTuple { target, missing } => {
+                write!(f, "no complete repair tuple for {target}: missing ")?;
+                for (k, id) in missing.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+                Ok(())
+            }
+            RepairError::Unrecoverable { targets } => write!(
+                f,
+                "{} block(s) unrecoverable after round-based repair (dead pattern)",
+                targets.len()
+            ),
+            RepairError::ForeignBlock { id } => {
+                write!(f, "block {id} does not belong to this scheme")
+            }
+            RepairError::OutOfExtent { id, written } => {
+                write!(
+                    f,
+                    "block {id} lies outside the written extent ({written} data blocks)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::{EdgeId, NodeId, StrandClass};
+
+    #[test]
+    fn no_complete_tuple_names_the_missing_members() {
+        let e = RepairError::NoCompleteTuple {
+            target: BlockId::Data(NodeId(26)),
+            missing: vec![
+                BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(21))),
+                BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(26))),
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("d26"), "{msg}");
+        assert!(msg.contains("p[h]21→"), "{msg}");
+        assert!(msg.contains("p[h]26→"), "{msg}");
+        assert_eq!(e.missing_blocks().len(), 2);
+    }
+
+    #[test]
+    fn errors_nest_with_sources() {
+        use std::error::Error as _;
+        let inner = RepairError::Unrecoverable {
+            targets: vec![BlockId::Data(NodeId(1))],
+        };
+        let outer = AeError::from(inner.clone());
+        assert!(outer.source().is_some());
+        assert!(outer.to_string().contains("unrecoverable"));
+        assert_eq!(inner.missing_blocks(), &[BlockId::Data(NodeId(1))]);
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let texts = [
+            AeError::SizeMismatch {
+                expected: 8,
+                actual: 9,
+            }
+            .to_string(),
+            AeError::ForeignBlock {
+                id: BlockId::Data(NodeId(3)),
+            }
+            .to_string(),
+            RepairError::ForeignBlock {
+                id: BlockId::Data(NodeId(3)),
+            }
+            .to_string(),
+            RepairError::OutOfExtent {
+                id: BlockId::Data(NodeId(9)),
+                written: 4,
+            }
+            .to_string(),
+        ];
+        for t in texts {
+            assert!(!t.is_empty());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Where blocks live: the [`BlockSource`] / [`BlockSink`] traits.
+//!
+//! Encoders write into a sink; decoders read from a source; round-based
+//! repair needs both ([`BlockRepo`]). The plain in-memory [`BlockMap`]
+//! implements all three, as do the stores in `ae_store` — so the same
+//! encode/repair code serves a unit test, an archive over a distributed
+//! store and a simulation harness.
+
+use ae_blocks::{Block, BlockId};
+use std::collections::HashMap;
+
+/// In-memory block container: block id → contents. Presence in the map
+/// *is* availability. This replaces the old `ae_core::BlockMap` type alias
+/// and is re-exported from there for compatibility.
+pub type BlockMap = HashMap<BlockId, Block>;
+
+/// Something blocks can be read from.
+///
+/// `fetch` returns `None` both for never-written and currently-unreachable
+/// blocks: to a decoder they are the same thing.
+pub trait BlockSource {
+    /// Fetches a block if it is currently available.
+    fn fetch(&self, id: BlockId) -> Option<Block>;
+
+    /// Whether the block is currently available (default: try a fetch).
+    fn has(&self, id: BlockId) -> bool {
+        self.fetch(id).is_some()
+    }
+}
+
+/// Something blocks can be written to.
+///
+/// Takes `&mut self` so the plain `HashMap` qualifies; concurrent stores
+/// with interior mutability simply ignore the exclusivity.
+pub trait BlockSink {
+    /// Stores a block, replacing any previous contents under the id.
+    fn store(&mut self, id: BlockId, block: Block);
+}
+
+/// A combined source + sink, as round-based repair requires (each round
+/// reads survivors and writes back what it reconstructed).
+pub trait BlockRepo: BlockSource + BlockSink {}
+
+impl<T: BlockSource + BlockSink + ?Sized> BlockRepo for T {}
+
+impl BlockSource for BlockMap {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.get(&id).cloned()
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.contains_key(&id)
+    }
+}
+
+impl BlockSink for BlockMap {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.insert(id, block);
+    }
+}
+
+impl<S: BlockSource + ?Sized> BlockSource for &S {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        (**self).fetch(id)
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        (**self).has(id)
+    }
+}
+
+/// A source that overlays repaired blocks on top of a base source without
+/// mutating it — the working state of a degraded (read-only) repair.
+pub struct Overlay<'a> {
+    base: &'a dyn BlockSource,
+    /// Blocks reconstructed so far.
+    pub patch: BlockMap,
+}
+
+impl<'a> Overlay<'a> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a dyn BlockSource) -> Self {
+        Overlay {
+            base,
+            patch: BlockMap::new(),
+        }
+    }
+}
+
+impl BlockSource for Overlay<'_> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.patch.get(&id).cloned().or_else(|| self.base.fetch(id))
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.patch.contains_key(&id) || self.base.has(id)
+    }
+}
+
+impl BlockSink for Overlay<'_> {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.patch.insert(id, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_blocks::NodeId;
+
+    fn id(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
+
+    #[test]
+    fn block_map_source_sink_roundtrip() {
+        let mut map = BlockMap::new();
+        assert!(!map.has(id(1)));
+        map.store(id(1), Block::from_vec(vec![1, 2]));
+        assert!(map.has(id(1)));
+        assert_eq!(map.fetch(id(1)).unwrap().as_slice(), &[1, 2]);
+        assert_eq!(map.fetch(id(2)), None);
+    }
+
+    #[test]
+    fn overlay_reads_through_and_shields_writes() {
+        let mut base = BlockMap::new();
+        base.store(id(1), Block::from_vec(vec![1]));
+        let mut overlay = Overlay::new(&base);
+        assert!(overlay.has(id(1)));
+        overlay.store(id(2), Block::from_vec(vec![2]));
+        assert!(overlay.has(id(2)));
+        assert_eq!(overlay.fetch(id(2)).unwrap().as_slice(), &[2]);
+        // The base was not touched.
+        assert!(!base.has(id(2)));
+    }
+
+    #[test]
+    fn repo_is_usable_as_trait_object() {
+        fn exercise(repo: &mut dyn BlockRepo) {
+            repo.store(id(9), Block::zero(4));
+            assert!(repo.has(id(9)));
+        }
+        let mut map = BlockMap::new();
+        exercise(&mut map);
+        assert_eq!(map.len(), 1);
+    }
+}

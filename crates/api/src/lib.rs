@@ -1,0 +1,35 @@
+//! Scheme-agnostic public API for redundancy codes.
+//!
+//! The paper compares alpha entanglement codes against Reed-Solomon and
+//! replication; this crate defines the one interface all three implement so
+//! that every other layer — stores, archives, simulations, benchmarks,
+//! examples — is written once against [`RedundancyScheme`] and runs against
+//! any code:
+//!
+//! * [`RedundancyScheme`] — the object-safe trait: batch-first encoding
+//!   ([`RedundancyScheme::encode_batch`]), single-block and round-based
+//!   repair ([`RedundancyScheme::repair_block`],
+//!   [`RedundancyScheme::repair_missing`]), the Table IV cost model
+//!   ([`RedundancyScheme::repair_cost`]) and the structural hooks the
+//!   availability-plane simulation drives
+//!   ([`RedundancyScheme::is_repairable`] and friends).
+//! * [`BlockSource`] / [`BlockSink`] — where blocks come from and go to.
+//!   Implemented by the plain in-memory [`BlockMap`] and by `ae_store`'s
+//!   stores, so encode and repair never care where bytes live.
+//! * [`AeError`] / [`RepairError`] — the error hierarchy. Repairs report
+//!   *which* tuple members were missing instead of a bare `None`.
+//!
+//! Implementations live next to each code: `ae_core::Code` (alpha
+//! entanglement), `ae_baselines::ReedSolomon` and
+//! `ae_baselines::Replication`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod io;
+pub mod scheme;
+
+pub use error::{AeError, RepairError};
+pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};
+pub use scheme::{EncodeReport, RedundancyScheme, RepairCost, RepairSummary, RoundStats};

@@ -1,0 +1,405 @@
+//! The [`RedundancyScheme`] trait: one interface for every code.
+//!
+//! A scheme owns its encoding state (alpha entanglement keeps a strand
+//! frontier, Reed-Solomon a partial stripe, replication a write counter)
+//! and exposes two planes:
+//!
+//! * the **byte plane** — [`RedundancyScheme::encode_batch`],
+//!   [`RedundancyScheme::repair_block`] and
+//!   [`RedundancyScheme::repair_missing`] move real bytes through a
+//!   [`BlockSink`]/[`BlockSource`];
+//! * the **availability plane** — [`RedundancyScheme::block_ids`],
+//!   [`RedundancyScheme::is_repairable`] and friends describe the code's
+//!   structure so a simulation can drive disasters over flags only, the
+//!   way the paper's §V.C evaluation does.
+//!
+//! The trait is object-safe; simulations and stores hold
+//! `Box<dyn RedundancyScheme>` / `&dyn RedundancyScheme`.
+
+use crate::error::{AeError, RepairError};
+use crate::io::{BlockRepo, BlockSink, BlockSource};
+use ae_blocks::{Block, BlockId};
+
+/// What one [`RedundancyScheme::encode_batch`] call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeReport {
+    /// Lattice position of the batch's first data block (1-based; data
+    /// positions are shared across schemes).
+    pub first_node: u64,
+    /// All block ids stored by this call, data and redundancy, in write
+    /// order. Redundancy that is still buffered (for example a partial
+    /// Reed-Solomon stripe) appears only once a later call or
+    /// [`RedundancyScheme::seal`] flushes it.
+    pub ids: Vec<BlockId>,
+}
+
+impl EncodeReport {
+    /// Data blocks written by this call.
+    pub fn data_written(&self) -> u64 {
+        self.ids.iter().filter(|id| id.is_data()).count() as u64
+    }
+
+    /// Redundancy blocks written by this call.
+    pub fn redundancy_written(&self) -> u64 {
+        self.ids.len() as u64 - self.data_written()
+    }
+}
+
+/// The Table IV cost model of a scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairCost {
+    /// Blocks read to repair one isolated missing block ("SF" row): 2 for
+    /// alpha entanglement, `k` for RS(k, m), 1 for replication.
+    pub single_failure_reads: u32,
+    /// Additional storage as a percentage of the data ("AS" row).
+    pub additional_storage_pct: f64,
+}
+
+/// Statistics of one repair round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Blocks repaired this round (data + redundancy).
+    pub repaired: usize,
+    /// Of which data blocks.
+    pub data_repaired: usize,
+}
+
+/// Outcome of a round-based [`RedundancyScheme::repair_missing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Per-round statistics, in order.
+    pub rounds: Vec<RoundStats>,
+    /// Targets the scheme could not reconstruct.
+    pub unrecovered: Vec<BlockId>,
+    /// Total blocks read while repairing.
+    pub blocks_read: u64,
+}
+
+impl RepairSummary {
+    /// Number of rounds that made progress.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total blocks repaired.
+    pub fn total_repaired(&self) -> usize {
+        self.rounds.iter().map(|r| r.repaired).sum()
+    }
+
+    /// Total data blocks repaired.
+    pub fn total_data_repaired(&self) -> usize {
+        self.rounds.iter().map(|r| r.data_repaired).sum()
+    }
+
+    /// Data blocks repaired in round 1 — single failures in the paper's
+    /// sense (§V.C.3, Fig 13).
+    pub fn single_failure_data_repairs(&self) -> usize {
+        self.rounds.first().map_or(0, |r| r.data_repaired)
+    }
+
+    /// Whether every target was reconstructed.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered.is_empty()
+    }
+
+    /// Converts to a hard error when anything was left unrecovered.
+    pub fn into_result(self) -> Result<RepairSummary, RepairError> {
+        if self.unrecovered.is_empty() {
+            Ok(self)
+        } else {
+            Err(RepairError::Unrecoverable {
+                targets: self.unrecovered,
+            })
+        }
+    }
+}
+
+/// A redundancy scheme: encode data blocks into redundancy, repair missing
+/// blocks from survivors, describe the structure to simulations.
+///
+/// All data blocks share the id space `BlockId::Data(NodeId(1..))` in
+/// write order; every scheme emits its own redundancy ids (lattice
+/// parities, parity shards, replicas). Block sizes are uniform within a
+/// scheme instance.
+pub trait RedundancyScheme: Send {
+    /// Paper-style display name, e.g. `AE(3,2,5)`, `RS(10,4)`,
+    /// `3-way replic.`.
+    fn scheme_name(&self) -> String;
+
+    /// Data blocks encoded so far (the write counter).
+    fn data_written(&self) -> u64;
+
+    /// The Table IV cost model.
+    fn repair_cost(&self) -> RepairCost;
+
+    /// Encodes a batch of equal-sized data blocks: assigns them the next
+    /// positions, writes them and their redundancy into `sink`.
+    ///
+    /// Batching is the hot path — implementations amortise per-block
+    /// bookkeeping (strand-head lookups, stripe assembly) over the slice.
+    ///
+    /// # Errors
+    ///
+    /// Fails (without writing anything) when a block's size differs from
+    /// the scheme's.
+    fn encode_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError>;
+
+    /// Flushes any buffered redundancy (for example a partial
+    /// Reed-Solomon stripe, padded with virtual zero blocks). Returns the
+    /// ids written; the default is a no-op for schemes that never buffer.
+    fn seal(&mut self, _sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        Ok(Vec::new())
+    }
+
+    /// Repairs a single block from currently available blocks.
+    /// `data_blocks` bounds the written extent (repair coordinators often
+    /// know it without owning the encoder).
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::NoCompleteTuple`] names the unavailable blocks that
+    /// blocked every repair option.
+    fn repair_block(
+        &self,
+        source: &dyn BlockSource,
+        id: BlockId,
+        data_blocks: u64,
+    ) -> Result<Block, RepairError>;
+
+    /// Round-based repair of `targets` until fixpoint: each round repairs
+    /// every target that currently has a complete repair option, commits
+    /// them together, and newly repaired blocks enable further repairs
+    /// next round (§V.C.4). Already-present targets are skipped.
+    fn repair_missing(
+        &self,
+        repo: &mut dyn BlockRepo,
+        targets: &[BlockId],
+        data_blocks: u64,
+    ) -> RepairSummary {
+        let mut missing: Vec<BlockId> = targets
+            .iter()
+            .copied()
+            .filter(|&id| !repo.has(id))
+            .collect();
+        let mut rounds = Vec::new();
+        let mut blocks_read = 0;
+        while !missing.is_empty() {
+            // Plan all repairs against the round-start state...
+            let mut planned: Vec<(BlockId, Block)> = Vec::new();
+            let mut still_missing = Vec::new();
+            for &id in &missing {
+                match self.repair_block(&*repo, id, data_blocks) {
+                    Ok(block) => planned.push((id, block)),
+                    Err(_) => still_missing.push(id),
+                }
+            }
+            if planned.is_empty() {
+                break; // fixpoint: a dead pattern remains
+            }
+            blocks_read +=
+                self.repair_traffic(&planned.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+            let stats = RoundStats {
+                repaired: planned.len(),
+                data_repaired: planned.iter().filter(|(id, _)| id.is_data()).count(),
+            };
+            // ...then commit them together, making them visible next round.
+            for (id, block) in planned {
+                repo.store(id, block);
+            }
+            rounds.push(stats);
+            missing = still_missing;
+        }
+        RepairSummary {
+            rounds,
+            unrecovered: missing,
+            blocks_read,
+        }
+    }
+
+    /// Blocks read to repair the given set of blocks in one round (used
+    /// for traffic accounting). The default charges the single-failure
+    /// cost per block; Reed-Solomon overrides it to charge one stripe
+    /// decode per touched stripe.
+    fn repair_traffic(&self, repaired: &[BlockId]) -> u64 {
+        repaired.len() as u64 * self.repair_cost().single_failure_reads as u64
+    }
+
+    // --- availability plane -------------------------------------------
+
+    /// Every block a deployment of `data_blocks` data blocks stores, in
+    /// write order with redundancy interleaved next to the data it
+    /// protects. Simulations use this as the placement universe.
+    fn block_ids(&self, data_blocks: u64) -> Vec<BlockId>;
+
+    /// Whether `id`, assumed missing, could be repaired right now given
+    /// the availability oracle `avail` (asked only about other blocks).
+    fn is_repairable(&self, id: BlockId, data_blocks: u64, avail: &dyn Fn(BlockId) -> bool)
+        -> bool;
+
+    /// Whether a repair of missing block `id` would be a *single failure*
+    /// in the paper's Fig 13 sense: solvable in one step with the minimum
+    /// read cost. Default: repairable right now.
+    fn is_single_failure(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        self.is_repairable(id, data_blocks, avail)
+    }
+
+    /// Redundancy blocks worth repairing under *minimal maintenance*
+    /// (§V.C.2) for the currently-missing data blocks — e.g. the members
+    /// of their repair tuples. Schemes that repair data only (RS,
+    /// replication) keep the empty default.
+    fn maintenance_targets(&self, _missing_data: &[BlockId], _data_blocks: u64) -> Vec<BlockId> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::BlockMap;
+    use ae_blocks::NodeId;
+
+    /// A toy mirror scheme (1 extra copy) exercising the default
+    /// `repair_missing` round loop.
+    struct Mirror {
+        written: u64,
+    }
+
+    fn data(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
+
+    fn copy(i: u64) -> BlockId {
+        BlockId::Replica(ae_blocks::ReplicaId {
+            node: NodeId(i),
+            copy: 1,
+        })
+    }
+
+    impl RedundancyScheme for Mirror {
+        fn scheme_name(&self) -> String {
+            "2-way replic.".into()
+        }
+
+        fn data_written(&self) -> u64 {
+            self.written
+        }
+
+        fn repair_cost(&self) -> RepairCost {
+            RepairCost {
+                single_failure_reads: 1,
+                additional_storage_pct: 100.0,
+            }
+        }
+
+        fn encode_batch(
+            &mut self,
+            blocks: &[Block],
+            sink: &mut dyn BlockSink,
+        ) -> Result<EncodeReport, AeError> {
+            let first_node = self.written + 1;
+            let mut ids = Vec::new();
+            for b in blocks {
+                self.written += 1;
+                sink.store(data(self.written), b.clone());
+                sink.store(copy(self.written), b.clone());
+                ids.push(data(self.written));
+                ids.push(copy(self.written));
+            }
+            Ok(EncodeReport { first_node, ids })
+        }
+
+        fn repair_block(
+            &self,
+            source: &dyn BlockSource,
+            id: BlockId,
+            _data_blocks: u64,
+        ) -> Result<Block, RepairError> {
+            let other = match id {
+                BlockId::Data(NodeId(i)) => copy(i),
+                BlockId::Replica(r) => data(r.node.0),
+                _ => return Err(RepairError::ForeignBlock { id }),
+            };
+            source.fetch(other).ok_or(RepairError::NoCompleteTuple {
+                target: id,
+                missing: vec![other],
+            })
+        }
+
+        fn block_ids(&self, data_blocks: u64) -> Vec<BlockId> {
+            (1..=data_blocks).flat_map(|i| [data(i), copy(i)]).collect()
+        }
+
+        fn is_repairable(
+            &self,
+            id: BlockId,
+            _data_blocks: u64,
+            avail: &dyn Fn(BlockId) -> bool,
+        ) -> bool {
+            match id {
+                BlockId::Data(NodeId(i)) => avail(copy(i)),
+                BlockId::Replica(r) => avail(data(r.node.0)),
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn default_repair_missing_round_trips() {
+        let mut scheme = Mirror { written: 0 };
+        let mut store = BlockMap::new();
+        let blocks: Vec<Block> = (0..10u8).map(|k| Block::from_vec(vec![k; 8])).collect();
+        let report = scheme.encode_batch(&blocks, &mut store).unwrap();
+        assert_eq!(report.first_node, 1);
+        assert_eq!(report.data_written(), 10);
+        assert_eq!(report.redundancy_written(), 10);
+
+        // Lose a data block and an unrelated copy.
+        let original = store.remove(&data(4)).unwrap();
+        store.remove(&copy(7));
+        let summary = scheme.repair_missing(&mut store, &[data(4), copy(7)], 10);
+        assert!(summary.fully_recovered());
+        assert_eq!(summary.round_count(), 1);
+        assert_eq!(summary.total_repaired(), 2);
+        assert_eq!(summary.blocks_read, 2);
+        assert_eq!(store[&data(4)], original);
+        assert!(summary.into_result().is_ok());
+    }
+
+    #[test]
+    fn default_repair_missing_reports_dead_blocks() {
+        let mut scheme = Mirror { written: 0 };
+        let mut store = BlockMap::new();
+        scheme
+            .encode_batch(&[Block::zero(4), Block::from_vec(vec![1; 4])], &mut store)
+            .unwrap();
+        // Both copies of block 2 gone: unrecoverable.
+        store.remove(&data(2));
+        store.remove(&copy(2));
+        let summary = scheme.repair_missing(&mut store, &[data(2), copy(2)], 2);
+        assert!(!summary.fully_recovered());
+        assert_eq!(summary.unrecovered.len(), 2);
+        assert!(matches!(
+            summary.into_result(),
+            Err(RepairError::Unrecoverable { targets }) if targets.len() == 2
+        ));
+    }
+
+    #[test]
+    fn scheme_is_object_safe() {
+        let mut boxed: Box<dyn RedundancyScheme> = Box::new(Mirror { written: 0 });
+        let mut store = BlockMap::new();
+        boxed.encode_batch(&[Block::zero(4)], &mut store).unwrap();
+        assert_eq!(boxed.scheme_name(), "2-way replic.");
+        assert_eq!(boxed.data_written(), 1);
+        assert_eq!(boxed.block_ids(1).len(), 2);
+    }
+}

@@ -17,6 +17,8 @@
 
 pub mod replication;
 pub mod rs;
+pub mod scheme;
 
+pub use ae_api::RedundancyScheme;
 pub use replication::Replication;
 pub use rs::{ReedSolomon, RsError};

@@ -9,9 +9,11 @@
 use ae_blocks::Block;
 
 /// An n-way replication scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Replication {
     n: usize,
+    /// Data blocks written through the scheme API.
+    pub(crate) written: u64,
 }
 
 impl Replication {
@@ -22,7 +24,7 @@ impl Replication {
     /// Panics for `n < 2`: one copy is no redundancy scheme.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "replication needs at least 2 copies, got {n}");
-        Replication { n }
+        Replication { n, written: 0 }
     }
 
     /// Number of copies, original included.

@@ -47,13 +47,19 @@ impl fmt::Display for RsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsError::InvalidParameters { k, m } => {
-                write!(f, "invalid RS parameters k={k}, m={m} (need k,m >= 1, k+m <= 256)")
+                write!(
+                    f,
+                    "invalid RS parameters k={k}, m={m} (need k,m >= 1, k+m <= 256)"
+                )
             }
             RsError::WrongShardCount { expected, actual } => {
                 write!(f, "expected {expected} shards, got {actual}")
             }
             RsError::ShardSizeMismatch => write!(f, "shards have mismatched sizes"),
-            RsError::TooFewShards { available, required } => write!(
+            RsError::TooFewShards {
+                available,
+                required,
+            } => write!(
                 f,
                 "stripe unrecoverable: {available} shards available, {required} required"
             ),
@@ -88,6 +94,10 @@ pub struct ReedSolomon {
     m: usize,
     /// Full generator `[I_k; C]`, (k+m) × k.
     generator: Matrix,
+    /// Data blocks written through the scheme API.
+    pub(crate) written: u64,
+    /// Buffered data blocks of the current (incomplete) stripe.
+    pub(crate) pending: Vec<ae_blocks::Block>,
 }
 
 impl ReedSolomon {
@@ -103,7 +113,13 @@ impl ReedSolomon {
         let generator = Matrix::identity(k)
             .stack(&Matrix::cauchy(m, k))
             .expect("identity and Cauchy share k columns");
-        Ok(ReedSolomon { k, m, generator })
+        Ok(ReedSolomon {
+            k,
+            m,
+            generator,
+            written: 0,
+            pending: Vec::new(),
+        })
     }
 
     /// Data shards per stripe.
@@ -197,7 +213,9 @@ impl ReedSolomon {
         // its product with those shards yields the data shards.
         let rows: Vec<usize> = present.iter().take(self.k).copied().collect();
         let sub = self.generator.select_rows(&rows);
-        let inv = sub.inverse().expect("every k x k generator submatrix is invertible");
+        let inv = sub
+            .inverse()
+            .expect("every k x k generator submatrix is invertible");
 
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
         for r in 0..self.k {
@@ -248,7 +266,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|b| ((i * 37 + b * 11 + 5) % 251) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 37 + b * 11 + 5) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -308,7 +330,10 @@ mod tests {
         shards[2] = None;
         assert_eq!(
             rs.reconstruct(&mut shards),
-            Err(RsError::TooFewShards { available: 3, required: 4 })
+            Err(RsError::TooFewShards {
+                available: 3,
+                required: 4
+            })
         );
         assert!(!rs.stripe_recoverable(3));
         assert!(rs.stripe_recoverable(4));
@@ -327,7 +352,10 @@ mod tests {
         let rs = ReedSolomon::new(3, 1).unwrap();
         assert!(matches!(
             rs.encode(&sample_data(2, 8)),
-            Err(RsError::WrongShardCount { expected: 3, actual: 2 })
+            Err(RsError::WrongShardCount {
+                expected: 3,
+                actual: 2
+            })
         ));
         let mut ragged = sample_data(3, 8);
         ragged[2].pop();
@@ -342,8 +370,7 @@ mod tests {
             rs.reconstruct(&mut wrong_len),
             Err(RsError::WrongShardCount { .. })
         ));
-        let mut ragged: Vec<Option<Vec<u8>>> =
-            vec![Some(vec![0; 4]), Some(vec![0; 5]), None];
+        let mut ragged: Vec<Option<Vec<u8>>> = vec![Some(vec![0; 4]), Some(vec![0; 5]), None];
         assert_eq!(rs.reconstruct(&mut ragged), Err(RsError::ShardSizeMismatch));
     }
 
@@ -363,7 +390,10 @@ mod tests {
     fn costs_match_table_iv() {
         for (k, m, overhead) in [(10, 4, 40.0), (8, 2, 25.0), (5, 5, 100.0), (4, 12, 300.0)] {
             let rs = ReedSolomon::new(k, m).unwrap();
-            assert!((rs.storage_overhead_pct() - overhead).abs() < 1e-9, "RS({k},{m})");
+            assert!(
+                (rs.storage_overhead_pct() - overhead).abs() < 1e-9,
+                "RS({k},{m})"
+            );
             assert_eq!(rs.single_failure_reads(), k, "SF cost of RS({k},{m})");
         }
     }

@@ -1,0 +1,636 @@
+//! [`RedundancyScheme`] implementations for the baseline codes.
+//!
+//! Both baselines share the data id space with alpha entanglement
+//! (`BlockId::Data(NodeId(i))` in write order) and emit their own
+//! redundancy ids:
+//!
+//! * Reed-Solomon groups each run of `k` consecutive data blocks into a
+//!   stripe and emits `m` [`BlockId::Shard`] parity shards per stripe. A
+//!   final partial stripe is completed with *virtual* all-zero data blocks
+//!   at [`RedundancyScheme::seal`] time — they are never stored, and the
+//!   decoder treats them as always available.
+//! * Replication emits `n − 1` [`BlockId::Replica`] copies per data block.
+
+use crate::replication::Replication;
+use crate::rs::ReedSolomon;
+use ae_api::{
+    AeError, BlockRepo, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost,
+    RepairError, RepairSummary, RoundStats,
+};
+use ae_blocks::{Block, BlockId, NodeId, ReplicaId, ShardId};
+use std::collections::BTreeSet;
+
+impl ReedSolomon {
+    /// Stripe number of data position `i` (1-based).
+    fn stripe_of(&self, i: u64) -> u64 {
+        (i - 1) / self.k() as u64
+    }
+
+    /// All member ids of stripe `t`: the `k` data blocks, then the `m`
+    /// parity shards.
+    fn stripe_members(&self, t: u64) -> Vec<BlockId> {
+        let k = self.k() as u64;
+        let mut out: Vec<BlockId> = (t * k + 1..=t * k + k)
+            .map(|i| BlockId::Data(NodeId(i)))
+            .collect();
+        out.extend((0..self.m() as u16).map(|index| BlockId::Shard(ShardId { stripe: t, index })));
+        out
+    }
+
+    /// The stripe a block belongs to, or `None` for foreign ids.
+    fn stripe_of_id(&self, id: BlockId) -> Option<u64> {
+        match id {
+            BlockId::Data(NodeId(i)) if i >= 1 => Some(self.stripe_of(i)),
+            BlockId::Shard(s) => Some(s.stripe),
+            _ => None,
+        }
+    }
+
+    /// Whether `id` is a virtual member: a data position past the written
+    /// extent inside the final (padded) stripe. Virtual members are
+    /// all-zero and always available.
+    fn is_virtual(&self, id: BlockId, data_blocks: u64) -> bool {
+        matches!(id, BlockId::Data(NodeId(i)) if i > data_blocks)
+    }
+
+    /// Encodes one full stripe of data blocks into its parity shards.
+    fn emit_stripe(
+        &self,
+        t: u64,
+        data: &[Block],
+        sink: &mut dyn BlockSink,
+        ids: &mut Vec<BlockId>,
+    ) {
+        let shards: Vec<Vec<u8>> = data.iter().map(|b| b.as_slice().to_vec()).collect();
+        let parity = self
+            .encode(&shards)
+            .expect("stripe is k equal-sized blocks");
+        for (index, bytes) in parity.into_iter().enumerate() {
+            let id = BlockId::Shard(ShardId {
+                stripe: t,
+                index: index as u16,
+            });
+            sink.store(id, Block::from_vec(bytes));
+            ids.push(id);
+        }
+    }
+
+    /// Decodes stripe `t` from whatever `source` has, returning the full
+    /// member contents, or the unavailable members that made decoding
+    /// impossible.
+    fn decode_stripe(
+        &self,
+        source: &dyn BlockSource,
+        t: u64,
+        data_blocks: u64,
+    ) -> Result<Vec<Block>, Vec<BlockId>> {
+        let members = self.stripe_members(t);
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(members.len());
+        let mut missing = Vec::new();
+        let mut len = None;
+        for &id in &members {
+            if self.is_virtual(id, data_blocks) {
+                shards.push(None); // filled with zeros once the length is known
+                continue;
+            }
+            match source.fetch(id) {
+                Some(b) => {
+                    len = Some(b.len());
+                    shards.push(Some(b.as_slice().to_vec()));
+                }
+                None => {
+                    missing.push(id);
+                    shards.push(None);
+                }
+            }
+        }
+        let Some(len) = len else {
+            return Err(missing); // nothing available at all
+        };
+        for (slot, &id) in shards.iter_mut().zip(&members) {
+            if self.is_virtual(id, data_blocks) {
+                *slot = Some(vec![0u8; len]);
+            }
+        }
+        if self.reconstruct(&mut shards).is_err() {
+            return Err(missing);
+        }
+        Ok(shards
+            .into_iter()
+            .map(|s| Block::from_vec(s.expect("reconstruct fills every slot")))
+            .collect())
+    }
+}
+
+impl RedundancyScheme for ReedSolomon {
+    fn scheme_name(&self) -> String {
+        format!("RS({},{})", self.k(), self.m())
+    }
+
+    fn data_written(&self) -> u64 {
+        self.written
+    }
+
+    fn repair_cost(&self) -> RepairCost {
+        RepairCost {
+            single_failure_reads: self.k() as u32,
+            additional_storage_pct: self.storage_overhead_pct(),
+        }
+    }
+
+    fn encode_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError> {
+        // The buffered partial stripe fixes the size; a batch may not
+        // change it mid-stripe.
+        if let Some(first) = self.pending.first().or(blocks.first()) {
+            let expected = first.len();
+            for b in blocks {
+                if b.len() != expected {
+                    return Err(AeError::SizeMismatch {
+                        expected,
+                        actual: b.len(),
+                    });
+                }
+            }
+        }
+        let first_node = self.written + 1;
+        let mut ids = Vec::new();
+        for b in blocks {
+            self.written += 1;
+            let id = BlockId::Data(NodeId(self.written));
+            sink.store(id, b.clone());
+            ids.push(id);
+            self.pending.push(b.clone());
+            if self.pending.len() == self.k() {
+                let t = self.stripe_of(self.written);
+                let stripe = std::mem::take(&mut self.pending);
+                self.emit_stripe(t, &stripe, sink, &mut ids);
+            }
+        }
+        Ok(EncodeReport { first_node, ids })
+    }
+
+    fn seal(&mut self, sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Complete the final stripe with virtual zero data blocks; only the
+        // parity shards are stored.
+        let len = self.pending[0].len();
+        let mut stripe = std::mem::take(&mut self.pending);
+        stripe.resize(self.k(), Block::zero(len));
+        let t = self.stripe_of(self.written);
+        let mut ids = Vec::new();
+        self.emit_stripe(t, &stripe, sink, &mut ids);
+        Ok(ids)
+    }
+
+    fn repair_block(
+        &self,
+        source: &dyn BlockSource,
+        id: BlockId,
+        data_blocks: u64,
+    ) -> Result<Block, RepairError> {
+        let Some(t) = self.stripe_of_id(id) else {
+            return Err(RepairError::ForeignBlock { id });
+        };
+        // A data position past the written extent is a virtual padding
+        // block, not a repairable target.
+        if self.is_virtual(id, data_blocks) {
+            return Err(RepairError::OutOfExtent {
+                id,
+                written: data_blocks,
+            });
+        }
+        let members = self.stripe_members(t);
+        let index = members
+            .iter()
+            .position(|&v| v == id)
+            .expect("member of its own stripe");
+        match self.decode_stripe(source, t, data_blocks) {
+            Ok(blocks) => Ok(blocks[index].clone()),
+            Err(missing) => Err(RepairError::NoCompleteTuple {
+                target: id,
+                missing: missing.into_iter().filter(|&v| v != id).collect(),
+            }),
+        }
+    }
+
+    fn repair_missing(
+        &self,
+        repo: &mut dyn BlockRepo,
+        targets: &[BlockId],
+        data_blocks: u64,
+    ) -> RepairSummary {
+        // One decode per damaged stripe restores every missing member at
+        // once; nothing a second round could add (MDS codes have no repair
+        // chains).
+        let mut stripes: BTreeSet<u64> = BTreeSet::new();
+        let mut missing: Vec<BlockId> = targets
+            .iter()
+            .copied()
+            .filter(|&id| !repo.has(id))
+            .collect();
+        for &id in &missing {
+            if let Some(t) = self.stripe_of_id(id) {
+                stripes.insert(t);
+            }
+        }
+        let mut repaired = 0;
+        let mut data_repaired = 0;
+        let mut blocks_read = 0;
+        for t in stripes {
+            let Ok(blocks) = self.decode_stripe(&*repo, t, data_blocks) else {
+                continue; // stripe damaged beyond recovery
+            };
+            blocks_read += self.k() as u64;
+            let members = self.stripe_members(t);
+            for (member, block) in members.into_iter().zip(blocks) {
+                if missing.contains(&member) {
+                    repo.store(member, block);
+                    repaired += 1;
+                    if member.is_data() {
+                        data_repaired += 1;
+                    }
+                }
+            }
+        }
+        missing.retain(|&id| !repo.has(id));
+        let rounds = if repaired > 0 {
+            vec![RoundStats {
+                repaired,
+                data_repaired,
+            }]
+        } else {
+            Vec::new()
+        };
+        RepairSummary {
+            rounds,
+            unrecovered: missing,
+            blocks_read,
+        }
+    }
+
+    fn repair_traffic(&self, repaired: &[BlockId]) -> u64 {
+        // One k-shard decode per touched stripe.
+        let stripes: BTreeSet<u64> = repaired
+            .iter()
+            .filter_map(|&id| self.stripe_of_id(id))
+            .collect();
+        stripes.len() as u64 * self.k() as u64
+    }
+
+    fn block_ids(&self, data_blocks: u64) -> Vec<BlockId> {
+        let k = self.k() as u64;
+        let stripes = data_blocks.div_ceil(k);
+        let mut out = Vec::with_capacity((data_blocks + stripes * self.m() as u64) as usize);
+        for t in 0..stripes {
+            for id in self.stripe_members(t) {
+                if !self.is_virtual(id, data_blocks) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    fn is_repairable(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        let Some(t) = self.stripe_of_id(id) else {
+            return false;
+        };
+        if self.is_virtual(id, data_blocks) {
+            return false; // padding blocks are not stored, never repaired
+        }
+        let available = self
+            .stripe_members(t)
+            .into_iter()
+            .filter(|&v| v != id)
+            .filter(|&v| self.is_virtual(v, data_blocks) || avail(v))
+            .count();
+        available >= self.k()
+    }
+
+    fn is_single_failure(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        // Fig 13's RS definition: the target is the *only* missing member
+        // of its stripe.
+        let Some(t) = self.stripe_of_id(id) else {
+            return false;
+        };
+        self.stripe_members(t)
+            .into_iter()
+            .filter(|&v| v != id)
+            .all(|v| self.is_virtual(v, data_blocks) || avail(v))
+    }
+}
+
+impl Replication {
+    /// All ids of data block `i`'s replica group except `id` itself.
+    fn other_copies(&self, id: BlockId) -> Option<Vec<BlockId>> {
+        let (node, skip) = match id {
+            BlockId::Data(n) => (n, 0),
+            BlockId::Replica(r) if (1..self.copies() as u16).contains(&r.copy) => (r.node, r.copy),
+            _ => return None,
+        };
+        let mut out = Vec::with_capacity(self.copies() - 1);
+        if skip != 0 {
+            out.push(BlockId::Data(node));
+        }
+        for copy in 1..self.copies() as u16 {
+            if copy != skip {
+                out.push(BlockId::Replica(ReplicaId { node, copy }));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl RedundancyScheme for Replication {
+    fn scheme_name(&self) -> String {
+        format!("{}-way replic.", self.copies())
+    }
+
+    fn data_written(&self) -> u64 {
+        self.written
+    }
+
+    fn repair_cost(&self) -> RepairCost {
+        RepairCost {
+            single_failure_reads: 1,
+            additional_storage_pct: self.storage_overhead_pct(),
+        }
+    }
+
+    fn encode_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError> {
+        let first_node = self.written + 1;
+        let mut ids = Vec::with_capacity(blocks.len() * self.copies());
+        for b in blocks {
+            self.written += 1;
+            let node = NodeId(self.written);
+            sink.store(BlockId::Data(node), b.clone());
+            ids.push(BlockId::Data(node));
+            for copy in 1..self.copies() as u16 {
+                let id = BlockId::Replica(ReplicaId { node, copy });
+                sink.store(id, b.clone());
+                ids.push(id);
+            }
+        }
+        Ok(EncodeReport { first_node, ids })
+    }
+
+    fn repair_block(
+        &self,
+        source: &dyn BlockSource,
+        id: BlockId,
+        _data_blocks: u64,
+    ) -> Result<Block, RepairError> {
+        let Some(others) = self.other_copies(id) else {
+            return Err(RepairError::ForeignBlock { id });
+        };
+        // Any surviving verified copy will do.
+        for &other in &others {
+            if let Some(b) = source.fetch(other) {
+                if b.verify().is_ok() {
+                    return Ok(b);
+                }
+            }
+        }
+        Err(RepairError::NoCompleteTuple {
+            target: id,
+            missing: others,
+        })
+    }
+
+    fn block_ids(&self, data_blocks: u64) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(data_blocks as usize * self.copies());
+        for i in 1..=data_blocks {
+            out.push(BlockId::Data(NodeId(i)));
+            for copy in 1..self.copies() as u16 {
+                out.push(BlockId::Replica(ReplicaId {
+                    node: NodeId(i),
+                    copy,
+                }));
+            }
+        }
+        out
+    }
+
+    fn is_repairable(
+        &self,
+        id: BlockId,
+        _data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        self.other_copies(id)
+            .is_some_and(|others| others.into_iter().any(avail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_api::BlockMap;
+
+    fn payload(n: usize, len: usize) -> Vec<Block> {
+        (0..n)
+            .map(|i| Block::from_vec((0..len).map(|b| ((i * 37 + b * 11) % 251) as u8).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn rs_rejects_size_change_against_buffered_stripe() {
+        // The buffered partial stripe fixes the block size: a later batch
+        // with a different size must fail without writing anything.
+        let mut rs = ReedSolomon::new(4, 2).unwrap();
+        let mut store = BlockMap::new();
+        rs.encode_batch(&payload(2, 32), &mut store).unwrap();
+        let before = store.len();
+        let err = rs.encode_batch(&payload(2, 16), &mut store).unwrap_err();
+        assert!(matches!(
+            err,
+            ae_api::AeError::SizeMismatch {
+                expected: 32,
+                actual: 16
+            }
+        ));
+        assert_eq!(store.len(), before, "failed batch must not write");
+        assert_eq!(rs.data_written(), 2);
+    }
+
+    #[test]
+    fn rs_out_of_extent_targets_error_not_fabricate() {
+        // Virtual padding positions of the sealed final stripe are not
+        // repairable targets: no Ok(zero block), no oracle "true".
+        let mut rs = ReedSolomon::new(4, 2).unwrap();
+        let mut store = BlockMap::new();
+        rs.encode_batch(&payload(10, 16), &mut store).unwrap();
+        rs.seal(&mut store).unwrap();
+        let ghost = BlockId::Data(NodeId(11));
+        assert!(matches!(
+            rs.repair_block(&store, ghost, 10),
+            Err(RepairError::OutOfExtent { written: 10, .. })
+        ));
+        assert!(!rs.is_repairable(ghost, 10, &|_| true));
+    }
+
+    #[test]
+    fn rs_scheme_roundtrip_with_seal() {
+        let mut rs = ReedSolomon::new(4, 2).unwrap();
+        let mut store = BlockMap::new();
+        let blocks = payload(10, 32); // 2 full stripes + 2 pending
+        let report = rs.encode_batch(&blocks, &mut store).unwrap();
+        assert_eq!(report.data_written(), 10);
+        assert_eq!(report.redundancy_written(), 4, "2 stripes x 2 shards");
+        let sealed = rs.seal(&mut store).unwrap();
+        assert_eq!(sealed.len(), 2, "final padded stripe's shards");
+        assert_eq!(rs.data_written(), 10);
+        assert_eq!(rs.scheme_name(), "RS(4,2)");
+
+        // Lose two members of the padded stripe (its max erasures).
+        let victims = [BlockId::Data(NodeId(9)), BlockId::Data(NodeId(10))];
+        let originals: Vec<Block> = victims.iter().map(|v| store.remove(v).unwrap()).collect();
+        let summary = rs.repair_missing(&mut store, &victims, 10);
+        assert!(summary.fully_recovered());
+        assert_eq!(summary.blocks_read, 4, "one k-shard decode");
+        for (v, o) in victims.iter().zip(&originals) {
+            assert_eq!(&store[v], o);
+        }
+    }
+
+    #[test]
+    fn rs_repair_block_and_errors() {
+        let mut rs = ReedSolomon::new(3, 2).unwrap();
+        let mut store = BlockMap::new();
+        rs.encode_batch(&payload(6, 16), &mut store).unwrap();
+
+        let victim = BlockId::Shard(ShardId {
+            stripe: 0,
+            index: 1,
+        });
+        let original = store.remove(&victim).unwrap();
+        assert_eq!(rs.repair_block(&store, victim, 6).unwrap(), original);
+
+        // Erase beyond m: the error names the unavailable members.
+        store.remove(&BlockId::Data(NodeId(1)));
+        store.remove(&BlockId::Data(NodeId(2)));
+        let err = rs.repair_block(&store, victim, 6).unwrap_err();
+        match err {
+            RepairError::NoCompleteTuple { target, missing } => {
+                assert_eq!(target, victim);
+                assert!(missing.contains(&BlockId::Data(NodeId(1))));
+                assert!(missing.contains(&BlockId::Data(NodeId(2))));
+                assert!(!missing.contains(&victim));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            rs.repair_block(
+                &store,
+                BlockId::Parity(ae_blocks::EdgeId::new(
+                    ae_blocks::StrandClass::Horizontal,
+                    NodeId(1)
+                )),
+                6
+            ),
+            Err(RepairError::ForeignBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn rs_structure_and_costs() {
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        assert_eq!(rs.repair_cost().single_failure_reads, 10);
+        assert!((rs.repair_cost().additional_storage_pct - 40.0).abs() < 1e-9);
+        let ids = rs.block_ids(100);
+        assert_eq!(ids.len(), 100 + 10 * 4);
+
+        // A stripe missing exactly m members: repairable; m+1: not.
+        let t0 = rs.stripe_members(0);
+        let down: Vec<BlockId> = t0[..4].to_vec();
+        let avail = |id: BlockId| !down.contains(&id);
+        assert!(rs.is_repairable(t0[0], 100, &avail));
+        assert!(!rs.is_single_failure(t0[0], 100, &avail));
+        let down5: Vec<BlockId> = t0[..5].to_vec();
+        let avail5 = |id: BlockId| !down5.contains(&id);
+        assert!(!rs.is_repairable(t0[0], 100, &avail5));
+
+        // Only missing member of its stripe: a single failure.
+        let only = |id: BlockId| id != t0[0];
+        assert!(rs.is_single_failure(t0[0], 100, &only));
+    }
+
+    #[test]
+    fn replication_scheme_roundtrip() {
+        let mut r = Replication::new(3);
+        let mut store = BlockMap::new();
+        let blocks = payload(5, 8);
+        let report = r.encode_batch(&blocks, &mut store).unwrap();
+        assert_eq!(report.ids.len(), 15);
+        assert_eq!(r.scheme_name(), "3-way replic.");
+        assert_eq!(r.repair_cost().single_failure_reads, 1);
+
+        // Lose the original and one copy; the third still repairs both.
+        let d = BlockId::Data(NodeId(3));
+        let c1 = BlockId::Replica(ReplicaId {
+            node: NodeId(3),
+            copy: 1,
+        });
+        let original = store.remove(&d).unwrap();
+        store.remove(&c1);
+        let summary = r.repair_missing(&mut store, &[d, c1], 5);
+        assert!(summary.fully_recovered());
+        assert_eq!(store[&d], original);
+
+        // All copies gone: unrecoverable, error lists the copies tried.
+        let d5 = BlockId::Data(NodeId(5));
+        store.remove(&d5);
+        for copy in 1..3u16 {
+            store.remove(&BlockId::Replica(ReplicaId {
+                node: NodeId(5),
+                copy,
+            }));
+        }
+        let err = r.repair_block(&store, d5, 5).unwrap_err();
+        assert_eq!(err.missing_blocks().len(), 2);
+    }
+
+    #[test]
+    fn replication_structure() {
+        let r = Replication::new(2);
+        let ids = r.block_ids(4);
+        assert_eq!(ids.len(), 8);
+        let d1 = BlockId::Data(NodeId(1));
+        let r1 = BlockId::Replica(ReplicaId {
+            node: NodeId(1),
+            copy: 1,
+        });
+        assert!(r.is_repairable(d1, 4, &|id| id == r1));
+        assert!(!r.is_repairable(d1, 4, &|_| false));
+        assert!(r.is_repairable(r1, 4, &|id| id == d1));
+        // Foreign ids are not repairable and error out.
+        assert!(!r.is_repairable(
+            BlockId::Shard(ShardId {
+                stripe: 0,
+                index: 0
+            }),
+            4,
+            &|_| true
+        ));
+    }
+}

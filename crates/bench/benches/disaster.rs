@@ -5,9 +5,9 @@
 //! simulation engine show up in CI-sized runs, and additionally verify the
 //! figures' headline orderings on every iteration.
 
+use ae_lattice::Config;
 use ae_sim::experiments::{self, Env};
 use ae_sim::{AeSimulation, ReplicationSimulation, RsSimulation};
-use ae_lattice::Config;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -8,8 +8,8 @@
 
 use ae_baselines::ReedSolomon;
 use ae_bench::{data_blocks, data_shards};
-use ae_core::{BlockMap, Code};
 use ae_blocks::{BlockId, NodeId};
+use ae_core::{BlockMap, Code};
 use ae_lattice::Config;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -63,6 +63,76 @@ fn bench_rs_single_failure(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batching win: `entangle_batch` (one call, data and parities
+/// streamed into the sink, no per-block scaffolding) versus a per-block
+/// `entangle` loop with `insert_into`. Feeds `BENCH_batch_entangle.json`.
+fn bench_entangle_batch_vs_single(c: &mut Criterion) {
+    use ae_core::{BlockMap, Entangler};
+    const BATCH: usize = 256;
+    for size in [512usize, 4096] {
+        let mut g = c.benchmark_group(format!("repair/entangle_batch_vs_single/{size}B"));
+        g.throughput(Throughput::Bytes((size * BATCH) as u64));
+        for (a, s, p) in [(1u8, 1u16, 0u16), (3, 2, 5)] {
+            let cfg = Config::new(a, s, p).unwrap();
+            let blocks = data_blocks(BATCH, size, 11);
+            g.bench_function(BenchmarkId::new("single", cfg.name()), |b| {
+                b.iter(|| {
+                    let mut enc = Entangler::new(cfg, size);
+                    let mut store = BlockMap::new();
+                    for blk in &blocks {
+                        enc.entangle(blk.clone()).unwrap().insert_into(&mut store);
+                    }
+                    black_box(store)
+                })
+            });
+            g.bench_function(BenchmarkId::new("batch", cfg.name()), |b| {
+                b.iter(|| {
+                    let mut enc = Entangler::new(cfg, size);
+                    let mut store = BlockMap::new();
+                    enc.entangle_batch(&blocks, &mut store).unwrap();
+                    black_box(store)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Round-based repair through the scheme-agnostic trait: the same harness
+/// drives every code (`dyn RedundancyScheme`).
+fn bench_repair_missing_dyn(c: &mut Criterion) {
+    use ae_api::{BlockMap, RedundancyScheme};
+    use ae_baselines::Replication;
+    let mut g = c.benchmark_group("repair/repair_missing_dyn");
+    g.sample_size(10);
+    let schemes: Vec<Box<dyn RedundancyScheme>> = vec![
+        Box::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK)),
+        Box::new(ReedSolomon::new(4, 12).unwrap()),
+        Box::new(Replication::new(4)),
+    ];
+    for mut scheme in schemes {
+        let name = scheme.scheme_name();
+        let mut store = BlockMap::new();
+        scheme
+            .encode_batch(&data_blocks(500, BLOCK, 5), &mut store)
+            .unwrap();
+        scheme.seal(&mut store).unwrap();
+        let victims: Vec<BlockId> = (200..240).map(|i| BlockId::Data(NodeId(i))).collect();
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| {
+                let mut damaged = store.clone();
+                for v in &victims {
+                    damaged.remove(v);
+                }
+                let summary = scheme.repair_missing(&mut damaged, &victims, 500);
+                assert!(summary.fully_recovered(), "{name}");
+                black_box(summary)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Round-based engine on a clustered failure (Table VI context).
 fn bench_clustered_repair(c: &mut Criterion) {
     let mut g = c.benchmark_group("repair/clustered");
@@ -76,7 +146,9 @@ fn bench_clustered_repair(c: &mut Criterion) {
             for v in &victims {
                 damaged.remove(v);
             }
-            let report = code.repair_engine(1000).repair_all(&mut damaged, victims.clone());
+            let report = code
+                .repair_engine(1000)
+                .repair_all(&mut damaged, victims.clone());
             assert!(report.fully_recovered());
             black_box(report)
         })
@@ -88,6 +160,8 @@ criterion_group!(
     benches,
     bench_ae_single_failure,
     bench_rs_single_failure,
+    bench_entangle_batch_vs_single,
+    bench_repair_missing_dyn,
     bench_clustered_repair
 );
 criterion_main!(benches);

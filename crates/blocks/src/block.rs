@@ -34,7 +34,10 @@ impl fmt::Display for BlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockError::SizeMismatch { expected, actual } => {
-                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "block size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             BlockError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -135,7 +138,10 @@ impl Block {
 
     /// Returns `self XOR other` as a new block.
     ///
-    /// This is the entanglement function: one XOR of two equal-size blocks.
+    /// This is the entanglement function: one XOR of two equal-size
+    /// blocks. The result's checksum is derived from the operands'
+    /// checksums via CRC32 linearity (`crc(a⊕b) = crc(a) ⊕ crc(b) ⊕
+    /// crc(0…0)`), so no second pass over the bytes is needed.
     pub fn xor(&self, other: &Block) -> Result<Block, BlockError> {
         if self.len() != other.len() {
             return Err(BlockError::SizeMismatch {
@@ -143,7 +149,11 @@ impl Block {
                 actual: other.len(),
             });
         }
-        Ok(Block::from_vec(xor::xor_of(&self.bytes, &other.bytes)))
+        let crc = crate::crc::crc32_of_xor(self.crc, other.crc, self.len());
+        Ok(Block {
+            bytes: Bytes::from(xor::xor_of(&self.bytes, &other.bytes)),
+            crc,
+        })
     }
 }
 
@@ -199,7 +209,10 @@ mod tests {
         let a = Block::zero(8);
         let b = Block::zero(9);
         match a.xor(&b) {
-            Err(BlockError::SizeMismatch { expected: 8, actual: 9 }) => {}
+            Err(BlockError::SizeMismatch {
+                expected: 8,
+                actual: 9,
+            }) => {}
             other => panic!("expected size mismatch, got {other:?}"),
         }
     }
@@ -221,9 +234,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = BlockError::SizeMismatch { expected: 4, actual: 5 };
+        let e = BlockError::SizeMismatch {
+            expected: 4,
+            actual: 5,
+        };
         assert!(e.to_string().contains("expected 4"));
-        let e = BlockError::ChecksumMismatch { stored: 1, computed: 2 };
+        let e = BlockError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
         assert!(e.to_string().contains("checksum"));
     }
 }

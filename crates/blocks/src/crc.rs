@@ -79,6 +79,53 @@ pub fn crc32(data: &[u8]) -> u32 {
     h.finalize()
 }
 
+/// CRC32 of `len` zero bytes, cached per length.
+///
+/// CRC32 is affine-linear over GF(2): for equal-length inputs,
+/// `crc(a ⊕ b) = crc(a) ⊕ crc(b) ⊕ crc(0…0)`. With this cached zero term,
+/// the checksum of an XOR of two blocks (the entanglement hot path) costs
+/// O(1) instead of a full pass over the bytes — see [`crc32_of_xor`].
+pub fn crc32_zeros(len: usize) -> u32 {
+    use std::cell::Cell;
+    // Hot path: a code works with one block size, so a thread-local
+    // single-entry memo answers every call after the first without
+    // touching shared state (the XOR fast path must not take a global
+    // lock per parity).
+    thread_local! {
+        static LAST: Cell<(usize, u32)> = const { Cell::new((usize::MAX, 0)) };
+    }
+    LAST.with(|last| {
+        let (cached_len, cached_crc) = last.get();
+        if cached_len == len {
+            return cached_crc;
+        }
+        let c = crc32_zeros_uncached(len);
+        last.set((len, c));
+        c
+    })
+}
+
+/// Cross-thread cache behind the thread-local memo: computed zero-CRCs
+/// are shared so each distinct length is scanned once per process.
+fn crc32_zeros_uncached(len: usize) -> u32 {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    static CACHE: OnceLock<RwLock<HashMap<usize, u32>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(&c) = cache.read().expect("cache lock").get(&len) {
+        return c;
+    }
+    let c = crc32(&vec![0u8; len]);
+    cache.write().expect("cache lock").insert(len, c);
+    c
+}
+
+/// CRC32 of the XOR of two equal-length inputs, from their checksums
+/// alone (see [`crc32_zeros`] for the linearity identity).
+pub fn crc32_of_xor(crc_a: u32, crc_b: u32, len: usize) -> u32 {
+    crc_a ^ crc_b ^ crc32_zeros(len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +167,26 @@ mod tests {
         let mut h = Crc32::new();
         h.update(b"xyz");
         assert_eq!(h.finalize(), h.finalize());
+    }
+
+    #[test]
+    fn xor_linearity_identity() {
+        for len in [0usize, 1, 7, 64, 4096] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+            let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+            assert_eq!(
+                crc32_of_xor(crc32(&a), crc32(&b), len),
+                crc32(&x),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_cache_consistent() {
+        assert_eq!(crc32_zeros(64), crc32(&[0u8; 64]));
+        assert_eq!(crc32_zeros(64), crc32_zeros(64));
+        assert_eq!(crc32_zeros(0), 0);
     }
 }

@@ -145,14 +145,72 @@ impl fmt::Display for EdgeId {
     }
 }
 
-/// Any block in an entangled storage system: a data block (node) or a parity
-/// block (edge).
+/// Identifier of a Reed-Solomon parity shard: shard `index` (0-based among
+/// the `m` parity shards) of stripe `stripe` (0-based in write order).
+///
+/// Data shards of a stripe are ordinary [`BlockId::Data`] blocks — all
+/// redundancy schemes share the data id space, so a scheme-agnostic store
+/// or simulation can compare them block for block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId {
+    /// 0-based stripe number in write order.
+    pub stripe: u64,
+    /// 0-based index among the stripe's parity shards.
+    pub index: u16,
+}
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.{}", self.stripe, self.index)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// Identifier of a replica: copy `copy` (1-based; copy 0 is the original
+/// [`BlockId::Data`] block) of data block `node`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId {
+    /// The replicated data block.
+    pub node: NodeId,
+    /// 1-based copy number (the original data block is copy 0).
+    pub copy: u16,
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}#{}", self.node.0, self.copy)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// Any block in an entangled (or baseline-encoded) storage system.
+///
+/// Data blocks are shared across all redundancy schemes; the redundancy
+/// variants identify each scheme's derived blocks: lattice parities for
+/// alpha entanglement, parity shards for Reed-Solomon, extra copies for
+/// replication. A scheme only ever emits ids of its own redundancy kind,
+/// but stores and simulations handle all of them uniformly.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BlockId {
     /// A data block `d_i`.
     Data(NodeId),
-    /// A parity block `p_{i,j}` identified by its class and left endpoint.
+    /// An entanglement parity block `p_{i,j}` identified by its class and
+    /// left endpoint.
     Parity(EdgeId),
+    /// A Reed-Solomon parity shard.
+    Shard(ShardId),
+    /// An extra replica of a data block.
+    Replica(ReplicaId),
 }
 
 impl BlockId {
@@ -161,24 +219,29 @@ impl BlockId {
         matches!(self, BlockId::Data(_))
     }
 
-    /// Returns `true` for parity blocks.
+    /// Returns `true` for entanglement parity blocks.
     pub fn is_parity(self) -> bool {
         matches!(self, BlockId::Parity(_))
+    }
+
+    /// Returns `true` for any redundancy block (everything but data).
+    pub fn is_redundancy(self) -> bool {
+        !self.is_data()
     }
 
     /// The node id if this is a data block.
     pub fn as_data(self) -> Option<NodeId> {
         match self {
             BlockId::Data(n) => Some(n),
-            BlockId::Parity(_) => None,
+            _ => None,
         }
     }
 
-    /// The edge id if this is a parity block.
+    /// The edge id if this is an entanglement parity block.
     pub fn as_parity(self) -> Option<EdgeId> {
         match self {
-            BlockId::Data(_) => None,
             BlockId::Parity(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -195,11 +258,25 @@ impl From<EdgeId> for BlockId {
     }
 }
 
+impl From<ShardId> for BlockId {
+    fn from(s: ShardId) -> Self {
+        BlockId::Shard(s)
+    }
+}
+
+impl From<ReplicaId> for BlockId {
+    fn from(r: ReplicaId) -> Self {
+        BlockId::Replica(r)
+    }
+}
+
 impl fmt::Debug for BlockId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockId::Data(n) => write!(f, "{n:?}"),
             BlockId::Parity(e) => write!(f, "{e:?}"),
+            BlockId::Shard(s) => write!(f, "{s:?}"),
+            BlockId::Replica(r) => write!(f, "{r:?}"),
         }
     }
 }
@@ -262,7 +339,10 @@ mod tests {
         let mut s = BTreeSet::new();
         s.insert(BlockId::Data(NodeId(2)));
         s.insert(BlockId::Data(NodeId(1)));
-        s.insert(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(1))));
+        s.insert(BlockId::Parity(EdgeId::new(
+            StrandClass::Horizontal,
+            NodeId(1),
+        )));
         assert_eq!(s.len(), 3);
     }
 }

@@ -32,5 +32,5 @@ pub mod id;
 pub mod xor;
 
 pub use block::{Block, BlockError};
-pub use crc::{crc32, Crc32};
-pub use id::{BlockId, EdgeId, NodeId, StrandClass};
+pub use crc::{crc32, crc32_of_xor, crc32_zeros, Crc32};
+pub use id::{BlockId, EdgeId, NodeId, ReplicaId, ShardId, StrandClass};

@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn xor_of_is_involutive() {
         let a: Vec<u8> = (0..255).collect();
-        let b: Vec<u8> = (0..255).map(|x: u8| x.wrapping_mul(31).wrapping_add(5)).collect();
+        let b: Vec<u8> = (0..255)
+            .map(|x: u8| x.wrapping_mul(31).wrapping_add(5))
+            .collect();
         let p = xor_of(&a, &b);
         assert_eq!(xor_of(&p, &b), a, "a ^ b ^ b == a");
         assert_eq!(xor_of(&p, &a), b, "a ^ b ^ a == b");

@@ -1,45 +1,52 @@
 //! The [`Code`] facade: one object tying configuration, block size, encoder
-//! and decoder together.
+//! and decoder together — and the alpha-entanglement implementation of
+//! [`RedundancyScheme`].
 
 use crate::decoder;
 use crate::encoder::Entangler;
 use crate::repair::RepairEngine;
-use ae_blocks::{Block, BlockId};
-use ae_lattice::Config;
-use std::collections::HashMap;
+use ae_api::{
+    AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
+};
+use ae_blocks::{Block, BlockId, EdgeId, NodeId};
+use ae_lattice::{rules, Config};
 
 /// In-memory block container used throughout the byte plane: block id →
 /// contents. Presence in the map *is* availability.
-pub type BlockMap = HashMap<BlockId, Block>;
+///
+/// Re-exported from [`ae_api`], where the [`ae_api::BlockSource`] /
+/// [`ae_api::BlockSink`] impls live.
+pub type BlockMap = ae_api::BlockMap;
 
 /// An alpha entanglement code bound to a block size.
 ///
-/// See the crate-level example for end-to-end usage.
+/// `Code` owns the streaming encoder state, so one value is both the
+/// encoder ([`Code::encode_batch`] via [`RedundancyScheme`]) and the
+/// decoder ([`Code::repair_block`], [`Code::repair_engine`]). See the
+/// crate-level example for end-to-end usage.
 #[derive(Debug, Clone)]
 pub struct Code {
-    cfg: Config,
-    block_size: usize,
     zero: Block,
+    entangler: Entangler,
 }
 
 impl Code {
     /// Creates a code for blocks of `block_size` bytes.
     pub fn new(cfg: Config, block_size: usize) -> Self {
         Code {
-            cfg,
-            block_size,
             zero: Block::zero(block_size),
+            entangler: Entangler::new(cfg, block_size),
         }
     }
 
     /// The code configuration.
     pub fn config(&self) -> &Config {
-        &self.cfg
+        self.entangler.config()
     }
 
     /// Block size in bytes.
     pub fn block_size(&self) -> usize {
-        self.block_size
+        self.zero.len()
     }
 
     /// The cached all-zero block (virtual strand-head parity).
@@ -47,25 +54,146 @@ impl Code {
         &self.zero
     }
 
-    /// A fresh streaming encoder for this code.
+    /// Data blocks encoded through this code so far.
+    pub fn written(&self) -> u64 {
+        self.entangler.written()
+    }
+
+    /// A fresh streaming encoder for this code, independent of the code's
+    /// own encoding state (for brokers that manage their own stream).
     pub fn entangler(&self) -> Entangler {
-        Entangler::new(self.cfg, self.block_size)
+        Entangler::new(*self.config(), self.block_size())
     }
 
     /// Repairs a single block from the store (one XOR of two blocks), given
     /// that `max_node` data blocks have been written to the lattice.
     ///
-    /// Returns `None` if no complete repair tuple is available.
-    pub fn repair_block(&self, store: &BlockMap, id: BlockId, max_node: u64) -> Option<Block> {
-        let mut lookup = |id: BlockId| store.get(&id).cloned();
-        decoder::repair_block(&self.cfg, id, max_node, &self.zero, &mut lookup)
-            .map(|r| r.block)
+    /// # Errors
+    ///
+    /// [`RepairError::NoCompleteTuple`] naming the unavailable tuple
+    /// members when no repair option is complete.
+    pub fn repair_block(
+        &self,
+        source: &impl BlockSource,
+        id: BlockId,
+        max_node: u64,
+    ) -> Result<Block, RepairError> {
+        let mut lookup = |id: BlockId| source.fetch(id);
+        decoder::repair_block(self.config(), id, max_node, &self.zero, &mut lookup).map(|r| r.block)
     }
 
     /// A round-based global repair engine for disasters affecting many
     /// blocks at once.
     pub fn repair_engine(&self, max_node: u64) -> RepairEngine<'_> {
-        RepairEngine::new(&self.cfg, max_node, &self.zero)
+        RepairEngine::new(self.config(), max_node, &self.zero)
+    }
+
+    /// Whether the input parity of node `i` on `class` is available
+    /// (virtual inputs before the lattice are always available).
+    fn input_available(
+        &self,
+        class: ae_blocks::StrandClass,
+        i: i64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        let h = rules::input_source(self.config(), class, i);
+        h < 1 || avail(BlockId::Parity(EdgeId::new(class, NodeId(h as u64))))
+    }
+}
+
+impl RedundancyScheme for Code {
+    fn scheme_name(&self) -> String {
+        self.config().name()
+    }
+
+    fn data_written(&self) -> u64 {
+        self.entangler.written()
+    }
+
+    fn repair_cost(&self) -> RepairCost {
+        RepairCost {
+            single_failure_reads: Config::SINGLE_FAILURE_READS,
+            additional_storage_pct: self.config().storage_overhead_pct() as f64,
+        }
+    }
+
+    fn encode_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError> {
+        self.entangler.entangle_batch(blocks, sink)
+    }
+
+    fn repair_block(
+        &self,
+        source: &dyn BlockSource,
+        id: BlockId,
+        data_blocks: u64,
+    ) -> Result<Block, RepairError> {
+        let mut lookup = |id: BlockId| source.fetch(id);
+        decoder::repair_block(self.config(), id, data_blocks, &self.zero, &mut lookup)
+            .map(|r| r.block)
+    }
+
+    fn block_ids(&self, data_blocks: u64) -> Vec<BlockId> {
+        let classes = self.config().classes();
+        let mut out = Vec::with_capacity(data_blocks as usize * (1 + classes.len()));
+        for i in 1..=data_blocks {
+            out.push(BlockId::Data(NodeId(i)));
+            for &class in classes {
+                out.push(BlockId::Parity(EdgeId::new(class, NodeId(i))));
+            }
+        }
+        out
+    }
+
+    fn is_repairable(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        match id {
+            BlockId::Data(NodeId(i)) => self.config().classes().iter().any(|&class| {
+                self.input_available(class, i as i64, avail)
+                    && avail(BlockId::Parity(EdgeId::new(class, NodeId(i))))
+            }),
+            BlockId::Parity(e) => {
+                let i = e.left.0 as i64;
+                // Left dp-tuple: d_i and i's input parity on the class.
+                if avail(BlockId::Data(e.left)) && self.input_available(e.class, i, avail) {
+                    return true;
+                }
+                // Right dp-tuple: d_j and j's output parity on the class.
+                let j = rules::output_target(self.config(), e.class, i);
+                j as u64 <= data_blocks
+                    && avail(BlockId::Data(NodeId(j as u64)))
+                    && avail(BlockId::Parity(EdgeId::new(e.class, NodeId(j as u64))))
+            }
+            _ => false,
+        }
+    }
+
+    fn maintenance_targets(&self, missing_data: &[BlockId], _data_blocks: u64) -> Vec<BlockId> {
+        // The parities of a missing data block's pp-tuples: repairing them
+        // is what unlocks the data repair ("some parities are repaired if
+        // they are part of the same stripe of an unavailable data block",
+        // §V.C.2).
+        let mut out = Vec::new();
+        for id in missing_data {
+            let BlockId::Data(NodeId(i)) = *id else {
+                continue;
+            };
+            for &class in self.config().classes() {
+                let h = rules::input_source(self.config(), class, i as i64);
+                if h >= 1 {
+                    out.push(BlockId::Parity(EdgeId::new(class, NodeId(h as u64))));
+                }
+                out.push(BlockId::Parity(EdgeId::new(class, NodeId(i))));
+            }
+        }
+        out
     }
 }
 
@@ -94,9 +222,61 @@ mod tests {
     }
 
     #[test]
-    fn repair_block_returns_none_without_tuples() {
+    fn repair_block_reports_missing_tuples() {
         let code = Code::new(Config::single(), 8);
         let store = BlockMap::new(); // nothing stored at all
-        assert!(code.repair_block(&store, BlockId::Data(NodeId(5)), 10).is_none());
+        let err = code
+            .repair_block(&store, BlockId::Data(NodeId(5)), 10)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RepairError::NoCompleteTuple {
+                target: BlockId::Data(NodeId(5)),
+                ..
+            }
+        ));
+        assert!(!err.missing_blocks().is_empty());
+    }
+
+    #[test]
+    fn scheme_impl_encode_and_repair() {
+        let mut code = Code::new(Config::new(3, 2, 5).unwrap(), 16);
+        let mut store = BlockMap::new();
+        let blocks: Vec<Block> = (0..80u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        let report = code.encode_batch(&blocks, &mut store).unwrap();
+        assert_eq!(report.data_written(), 80);
+        assert_eq!(report.redundancy_written(), 240);
+        assert_eq!(code.data_written(), 80);
+        assert_eq!(code.scheme_name(), "AE(3,2,5)");
+        assert_eq!(code.repair_cost().single_failure_reads, 2);
+
+        let victim = BlockId::Data(NodeId(40));
+        let original = store.remove(&victim).unwrap();
+        let scheme: &dyn RedundancyScheme = &code;
+        let repaired = scheme.repair_block(&store, victim, 80).unwrap();
+        assert_eq!(repaired, original);
+    }
+
+    #[test]
+    fn scheme_structure_matches_lattice() {
+        let code = Code::new(Config::new(3, 2, 5).unwrap(), 16);
+        let ids = code.block_ids(10);
+        assert_eq!(ids.len(), 40, "10 data + 30 parities");
+        assert!(ids[0].is_data() && ids[1].is_parity());
+
+        // A fully available lattice: everything is repairable.
+        let all = |_: BlockId| true;
+        for &id in &ids {
+            assert!(code.is_repairable(id, 10, &all), "{id}");
+        }
+        // Nothing available: nothing is repairable.
+        let none = |_: BlockId| false;
+        assert!(!code.is_repairable(ids[0], 10, &none));
+
+        // Maintenance targets of a missing data block are its tuple
+        // parities: α output edges plus the real input edges.
+        let targets = code.maintenance_targets(&[BlockId::Data(NodeId(8))], 10);
+        assert!(targets.len() >= 3, "{targets:?}");
+        assert!(targets.iter().all(|t| t.is_parity()));
     }
 }

@@ -7,9 +7,13 @@
 //! XOR of two blocks — the fixed "k = 2" single-failure cost of Table IV.
 //!
 //! Functions here take a lookup closure rather than a concrete container so
-//! they serve both the in-memory [`crate::BlockMap`] and the distributed
-//! stores in `ae-store`.
+//! they serve both the in-memory [`ae_api::BlockMap`] and the distributed
+//! stores in `ae-store`. On failure they return
+//! [`RepairError::NoCompleteTuple`] naming exactly the unavailable blocks
+//! that blocked every repair option — so operators see *which* tuple
+//! members to chase, not a bare `None`.
 
+use ae_api::RepairError;
 use ae_blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
 use ae_lattice::{rules, Config};
 
@@ -34,90 +38,158 @@ pub struct Repaired {
     pub path: RepairPath,
 }
 
+/// Records the unavailable members of failed repair options, deduplicated
+/// in option order.
+fn note_missing(missing: &mut Vec<BlockId>, id: BlockId) {
+    if !missing.contains(&id) {
+        missing.push(id);
+    }
+}
+
 /// Attempts to repair data block `d_i` from any complete pp-tuple.
 ///
 /// `lookup` returns the contents of currently *available* blocks; `zero` is
 /// the all-zero block of the lattice's size (virtual parities at strand
-/// heads). Returns `None` when no strand has both incident parities.
+/// heads).
+///
+/// # Errors
+///
+/// [`RepairError::NoCompleteTuple`] when no strand has both incident
+/// parities, listing every unavailable tuple member.
 pub fn repair_node(
     cfg: &Config,
     i: u64,
     zero: &Block,
     lookup: &mut impl FnMut(BlockId) -> Option<Block>,
-) -> Option<Repaired> {
+) -> Result<Repaired, RepairError> {
+    let mut missing = Vec::new();
     for &class in cfg.classes() {
         let h = rules::input_source(cfg, class, i as i64);
-        let input = if h >= 1 {
-            lookup(BlockId::Parity(EdgeId::new(class, NodeId(h as u64))))
-        } else {
-            Some(zero.clone())
+        let input_id = (h >= 1).then(|| BlockId::Parity(EdgeId::new(class, NodeId(h as u64))));
+        let output_id = BlockId::Parity(EdgeId::new(class, NodeId(i)));
+        let input = match input_id {
+            Some(id) => lookup(id),
+            None => Some(zero.clone()),
         };
-        let Some(input) = input else { continue };
-        let Some(output) = lookup(BlockId::Parity(EdgeId::new(class, NodeId(i)))) else {
-            continue;
-        };
-        let block = input.xor(&output).expect("lattice blocks share one size");
-        return Some(Repaired {
-            block,
-            path: RepairPath::NodeViaStrand(class),
-        });
+        let output = lookup(output_id);
+        match (input, output) {
+            (Some(input), Some(output)) => {
+                let block = input.xor(&output).expect("lattice blocks share one size");
+                return Ok(Repaired {
+                    block,
+                    path: RepairPath::NodeViaStrand(class),
+                });
+            }
+            (input, output) => {
+                if input.is_none() {
+                    note_missing(
+                        &mut missing,
+                        input_id.expect("virtual inputs always resolve"),
+                    );
+                }
+                if output.is_none() {
+                    note_missing(&mut missing, output_id);
+                }
+            }
+        }
     }
-    None
+    Err(RepairError::NoCompleteTuple {
+        target: BlockId::Data(NodeId(i)),
+        missing,
+    })
 }
 
 /// Attempts to repair parity `p_{i,j}` (edge `(class, i)`) from either
 /// dp-tuple. `max_node` bounds the written lattice: the right option needs
 /// `d_j` to exist.
+///
+/// # Errors
+///
+/// [`RepairError::NoCompleteTuple`] listing the unavailable members of
+/// both tuples (members beyond `max_node` do not exist and are omitted).
 pub fn repair_edge(
     cfg: &Config,
     edge: EdgeId,
     max_node: u64,
     zero: &Block,
     lookup: &mut impl FnMut(BlockId) -> Option<Block>,
-) -> Option<Repaired> {
+) -> Result<Repaired, RepairError> {
     let i = edge.left.0 as i64;
+    let mut missing = Vec::new();
     // Left tuple: p_{i,j} = d_i XOR p_{h,i}.
-    if let Some(d) = lookup(BlockId::Data(NodeId(i as u64))) {
-        let h = rules::input_source(cfg, edge.class, i);
-        let input = if h >= 1 {
-            lookup(BlockId::Parity(EdgeId::new(edge.class, NodeId(h as u64))))
-        } else {
-            Some(zero.clone())
-        };
-        if let Some(input) = input {
-            return Some(Repaired {
+    let d_id = BlockId::Data(NodeId(i as u64));
+    let h = rules::input_source(cfg, edge.class, i);
+    let input_id = (h >= 1).then(|| BlockId::Parity(EdgeId::new(edge.class, NodeId(h as u64))));
+    let d = lookup(d_id);
+    let input = match input_id {
+        Some(id) => lookup(id),
+        None => Some(zero.clone()),
+    };
+    match (d, input) {
+        (Some(d), Some(input)) => {
+            return Ok(Repaired {
                 block: d.xor(&input).expect("lattice blocks share one size"),
                 path: RepairPath::EdgeFromLeft,
             });
+        }
+        (d, input) => {
+            if d.is_none() {
+                note_missing(&mut missing, d_id);
+            }
+            if input.is_none() {
+                note_missing(
+                    &mut missing,
+                    input_id.expect("virtual inputs always resolve"),
+                );
+            }
         }
     }
     // Right tuple: p_{i,j} = d_j XOR p_{j,k}.
     let j = rules::output_target(cfg, edge.class, i);
     if j as u64 <= max_node {
-        if let (Some(d), Some(next)) = (
-            lookup(BlockId::Data(NodeId(j as u64))),
-            lookup(BlockId::Parity(EdgeId::new(edge.class, NodeId(j as u64)))),
-        ) {
-            return Some(Repaired {
-                block: d.xor(&next).expect("lattice blocks share one size"),
-                path: RepairPath::EdgeFromRight,
-            });
+        let dj_id = BlockId::Data(NodeId(j as u64));
+        let next_id = BlockId::Parity(EdgeId::new(edge.class, NodeId(j as u64)));
+        match (lookup(dj_id), lookup(next_id)) {
+            (Some(d), Some(next)) => {
+                return Ok(Repaired {
+                    block: d.xor(&next).expect("lattice blocks share one size"),
+                    path: RepairPath::EdgeFromRight,
+                });
+            }
+            (d, next) => {
+                if d.is_none() {
+                    note_missing(&mut missing, dj_id);
+                }
+                if next.is_none() {
+                    note_missing(&mut missing, next_id);
+                }
+            }
         }
     }
-    None
+    Err(RepairError::NoCompleteTuple {
+        target: BlockId::Parity(edge),
+        missing,
+    })
 }
 
 /// Attempts to repair any block by id.
+///
+/// # Errors
+///
+/// [`RepairError::NoCompleteTuple`] when no repair option is complete;
+/// [`RepairError::ForeignBlock`] for ids that are not lattice blocks
+/// (Reed-Solomon shards, replicas).
 pub fn repair_block(
     cfg: &Config,
     id: BlockId,
     max_node: u64,
     zero: &Block,
     lookup: &mut impl FnMut(BlockId) -> Option<Block>,
-) -> Option<Repaired> {
+) -> Result<Repaired, RepairError> {
     match id {
         BlockId::Data(n) => repair_node(cfg, n.0, zero, lookup),
         BlockId::Parity(e) => repair_edge(cfg, e, max_node, zero, lookup),
+        other => Err(RepairError::ForeignBlock { id: other }),
     }
 }
 
@@ -155,20 +227,44 @@ mod tests {
         assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::Horizontal));
 
         // Knock out the horizontal tuple: falls over to RH.
-        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(100))));
+        store.remove(&BlockId::Parity(EdgeId::new(
+            StrandClass::Horizontal,
+            NodeId(100),
+        )));
         let r = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap();
         assert_eq!(r.block, original);
         assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::RightHanded));
 
         // Knock out RH too: falls over to LH.
-        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(100))));
+        store.remove(&BlockId::Parity(EdgeId::new(
+            StrandClass::RightHanded,
+            NodeId(100),
+        )));
         let r = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap();
         assert_eq!(r.block, original);
         assert_eq!(r.path, RepairPath::NodeViaStrand(StrandClass::LeftHanded));
 
-        // All three output parities gone: no pp-tuple is complete.
-        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::LeftHanded, NodeId(100))));
-        assert!(repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).is_none());
+        // All three output parities gone: no pp-tuple is complete, and the
+        // error lists exactly the three missing outputs.
+        store.remove(&BlockId::Parity(EdgeId::new(
+            StrandClass::LeftHanded,
+            NodeId(100),
+        )));
+        let err = repair_node(&cfg, 100, &zero, &mut lookup_in(&store)).unwrap_err();
+        match err {
+            RepairError::NoCompleteTuple { target, missing } => {
+                assert_eq!(target, BlockId::Data(NodeId(100)));
+                assert_eq!(missing.len(), 3, "{missing:?}");
+                for class in [
+                    StrandClass::Horizontal,
+                    StrandClass::RightHanded,
+                    StrandClass::LeftHanded,
+                ] {
+                    assert!(missing.contains(&BlockId::Parity(EdgeId::new(class, NodeId(100)))));
+                }
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -212,11 +308,19 @@ mod tests {
         let zero = Block::zero(8);
         let mut partial: HashMap<BlockId, Block> = store.clone();
         // Remove the last edge and its left node: with only 10 nodes
-        // written, d11 does not exist, so p10,11 is unrepairable.
+        // written, d11 does not exist, so p10,11 is unrepairable — and the
+        // error names only the left tuple's missing member.
         let target = EdgeId::new(StrandClass::Horizontal, NodeId(10));
         partial.remove(&BlockId::Parity(target));
         partial.remove(&BlockId::Data(NodeId(10)));
-        assert!(repair_edge(&cfg, target, 10, &zero, &mut lookup_in(&partial)).is_none());
+        let err = repair_edge(&cfg, target, 10, &zero, &mut lookup_in(&partial)).unwrap_err();
+        assert_eq!(
+            err,
+            RepairError::NoCompleteTuple {
+                target: BlockId::Parity(target),
+                missing: vec![BlockId::Data(NodeId(10))],
+            }
+        );
     }
 
     #[test]
@@ -240,12 +344,31 @@ mod tests {
         let od = store.remove(&d).unwrap();
         let oe = store.remove(&e).unwrap();
         assert_eq!(
-            repair_block(&cfg, d, 30, &zero, &mut lookup_in(&store)).unwrap().block,
+            repair_block(&cfg, d, 30, &zero, &mut lookup_in(&store))
+                .unwrap()
+                .block,
             od
         );
         assert_eq!(
-            repair_block(&cfg, e, 30, &zero, &mut lookup_in(&store)).unwrap().block,
+            repair_block(&cfg, e, 30, &zero, &mut lookup_in(&store))
+                .unwrap()
+                .block,
             oe
         );
+    }
+
+    #[test]
+    fn foreign_ids_rejected() {
+        let cfg = Config::single();
+        let store = build(cfg, 5, 8);
+        let zero = Block::zero(8);
+        let foreign = BlockId::Shard(ae_blocks::ShardId {
+            stripe: 0,
+            index: 0,
+        });
+        assert!(matches!(
+            repair_block(&cfg, foreign, 5, &zero, &mut lookup_in(&store)),
+            Err(RepairError::ForeignBlock { .. })
+        ));
     }
 }

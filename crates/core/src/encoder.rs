@@ -13,7 +13,15 @@
 //! described in §IV.A ("AE(3,5,5) requires to keep in memory the last
 //! p-block of its 15 strands"). Because every parity is consumed by exactly
 //! one later node, the frontier never grows beyond that bound.
+//!
+//! The frontier is stored flat, one slot per strand, with the strand of a
+//! position resolved by table lookup (the strand structure repeats every
+//! `s·p` positions) — no hashing on the hot path. The batch entry point
+//! [`Entangler::entangle_batch`] is the preferred producer: it validates
+//! once, skips the per-block output scaffolding and streams data plus
+//! parities straight into a [`BlockSink`].
 
+use ae_api::{AeError, BlockSink, EncodeReport};
 use ae_blocks::{Block, BlockError, BlockId, EdgeId, NodeId};
 use ae_lattice::{rules, Config};
 use std::collections::HashMap;
@@ -48,6 +56,59 @@ impl EntangleOutput {
     }
 }
 
+/// Per-class strand table: which frontier slot each lattice position maps
+/// to. The mapping is periodic in `s·p` (or `s` when no helical strands
+/// exist), so one small table serves the whole infinite lattice.
+#[derive(Debug, Clone)]
+struct StrandTable {
+    /// Slot of position `i` at `slot[(i-1) % period]`.
+    slot: Vec<u16>,
+    period: u64,
+    /// Number of strands of this class.
+    strands: u16,
+}
+
+impl StrandTable {
+    fn new(cfg: &Config, class: ae_blocks::StrandClass) -> Self {
+        let s = cfg.s() as i64;
+        let p = cfg.p() as i64;
+        let period = (s * p.max(1)) as usize;
+        let mut slot = vec![u16::MAX; period];
+        let mut strands = 0u16;
+        // The backward map r -> input_source projects to a permutation of
+        // the residues; label its cycles. Pick representatives far enough
+        // from the origin that inputs are real positions.
+        for r0 in 0..period {
+            if slot[r0] != u16::MAX {
+                continue;
+            }
+            let mut r = r0;
+            loop {
+                slot[r] = strands;
+                let i = r as i64 + 1 + period as i64 * 4;
+                let h = rules::input_source(cfg, class, i);
+                let rh = (h - 1).rem_euclid(period as i64) as usize;
+                if slot[rh] != u16::MAX {
+                    break;
+                }
+                r = rh;
+            }
+            strands += 1;
+        }
+        StrandTable {
+            slot,
+            period: period as u64,
+            strands,
+        }
+    }
+
+    /// Frontier slot of the strand through position `i` (1-based).
+    #[inline]
+    fn slot_of(&self, i: u64) -> usize {
+        self.slot[((i - 1) % self.period) as usize] as usize
+    }
+}
+
 /// Streaming encoder for one entanglement lattice.
 ///
 /// # Examples
@@ -70,19 +131,31 @@ pub struct Entangler {
     block_size: usize,
     /// Last processed position (the paper's counter `c`).
     counter: u64,
-    /// Strand frontier: parities produced but not yet consumed, keyed by
-    /// edge id. Bounded by the strand count.
-    frontier: HashMap<EdgeId, Block>,
+    /// Per-class strand tables (class order).
+    tables: Vec<StrandTable>,
+    /// Strand frontier: the last parity of each live strand, flat per
+    /// class. `None` before the strand has started.
+    frontier: Vec<Vec<Option<Block>>>,
 }
 
 impl Entangler {
     /// Creates an encoder for blocks of `block_size` bytes.
     pub fn new(cfg: Config, block_size: usize) -> Self {
+        let tables: Vec<StrandTable> = cfg
+            .classes()
+            .iter()
+            .map(|&c| StrandTable::new(&cfg, c))
+            .collect();
+        let frontier = tables
+            .iter()
+            .map(|t| vec![None; t.strands as usize])
+            .collect();
         Entangler {
             cfg,
             block_size,
             counter: 0,
-            frontier: HashMap::new(),
+            tables,
+            frontier,
         }
     }
 
@@ -99,7 +172,11 @@ impl Entangler {
     /// Current frontier size in parities. Once the lattice is warmed up this
     /// equals [`Config::strand_count`].
     pub fn memory_footprint(&self) -> usize {
-        self.frontier.len()
+        self.frontier
+            .iter()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count()
     }
 
     /// Restores the frontier from previously stored parities, as a broker
@@ -118,30 +195,53 @@ impl Entangler {
         counter: u64,
         mut fetch: impl FnMut(EdgeId) -> Option<Block>,
     ) -> Result<Self, EdgeId> {
-        let mut frontier = HashMap::new();
+        let mut enc = Entangler::new(cfg, block_size);
+        enc.counter = counter;
         // In-flight edges: produced by a node ≤ counter but consumed by a
         // node > counter. Producers lie within one maximal forward span of
         // the counter, so scan that window.
         let span = (cfg.s() as i64 * cfg.p().max(1) as i64 + cfg.s() as i64 + 2).max(4);
-        for &class in cfg.classes() {
+        for (c, &class) in cfg.classes().iter().enumerate() {
             for h in ((counter as i64 - span).max(1))..=(counter as i64) {
                 if rules::output_target(&cfg, class, h) > counter as i64 {
                     let e = EdgeId::new(class, NodeId(h as u64));
                     let block = fetch(e).ok_or(e)?;
-                    frontier.insert(e, block);
+                    let slot = enc.tables[c].slot_of(h as u64);
+                    enc.frontier[c][slot] = Some(block);
                 }
             }
         }
-        Ok(Entangler {
-            cfg,
-            block_size,
-            counter,
-            frontier,
-        })
+        Ok(enc)
+    }
+
+    /// Produces the α parities of position `i` for `data`, updating the
+    /// frontier, and hands each `(edge, parity)` to `emit`.
+    #[inline]
+    fn tangle_one(&mut self, i: u64, data: &Block, mut emit: impl FnMut(EdgeId, &Block)) {
+        for (c, &class) in self.cfg.classes().iter().enumerate() {
+            let h = rules::input_source(&self.cfg, class, i as i64);
+            let slot = self.tables[c].slot_of(i);
+            let parity = if h >= 1 {
+                // Consume: each parity is input to exactly one entanglement.
+                let input = self.frontier[c][slot]
+                    .take()
+                    .expect("frontier holds the last parity of every live strand");
+                data.xor(&input).expect("sizes validated on entry")
+            } else {
+                // Strand head: XOR with the virtual zero parity.
+                data.clone()
+            };
+            let out_edge = EdgeId::new(class, NodeId(i));
+            emit(out_edge, &parity);
+            self.frontier[c][slot] = Some(parity);
+        }
     }
 
     /// Entangles the next data block, assigning it position `counter + 1`
     /// and producing α parities.
+    ///
+    /// Prefer [`Entangler::entangle_batch`] when blocks arrive in groups;
+    /// it amortises validation and skips the per-block output scaffolding.
     ///
     /// # Errors
     ///
@@ -156,30 +256,55 @@ impl Entangler {
         }
         let i = self.counter + 1;
         let mut parities = Vec::with_capacity(self.cfg.alpha() as usize);
-        for &class in self.cfg.classes() {
-            let h = rules::input_source(&self.cfg, class, i as i64);
-            let parity = if h >= 1 {
-                let input_edge = EdgeId::new(class, NodeId(h as u64));
-                // Consume: each parity is input to exactly one entanglement.
-                let input = self
-                    .frontier
-                    .remove(&input_edge)
-                    .expect("frontier holds the last parity of every live strand");
-                data.xor(&input)?
-            } else {
-                // Strand head: XOR with the virtual zero parity.
-                data.clone()
-            };
-            let out_edge = EdgeId::new(class, NodeId(i));
-            self.frontier.insert(out_edge, parity.clone());
-            parities.push((out_edge, parity));
-        }
+        self.tangle_one(i, &data, |edge, parity| {
+            parities.push((edge, parity.clone()))
+        });
         self.counter = i;
         Ok(EntangleOutput {
             node: NodeId(i),
             data,
             parities,
         })
+    }
+
+    /// Entangles a batch of data blocks, writing data and parities straight
+    /// into `sink` — the hot path used by the archive, the simulations and
+    /// the benches.
+    ///
+    /// Equivalent to calling [`Entangler::entangle`] once per block and
+    /// inserting every output, but validates the whole slice up front and
+    /// allocates no per-block scaffolding.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`AeError::SizeMismatch`] — before writing anything — if
+    /// any block's size differs from the lattice's.
+    pub fn entangle_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError> {
+        for b in blocks {
+            if b.len() != self.block_size {
+                return Err(AeError::SizeMismatch {
+                    expected: self.block_size,
+                    actual: b.len(),
+                });
+            }
+        }
+        let first_node = self.counter + 1;
+        let mut ids = Vec::with_capacity(blocks.len() * (1 + self.cfg.alpha() as usize));
+        for data in blocks {
+            let i = self.counter + 1;
+            sink.store(BlockId::Data(NodeId(i)), data.clone());
+            ids.push(BlockId::Data(NodeId(i)));
+            self.tangle_one(i, data, |edge, parity| {
+                sink.store(BlockId::Parity(edge), parity.clone());
+                ids.push(BlockId::Parity(edge));
+            });
+            self.counter = i;
+        }
+        Ok(EncodeReport { first_node, ids })
     }
 }
 
@@ -190,7 +315,11 @@ mod tests {
     use ae_blocks::{xor, StrandClass};
 
     fn blk(seed: u8, len: usize) -> Block {
-        Block::from_vec((0..len).map(|k| seed.wrapping_add(k as u8).wrapping_mul(31)).collect())
+        Block::from_vec(
+            (0..len)
+                .map(|k| seed.wrapping_add(k as u8).wrapping_mul(31))
+                .collect(),
+        )
     }
 
     fn run_encoder(cfg: Config, n: u64, len: usize) -> (Entangler, HashMap<BlockId, Block>) {
@@ -226,11 +355,32 @@ mod tests {
         assert_eq!(enc.written(), 500);
     }
 
+    #[test]
+    fn strand_tables_count_strands() {
+        // s horizontal strands, p per helical class (§III.B).
+        for (a, s, p) in [(2u8, 2u16, 5u16), (3, 2, 5), (3, 5, 5), (2, 1, 3)] {
+            let cfg = Config::new(a, s, p).unwrap();
+            let enc = Entangler::new(cfg, 8);
+            assert_eq!(enc.tables[0].strands, s, "{cfg} H strands");
+            for t in &enc.tables[1..] {
+                assert_eq!(t.strands, p, "{cfg} helical strands");
+            }
+        }
+        let single = Entangler::new(Config::single(), 8);
+        assert_eq!(single.tables[0].strands, 1);
+    }
+
     /// Every parity must satisfy the entanglement identity
     /// p_{i,j} = d_i XOR p_{h,i} (with p_{h,i} = 0 at strand heads).
     #[test]
     fn parities_satisfy_entanglement_identity() {
-        for (a, s, p) in [(1u8, 1u16, 0u16), (2, 1, 2), (2, 2, 5), (3, 2, 5), (3, 5, 5)] {
+        for (a, s, p) in [
+            (1u8, 1u16, 0u16),
+            (2, 1, 2),
+            (2, 2, 5),
+            (3, 2, 5),
+            (3, 5, 5),
+        ] {
             let cfg = Config::new(a, s, p).unwrap();
             let (_, store) = run_encoder(cfg, 300, 16);
             for i in 1..=300i64 {
@@ -239,14 +389,38 @@ mod tests {
                     let out_edge = BlockId::Parity(EdgeId::new(class, NodeId(i as u64)));
                     let h = rules::input_source(&cfg, class, i);
                     let expect = if h >= 1 {
-                        let input =
-                            &store[&BlockId::Parity(EdgeId::new(class, NodeId(h as u64)))];
+                        let input = &store[&BlockId::Parity(EdgeId::new(class, NodeId(h as u64)))];
                         Block::from_vec(xor::xor_of(d.as_slice(), input.as_slice()))
                     } else {
                         d.clone()
                     };
                     assert_eq!(store[&out_edge], expect, "{cfg} node {i} class {class}");
                 }
+            }
+        }
+    }
+
+    /// The batch path must be byte-identical to the streaming path.
+    #[test]
+    fn batch_matches_streaming() {
+        for (a, s, p) in [(1u8, 1u16, 0u16), (2, 1, 2), (3, 2, 5), (3, 5, 5)] {
+            let cfg = Config::new(a, s, p).unwrap();
+            let blocks: Vec<Block> = (0..200).map(|k| blk(k as u8, 16)).collect();
+
+            let (_, streamed) = run_encoder(cfg, 200, 16);
+            let mut batched: HashMap<BlockId, Block> = HashMap::new();
+            let mut enc = Entangler::new(cfg, 16);
+            // Split into uneven batches to exercise batch boundaries.
+            let report_a = enc.entangle_batch(&blocks[..37], &mut batched).unwrap();
+            let report_b = enc.entangle_batch(&blocks[37..], &mut batched).unwrap();
+
+            assert_eq!(report_a.first_node, 1);
+            assert_eq!(report_b.first_node, 38);
+            assert_eq!(report_a.data_written() + report_b.data_written(), 200);
+            assert_eq!(enc.written(), 200);
+            assert_eq!(batched.len(), streamed.len(), "{cfg}");
+            for (id, block) in &streamed {
+                assert_eq!(batched.get(id), Some(block), "{cfg}: {id}");
             }
         }
     }
@@ -280,8 +454,23 @@ mod tests {
         let mut enc = Entangler::new(Config::single(), 8);
         assert!(matches!(
             enc.entangle(Block::zero(9)),
-            Err(BlockError::SizeMismatch { expected: 8, actual: 9 })
+            Err(BlockError::SizeMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
+        // The batch path rejects before writing anything.
+        let mut store = HashMap::new();
+        let result = enc.entangle_batch(&[Block::zero(8), Block::zero(9)], &mut store);
+        assert!(matches!(
+            result,
+            Err(AeError::SizeMismatch {
+                expected: 8,
+                actual: 9
+            })
+        ));
+        assert!(store.is_empty(), "failed batch must not write");
+        assert_eq!(enc.written(), 0);
     }
 
     #[test]
@@ -291,10 +480,8 @@ mod tests {
         let (mut original, store) = run_encoder(cfg, n, 8);
 
         // Rebuild a broker from the stored parities alone.
-        let mut restored = Entangler::restore(cfg, 8, n, |e| {
-            store.get(&BlockId::Parity(e)).cloned()
-        })
-        .unwrap();
+        let mut restored =
+            Entangler::restore(cfg, 8, n, |e| store.get(&BlockId::Parity(e)).cloned()).unwrap();
         assert_eq!(restored.memory_footprint(), original.memory_footprint());
 
         // Both encoders must produce identical parities from here on.

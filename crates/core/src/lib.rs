@@ -4,12 +4,19 @@
 //! on top of [`ae_lattice`] (which knows *which* blocks connect) and
 //! [`ae_blocks`] (which knows how to XOR them), and provides:
 //!
+//! * [`code::Code`] — the alpha-entanglement implementation of the
+//!   scheme-agnostic [`ae_api::RedundancyScheme`] trait: batch-first
+//!   encoding, error-typed repairs, and the structural hooks the
+//!   availability-plane simulations drive.
 //! * [`encoder::Entangler`] — the streaming encoder: each incoming data
 //!   block is tangled with the α parities at the heads of its strands,
 //!   producing α new parities. Memory footprint is exactly one parity per
 //!   strand (`s + (α−1)·p` blocks), matching §IV.A's broker description.
+//!   [`encoder::Entangler::entangle_batch`] is the hot path.
 //! * [`decoder`] — single-block repairs: a data block from any complete
 //!   pp-tuple (two parities, one XOR), a parity block from either dp-tuple.
+//!   Failures return [`ae_api::RepairError::NoCompleteTuple`] naming the
+//!   missing tuple members.
 //! * [`repair::RepairEngine`] — the round-based global decoder used after
 //!   disasters: each round repairs every block that has a complete tuple,
 //!   newly repaired blocks enable further repairs next round (§V.C.4).
@@ -26,25 +33,33 @@
 //!
 //! # Quickstart
 //!
+//! Encode through the scheme-agnostic API — the same code works for any
+//! [`RedundancyScheme`] (swap in `ae_baselines::ReedSolomon` or
+//! `ae_baselines::Replication` and nothing else changes):
+//!
 //! ```
-//! use ae_core::{Code, BlockMap};
+//! use ae_core::{BlockMap, Code, RedundancyScheme};
 //! use ae_blocks::{Block, BlockId, NodeId};
 //! use ae_lattice::Config;
 //!
 //! // AE(3,2,5): triple entanglement, the paper's 5-HEC equivalent.
-//! let code = Code::new(Config::new(3, 2, 5).unwrap(), 64);
+//! let mut code = Code::new(Config::new(3, 2, 5).unwrap(), 64);
 //! let mut store = BlockMap::new();
-//! let mut enc = code.entangler();
-//! for n in 0u8..100 {
-//!     let out = enc.entangle(Block::from_vec(vec![n; 64])).unwrap();
-//!     out.insert_into(&mut store);
-//! }
+//!
+//! // Batch-first encoding: data and parities stream into any BlockSink.
+//! let blocks: Vec<Block> = (0u8..100).map(|n| Block::from_vec(vec![n; 64])).collect();
+//! let report = code.encode_batch(&blocks, &mut store).unwrap();
+//! assert_eq!(report.data_written(), 100);
 //!
 //! // Lose a data block; repair it with a single XOR of two parities.
 //! let lost = BlockId::Data(NodeId(42));
 //! let original = store.remove(&lost).unwrap();
 //! let repaired = code.repair_block(&store, lost, 100).unwrap();
 //! assert_eq!(repaired, original);
+//!
+//! // Failed repairs say *which* tuple members were missing.
+//! let err = code.repair_block(&BlockMap::new(), lost, 100).unwrap_err();
+//! assert!(!err.missing_blocks().is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,20 +74,27 @@ pub mod tamper;
 pub mod upgrade;
 pub mod writer;
 
+pub use ae_api::{
+    AeError, BlockRepo, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost,
+    RepairError, RepairSummary,
+};
 pub use code::{BlockMap, Code};
 pub use encoder::{EntangleOutput, Entangler};
 pub use repair::{RepairEngine, RepairReport};
 pub use writer::{WriteReport, WriteScheduler};
 
-use ae_blocks::{BlockId, EdgeId, NodeId};
+use ae_blocks::{BlockId, NodeId};
 use ae_lattice::LatticeBlock;
 
 /// Converts a byte-plane block id to the lattice analysis plane.
+///
+/// # Panics
+///
+/// Panics on ids that are not lattice blocks (Reed-Solomon shards,
+/// replicas); use `LatticeBlock::try_from` for a fallible conversion.
 pub fn to_lattice(id: BlockId) -> LatticeBlock {
-    match id {
-        BlockId::Data(NodeId(i)) => LatticeBlock::Node(i as i64),
-        BlockId::Parity(EdgeId { class, left }) => LatticeBlock::Edge(class, left.0 as i64),
-    }
+    LatticeBlock::try_from(id)
+        .unwrap_or_else(|id| panic!("{id} is not an entanglement lattice block"))
 }
 
 /// Converts a lattice block back to a byte-plane id.
@@ -80,23 +102,27 @@ pub fn to_lattice(id: BlockId) -> LatticeBlock {
 /// # Panics
 ///
 /// Panics on virtual positions (`i < 1`), which have no stored counterpart.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BlockId::try_from(lattice_block)`, which reports virtual positions as an error"
+)]
 pub fn from_lattice(b: LatticeBlock) -> BlockId {
-    match b {
-        LatticeBlock::Node(i) => {
-            assert!(i >= 1, "virtual node {i} has no block id");
-            BlockId::Data(NodeId(i as u64))
-        }
-        LatticeBlock::Edge(class, i) => {
-            assert!(i >= 1, "virtual edge {i} has no block id");
-            BlockId::Parity(EdgeId::new(class, NodeId(i as u64)))
-        }
+    match BlockId::try_from(b) {
+        Ok(id) => id,
+        Err(e) => panic!("virtual {} has no block id", e.block),
     }
+}
+
+/// Data-block id for a 1-based lattice position — a shorthand shared by
+/// examples and tests.
+pub fn data_id(i: u64) -> BlockId {
+    BlockId::Data(NodeId(i))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ae_blocks::StrandClass;
+    use ae_blocks::{EdgeId, StrandClass};
 
     #[test]
     fn lattice_conversion_roundtrip() {
@@ -106,13 +132,30 @@ mod tests {
             BlockId::Parity(EdgeId::new(StrandClass::LeftHanded, NodeId(26))),
         ];
         for id in ids {
-            assert_eq!(from_lattice(to_lattice(id)), id);
+            assert_eq!(BlockId::try_from(to_lattice(id)), Ok(id));
         }
     }
 
     #[test]
-    #[should_panic(expected = "virtual")]
     fn virtual_positions_rejected() {
+        let err = BlockId::try_from(LatticeBlock::Node(0)).unwrap_err();
+        assert_eq!(err.block, LatticeBlock::Node(0));
+        assert!(err.to_string().contains("virtual"));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual")]
+    fn deprecated_shim_still_panics_on_virtuals() {
+        #[allow(deprecated)]
         from_lattice(LatticeBlock::Node(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an entanglement lattice block")]
+    fn to_lattice_rejects_foreign_ids() {
+        to_lattice(BlockId::Shard(ae_blocks::ShardId {
+            stripe: 1,
+            index: 0,
+        }));
     }
 }

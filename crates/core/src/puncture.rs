@@ -25,7 +25,10 @@ pub struct PuncturePlan {
 impl PuncturePlan {
     /// No puncturing: every parity is stored.
     pub fn none() -> Self {
-        PuncturePlan { class: None, period: 0 }
+        PuncturePlan {
+            class: None,
+            period: 0,
+        }
     }
 
     /// Punctures one in `period` parities across all classes.
@@ -36,7 +39,10 @@ impl PuncturePlan {
     /// the strand entirely).
     pub fn every(period: u64) -> Self {
         assert!(period >= 2, "puncture period must be at least 2");
-        PuncturePlan { class: None, period }
+        PuncturePlan {
+            class: None,
+            period,
+        }
     }
 
     /// Punctures one in `period` parities of a single class.
@@ -159,7 +165,7 @@ mod tests {
             let original = store.remove(&id).unwrap();
             let repaired = code
                 .repair_block(&store, id, 200)
-                .unwrap_or_else(|| panic!("d{i} must repair via a surviving strand"));
+                .unwrap_or_else(|e| panic!("d{i} must repair via a surviving strand: {e}"));
             assert_eq!(repaired, original);
             store.insert(id, original);
         }

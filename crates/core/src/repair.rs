@@ -10,9 +10,9 @@
 //! of rounds to fixpoint is the paper's Table VI metric.
 
 use crate::decoder;
+use ae_api::{BlockSink, BlockSource};
 use ae_blocks::{Block, BlockId};
 use ae_lattice::Config;
-use std::collections::HashMap;
 
 /// Statistics of one repair round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,31 +73,33 @@ impl<'a> RepairEngine<'a> {
     /// Creates an engine for a lattice with nodes `1..=max_node`; `zero` is
     /// the all-zero block of the lattice's block size.
     pub fn new(cfg: &'a Config, max_node: u64, zero: &'a Block) -> Self {
-        RepairEngine { cfg, max_node, zero }
+        RepairEngine {
+            cfg,
+            max_node,
+            zero,
+        }
     }
 
     /// Repairs `targets` in rounds until fixpoint. Repaired blocks are
-    /// inserted into `store`; each round only reads blocks present at the
-    /// round's start.
+    /// inserted into `store` (any [`BlockSource`] + [`BlockSink`], e.g. the
+    /// in-memory [`crate::BlockMap`] or an `ae-store` store); each round
+    /// only reads blocks present at the round's start.
     pub fn repair_all(
         &self,
-        store: &mut HashMap<BlockId, Block>,
+        store: &mut (impl BlockSource + BlockSink),
         targets: impl IntoIterator<Item = BlockId>,
     ) -> RepairReport {
-        let mut missing: Vec<BlockId> = targets
-            .into_iter()
-            .filter(|id| !store.contains_key(id))
-            .collect();
+        let mut missing: Vec<BlockId> = targets.into_iter().filter(|&id| !store.has(id)).collect();
         let mut rounds = Vec::new();
         while !missing.is_empty() {
             // Plan all repairs against the round-start snapshot…
             let mut planned: Vec<(BlockId, Block)> = Vec::new();
             let mut still_missing = Vec::new();
             for &id in &missing {
-                let mut lookup = |q: BlockId| store.get(&q).cloned();
+                let mut lookup = |q: BlockId| store.fetch(q);
                 match decoder::repair_block(self.cfg, id, self.max_node, self.zero, &mut lookup) {
-                    Some(r) => planned.push((id, r.block)),
-                    None => still_missing.push(id),
+                    Ok(r) => planned.push((id, r.block)),
+                    Err(_) => still_missing.push(id),
                 }
             }
             if planned.is_empty() {
@@ -109,7 +111,7 @@ impl<'a> RepairEngine<'a> {
                 data_repaired: planned.iter().filter(|(id, _)| id.is_data()).count(),
             };
             for (id, block) in planned {
-                store.insert(id, block);
+                store.store(id, block);
             }
             rounds.push(stats);
             missing = still_missing;
@@ -153,7 +155,9 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code.repair_engine(300).repair_all(&mut store, victims.clone());
+        let report = code
+            .repair_engine(300)
+            .repair_all(&mut store, victims.clone());
         assert!(report.fully_recovered());
         assert_eq!(report.round_count(), 1);
         assert_eq!(report.total_repaired(), 3);
@@ -177,13 +181,22 @@ mod tests {
         let mut victims = Vec::new();
         for i in 100..=140u64 {
             victims.push(BlockId::Data(NodeId(i)));
-            victims.push(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(i))));
+            victims.push(BlockId::Parity(EdgeId::new(
+                StrandClass::Horizontal,
+                NodeId(i),
+            )));
         }
         for v in &victims {
             store.remove(v);
         }
-        let report = code.repair_engine(400).repair_all(&mut store, victims.clone());
-        assert!(report.fully_recovered(), "unrecovered: {:?}", report.unrecovered);
+        let report = code
+            .repair_engine(400)
+            .repair_all(&mut store, victims.clone());
+        assert!(
+            report.fully_recovered(),
+            "unrecovered: {:?}",
+            report.unrecovered
+        );
         assert!(report.round_count() > 1, "rounds: {:?}", report.rounds);
         for v in &victims {
             assert_eq!(store[v], full[v], "{v:?}");
@@ -206,7 +219,9 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code.repair_engine(100).repair_all(&mut store, victims.clone());
+        let report = code
+            .repair_engine(100)
+            .repair_all(&mut store, victims.clone());
         assert!(!report.fully_recovered());
         assert_eq!(report.unrecovered.len(), 4);
         assert_eq!(report.round_count(), 0);
@@ -226,7 +241,10 @@ mod tests {
         ];
         // Plus repairable extras.
         victims.push(BlockId::Data(NodeId(10)));
-        victims.push(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(70))));
+        victims.push(BlockId::Parity(EdgeId::new(
+            StrandClass::Horizontal,
+            NodeId(70),
+        )));
         for v in &victims {
             store.remove(v);
         }

@@ -47,7 +47,10 @@ pub fn tamper_cost(cfg: &Config, i: u64, n: u64) -> TamperReport {
             )
         })
         .collect();
-    TamperReport { node: i, per_strand }
+    TamperReport {
+        node: i,
+        per_strand,
+    }
 }
 
 #[cfg(test)]

@@ -73,7 +73,10 @@ pub fn validate(from: &Config, to: &Config) -> Result<(), UpgradeError> {
     }
     let geometry_ok = from.s() == to.s() && (from.alpha() == 1 || from.p() == to.p());
     if !geometry_ok {
-        return Err(UpgradeError::GeometryChanged { from: *from, to: *to });
+        return Err(UpgradeError::GeometryChanged {
+            from: *from,
+            to: *to,
+        });
     }
     Ok(())
 }
@@ -118,7 +121,13 @@ mod tests {
 
     fn data(n: u64, len: usize) -> Vec<Block> {
         (0..n)
-            .map(|k| Block::from_vec((0..len).map(|b| (k as u8).wrapping_mul(7).wrapping_add(b as u8)).collect()))
+            .map(|k| {
+                Block::from_vec(
+                    (0..len)
+                        .map(|b| (k as u8).wrapping_mul(7).wrapping_add(b as u8))
+                        .collect(),
+                )
+            })
             .collect()
     }
 
@@ -212,9 +221,17 @@ mod tests {
         // this could be fatal; with LH present it repairs.
         let code = Code::new(to, 8);
         let original = store.remove(&BlockId::Data(NodeId(30))).unwrap();
-        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(30))));
-        store.remove(&BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(30))));
-        let repaired = code.repair_block(&store, BlockId::Data(NodeId(30)), 60).unwrap();
+        store.remove(&BlockId::Parity(EdgeId::new(
+            StrandClass::Horizontal,
+            NodeId(30),
+        )));
+        store.remove(&BlockId::Parity(EdgeId::new(
+            StrandClass::RightHanded,
+            NodeId(30),
+        )));
+        let repaired = code
+            .repair_block(&store, BlockId::Data(NodeId(30)), 60)
+            .unwrap();
         assert_eq!(repaired, original);
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests of the byte-plane encoder, decoder and repair
 //! engine.
 
-use ae_core::{upgrade, BlockMap, Code, Entangler, WriteScheduler};
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
+use ae_core::{upgrade, BlockMap, Code, Entangler, WriteScheduler};
 use ae_lattice::Config;
 use proptest::prelude::*;
 
@@ -22,9 +22,13 @@ fn build(cfg: Config, n: u64, seed: u64) -> (Code, BlockMap) {
     let mut enc = code.entangler();
     let mut state = seed | 1;
     for _ in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let bytes: Vec<u8> = (0..24).map(|k| (state >> (k & 31)) as u8).collect();
-        enc.entangle(Block::from_vec(bytes)).unwrap().insert_into(&mut store);
+        enc.entangle(Block::from_vec(bytes))
+            .unwrap()
+            .insert_into(&mut store);
     }
     (code, store)
 }

@@ -101,7 +101,10 @@ impl Gf256 {
     /// Panics on zero, which has no inverse; hitting this means a singular
     /// matrix slipped past the construction-time checks.
     pub fn inv(self) -> Gf256 {
-        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(2^8)");
+        assert!(
+            !self.is_zero(),
+            "zero has no multiplicative inverse in GF(2^8)"
+        );
         let t = tables();
         Gf256(t.exp[GROUP_ORDER - t.log[self.0 as usize] as usize])
     }
@@ -205,7 +208,11 @@ impl From<u8> for Gf256 {
 ///
 /// Panics if the slices differ in length.
 pub fn mul_slice_acc(c: Gf256, data: &[u8], acc: &mut [u8]) {
-    assert_eq!(data.len(), acc.len(), "mul_slice_acc requires equal lengths");
+    assert_eq!(
+        data.len(),
+        acc.len(),
+        "mul_slice_acc requires equal lengths"
+    );
     if c.is_zero() {
         return;
     }

@@ -98,7 +98,11 @@ impl Config {
 
     /// The single-entanglement code AE(1,-,-): one horizontal chain.
     pub fn single() -> Self {
-        Config { alpha: 1, s: 1, p: 0 }
+        Config {
+            alpha: 1,
+            s: 1,
+            p: 0,
+        }
     }
 
     /// Parities per data block.
@@ -249,7 +253,10 @@ mod tests {
 
     #[test]
     fn config_error_display() {
-        assert!(Config::new(4, 2, 2).unwrap_err().to_string().contains("alpha"));
+        assert!(Config::new(4, 2, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("alpha"));
         assert!(Config::new(2, 5, 3)
             .unwrap_err()
             .to_string()

@@ -57,6 +57,59 @@ impl fmt::Debug for LatticeBlock {
     }
 }
 
+/// Error converting a [`LatticeBlock`] into a stored [`ae_blocks::BlockId`]:
+/// the position is virtual (`i < 1`) and has no stored counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualPosition {
+    /// The offending analysis-plane block.
+    pub block: LatticeBlock,
+}
+
+impl fmt::Display for VirtualPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "virtual lattice block {} has no stored block id",
+            self.block
+        )
+    }
+}
+
+impl std::error::Error for VirtualPosition {}
+
+/// Byte-plane id for an analysis-plane block. Fails on virtual positions
+/// (`i < 1`), which are the implicit all-zero blocks before the lattice
+/// and are never stored.
+impl TryFrom<LatticeBlock> for ae_blocks::BlockId {
+    type Error = VirtualPosition;
+
+    fn try_from(b: LatticeBlock) -> Result<Self, VirtualPosition> {
+        use ae_blocks::{BlockId, EdgeId, NodeId};
+        if b.position() < 1 {
+            return Err(VirtualPosition { block: b });
+        }
+        Ok(match b {
+            LatticeBlock::Node(i) => BlockId::Data(NodeId(i as u64)),
+            LatticeBlock::Edge(class, i) => BlockId::Parity(EdgeId::new(class, NodeId(i as u64))),
+        })
+    }
+}
+
+/// Analysis-plane view of a stored block id. Fails on redundancy ids that
+/// are not lattice blocks (Reed-Solomon shards, replicas).
+impl TryFrom<ae_blocks::BlockId> for LatticeBlock {
+    type Error = ae_blocks::BlockId;
+
+    fn try_from(id: ae_blocks::BlockId) -> Result<Self, ae_blocks::BlockId> {
+        use ae_blocks::BlockId;
+        match id {
+            BlockId::Data(n) => Ok(LatticeBlock::Node(n.0 as i64)),
+            BlockId::Parity(e) => Ok(LatticeBlock::Edge(e.class, e.left.0 as i64)),
+            other => Err(other),
+        }
+    }
+}
+
 impl fmt::Display for LatticeBlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         <Self as fmt::Debug>::fmt(self, f)

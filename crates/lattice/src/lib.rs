@@ -40,6 +40,6 @@ pub mod rules;
 pub mod strand;
 
 pub use config::{Config, ConfigError};
-pub use graph::{Endpoints, LatticeBlock, RepairOption};
+pub use graph::{Endpoints, LatticeBlock, RepairOption, VirtualPosition};
 pub use me::{MePattern, MeSearch};
 pub use rules::NodeCategory;

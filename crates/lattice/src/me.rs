@@ -136,8 +136,9 @@ impl MeSearch {
     /// its own, so the union is too). This is the paper's `|ME(x)|`.
     pub fn min_erasure(&self, x: usize) -> Option<MePattern> {
         // Connected minima for every component size.
-        let conn: Vec<Option<MePattern>> =
-            (0..=x).map(|k| if k < 2 { None } else { self.min_connected(k) }).collect();
+        let conn: Vec<Option<MePattern>> = (0..=x)
+            .map(|k| if k < 2 { None } else { self.min_connected(k) })
+            .collect();
         // Partition DP: best[j] = minimal total size losing j data blocks.
         let mut best: Vec<Option<(usize, Vec<usize>)>> = vec![None; x + 1];
         best[0] = Some((0, Vec::new()));
@@ -393,7 +394,10 @@ mod tests {
     #[test]
     fn protection_ratio_reported() {
         let pat = MeSearch::new(cfg(2, 1, 1)).min_erasure(2).unwrap();
-        assert!((pat.protection_ratio() - 2.0).abs() < 1e-12, "4 blocks / 2 data");
+        assert!(
+            (pat.protection_ratio() - 2.0).abs() < 1e-12,
+            "4 blocks / 2 data"
+        );
         assert_eq!(pat.parity_count(), 2);
     }
 
@@ -405,7 +409,10 @@ mod tests {
         let c = cfg(2, 1, 1);
         let me2 = MeSearch::new(c).min_erasure(2).unwrap().size();
         let me4 = MeSearch::new(c).min_erasure(4).unwrap().size();
-        assert!(me4 <= 2 * me2, "ME(4)={me4} must not exceed two ME(2)={me2}");
+        assert!(
+            me4 <= 2 * me2,
+            "ME(4)={me4} must not exceed two ME(2)={me2}"
+        );
         let pat = MeSearch::new(c).min_erasure(4).unwrap();
         assert!(is_dead(&c, &pat.blocks), "union of dead components is dead");
     }

@@ -54,12 +54,7 @@ pub fn primitive_form_ii(
 
 /// The strand segment (all edges) between two nodes along `class`, assuming
 /// `to` is reachable from `from`; `None` otherwise.
-fn segment(
-    cfg: &Config,
-    class: StrandClass,
-    from: i64,
-    to: i64,
-) -> Option<Vec<LatticeBlock>> {
+fn segment(cfg: &Config, class: StrandClass, from: i64, to: i64) -> Option<Vec<LatticeBlock>> {
     let mut cur = from;
     let mut edges = Vec::new();
     while cur < to {

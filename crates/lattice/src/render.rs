@@ -26,7 +26,12 @@ use std::fmt::Write as _;
 /// let grid = render::grid(&cfg, 0, 7, &BTreeSet::new());
 /// assert!(grid.contains("[26]")); // Fig 4's example node
 /// ```
-pub fn grid(cfg: &Config, first_col: i64, last_col: i64, marked: &BTreeSet<LatticeBlock>) -> String {
+pub fn grid(
+    cfg: &Config,
+    first_col: i64,
+    last_col: i64,
+    marked: &BTreeSet<LatticeBlock>,
+) -> String {
     let s = cfg.s() as i64;
     let mut out = String::new();
     let width = ((last_col + 1) * s).to_string().len() + 2;
@@ -41,7 +46,11 @@ pub fn grid(cfg: &Config, first_col: i64, last_col: i64, marked: &BTreeSet<Latti
             };
             let _ = write!(out, "{cell:>width$}");
             let h_edge = LatticeBlock::Edge(ae_blocks::StrandClass::Horizontal, i);
-            let gap = if marked.contains(&h_edge) { "--x--" } else { "-----" };
+            let gap = if marked.contains(&h_edge) {
+                "--x--"
+            } else {
+                "-----"
+            };
             if col < last_col {
                 out.push_str(gap);
             }
@@ -75,7 +84,11 @@ pub fn pattern(cfg: &Config, marked: &BTreeSet<LatticeBlock>) -> String {
         return "(empty pattern)".to_string();
     }
     let s = cfg.s() as i64;
-    let min_pos = marked.iter().map(|b| b.position()).min().expect("non-empty");
+    let min_pos = marked
+        .iter()
+        .map(|b| b.position())
+        .min()
+        .expect("non-empty");
     let max_pos = marked
         .iter()
         .map(|b| match b {

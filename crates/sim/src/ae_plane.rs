@@ -1,4 +1,6 @@
-//! Availability-plane simulation of an entangled storage system.
+//! Availability-plane simulation of an entangled storage system — a thin
+//! adapter over the generic [`crate::scheme_plane`], with `ae_core::Code`
+//! as the driving [`ae_api::RedundancyScheme`].
 //!
 //! Blocks are availability flags plus a location, exactly the schema of the
 //! paper's Table V (block id, type/strand, location, available, repaired).
@@ -14,99 +16,21 @@
 //!   remains is used for the Fig 12 metric: data blocks left without a
 //!   single complete pp-tuple.
 
+use crate::scheme_plane::SchemePlane;
+use ae_blocks::BlockId;
 use ae_core::puncture::PuncturePlan;
-use ae_lattice::{rules, Config};
-use ae_blocks::{EdgeId, NodeId, StrandClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ae_core::Code;
+use ae_lattice::Config;
 
-/// How blocks are mapped to locations in the availability simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SimPlacement {
-    /// Uniform random placement — the paper's default (§V.C).
-    Random {
-        /// Placement seed.
-        seed: u64,
-    },
-    /// Round-robin in write order: block k of the sequence goes to location
-    /// `k mod n`, so lattice neighbours occupy distinct failure domains —
-    /// the authors' earlier assumption, kept for the placement ablation
-    /// ("we think a round robin placement might be difficult to implement",
-    /// §V.C).
-    RoundRobin,
-}
-
-/// Statistics of one repair round (availability plane).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RoundStats {
-    /// Data blocks repaired this round.
-    pub data: u64,
-    /// Parity blocks repaired this round.
-    pub parity: u64,
-}
-
-/// Outcome of a full round-based repair.
-#[derive(Debug, Clone)]
-pub struct FullRepairOutcome {
-    /// Per-round repair counts.
-    pub rounds: Vec<RoundStats>,
-    /// Data blocks that could not be repaired (the paper's Fig 11 metric).
-    pub data_lost: u64,
-    /// Parity blocks that could not be repaired.
-    pub parity_lost: u64,
-}
-
-impl FullRepairOutcome {
-    /// Rounds until fixpoint (Table VI).
-    pub fn round_count(&self) -> usize {
-        self.rounds.len()
-    }
-
-    /// Total blocks read during the repair: every single repair XORs two
-    /// available blocks (Table IV's fixed "k = 2"), so traffic is exactly
-    /// twice the repair count — the maintenance-cost story of §V.C.3.
-    pub fn blocks_read(&self) -> u64 {
-        2 * self.rounds.iter().map(|r| r.data + r.parity).sum::<u64>()
-    }
-
-    /// Total data blocks repaired.
-    pub fn data_repaired(&self) -> u64 {
-        self.rounds.iter().map(|r| r.data).sum()
-    }
-
-    /// Share of repaired data blocks fixed in round 1 — single failures
-    /// solved with one XOR (Fig 13). `None` when nothing needed repair.
-    pub fn single_failure_share(&self) -> Option<f64> {
-        let total = self.data_repaired();
-        (total > 0).then(|| self.rounds[0].data as f64 / total as f64)
-    }
-}
-
-/// Outcome of a minimal-maintenance repair.
-#[derive(Debug, Clone, Copy)]
-pub struct MinimalRepairOutcome {
-    /// Data blocks repaired.
-    pub data_repaired: u64,
-    /// Parities repaired because a missing data block needed them.
-    pub parity_repaired: u64,
-    /// Data blocks lost (no repair possible).
-    pub data_lost: u64,
-    /// Data blocks left without any complete pp-tuple (Fig 12).
-    pub vulnerable_data: u64,
-}
+pub use crate::scheme_plane::{
+    failed_locations, FullRepairOutcome, MinimalRepairOutcome, RoundStats, SimPlacement,
+};
 
 /// An AE(α, s, p) lattice over `n` data blocks distributed across
-/// locations.
+/// locations, driven through the scheme-agnostic plane.
 pub struct AeSimulation {
     cfg: Config,
-    n: u64,
-    locations: u32,
-    /// Location of data block i (index i−1).
-    node_loc: Vec<u32>,
-    /// Location of parity (class c, left i) at `[c][i−1]`.
-    edge_loc: Vec<Vec<u32>>,
-    node_avail: Vec<bool>,
-    edge_avail: Vec<Vec<bool>>,
+    plane: SchemePlane,
 }
 
 impl AeSimulation {
@@ -117,7 +41,9 @@ impl AeSimulation {
             cfg,
             n,
             locations,
-            SimPlacement::Random { seed: placement_seed },
+            SimPlacement::Random {
+                seed: placement_seed,
+            },
             PuncturePlan::none(),
         )
     }
@@ -133,48 +59,16 @@ impl AeSimulation {
         placement: SimPlacement,
         puncture: PuncturePlan,
     ) -> Self {
-        assert!(n > 0 && locations > 0);
-        let classes = cfg.classes().len();
-        let stride = 1 + classes as u64;
-        let (node_loc, edge_loc): (Vec<u32>, Vec<Vec<u32>>) = match placement {
-            SimPlacement::Random { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                (
-                    (0..n).map(|_| rng.random_range(0..locations)).collect(),
-                    (0..classes)
-                        .map(|_| (0..n).map(|_| rng.random_range(0..locations)).collect())
-                        .collect(),
-                )
-            }
-            SimPlacement::RoundRobin => (
-                (0..n).map(|i| ((i * stride) % locations as u64) as u32).collect(),
-                (0..classes)
-                    .map(|c| {
-                        (0..n)
-                            .map(|i| ((i * stride + 1 + c as u64) % locations as u64) as u32)
-                            .collect()
-                    })
-                    .collect(),
-            ),
-        };
-        let mut edge_avail: Vec<Vec<bool>> = vec![vec![true; n as usize]; classes];
-        for (c, avail) in edge_avail.iter_mut().enumerate() {
-            let class = cfg.classes()[c];
-            for i in 1..=n {
-                if !puncture.is_stored(EdgeId::new(class, NodeId(i))) {
-                    avail[(i - 1) as usize] = false;
-                }
-            }
-        }
-        AeSimulation {
-            cfg,
+        // Block size 0: the availability plane never touches bytes.
+        let code = Code::new(cfg, 0);
+        let plane = SchemePlane::with_missing(
+            Box::new(code),
             n,
             locations,
-            node_loc,
-            edge_loc,
-            node_avail: vec![true; n as usize],
-            edge_avail,
-        }
+            placement,
+            |id| matches!(id, BlockId::Parity(e) if !puncture.is_stored(e)),
+        );
+        AeSimulation { cfg, plane }
     }
 
     /// The code configuration.
@@ -184,118 +78,24 @@ impl AeSimulation {
 
     /// Data blocks in the lattice.
     pub fn data_blocks(&self) -> u64 {
-        self.n
+        self.plane.data_blocks()
     }
 
-    /// Resets all blocks to available.
+    /// Resets all stored blocks to available.
     pub fn heal_all(&mut self) {
-        self.node_avail.fill(true);
-        for e in &mut self.edge_avail {
-            e.fill(true);
-        }
+        self.plane.heal_all();
     }
 
     /// Fails `fraction` of the locations (chosen uniformly by
     /// `disaster_seed`) and marks every block stored there unavailable.
     /// Returns `(missing data, missing parity)` counts.
     pub fn inject_disaster(&mut self, fraction: f64, disaster_seed: u64) -> (u64, u64) {
-        let failed = failed_locations(self.locations, fraction, disaster_seed);
-        let mut missing_data = 0;
-        let mut missing_parity = 0;
-        for i in 0..self.n as usize {
-            if failed[self.node_loc[i] as usize] {
-                self.node_avail[i] = false;
-                missing_data += 1;
-            }
-        }
-        for (c, locs) in self.edge_loc.iter().enumerate() {
-            for i in 0..self.n as usize {
-                if failed[locs[i] as usize] {
-                    self.edge_avail[c][i] = false;
-                    missing_parity += 1;
-                }
-            }
-        }
-        (missing_data, missing_parity)
-    }
-
-    /// Whether the input parity of node `i` (1-based) on class index `c` is
-    /// available (virtual inputs before the lattice are always available).
-    fn input_avail(&self, c: usize, i: i64) -> bool {
-        let h = rules::input_source(&self.cfg, self.class(c), i);
-        h < 1 || self.edge_avail[c][(h - 1) as usize]
-    }
-
-    fn class(&self, c: usize) -> StrandClass {
-        self.cfg.classes()[c]
-    }
-
-    /// Whether data block `i` (1-based) has a complete pp-tuple right now.
-    fn node_repairable(&self, i: i64) -> bool {
-        (0..self.edge_avail.len())
-            .any(|c| self.input_avail(c, i) && self.edge_avail[c][(i - 1) as usize])
-    }
-
-    /// Whether parity (class c, left i) has a complete dp-tuple right now.
-    fn edge_repairable(&self, c: usize, i: i64) -> bool {
-        // Left tuple: d_i and i's input parity on the class.
-        if self.node_avail[(i - 1) as usize] && self.input_avail(c, i) {
-            return true;
-        }
-        // Right tuple: d_j and j's output parity on the class.
-        let j = rules::output_target(&self.cfg, self.class(c), i);
-        j <= self.n as i64
-            && self.node_avail[(j - 1) as usize]
-            && self.edge_avail[c][(j - 1) as usize]
+        self.plane.inject_disaster(fraction, disaster_seed)
     }
 
     /// Round-based repair of everything until fixpoint.
     pub fn repair_full(&mut self) -> FullRepairOutcome {
-        let mut missing_nodes: Vec<i64> = (1..=self.n as i64)
-            .filter(|&i| !self.node_avail[(i - 1) as usize])
-            .collect();
-        let mut missing_edges: Vec<(usize, i64)> = Vec::new();
-        for c in 0..self.edge_avail.len() {
-            for i in 1..=self.n as i64 {
-                if !self.edge_avail[c][(i - 1) as usize] {
-                    missing_edges.push((c, i));
-                }
-            }
-        }
-        let mut rounds = Vec::new();
-        loop {
-            // Plan against the round-start snapshot.
-            let fix_nodes: Vec<i64> = missing_nodes
-                .iter()
-                .copied()
-                .filter(|&i| self.node_repairable(i))
-                .collect();
-            let fix_edges: Vec<(usize, i64)> = missing_edges
-                .iter()
-                .copied()
-                .filter(|&(c, i)| self.edge_repairable(c, i))
-                .collect();
-            if fix_nodes.is_empty() && fix_edges.is_empty() {
-                break;
-            }
-            for &i in &fix_nodes {
-                self.node_avail[(i - 1) as usize] = true;
-            }
-            for &(c, i) in &fix_edges {
-                self.edge_avail[c][(i - 1) as usize] = true;
-            }
-            rounds.push(RoundStats {
-                data: fix_nodes.len() as u64,
-                parity: fix_edges.len() as u64,
-            });
-            missing_nodes.retain(|&i| !self.node_avail[(i - 1) as usize]);
-            missing_edges.retain(|&(c, i)| !self.edge_avail[c][(i - 1) as usize]);
-        }
-        FullRepairOutcome {
-            data_lost: missing_nodes.len() as u64,
-            parity_lost: missing_edges.len() as u64,
-            rounds,
-        }
+        self.plane.repair_full()
     }
 
     /// Minimal-maintenance repair: rounds repair missing data blocks, plus
@@ -303,81 +103,8 @@ impl AeSimulation {
     /// data block ("some parities are repaired if they are part of the same
     /// stripe of an unavailable data block", §V.C.2).
     pub fn repair_minimal(&mut self) -> MinimalRepairOutcome {
-        let mut missing_nodes: Vec<i64> = (1..=self.n as i64)
-            .filter(|&i| !self.node_avail[(i - 1) as usize])
-            .collect();
-        let mut data_repaired = 0;
-        let mut parity_repaired = 0;
-        loop {
-            // Parities needed by currently-missing data blocks.
-            let mut wanted: Vec<(usize, i64)> = Vec::new();
-            for &i in &missing_nodes {
-                for c in 0..self.edge_avail.len() {
-                    let h = rules::input_source(&self.cfg, self.class(c), i);
-                    if h >= 1 && !self.edge_avail[c][(h - 1) as usize] {
-                        wanted.push((c, h));
-                    }
-                    if !self.edge_avail[c][(i - 1) as usize] {
-                        wanted.push((c, i));
-                    }
-                }
-            }
-            let fix_nodes: Vec<i64> = missing_nodes
-                .iter()
-                .copied()
-                .filter(|&i| self.node_repairable(i))
-                .collect();
-            let fix_edges: Vec<(usize, i64)> = wanted
-                .into_iter()
-                .filter(|&(c, i)| self.edge_repairable(c, i))
-                .collect();
-            if fix_nodes.is_empty() && fix_edges.is_empty() {
-                break;
-            }
-            for &i in &fix_nodes {
-                self.node_avail[(i - 1) as usize] = true;
-            }
-            data_repaired += fix_nodes.len() as u64;
-            for &(c, i) in &fix_edges {
-                if !self.edge_avail[c][(i - 1) as usize] {
-                    self.edge_avail[c][(i - 1) as usize] = true;
-                    parity_repaired += 1;
-                }
-            }
-            missing_nodes.retain(|&i| !self.node_avail[(i - 1) as usize]);
-        }
-        let data_lost = missing_nodes.len() as u64;
-        // Fig 12: available data blocks with no complete pp-tuple left.
-        let vulnerable_data = (1..=self.n as i64)
-            .filter(|&i| self.node_avail[(i - 1) as usize] && !self.node_repairable(i))
-            .count() as u64;
-        MinimalRepairOutcome {
-            data_repaired,
-            parity_repaired,
-            data_lost,
-            vulnerable_data,
-        }
+        self.plane.repair_minimal()
     }
-}
-
-/// Chooses `floor(fraction · locations)` failed locations deterministically
-/// from the seed; shared by all schemes so a disaster hits the same
-/// location set everywhere.
-pub fn failed_locations(locations: u32, fraction: f64, seed: u64) -> Vec<bool> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let count = (locations as f64 * fraction).floor() as usize;
-    let mut ids: Vec<u32> = (0..locations).collect();
-    // Fisher-Yates prefix shuffle.
-    for k in 0..count.min(locations as usize) {
-        let pick = rng.random_range(k..locations as usize);
-        ids.swap(k, pick);
-    }
-    let mut failed = vec![false; locations as usize];
-    for &l in ids.iter().take(count) {
-        failed[l as usize] = true;
-    }
-    failed
 }
 
 #[cfg(test)]
@@ -430,9 +157,15 @@ mod tests {
             s.inject_disaster(0.4, 11);
             losses.push(s.repair_full().data_lost);
         }
-        assert!(losses[0] > losses[1], "AE(1) loses more than AE(2,2,5): {losses:?}");
+        assert!(
+            losses[0] > losses[1],
+            "AE(1) loses more than AE(2,2,5): {losses:?}"
+        );
         assert!(losses[1] >= losses[2], "AE(2,2,5) >= AE(3,2,5): {losses:?}");
-        assert!(losses[2] < losses[0] / 10, "AE(3,2,5) far better than AE(1)");
+        assert!(
+            losses[2] < losses[0] / 10,
+            "AE(3,2,5) far better than AE(1)"
+        );
     }
 
     #[test]
@@ -510,13 +243,8 @@ mod tests {
         // domains, so recovery can only improve.
         let cfg = Config::new(2, 2, 5).unwrap();
         let run = |placement| {
-            let mut s = AeSimulation::with_options(
-                cfg,
-                40_000,
-                100,
-                placement,
-                ae_core::puncture::PuncturePlan::none(),
-            );
+            let mut s =
+                AeSimulation::with_options(cfg, 40_000, 100, placement, PuncturePlan::none());
             s.inject_disaster(0.4, 3);
             s.repair_full().data_lost
         };
@@ -527,23 +255,32 @@ mod tests {
 
     #[test]
     fn punctured_lattice_loses_more() {
-        use ae_core::puncture::PuncturePlan;
         let cfg = Config::new(3, 2, 5).unwrap();
         let run = |plan| {
-            let mut s =
-                AeSimulation::with_options(cfg, 40_000, 100, SimPlacement::Random { seed: 42 }, plan);
+            let mut s = AeSimulation::with_options(
+                cfg,
+                40_000,
+                100,
+                SimPlacement::Random { seed: 42 },
+                plan,
+            );
             s.inject_disaster(0.4, 3);
             s.repair_full().data_lost
         };
         let full = run(PuncturePlan::none());
         let half = run(PuncturePlan::every(2));
-        assert!(half >= full, "puncturing cannot reduce loss: {half} vs {full}");
-        assert!(half > 0, "half the parities gone must cost something at 40%");
+        assert!(
+            half >= full,
+            "puncturing cannot reduce loss: {half} vs {full}"
+        );
+        assert!(
+            half > 0,
+            "half the parities gone must cost something at 40%"
+        );
     }
 
     #[test]
     fn puncture_marks_parities_missing_without_disaster() {
-        use ae_core::puncture::PuncturePlan;
         let cfg = Config::new(2, 2, 2).unwrap();
         let mut s = AeSimulation::with_options(
             cfg,
@@ -567,15 +304,5 @@ mod tests {
         let total: u64 = out.rounds.iter().map(|r| r.data + r.parity).sum();
         assert_eq!(out.blocks_read(), 2 * total);
         assert!(out.blocks_read() > 0);
-    }
-
-    #[test]
-    fn failed_locations_deterministic_and_sized() {
-        let a = failed_locations(100, 0.3, 77);
-        let b = failed_locations(100, 0.3, 77);
-        assert_eq!(a, b);
-        assert_eq!(a.iter().filter(|&&x| x).count(), 30);
-        let none = failed_locations(100, 0.0, 1);
-        assert!(none.iter().all(|&x| !x));
     }
 }

@@ -18,10 +18,7 @@ fn main() {
             .min_erasure(x)
             .expect("pattern exists within the search cap");
         println!("== {label}: {cfg} |ME({x})| = {} ==", pat.size());
-        println!(
-            "irreducible: {}",
-            me::is_irreducible(&cfg, &pat.blocks)
-        );
+        println!("irreducible: {}", me::is_irreducible(&cfg, &pat.blocks));
         println!("{}\n", render::pattern(&cfg, &pat.blocks));
     }
 }

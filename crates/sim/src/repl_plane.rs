@@ -1,12 +1,15 @@
-//! Availability-plane simulation of n-way replication.
+//! Availability-plane simulation of n-way replication — a thin adapter
+//! over the generic [`crate::scheme_plane`], with
+//! `ae_baselines::Replication` as the driving [`ae_api::RedundancyScheme`].
 //!
 //! Every data block has `n` copies at independently chosen random
 //! locations. A block is lost when all copies sit on failed locations;
 //! vulnerable when exactly one copy survives ("not protected by any other
 //! redundant block").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::scheme_plane::{SchemePlane, SimPlacement};
+use ae_baselines::Replication;
+use ae_blocks::{BlockId, NodeId, ReplicaId};
 
 /// Result of a replication disaster analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +29,8 @@ pub struct ReplicationOutcome {
 pub struct ReplicationSimulation {
     n_copies: u32,
     blocks: u64,
-    /// Copy locations, block-major: `loc[block * n_copies + copy]`.
-    loc: Vec<u32>,
     locations: u32,
+    placement_seed: u64,
 }
 
 impl ReplicationSimulation {
@@ -40,21 +42,26 @@ impl ReplicationSimulation {
     /// Panics for fewer than 2 copies.
     pub fn new(n_copies: u32, blocks: u64, locations: u32, placement_seed: u64) -> Self {
         assert!(n_copies >= 2, "replication needs at least 2 copies");
-        let mut rng = StdRng::seed_from_u64(placement_seed);
-        let loc = (0..blocks * n_copies as u64)
-            .map(|_| rng.random_range(0..locations))
-            .collect();
         ReplicationSimulation {
             n_copies,
             blocks,
-            loc,
             locations,
+            placement_seed,
         }
     }
 
     /// Applies a disaster and classifies every block.
     pub fn run_disaster(&self, fraction: f64, disaster_seed: u64) -> ReplicationOutcome {
-        let failed = crate::ae_plane::failed_locations(self.locations, fraction, disaster_seed);
+        let scheme = Replication::new(self.n_copies as usize);
+        let mut plane = SchemePlane::new(
+            Box::new(scheme),
+            self.blocks,
+            self.locations,
+            SimPlacement::Random {
+                seed: self.placement_seed,
+            },
+        );
+        plane.inject_disaster(fraction, disaster_seed);
         let n = self.n_copies as usize;
         let mut out = ReplicationOutcome {
             data_lost: 0,
@@ -62,9 +69,12 @@ impl ReplicationSimulation {
             vulnerable_data: 0,
             blocks_read: 0,
         };
-        for b in 0..self.blocks as usize {
-            let copies = &self.loc[b * n..(b + 1) * n];
-            let alive = copies.iter().filter(|&&l| !failed[l as usize]).count();
+        for i in 1..=self.blocks {
+            let node = NodeId(i);
+            let alive = std::iter::once(BlockId::Data(node))
+                .chain((1..n as u16).map(|copy| BlockId::Replica(ReplicaId { node, copy })))
+                .filter(|&id| plane.is_available(id))
+                .count();
             if alive == 0 {
                 out.data_lost += 1;
             } else {
@@ -115,7 +125,12 @@ mod tests {
         let out = s.run_disaster(0.0, 1);
         assert_eq!(
             out,
-            ReplicationOutcome { data_lost: 0, data_repaired: 0, vulnerable_data: 0, blocks_read: 0 }
+            ReplicationOutcome {
+                data_lost: 0,
+                data_repaired: 0,
+                vulnerable_data: 0,
+                blocks_read: 0
+            }
         );
     }
 

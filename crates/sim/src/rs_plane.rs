@@ -1,4 +1,6 @@
-//! Availability-plane simulation of Reed-Solomon stripes.
+//! Availability-plane simulation of Reed-Solomon stripes — a thin adapter
+//! over the generic [`crate::scheme_plane`], with
+//! `ae_baselines::ReedSolomon` as the driving [`ae_api::RedundancyScheme`].
 //!
 //! One million data blocks become `1M / k` stripes of `k + m` blocks each;
 //! blocks land on uniform random locations; a disaster fails a fraction of
@@ -7,8 +9,11 @@
 //! blocks that belong to damaged stripes are not counted as lost",
 //! §V.C.1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::scheme_plane::{SchemePlane, SimPlacement};
+use ae_baselines::ReedSolomon;
+use ae_blocks::BlockId;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 /// Result of analysing all stripes after a disaster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +41,11 @@ pub struct RsSimulation {
     k: u32,
     m: u32,
     stripes: u64,
-    /// Location of every block, stripe-major: `loc[stripe * (k+m) + idx]`,
-    /// data blocks first.
-    loc: Vec<u32>,
+    data_blocks: u64,
     locations: u32,
+    /// One plane per deployment: the universe, index and placement are
+    /// built once and reset between disasters via `heal_all`.
+    plane: Mutex<SchemePlane>,
 }
 
 impl RsSimulation {
@@ -48,7 +54,7 @@ impl RsSimulation {
     /// # Panics
     ///
     /// Panics unless `data_blocks` is divisible by `k` (the paper's counts
-    /// all are).
+    /// all are) and the parameters form a valid RS code.
     pub fn new(k: u32, m: u32, data_blocks: u64, locations: u32, placement_seed: u64) -> Self {
         assert!(k >= 1 && m >= 1);
         assert_eq!(
@@ -56,18 +62,22 @@ impl RsSimulation {
             0,
             "data blocks must fill whole stripes"
         );
-        let stripes = data_blocks / k as u64;
-        let width = (k + m) as u64;
-        let mut rng = StdRng::seed_from_u64(placement_seed);
-        let loc = (0..stripes * width)
-            .map(|_| rng.random_range(0..locations))
-            .collect();
+        let scheme = ReedSolomon::new(k as usize, m as usize).expect("valid RS parameters");
+        let plane = SchemePlane::new(
+            Box::new(scheme),
+            data_blocks,
+            locations,
+            SimPlacement::Random {
+                seed: placement_seed,
+            },
+        );
         RsSimulation {
             k,
             m,
-            stripes,
-            loc,
+            stripes: data_blocks / k as u64,
+            data_blocks,
             locations,
+            plane: Mutex::new(plane),
         }
     }
 
@@ -80,21 +90,27 @@ impl RsSimulation {
     /// blocks on distinct locations (the paper reports 38,429 of 100,000
     /// for RS(10,4) at n = 100, §V.C "Block Placements").
     pub fn stripes_fully_spread(&self) -> u64 {
-        let width = (self.k + self.m) as usize;
+        let plane = self.plane.lock().expect("plane lock");
+        let members = plane.scheme().block_ids(self.data_blocks);
         let mut count = 0;
         let mut seen = vec![false; self.locations as usize];
-        for s in 0..self.stripes as usize {
-            let blocks = &self.loc[s * width..(s + 1) * width];
+        for t in 0..self.stripes {
+            // Members of stripe t occupy a contiguous run of the universe.
+            let width = (self.k + self.m) as usize;
+            let run = &members[t as usize * width..(t as usize + 1) * width];
             let mut distinct = true;
-            for &l in blocks {
-                if seen[l as usize] {
+            for &id in run {
+                let l = plane.location_of(id).expect("universe block") as usize;
+                if seen[l] {
                     distinct = false;
                     break;
                 }
-                seen[l as usize] = true;
+                seen[l] = true;
             }
-            for &l in blocks {
-                seen[l as usize] = false;
+            for &id in run {
+                if let Some(l) = plane.location_of(id) {
+                    seen[l as usize] = false;
+                }
             }
             if distinct {
                 count += 1;
@@ -104,50 +120,40 @@ impl RsSimulation {
     }
 
     /// Applies a disaster (shared location set, see
-    /// [`crate::ae_plane::failed_locations`]) and analyses every stripe.
+    /// [`crate::scheme_plane::failed_locations`]) and analyses every
+    /// stripe through the generic plane.
     pub fn run_disaster(&self, fraction: f64, disaster_seed: u64) -> RsOutcome {
-        let failed = crate::ae_plane::failed_locations(self.locations, fraction, disaster_seed);
-        let width = (self.k + self.m) as usize;
-        let k = self.k as usize;
-        let mut out = RsOutcome {
-            data_lost: 0,
-            data_repaired: 0,
-            single_failure_repairs: 0,
-            vulnerable_data: 0,
-            damaged_stripes: 0,
-            blocks_read: 0,
-        };
-        for s in 0..self.stripes as usize {
-            let blocks = &self.loc[s * width..(s + 1) * width];
-            let missing_total = blocks.iter().filter(|&&l| failed[l as usize]).count();
-            let missing_data = blocks[..k].iter().filter(|&&l| failed[l as usize]).count();
-            let missing_parity = missing_total - missing_data;
-            let recoverable = missing_total <= self.m as usize;
-            if !recoverable {
-                out.damaged_stripes += 1;
-                out.data_lost += missing_data as u64;
-                // Surviving data blocks of a damaged stripe have no working
-                // redundancy at all: vulnerable.
-                out.vulnerable_data += (k - missing_data) as u64;
-                continue;
-            }
-            if missing_data > 0 {
-                out.data_repaired += missing_data as u64;
-                // One decode per stripe, reading k surviving shards.
-                out.blocks_read += k as u64;
-                if missing_total == 1 {
-                    out.single_failure_repairs += 1;
+        // Full repair for loss/repair/traffic metrics.
+        let mut plane = self.plane.lock().expect("plane lock");
+        plane.heal_all();
+        plane.inject_disaster(fraction, disaster_seed);
+        let full = plane.repair_full();
+        // Damaged stripes: the ones that kept unrecovered members.
+        let damaged = {
+            let mut stripes: BTreeSet<u64> = BTreeSet::new();
+            for t in 0..self.stripes {
+                let base = t * self.k as u64;
+                for i in base + 1..=base + self.k as u64 {
+                    if !plane.is_available(BlockId::Data(ae_blocks::NodeId(i))) {
+                        stripes.insert(t);
+                        break;
+                    }
                 }
             }
-            // Minimal maintenance: data repaired, parities not. A data
-            // block is vulnerable when fewer than k *other* blocks are
-            // available: with all k data present that means more than m−1
-            // parities missing.
-            if missing_parity >= self.m as usize {
-                out.vulnerable_data += k as u64;
-            }
+            stripes.len() as u64
+        };
+        // Minimal maintenance on a re-injected plane for the Fig 12 metric.
+        plane.heal_all();
+        plane.inject_disaster(fraction, disaster_seed);
+        let minimal = plane.repair_minimal();
+        RsOutcome {
+            data_lost: full.data_lost,
+            data_repaired: full.data_repaired(),
+            single_failure_repairs: full.single_failure_data,
+            vulnerable_data: minimal.vulnerable_data,
+            damaged_stripes: damaged,
+            blocks_read: full.blocks_read(),
         }
-        out
     }
 }
 

@@ -1,0 +1,502 @@
+//! The generic availability-plane simulation, driven by any
+//! [`RedundancyScheme`].
+//!
+//! One engine replaces the three hand-rolled planes the workspace used to
+//! carry (`ae_plane`, `rs_plane`, `repl_plane`): the scheme describes its
+//! structure through the trait's availability hooks
+//! ([`RedundancyScheme::block_ids`], [`RedundancyScheme::is_repairable`],
+//! [`RedundancyScheme::is_single_failure`],
+//! [`RedundancyScheme::maintenance_targets`]) and the plane does
+//! everything else — placement, disaster injection, round-based repair to
+//! fixpoint (§V.C.4), minimal maintenance (§V.C.2) and the Fig 11–13 /
+//! Table VI metrics. Blocks are availability flags, not bytes, exactly as
+//! in the paper's evaluation: every §V.C metric depends only on which
+//! blocks are reachable.
+
+use ae_api::RedundancyScheme;
+use ae_blocks::BlockId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// How blocks are mapped to locations in the availability simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPlacement {
+    /// Uniform random placement — the paper's default (§V.C).
+    Random {
+        /// Placement seed.
+        seed: u64,
+    },
+    /// Round-robin in write order: block k of the universe goes to location
+    /// `k mod n`, so neighbouring blocks (a data block and its redundancy)
+    /// occupy distinct failure domains — the authors' earlier assumption,
+    /// kept for the placement ablation ("we think a round robin placement
+    /// might be difficult to implement", §V.C).
+    RoundRobin,
+}
+
+/// Statistics of one repair round (availability plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Data blocks repaired this round.
+    pub data: u64,
+    /// Redundancy blocks repaired this round.
+    pub parity: u64,
+}
+
+/// Outcome of a full round-based repair.
+#[derive(Debug, Clone)]
+pub struct FullRepairOutcome {
+    /// Per-round repair counts.
+    pub rounds: Vec<RoundStats>,
+    /// Data blocks that could not be repaired (the paper's Fig 11 metric).
+    pub data_lost: u64,
+    /// Redundancy blocks that could not be repaired.
+    pub parity_lost: u64,
+    /// Blocks read to complete all repairs (scheme-specific accounting:
+    /// 2 per AE repair, one k-shard decode per RS stripe, 1 per copy).
+    pub traffic: u64,
+    /// Repaired data blocks that were single failures in the scheme's
+    /// Fig 13 sense, judged against the pre-repair state.
+    pub single_failure_data: u64,
+}
+
+impl FullRepairOutcome {
+    /// Rounds until fixpoint (Table VI).
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total blocks read during the repair.
+    pub fn blocks_read(&self) -> u64 {
+        self.traffic
+    }
+
+    /// Total data blocks repaired.
+    pub fn data_repaired(&self) -> u64 {
+        self.rounds.iter().map(|r| r.data).sum()
+    }
+
+    /// Share of repaired data blocks that were single failures (Fig 13).
+    /// `None` when nothing needed repair.
+    pub fn single_failure_share(&self) -> Option<f64> {
+        let total = self.data_repaired();
+        (total > 0).then(|| self.single_failure_data as f64 / total as f64)
+    }
+}
+
+/// Outcome of a minimal-maintenance repair.
+#[derive(Debug, Clone, Copy)]
+pub struct MinimalRepairOutcome {
+    /// Data blocks repaired.
+    pub data_repaired: u64,
+    /// Redundancy blocks repaired because a missing data block needed them.
+    pub parity_repaired: u64,
+    /// Data blocks lost (no repair possible).
+    pub data_lost: u64,
+    /// Data blocks left without any working redundancy (Fig 12): present,
+    /// but unrepairable if they failed now.
+    pub vulnerable_data: u64,
+}
+
+/// Availability-plane state for one scheme deployment: every block the
+/// scheme stores, its location, and whether it is currently reachable.
+pub struct SchemePlane {
+    scheme: Box<dyn RedundancyScheme>,
+    data_blocks: u64,
+    locations: u32,
+    /// Placement universe in write order.
+    universe: Vec<BlockId>,
+    /// Dense index of every universe block.
+    index: HashMap<BlockId, u32>,
+    /// Location of universe block `k`.
+    loc: Vec<u32>,
+    /// Availability of universe block `k`.
+    avail: Vec<bool>,
+    /// Blocks that start out missing (punctured parities): they are never
+    /// "available" until repaired, even after [`SchemePlane::heal_all`].
+    initially_missing: Vec<bool>,
+}
+
+impl SchemePlane {
+    /// Builds the plane: asks the scheme for its block universe and places
+    /// every block on one of `locations` failure domains.
+    pub fn new(
+        scheme: Box<dyn RedundancyScheme>,
+        data_blocks: u64,
+        locations: u32,
+        placement: SimPlacement,
+    ) -> Self {
+        Self::with_missing(scheme, data_blocks, locations, placement, |_| false)
+    }
+
+    /// Like [`SchemePlane::new`], but `never_stored` marks blocks that are
+    /// not stored at all (e.g. punctured parities). The decoder may still
+    /// reconstruct them transiently as stepping stones during repairs.
+    pub fn with_missing(
+        scheme: Box<dyn RedundancyScheme>,
+        data_blocks: u64,
+        locations: u32,
+        placement: SimPlacement,
+        never_stored: impl Fn(BlockId) -> bool,
+    ) -> Self {
+        assert!(data_blocks > 0 && locations > 0);
+        let universe = scheme.block_ids(data_blocks);
+        let index: HashMap<BlockId, u32> = universe
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k as u32))
+            .collect();
+        let loc: Vec<u32> = match placement {
+            SimPlacement::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..universe.len())
+                    .map(|_| rng.random_range(0..locations))
+                    .collect()
+            }
+            SimPlacement::RoundRobin => (0..universe.len())
+                .map(|k| (k % locations as usize) as u32)
+                .collect(),
+        };
+        let initially_missing: Vec<bool> = universe.iter().map(|&id| never_stored(id)).collect();
+        let avail = initially_missing.iter().map(|&m| !m).collect();
+        SchemePlane {
+            scheme,
+            data_blocks,
+            locations,
+            universe,
+            index,
+            loc,
+            avail,
+            initially_missing,
+        }
+    }
+
+    /// The scheme driving this plane.
+    pub fn scheme(&self) -> &dyn RedundancyScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Whether `id` is currently available (false for blocks outside the
+    /// universe).
+    pub fn is_available(&self, id: BlockId) -> bool {
+        self.index.get(&id).is_some_and(|&k| self.avail[k as usize])
+    }
+
+    /// Data blocks in the deployment.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_blocks
+    }
+
+    /// Total stored blocks (the placement universe).
+    pub fn total_blocks(&self) -> u64 {
+        self.universe.len() as u64
+    }
+
+    /// The location a block was placed on, or `None` for ids outside the
+    /// universe.
+    pub fn location_of(&self, id: BlockId) -> Option<u32> {
+        self.index.get(&id).map(|&k| self.loc[k as usize])
+    }
+
+    /// Resets every stored block to available (punctured blocks stay out).
+    pub fn heal_all(&mut self) {
+        for k in 0..self.avail.len() {
+            self.avail[k] = !self.initially_missing[k];
+        }
+    }
+
+    /// Fails `fraction` of the locations (chosen uniformly by
+    /// `disaster_seed`) and marks every block stored there unavailable.
+    /// Returns `(missing data, missing redundancy)` counts.
+    pub fn inject_disaster(&mut self, fraction: f64, disaster_seed: u64) -> (u64, u64) {
+        let failed = failed_locations(self.locations, fraction, disaster_seed);
+        let mut missing_data = 0;
+        let mut missing_redundancy = 0;
+        for k in 0..self.universe.len() {
+            if self.avail[k] && failed[self.loc[k] as usize] {
+                self.avail[k] = false;
+                if self.universe[k].is_data() {
+                    missing_data += 1;
+                } else {
+                    missing_redundancy += 1;
+                }
+            }
+        }
+        (missing_data, missing_redundancy)
+    }
+
+    /// Availability oracle over the current state.
+    fn oracle(&self) -> impl Fn(BlockId) -> bool + '_ {
+        |id| self.index.get(&id).is_some_and(|&k| self.avail[k as usize])
+    }
+
+    /// Indices of currently missing blocks, optionally data only.
+    fn missing_indices(&self, data_only: bool) -> Vec<u32> {
+        (0..self.universe.len() as u32)
+            .filter(|&k| !self.avail[k as usize])
+            .filter(|&k| !data_only || self.universe[k as usize].is_data())
+            .collect()
+    }
+
+    /// Round-based repair of everything until fixpoint (§V.C.4). Each
+    /// round plans against the round-start snapshot, so it models one
+    /// parallel wave of distributed repairs.
+    pub fn repair_full(&mut self) -> FullRepairOutcome {
+        let mut missing = self.missing_indices(false);
+        // Judge single failures against the disaster state, before any
+        // repair lands (Fig 13's denominator is all repaired data blocks).
+        let single_candidates: std::collections::HashSet<u32> = {
+            let avail = self.oracle();
+            missing
+                .iter()
+                .copied()
+                .filter(|&k| self.universe[k as usize].is_data())
+                .filter(|&k| {
+                    self.scheme.is_single_failure(
+                        self.universe[k as usize],
+                        self.data_blocks,
+                        &avail,
+                    )
+                })
+                .collect()
+        };
+        let mut rounds = Vec::new();
+        let mut traffic = 0;
+        let mut repaired_singles = 0;
+        loop {
+            let fix: Vec<u32> = {
+                let avail = self.oracle();
+                missing
+                    .iter()
+                    .copied()
+                    .filter(|&k| {
+                        self.scheme.is_repairable(
+                            self.universe[k as usize],
+                            self.data_blocks,
+                            &avail,
+                        )
+                    })
+                    .collect()
+            };
+            if fix.is_empty() {
+                break;
+            }
+            let fixed_ids: Vec<BlockId> = fix.iter().map(|&k| self.universe[k as usize]).collect();
+            traffic += self.scheme.repair_traffic(&fixed_ids);
+            let data = fixed_ids.iter().filter(|id| id.is_data()).count() as u64;
+            if rounds.is_empty() {
+                repaired_singles = fix
+                    .iter()
+                    .filter(|&k| single_candidates.contains(k))
+                    .count() as u64;
+            }
+            for &k in &fix {
+                self.avail[k as usize] = true;
+            }
+            rounds.push(RoundStats {
+                data,
+                parity: fixed_ids.len() as u64 - data,
+            });
+            missing.retain(|&k| !self.avail[k as usize]);
+        }
+        let data_lost = missing
+            .iter()
+            .filter(|&&k| self.universe[k as usize].is_data())
+            .count() as u64;
+        FullRepairOutcome {
+            data_lost,
+            parity_lost: missing.len() as u64 - data_lost,
+            rounds,
+            traffic,
+            single_failure_data: repaired_singles,
+        }
+    }
+
+    /// Minimal-maintenance repair (§V.C.2): rounds repair missing data
+    /// blocks, plus the redundancy blocks the scheme says those repairs
+    /// need ([`RedundancyScheme::maintenance_targets`] — tuple parities
+    /// for AE, nothing for RS and replication).
+    pub fn repair_minimal(&mut self) -> MinimalRepairOutcome {
+        let mut data_repaired = 0;
+        let mut parity_repaired = 0;
+        loop {
+            let missing_data_ids: Vec<BlockId> = self
+                .missing_indices(true)
+                .into_iter()
+                .map(|k| self.universe[k as usize])
+                .collect();
+            let wanted: Vec<u32> = self
+                .scheme
+                .maintenance_targets(&missing_data_ids, self.data_blocks)
+                .into_iter()
+                .filter_map(|id| self.index.get(&id).copied())
+                .filter(|&k| !self.avail[k as usize])
+                .collect();
+            let (fix_data, fix_extra): (Vec<u32>, Vec<u32>) = {
+                let avail = self.oracle();
+                let repairable = |k: &u32| {
+                    self.scheme
+                        .is_repairable(self.universe[*k as usize], self.data_blocks, &avail)
+                };
+                (
+                    missing_data_ids
+                        .iter()
+                        .map(|id| self.index[id])
+                        .filter(repairable)
+                        .collect(),
+                    wanted.iter().copied().filter(|k| repairable(k)).collect(),
+                )
+            };
+            if fix_data.is_empty() && fix_extra.is_empty() {
+                break;
+            }
+            for &k in &fix_data {
+                self.avail[k as usize] = true;
+            }
+            data_repaired += fix_data.len() as u64;
+            for &k in &fix_extra {
+                if !self.avail[k as usize] {
+                    self.avail[k as usize] = true;
+                    parity_repaired += 1;
+                }
+            }
+        }
+        let data_lost = self.missing_indices(true).len() as u64;
+        // Fig 12: available data blocks with no working redundancy left —
+        // if they failed now, they would be unrepairable.
+        let vulnerable_data = {
+            let avail = self.oracle();
+            (0..self.universe.len() as u32)
+                .filter(|&k| self.avail[k as usize] && self.universe[k as usize].is_data())
+                .filter(|&k| {
+                    !self
+                        .scheme
+                        .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
+                })
+                .count() as u64
+        };
+        MinimalRepairOutcome {
+            data_repaired,
+            parity_repaired,
+            data_lost,
+            vulnerable_data,
+        }
+    }
+}
+
+/// Chooses `floor(fraction · locations)` failed locations deterministically
+/// from the seed; shared by all schemes so a disaster hits the same
+/// location set everywhere.
+pub fn failed_locations(locations: u32, fraction: f64, seed: u64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = (locations as f64 * fraction).floor() as usize;
+    let mut ids: Vec<u32> = (0..locations).collect();
+    // Fisher-Yates prefix shuffle.
+    for k in 0..count.min(locations as usize) {
+        let pick = rng.random_range(k..locations as usize);
+        ids.swap(k, pick);
+    }
+    let mut failed = vec![false; locations as usize];
+    for &l in ids.iter().take(count) {
+        failed[l as usize] = true;
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_baselines::{ReedSolomon, Replication};
+    use ae_core::Code;
+    use ae_lattice::Config;
+
+    fn ae(cfg: Config) -> Code {
+        Code::new(cfg, 0)
+    }
+
+    #[test]
+    fn one_plane_drives_all_three_schemes() {
+        let schemes: Vec<Box<dyn RedundancyScheme>> = vec![
+            Box::new(ae(Config::new(3, 2, 5).unwrap())),
+            Box::new(ReedSolomon::new(10, 4).unwrap()),
+            Box::new(Replication::new(3)),
+        ];
+        for scheme in schemes {
+            let name = scheme.scheme_name();
+            let mut plane =
+                SchemePlane::new(scheme, 20_000, 100, SimPlacement::Random { seed: 42 });
+            let (md, mp) = plane.inject_disaster(0.1, 7);
+            assert!(md > 0 && mp > 0, "{name}");
+            let out = plane.repair_full();
+            // A 10% disaster is nearly harmless for all three schemes
+            // (AE(3,2,5) loses nothing; RS(10,4) and 3-way replication
+            // lose at most a handful of unlucky blocks).
+            assert!(out.data_lost < 100, "{name} at 10%: lost {}", out.data_lost);
+            assert!(out.data_repaired() > 0, "{name}");
+            assert!(out.blocks_read() > 0);
+        }
+    }
+
+    #[test]
+    fn repairs_are_deterministic_per_seed() {
+        let run = || {
+            let code = ae(Config::new(2, 2, 5).unwrap());
+            let mut p = SchemePlane::new(
+                Box::new(code),
+                20_000,
+                100,
+                SimPlacement::Random { seed: 5 },
+            );
+            p.inject_disaster(0.3, 9);
+            let o = p.repair_full();
+            (o.data_lost, o.round_count(), o.data_repaired())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn heal_all_respects_punctured_blocks() {
+        let code = ae(Config::new(3, 2, 5).unwrap());
+        let plan = ae_core::puncture::PuncturePlan::every(2);
+        let mut plane = SchemePlane::with_missing(
+            Box::new(code),
+            1_000,
+            10,
+            SimPlacement::Random { seed: 1 },
+            |id| matches!(id, BlockId::Parity(e) if !plan.is_stored(e)),
+        );
+        let missing_at_start = plane.missing_indices(false).len();
+        assert!(missing_at_start > 0, "punctured parities start missing");
+        plane.inject_disaster(0.5, 3);
+        plane.heal_all();
+        assert_eq!(plane.missing_indices(false).len(), missing_at_start);
+    }
+
+    #[test]
+    fn failed_locations_deterministic_and_sized() {
+        let a = failed_locations(100, 0.3, 77);
+        let b = failed_locations(100, 0.3, 77);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&x| x).count(), 30);
+        let none = failed_locations(100, 0.0, 1);
+        assert!(none.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn rs_stripe_rule_via_generic_plane() {
+        // RS(4,12) survives heavy disasters; RS(8,2) bleeds — the stripe
+        // threshold logic comes from the scheme, the rounds from the plane.
+        let strong = ReedSolomon::new(4, 12).unwrap();
+        let weak = ReedSolomon::new(8, 2).unwrap();
+        let run = |rs: ReedSolomon| {
+            let mut p =
+                SchemePlane::new(Box::new(rs), 40_000, 100, SimPlacement::Random { seed: 42 });
+            p.inject_disaster(0.3, 3);
+            p.repair_full().data_lost
+        };
+        assert!(run(strong) < 20);
+        assert!(run(weak) > 1_000);
+    }
+}

@@ -124,7 +124,10 @@ mod tests {
         assert_eq!(Scheme::Rs { k: 10, m: 4 }.encoded_blocks(m), 400_000);
         assert_eq!(Scheme::Rs { k: 8, m: 2 }.encoded_blocks(m), 250_000);
         assert_eq!(Scheme::Rs { k: 5, m: 5 }.encoded_blocks(m), 1_000_000);
-        assert_eq!(Scheme::Ae(Config::new(3, 2, 5).unwrap()).encoded_blocks(m), 3_000_000);
+        assert_eq!(
+            Scheme::Ae(Config::new(3, 2, 5).unwrap()).encoded_blocks(m),
+            3_000_000
+        );
         assert_eq!(Scheme::Replication { n: 4 }.encoded_blocks(m), 3_000_000);
     }
 

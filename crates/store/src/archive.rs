@@ -7,10 +7,15 @@
 //! repairs. Data and parities live in any [`BlockStore`], so the archive
 //! runs equally over a local [`crate::MemStore`] or a
 //! [`crate::DistributedStore`] with failing locations.
+//!
+//! Files are encoded through [`Code::encode_batch`] — the batch-first hot
+//! path — and degraded reads repair through the error-typed decoder, so an
+//! unreadable file reports *which* blocks were unavailable.
 
-use crate::store::{BlockStore, StoreError};
-use ae_core::{decoder, Code, Entangler};
+use crate::store::{BlockStore, StoreRepo};
+use ae_api::{BlockSource, Overlay, RedundancyScheme, RepairError};
 use ae_blocks::{crc32, Block, BlockId, NodeId};
+use ae_core::{decoder, Code};
 use ae_lattice::Config;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -34,8 +39,14 @@ pub struct Entry {
 pub enum ArchiveError {
     /// No entry under that name.
     UnknownFile(String),
-    /// A block could not be fetched or repaired.
-    BlockUnavailable(BlockId),
+    /// A block could not be fetched or repaired; the wrapped error names
+    /// the tuple members that were unavailable.
+    BlockUnavailable {
+        /// The block the read needed.
+        id: BlockId,
+        /// Why the repair failed.
+        source: RepairError,
+    },
     /// The reassembled file failed its manifest checksum.
     ChecksumMismatch {
         /// File name.
@@ -53,8 +64,8 @@ impl fmt::Display for ArchiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchiveError::UnknownFile(n) => write!(f, "no archived file named {n:?}"),
-            ArchiveError::BlockUnavailable(id) => {
-                write!(f, "block {id} unavailable and unrepairable")
+            ArchiveError::BlockUnavailable { id, source } => {
+                write!(f, "block {id} unavailable and unrepairable ({source})")
             }
             ArchiveError::ChecksumMismatch { name, expected, actual } => write!(
                 f,
@@ -65,7 +76,14 @@ impl fmt::Display for ArchiveError {
     }
 }
 
-impl std::error::Error for ArchiveError {}
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::BlockUnavailable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// An append-only entangled archive over any block store.
 ///
@@ -84,7 +102,6 @@ impl std::error::Error for ArchiveError {}
 /// ```
 pub struct Archive<S: BlockStore> {
     code: Code,
-    entangler: Entangler,
     store: Arc<S>,
     manifest: BTreeMap<String, Entry>,
 }
@@ -93,10 +110,8 @@ impl<S: BlockStore> Archive<S> {
     /// Creates an empty archive writing `block_size`-byte blocks into
     /// `store`.
     pub fn new(cfg: Config, block_size: usize, store: Arc<S>) -> Self {
-        let code = Code::new(cfg, block_size);
         Archive {
-            entangler: code.entangler(),
-            code,
+            code: Code::new(cfg, block_size),
             store,
             manifest: BTreeMap::new(),
         }
@@ -114,7 +129,7 @@ impl<S: BlockStore> Archive<S> {
 
     /// Data blocks written so far (all files).
     pub fn blocks_written(&self) -> u64 {
-        self.entangler.written()
+        self.code.written()
     }
 
     /// Names currently archived, in order.
@@ -127,7 +142,8 @@ impl<S: BlockStore> Archive<S> {
         self.manifest.get(name)
     }
 
-    /// Archives a file: chunks, entangles, stores data + parities.
+    /// Archives a file: chunks, entangles the whole file as one batch,
+    /// stores data + parities.
     ///
     /// # Errors
     ///
@@ -138,30 +154,27 @@ impl<S: BlockStore> Archive<S> {
             return Err(ArchiveError::DuplicateName(name.to_string()));
         }
         let bs = self.code.block_size();
-        let first_node = self.entangler.written() + 1;
-        let mut block_count = 0;
         // Even empty files occupy one (zero) block so they have an extent.
-        let chunks: Vec<&[u8]> = if contents.is_empty() {
-            vec![&[]]
+        let blocks: Vec<Block> = if contents.is_empty() {
+            vec![Block::zero(bs)]
         } else {
-            contents.chunks(bs).collect()
+            contents
+                .chunks(bs)
+                .map(|chunk| {
+                    let mut bytes = chunk.to_vec();
+                    bytes.resize(bs, 0);
+                    Block::from_vec(bytes)
+                })
+                .collect()
         };
-        for chunk in chunks {
-            let mut bytes = chunk.to_vec();
-            bytes.resize(bs, 0);
-            let out = self
-                .entangler
-                .entangle(Block::from_vec(bytes))
-                .expect("chunk resized to block size");
-            self.store.put(BlockId::Data(out.node), out.data.clone());
-            for (e, b) in &out.parities {
-                self.store.put(BlockId::Parity(*e), b.clone());
-            }
-            block_count += 1;
-        }
+        let mut sink = StoreRepo(&*self.store);
+        let report = self
+            .code
+            .encode_batch(&blocks, &mut sink)
+            .expect("chunks are resized to the block size");
         let entry = Entry {
-            first_node,
-            block_count,
+            first_node: report.first_node,
+            block_count: blocks.len() as u64,
             byte_len: contents.len(),
             crc: crc32(contents),
         };
@@ -204,119 +217,54 @@ impl<S: BlockStore> Archive<S> {
             .collect()
     }
 
-    /// Scrubs the archive: walks every block the lattice should hold and
-    /// rewrites any that are missing but repairable. Returns how many
-    /// blocks were restored.
+    /// Every block the lattice should hold for the written extent.
+    fn lattice_ids(&self) -> Vec<BlockId> {
+        self.code.block_ids(self.code.written())
+    }
+
+    /// Scrubs the archive: round-based repair of every missing block the
+    /// lattice should hold, writing restored blocks back to the store.
+    /// Returns how many blocks were restored.
     pub fn scrub(&self) -> u64 {
-        let n = self.entangler.written();
-        let mut restored = 0;
-        // Iterate in rounds so chained repairs propagate, like the paper's
-        // decoder.
-        loop {
-            let mut round = 0;
-            for i in 1..=n {
-                let mut ids = vec![BlockId::Data(NodeId(i))];
-                for &class in self.code.config().classes() {
-                    ids.push(BlockId::Parity(ae_blocks::EdgeId::new(class, NodeId(i))));
-                }
-                for id in ids {
-                    if self.store.contains(id) {
-                        continue;
-                    }
-                    let mut lookup = |q: BlockId| self.store.get(q).ok();
-                    if let Some(r) = decoder::repair_block(
-                        self.code.config(),
-                        id,
-                        n,
-                        self.code.zero_block(),
-                        &mut lookup,
-                    ) {
-                        self.store.put(id, r.block);
-                        round += 1;
-                    }
-                }
-            }
-            restored += round;
-            if round == 0 {
-                return restored;
-            }
-        }
+        let targets = self.lattice_ids();
+        let mut repo = StoreRepo(&*self.store);
+        let summary = self
+            .code
+            .repair_missing(&mut repo, &targets, self.code.written());
+        summary.total_repaired() as u64
     }
 
     fn fetch_or_repair(&self, id: BlockId) -> Result<Block, ArchiveError> {
-        match self.store.get(id) {
-            Ok(b) => Ok(b),
-            Err(StoreError::NotFound(_)) | Err(StoreError::Corrupted(_)) => {
-                // Fast path: one XOR from a complete tuple.
-                let mut lookup = |q: BlockId| self.store.get(q).ok();
-                if let Some(r) = decoder::repair_block(
-                    self.code.config(),
-                    id,
-                    self.entangler.written(),
-                    self.code.zero_block(),
-                    &mut lookup,
-                ) {
-                    return Ok(r.block);
-                }
-                // Slow path: round-based repair into a read-side overlay,
-                // so chained reconstructions work without mutating the
-                // store (degraded reads stay read-only).
-                self.deep_repair(id).ok_or(ArchiveError::BlockUnavailable(id))
-            }
+        let source = StoreRepo(&*self.store);
+        if let Some(b) = source.fetch(id) {
+            return Ok(b);
         }
-    }
-
-    /// Round-based repair of `target` into a temporary overlay: each round
-    /// reconstructs every repairable missing block of the lattice until the
-    /// target is available or nothing more can be fixed.
-    fn deep_repair(&self, target: BlockId) -> Option<Block> {
-        use std::collections::HashMap;
-        let n = self.entangler.written();
-        let mut overlay: HashMap<BlockId, Block> = HashMap::new();
-        // All missing block ids.
-        let mut missing: Vec<BlockId> = Vec::new();
-        for i in 1..=n {
-            let mut ids = vec![BlockId::Data(NodeId(i))];
-            for &class in self.code.config().classes() {
-                ids.push(BlockId::Parity(ae_blocks::EdgeId::new(class, NodeId(i))));
-            }
-            for id in ids {
-                if !self.store.contains(id) {
-                    missing.push(id);
-                }
-            }
-        }
-        loop {
-            let mut progressed = false;
-            let mut still = Vec::new();
-            for &id in &missing {
-                let repaired = {
-                    let mut lookup =
-                        |q: BlockId| overlay.get(&q).cloned().or_else(|| self.store.get(q).ok());
-                    decoder::repair_block(
-                        self.code.config(),
-                        id,
-                        n,
-                        self.code.zero_block(),
-                        &mut lookup,
-                    )
-                };
-                match repaired {
-                    Some(r) => {
-                        overlay.insert(id, r.block);
-                        progressed = true;
-                    }
-                    None => still.push(id),
-                }
-            }
-            if let Some(b) = overlay.get(&target) {
-                return Some(b.clone());
-            }
-            if !progressed {
-                return None;
-            }
-            missing = still;
-        }
+        // Fast path: one XOR from a complete tuple.
+        let mut lookup = |q: BlockId| source.fetch(q);
+        let fast = decoder::repair_block(
+            self.code.config(),
+            id,
+            self.code.written(),
+            self.code.zero_block(),
+            &mut lookup,
+        );
+        let fast_err = match fast {
+            Ok(r) => return Ok(r.block),
+            Err(e) => e,
+        };
+        // Slow path: round-based repair into a read-side overlay, so
+        // chained reconstructions work without mutating the store
+        // (degraded reads stay read-only).
+        let mut overlay = Overlay::new(&source);
+        self.code
+            .repair_missing(&mut overlay, &self.lattice_ids(), self.code.written());
+        overlay
+            .patch
+            .remove(&id)
+            .ok_or(ArchiveError::BlockUnavailable {
+                id,
+                source: fast_err,
+            })
     }
 }
 
@@ -330,7 +278,9 @@ mod tests {
     }
 
     fn payload(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(seed).wrapping_add(3)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(seed).wrapping_add(3))
+            .collect()
     }
 
     #[test]
@@ -381,7 +331,8 @@ mod tests {
         let entry = ar.put("f", &data).unwrap();
         // Drop three data blocks behind the archive's back.
         for k in [0, 4, 9] {
-            ar.store().remove(BlockId::Data(NodeId(entry.first_node + k)));
+            ar.store()
+                .remove(BlockId::Data(NodeId(entry.first_node + k)));
         }
         assert_eq!(ar.get("f").unwrap(), data, "read-time repair");
         // Blocks remain missing until scrubbed.
@@ -409,11 +360,7 @@ mod tests {
 
     #[test]
     fn verify_all_flags_dead_files() {
-        let mut ar = Archive::new(
-            Config::new(2, 1, 1).unwrap(),
-            32,
-            Arc::new(MemStore::new()),
-        );
+        let mut ar = Archive::new(Config::new(2, 1, 1).unwrap(), 32, Arc::new(MemStore::new()));
         ar.put("ok", &payload(100, 3)).unwrap();
         let entry = ar.put("doomed", &payload(100, 4)).unwrap();
         // Erase a Fig 7 A dead pattern inside "doomed": two adjacent nodes
@@ -430,10 +377,14 @@ mod tests {
         }
         assert_eq!(ar.verify_all(), vec!["doomed".to_string()]);
         assert!(ar.get("ok").is_ok());
-        assert!(matches!(
-            ar.get("doomed"),
-            Err(ArchiveError::BlockUnavailable(_))
-        ));
+        // The failure names the block and carries the repair detail.
+        match ar.get("doomed") {
+            Err(ArchiveError::BlockUnavailable { id, source }) => {
+                assert!(id.is_data());
+                assert!(!source.missing_blocks().is_empty());
+            }
+            other => panic!("expected BlockUnavailable, got {other:?}"),
+        }
     }
 
     #[test]
@@ -489,6 +440,8 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains("verification"));
-        assert!(ArchiveError::UnknownFile("x".into()).to_string().contains("x"));
+        assert!(ArchiveError::UnknownFile("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

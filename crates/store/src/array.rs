@@ -118,6 +118,7 @@ impl EntangledArray {
         match id {
             BlockId::Data(NodeId(i)) => self.data_drive_of(i),
             BlockId::Parity(e) => self.parity_drive_of(e.left.0),
+            other => panic!("{other} is not an entangled-array block"),
         }
     }
 
@@ -257,7 +258,9 @@ impl EntangledArray {
                 }
                 None
             }
-            BlockId::Parity(EdgeId { left: NodeId(i), .. }) => {
+            BlockId::Parity(EdgeId {
+                left: NodeId(i), ..
+            }) => {
                 // p_i = d_i XOR p_{i-1}  (left tuple)…
                 let left_data = if i == n + 1 {
                     // Closing parity: p_close = d_1 XOR p_n.
@@ -289,12 +292,16 @@ impl EntangledArray {
                 }
                 None
             }
+            _ => None,
         }
     }
 
     fn effective_drive(&self, id: BlockId) -> DriveId {
         // The closing parity lives with the last regular parity's drive.
-        if let BlockId::Parity(EdgeId { left: NodeId(i), .. }) = id {
+        if let BlockId::Parity(EdgeId {
+            left: NodeId(i), ..
+        }) = id
+        {
             if i == self.written + 1 {
                 return self.parity_drive_of(self.written.max(1));
             }
@@ -319,7 +326,13 @@ mod tests {
     ) -> (EntangledArray, Vec<Block>) {
         let mut arr = EntangledArray::new(drives, layout, mode, 16);
         let data: Vec<Block> = (0..blocks)
-            .map(|k| Block::from_vec((0..16).map(|b| (k as u8).wrapping_mul(13).wrapping_add(b)).collect()))
+            .map(|k| {
+                Block::from_vec(
+                    (0..16)
+                        .map(|b| (k as u8).wrapping_mul(13).wrapping_add(b))
+                        .collect(),
+                )
+            })
             .collect();
         for d in &data {
             arr.write(d.clone());
@@ -339,7 +352,14 @@ mod tests {
 
     #[test]
     fn full_partition_fills_drives_in_order() {
-        let (arr, _) = filled(4, Layout::FullPartition { blocks_per_drive: 10 }, ChainMode::Open, 40);
+        let (arr, _) = filled(
+            4,
+            Layout::FullPartition {
+                blocks_per_drive: 10,
+            },
+            ChainMode::Open,
+            40,
+        );
         assert_eq!(arr.data_drive_of(1), DriveId(0));
         assert_eq!(arr.data_drive_of(10), DriveId(0));
         assert_eq!(arr.data_drive_of(11), DriveId(1));
@@ -348,12 +368,20 @@ mod tests {
 
     #[test]
     fn single_drive_failure_rebuilds_fully() {
-        for layout in [Layout::Striping, Layout::FullPartition { blocks_per_drive: 10 }] {
+        for layout in [
+            Layout::Striping,
+            Layout::FullPartition {
+                blocks_per_drive: 10,
+            },
+        ] {
             for mode in [ChainMode::Open, ChainMode::Closed] {
                 let (mut arr, data) = filled(4, layout, mode, 40);
                 arr.fail_drive(DriveId(1)); // a data drive
                 let unrecovered = arr.rebuild();
-                assert!(unrecovered.is_empty(), "{layout:?} {mode:?}: {unrecovered:?}");
+                assert!(
+                    unrecovered.is_empty(),
+                    "{layout:?} {mode:?}: {unrecovered:?}"
+                );
                 for (k, d) in data.iter().enumerate() {
                     assert_eq!(&arr.get(BlockId::Data(NodeId(k as u64 + 1))).unwrap(), d);
                 }

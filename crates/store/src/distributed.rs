@@ -56,7 +56,9 @@ impl DistributedStore {
             // Deterministic probe from the block's home location.
             let n = self.locations();
             let home = self.placement.place(id, n).0;
-            (0..n).map(|k| LocationId((home + k) % n)).find(|&l| cluster.is_available(l))
+            (0..n)
+                .map(|k| LocationId((home + k) % n))
+                .find(|&l| cluster.is_available(l))
         }?;
         // Drop the stale copy (if any) before re-homing.
         let old = self.location_of(id);
@@ -122,6 +124,22 @@ impl BlockStore for DistributedStore {
     }
 }
 
+impl ae_api::BlockSource for DistributedStore {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.get(id).ok()
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.contains(id)
+    }
+}
+
+impl ae_api::BlockSink for DistributedStore {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.put(id, block);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +177,11 @@ mod tests {
         assert!(matches!(s.get(id(1)), Err(StoreError::NotFound(_))));
         assert!(!s.contains(id(1)));
         assert!(!s.location_available(id(1)));
-        assert_eq!(s.len(), 200 - co_located, "len counts only reachable blocks");
+        assert_eq!(
+            s.len(),
+            200 - co_located,
+            "len counts only reachable blocks"
+        );
         // Contents survive the outage: restore and read again.
         s.with_cluster(|c| c.restore(victim));
         assert_eq!(s.get(id(1)).unwrap().as_slice(), &[1u8; 8]);

@@ -13,8 +13,9 @@
 use crate::distributed::DistributedStore;
 use crate::placement::Placement;
 use crate::store::{BlockStore, MemStore, StoreError};
-use ae_core::{decoder, Code, Entangler};
+use ae_api::{BlockSink, RedundancyScheme};
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
+use ae_core::{decoder, Code};
 use ae_lattice::Config;
 use std::fmt;
 use std::sync::Arc;
@@ -23,6 +24,17 @@ use std::sync::Arc;
 /// tier: multiple lattices coexist in the system (§IV.A), so block keys are
 /// "derived from the node id and the block position in the lattice".
 const NS_SHIFT: u32 = 48;
+
+/// Applies a namespace tag to a lattice-local block id.
+fn ns_apply(tag: u64, id: BlockId) -> BlockId {
+    match id {
+        BlockId::Data(NodeId(i)) => BlockId::Data(NodeId(i | tag)),
+        BlockId::Parity(EdgeId { class, left }) => {
+            BlockId::Parity(EdgeId::new(class, NodeId(left.0 | tag)))
+        }
+        other => other,
+    }
+}
 
 /// Handle to a backed-up file: which lattice positions hold its blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +71,6 @@ impl std::error::Error for GeoError {}
 /// One user's broker plus their view of the cooperative network.
 pub struct GeoBackup {
     code: Code,
-    entangler: Entangler,
     /// Tier 1: the user's own machine, holding d-blocks.
     local: MemStore,
     /// Tier 2: remote storage nodes, holding p-blocks — possibly shared
@@ -69,6 +80,25 @@ pub struct GeoBackup {
     user: u64,
 }
 
+/// Write-side routing for a broker: data blocks stay on the local tier,
+/// parities go to the (namespaced) remote tier — the §IV.A two-tier split,
+/// expressed as a [`BlockSink`] so the batch encoder streams straight
+/// through it.
+struct TierSink<'a> {
+    local: &'a MemStore,
+    remote: &'a DistributedStore,
+    ns_tag: u64,
+}
+
+impl BlockSink for TierSink<'_> {
+    fn store(&mut self, id: BlockId, block: Block) {
+        match id {
+            BlockId::Data(_) => self.local.put(id, block),
+            _ => self.remote.put(ns_apply(self.ns_tag, id), block),
+        }
+    }
+}
+
 impl GeoBackup {
     /// Creates a broker entangling `block_size`-byte blocks over
     /// `storage_nodes` remote nodes.
@@ -76,7 +106,10 @@ impl GeoBackup {
         Self::with_shared_remote(
             cfg,
             block_size,
-            Arc::new(DistributedStore::new(storage_nodes, Placement::Random { seed })),
+            Arc::new(DistributedStore::new(
+                storage_nodes,
+                Placement::Random { seed },
+            )),
             0,
         )
     }
@@ -90,10 +123,8 @@ impl GeoBackup {
         remote: Arc<DistributedStore>,
         user: u64,
     ) -> Self {
-        let code = Code::new(cfg, block_size);
         GeoBackup {
-            entangler: code.entangler(),
-            code,
+            code: Code::new(cfg, block_size),
             local: MemStore::new(),
             remote,
             user,
@@ -102,13 +133,7 @@ impl GeoBackup {
 
     /// Maps a lattice-local block id into the shared key space.
     fn ns(&self, id: BlockId) -> BlockId {
-        let tag = self.user << NS_SHIFT;
-        match id {
-            BlockId::Data(NodeId(i)) => BlockId::Data(NodeId(i | tag)),
-            BlockId::Parity(EdgeId { class, left }) => {
-                BlockId::Parity(EdgeId::new(class, NodeId(left.0 | tag)))
-            }
-        }
+        ns_apply(self.user << NS_SHIFT, id)
     }
 
     /// The code in use.
@@ -122,28 +147,30 @@ impl GeoBackup {
     }
 
     /// Backs up a file: splits it into d-blocks (zero-padding the tail),
-    /// entangles each, keeps d-blocks locally and uploads p-blocks to the
-    /// remote nodes.
+    /// entangles the whole file as one batch, keeps d-blocks locally and
+    /// uploads p-blocks to the remote nodes.
     pub fn backup(&mut self, file: &[u8]) -> FileHandle {
         let bs = self.code.block_size();
-        let first_node = self.entangler.written() + 1;
-        let mut block_count = 0;
-        for chunk in file.chunks(bs) {
-            let mut bytes = chunk.to_vec();
-            bytes.resize(bs, 0);
-            let out = self
-                .entangler
-                .entangle(Block::from_vec(bytes))
-                .expect("broker blocks are always block_size bytes");
-            self.local.put(BlockId::Data(out.node), out.data.clone());
-            for (e, b) in &out.parities {
-                self.remote.put(self.ns(BlockId::Parity(*e)), b.clone());
-            }
-            block_count += 1;
-        }
+        let blocks: Vec<Block> = file
+            .chunks(bs)
+            .map(|chunk| {
+                let mut bytes = chunk.to_vec();
+                bytes.resize(bs, 0);
+                Block::from_vec(bytes)
+            })
+            .collect();
+        let mut sink = TierSink {
+            local: &self.local,
+            remote: &self.remote,
+            ns_tag: self.user << NS_SHIFT,
+        };
+        let report = self
+            .code
+            .encode_batch(&blocks, &mut sink)
+            .expect("broker blocks are always block_size bytes");
         FileHandle {
-            first_node,
-            block_count,
+            first_node: report.first_node,
+            block_count: blocks.len() as u64,
             byte_len: file.len(),
         }
     }
@@ -202,7 +229,7 @@ impl GeoBackup {
     /// flow) and re-homes them on available nodes. Blocks whose tuples are
     /// incomplete are skipped; returns how many parities were regenerated.
     pub fn repair_remote(&self) -> u64 {
-        let max_node = self.entangler.written();
+        let max_node = self.code.written();
         let zero = self.code.zero_block().clone();
         let mut repaired = 0;
         // Walk every parity the lattice should hold; regenerate missing
@@ -217,14 +244,11 @@ impl GeoBackup {
                 let mut lookup = |q: BlockId| match q {
                     BlockId::Data(_) => self.local.get(q).ok(),
                     BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
+                    _ => None,
                 };
-                if let Some(r) = decoder::repair_edge(
-                    self.code.config(),
-                    edge,
-                    max_node,
-                    &zero,
-                    &mut lookup,
-                ) {
+                if let Ok(r) =
+                    decoder::repair_edge(self.code.config(), edge, max_node, &zero, &mut lookup)
+                {
                     if self.remote.put_rehomed(self.ns(id), r.block).is_some() {
                         repaired += 1;
                     }
@@ -243,8 +267,10 @@ impl GeoBackup {
             // gone, so never rely on them here.
             BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
             BlockId::Data(_) => self.local.get(q).ok(),
+            _ => None,
         };
         decoder::repair_node(self.code.config(), i, self.code.zero_block(), &mut lookup)
+            .ok()
             .map(|r| r.block)
     }
 }
@@ -332,7 +358,10 @@ mod tests {
     #[test]
     fn backup_and_read_roundtrip() {
         let (geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 1000);
-        assert_eq!(handle.block_count, 16, "1000 bytes / 64-byte blocks, padded");
+        assert_eq!(
+            handle.block_count, 16,
+            "1000 bytes / 64-byte blocks, padded"
+        );
         assert_eq!(geo.read(handle).unwrap(), file);
     }
 
@@ -368,10 +397,7 @@ mod tests {
                 break;
             }
             let regenerated = geo.repair_remote();
-            assert!(
-                regenerated > 0 || round > 0,
-                "no progress: {unrecovered:?}"
-            );
+            assert!(regenerated > 0 || round > 0, "no progress: {unrecovered:?}");
         }
         assert_eq!(geo.read(handle).unwrap(), file);
     }
@@ -415,10 +441,7 @@ mod tests {
                 c.fail(crate::cluster::LocationId(l));
             }
         });
-        assert!(matches!(
-            geo.read(handle),
-            Err(GeoError::Unrecoverable(_))
-        ));
+        assert!(matches!(geo.read(handle), Err(GeoError::Unrecoverable(_))));
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod store;
 pub use cluster::{Cluster, LocationId};
 pub use distributed::DistributedStore;
 pub use placement::Placement;
-pub use store::{BlockStore, MemStore, StoreError};
+pub use store::{BlockStore, MemStore, StoreError, StoreRepo};

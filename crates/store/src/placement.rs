@@ -10,6 +10,10 @@
 use crate::cluster::LocationId;
 use ae_blocks::{BlockId, EdgeId, NodeId};
 
+/// Shard/replica ids get key-space offsets far above lattice ids so the
+/// schemes never collide in one store.
+const FOREIGN_BASE: u64 = 1 << 62;
+
 /// A deterministic block-to-location mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -30,9 +34,7 @@ impl Placement {
     pub fn place(&self, id: BlockId, n: u32) -> LocationId {
         assert!(n > 0, "placement needs at least one location");
         match self {
-            Placement::Random { seed } => {
-                LocationId((mix(block_key(id), *seed) % n as u64) as u32)
-            }
+            Placement::Random { seed } => LocationId((mix(block_key(id), *seed) % n as u64) as u32),
             Placement::RoundRobin => LocationId((sequence_index(id) % n as u64) as u32),
         }
     }
@@ -43,6 +45,8 @@ fn block_key(id: BlockId) -> u64 {
     match id {
         BlockId::Data(NodeId(i)) => i << 2,
         BlockId::Parity(EdgeId { class, left }) => (left.0 << 2) | (class.index() as u64 + 1),
+        BlockId::Shard(s) => FOREIGN_BASE | (s.stripe << 9) | s.index as u64,
+        BlockId::Replica(r) => (FOREIGN_BASE << 1) | (r.node.0 << 9) | r.copy as u64,
     }
 }
 
@@ -52,6 +56,8 @@ fn sequence_index(id: BlockId) -> u64 {
     match id {
         BlockId::Data(NodeId(i)) => i * 4,
         BlockId::Parity(EdgeId { class, left }) => left.0 * 4 + 1 + class.index() as u64,
+        BlockId::Shard(s) => s.stripe * 4 + s.index as u64,
+        BlockId::Replica(r) => r.node.0 * 4 + r.copy as u64,
     }
 }
 
@@ -140,7 +146,11 @@ mod tests {
     #[test]
     fn round_robin_wraps() {
         let p = Placement::RoundRobin;
-        assert_eq!(p.place(data(1), 4), p.place(data(2), 4), "4 slots per node, n=4");
+        assert_eq!(
+            p.place(data(1), 4),
+            p.place(data(2), 4),
+            "4 slots per node, n=4"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Block stores: where block contents live.
 
+use ae_api::{BlockSink, BlockSource};
 use ae_blocks::{Block, BlockId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -75,6 +76,30 @@ impl MemStore {
     }
 }
 
+/// Adapter presenting any shared [`BlockStore`] as the scheme-agnostic
+/// [`BlockSource`] + [`BlockSink`] pair (a [`ae_api::BlockRepo`]), so
+/// encoders and repair engines can write through `&S` / `Arc<S>` handles.
+///
+/// Failed reads (missing or corrupted) surface as `None`: to a decoder
+/// both mean "not available here".
+pub struct StoreRepo<'a, S: BlockStore + ?Sized>(pub &'a S);
+
+impl<S: BlockStore + ?Sized> BlockSource for StoreRepo<'_, S> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.0.get(id).ok()
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.0.contains(id)
+    }
+}
+
+impl<S: BlockStore + ?Sized> BlockSink for StoreRepo<'_, S> {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.0.put(id, block);
+    }
+}
+
 impl BlockStore for MemStore {
     fn put(&self, id: BlockId, block: Block) {
         self.blocks.write().insert(id, block);
@@ -97,6 +122,22 @@ impl BlockStore for MemStore {
 
     fn len(&self) -> usize {
         self.blocks.read().len()
+    }
+}
+
+impl BlockSource for MemStore {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.get(id).ok()
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.contains(id)
+    }
+}
+
+impl BlockSink for MemStore {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.put(id, block);
     }
 }
 
@@ -163,7 +204,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(StoreError::NotFound(id(7)).to_string().contains("not found"));
-        assert!(StoreError::Corrupted(id(7)).to_string().contains("integrity"));
+        assert!(StoreError::NotFound(id(7))
+            .to_string()
+            .contains("not found"));
+        assert!(StoreError::Corrupted(id(7))
+            .to_string()
+            .contains("integrity"));
     }
 }

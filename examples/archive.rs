@@ -22,8 +22,12 @@ fn main() {
     );
 
     // Archive a few "files".
-    let report: Vec<u8> = (0..20_000u32).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect();
-    let logs: Vec<u8> = (0..5_000u32).map(|i| (i.wrapping_mul(40503) >> 3) as u8).collect();
+    let report: Vec<u8> = (0..20_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect();
+    let logs: Vec<u8> = (0..5_000u32)
+        .map(|i| (i.wrapping_mul(40503) >> 3) as u8)
+        .collect();
     ar.put("report.pdf", &report).expect("fresh name");
     ar.put("server.log", &logs).expect("fresh name");
     ar.put("empty.flag", b"").expect("fresh name");
@@ -34,7 +38,10 @@ fn main() {
     );
     for name in ["report.pdf", "server.log", "empty.flag"] {
         let e = ar.entry(name).expect("archived");
-        println!("  {name}: {} blocks, {} bytes, crc {:#010x}", e.block_count, e.byte_len, e.crc);
+        println!(
+            "  {name}: {} blocks, {} bytes, crc {:#010x}",
+            e.block_count, e.byte_len, e.crc
+        );
     }
 
     // A fifth of the locations go dark.
@@ -62,9 +69,15 @@ fn main() {
         store.remove(*id);
     }
     store.with_cluster(|c| c.restore_all());
-    println!("\nreplaced the 6 locations empty ({} blocks to rebuild)", dead_blocks.len());
+    println!(
+        "\nreplaced the 6 locations empty ({} blocks to rebuild)",
+        dead_blocks.len()
+    );
     let restored = ar.scrub();
-    println!("scrub restored {restored} blocks; verify_all: {:?}", ar.verify_all());
+    println!(
+        "scrub restored {restored} blocks; verify_all: {:?}",
+        ar.verify_all()
+    );
     assert_eq!(restored as usize, dead_blocks.len());
     assert!(ar.verify_all().is_empty());
 }

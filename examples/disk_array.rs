@@ -15,7 +15,13 @@ use aecodes::store::array::{ChainMode, DriveId, EntangledArray, Layout};
 fn fill(mode: ChainMode, layout: Layout) -> (EntangledArray, Vec<Block>) {
     let mut arr = EntangledArray::new(4, layout, mode, 512);
     let data: Vec<Block> = (0..80u32)
-        .map(|k| Block::from_vec((0..512).map(|b| ((k as usize * 31 + b) % 256) as u8).collect()))
+        .map(|k| {
+            Block::from_vec(
+                (0..512)
+                    .map(|b| ((k as usize * 31 + b) % 256) as u8)
+                    .collect(),
+            )
+        })
         .collect();
     for d in &data {
         arr.write(d.clone());
@@ -30,7 +36,10 @@ fn tail_loss(mode: ChainMode) -> usize {
     let (mut arr, _) = fill(mode, Layout::Striping);
     let n = arr.written();
     arr.remove_block(BlockId::Data(NodeId(n)));
-    arr.remove_block(BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(n))));
+    arr.remove_block(BlockId::Parity(EdgeId::new(
+        StrandClass::Horizontal,
+        NodeId(n),
+    )));
     arr.rebuild().len()
 }
 
@@ -57,7 +66,9 @@ fn main() {
     // MAID-style full partition: sequential fills keep most drives idle.
     let (mut maid, _) = fill(
         ChainMode::Closed,
-        Layout::FullPartition { blocks_per_drive: 20 },
+        Layout::FullPartition {
+            blocks_per_drive: 20,
+        },
     );
     println!(
         "full-partition (MAID) layout: block 1 on drive {:?}, block 21 on drive {:?}",

@@ -53,8 +53,14 @@ fn main() {
     let victim = BlockId::Data(NodeId(100));
     let original = store.remove(&victim).unwrap();
     use aecodes::blocks::EdgeId;
-    store.remove(&BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(100))));
-    store.remove(&BlockId::Parity(EdgeId::new(StrandClass::RightHanded, NodeId(100))));
+    store.remove(&BlockId::Parity(EdgeId::new(
+        StrandClass::Horizontal,
+        NodeId(100),
+    )));
+    store.remove(&BlockId::Parity(EdgeId::new(
+        StrandClass::RightHanded,
+        NodeId(100),
+    )));
     let repaired = code
         .repair_block(&store, victim, 200)
         .expect("the new LH strand saves it");
@@ -66,7 +72,7 @@ fn main() {
     let before = store.len();
     store.retain(|id, _| match id {
         BlockId::Parity(e) => plan.is_stored(*e),
-        BlockId::Data(_) => true,
+        _ => true,
     });
     println!(
         "\npunctured {} parities; effective overhead {:.0}% (plain AE(3) is 300%)",
@@ -77,7 +83,9 @@ fn main() {
     // Single failures still repair: surviving strands carry the load.
     let victim = BlockId::Data(NodeId(150));
     let original = store.remove(&victim).unwrap();
-    let repaired = code.repair_block(&store, victim, 200).expect("still repairable");
+    let repaired = code
+        .repair_block(&store, victim, 200)
+        .expect("still repairable");
     assert_eq!(repaired, original);
     println!("single-failure repair still works on the punctured lattice");
 }

@@ -19,8 +19,12 @@ fn main() {
     println!("broker: {cfg}, 40 storage nodes, 256-byte blocks");
 
     // Back up two "files".
-    let photos: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) % 251) as u8).collect();
-    let mail: Vec<u8> = (0..4_000u32).map(|i| (i.wrapping_mul(40503) % 241) as u8).collect();
+    let photos: Vec<u8> = (0..10_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) % 251) as u8)
+        .collect();
+    let mail: Vec<u8> = (0..4_000u32)
+        .map(|i| (i.wrapping_mul(40503) % 241) as u8)
+        .collect();
     let h_photos = geo.backup(&photos);
     let h_mail = geo.backup(&mail);
     println!(

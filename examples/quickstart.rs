@@ -1,40 +1,45 @@
-//! Quickstart: entangle data, lose blocks, repair them with single XORs.
+//! Quickstart: entangle data through the scheme-agnostic API, lose
+//! blocks, repair them with single XORs — and see exactly what a failed
+//! repair was missing.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use aecodes::blocks::{Block, BlockId, NodeId};
-use aecodes::core::{tamper, BlockMap, Code};
+use aecodes::core::{tamper, BlockMap, Code, RedundancyScheme};
 use aecodes::lattice::Config;
 
 fn main() {
     // AE(3,2,5): triple entanglement over 2 horizontal and 2×5 helical
     // strands — the paper's equivalent of its earlier 5-HEC code.
     let cfg = Config::new(3, 2, 5).expect("valid code parameters");
-    let code = Code::new(cfg, 64);
+    let mut code = Code::new(cfg, 64);
     println!("code: {cfg}");
     println!("  rate                : {:.3}", cfg.code_rate());
-    println!("  storage overhead    : {}%", cfg.storage_overhead_pct());
+    println!(
+        "  storage overhead    : {}%",
+        code.repair_cost().additional_storage_pct
+    );
     println!("  strands             : {}", cfg.strand_count());
-    println!("  single-failure reads: {}", Config::SINGLE_FAILURE_READS);
+    println!(
+        "  single-failure reads: {}",
+        code.repair_cost().single_failure_reads
+    );
 
-    // Entangle one hundred 64-byte data blocks.
-    let mut store = BlockMap::new();
-    let mut enc = code.entangler();
+    // Entangle one hundred 64-byte data blocks in one batch — the hot
+    // path: data and parities stream straight into any BlockSink.
     let originals: Vec<Block> = (0..100u8)
         .map(|k| Block::from_vec((0..64).map(|b| k.wrapping_mul(7) ^ b).collect()))
         .collect();
-    for blk in &originals {
-        enc.entangle(blk.clone())
-            .expect("block size matches")
-            .insert_into(&mut store);
-    }
+    let mut store = BlockMap::new();
+    let report = code
+        .encode_batch(&originals, &mut store)
+        .expect("uniform sizes");
     println!(
-        "\nentangled {} data blocks -> {} stored blocks (frontier: {} parities in memory)",
-        enc.written(),
+        "\nentangled {} data blocks -> {} stored blocks (batch, one call)",
+        report.data_written(),
         store.len(),
-        enc.memory_footprint()
     );
 
     // Lose three data blocks; each repairs with ONE XOR of two parities.
@@ -42,16 +47,22 @@ fn main() {
         let id = BlockId::Data(NodeId(lost));
         let original = store.remove(&id).expect("block was stored");
         let repaired = code
-            .repair_block(&store, id, enc.written())
+            .repair_block(&store, id, code.written())
             .expect("a pp-tuple survives");
         assert_eq!(repaired, original);
         println!("repaired d{lost} from one pp-tuple (2 reads, 1 XOR)");
         store.insert(id, repaired);
     }
 
+    // Failed repairs are errors that name the missing tuple members.
+    let err = code
+        .repair_block(&BlockMap::new(), BlockId::Data(NodeId(42)), 100)
+        .unwrap_err();
+    println!("\nempty store: {err}");
+
     // The anti-tampering property: rewriting one old block undetectably
     // means recomputing every later parity on all three of its strands.
-    let report = tamper::tamper_cost(&cfg, 10, enc.written());
+    let report = tamper::tamper_cost(&cfg, 10, code.written());
     println!(
         "\ntampering with d10 would require rewriting {} blocks:",
         report.total_blocks()

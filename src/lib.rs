@@ -4,14 +4,50 @@
 //! users can depend on a single package. See the individual crates for the
 //! full APIs:
 //!
+//! * [`api`] — the scheme-agnostic surface: the
+//!   [`api::RedundancyScheme`] trait, [`api::BlockSource`] /
+//!   [`api::BlockSink`], and the [`api::AeError`] / [`api::RepairError`]
+//!   hierarchy.
 //! * [`blocks`] — block primitives, XOR kernels, CRC32.
 //! * [`gf`] — GF(2^8) arithmetic for the Reed-Solomon baseline.
 //! * [`lattice`] — the helical lattice and minimal-erasure analysis.
 //! * [`core`] — the AE(α, s, p) encoder, decoder and repair engine.
 //! * [`baselines`] — Reed-Solomon and replication comparison codes.
 //! * [`store`] — the simulated distributed storage substrate.
-//! * [`sim`] — the disaster-recovery simulation framework.
+//! * [`sim`] — the disaster-recovery simulation framework, built on one
+//!   generic scheme plane.
+//!
+//! # Quickstart
+//!
+//! Everything speaks [`api::RedundancyScheme`]: encode a batch, lose
+//! blocks, repair — with any code. Swapping `Code` below for
+//! [`baselines::ReedSolomon`] or [`baselines::Replication`] changes
+//! nothing else.
+//!
+//! ```
+//! use aecodes::api::RedundancyScheme;
+//! use aecodes::blocks::{Block, BlockId, NodeId};
+//! use aecodes::core::{BlockMap, Code};
+//! use aecodes::lattice::Config;
+//!
+//! let mut scheme = Code::new(Config::new(3, 2, 5).unwrap(), 64);
+//! let mut store = BlockMap::new();
+//! let blocks: Vec<Block> = (0u8..50).map(|n| Block::from_vec(vec![n; 64])).collect();
+//! scheme.encode_batch(&blocks, &mut store).unwrap();
+//!
+//! // Lose a few blocks; round-based repair restores them byte-identically.
+//! let victims = [BlockId::Data(NodeId(7)), BlockId::Data(NodeId(33))];
+//! let originals: Vec<Block> = victims.iter().map(|v| store.remove(v).unwrap()).collect();
+//! let summary = scheme.repair_missing(&mut store, &victims, 50);
+//! assert!(summary.fully_recovered());
+//! assert_eq!(store[&victims[0]], originals[0]);
+//!
+//! // Failed repairs say which tuple members were missing.
+//! let err = scheme.repair_block(&BlockMap::new(), victims[0], 50).unwrap_err();
+//! assert!(!err.missing_blocks().is_empty());
+//! ```
 
+pub use ae_api as api;
 pub use ae_baselines as baselines;
 pub use ae_blocks as blocks;
 pub use ae_core as core;

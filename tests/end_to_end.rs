@@ -2,39 +2,31 @@
 //! lose locations, repair everything, verify byte identity.
 
 use aecodes::blocks::{Block, BlockId, NodeId};
-use aecodes::core::{BlockMap, Code};
+use aecodes::core::{BlockMap, Code, RedundancyScheme};
 use aecodes::lattice::Config;
 use aecodes::store::cluster::LocationId;
-use aecodes::store::{BlockStore, DistributedStore, Placement};
+use aecodes::store::{BlockStore, DistributedStore, Placement, StoreRepo};
 
 const BLOCK: usize = 256;
 
 fn data_block(k: u64) -> Block {
-    Block::from_vec((0..BLOCK).map(|b| ((k as usize * 131 + b * 17 + 3) % 256) as u8).collect())
+    Block::from_vec(
+        (0..BLOCK)
+            .map(|b| ((k as usize * 131 + b * 17 + 3) % 256) as u8)
+            .collect(),
+    )
 }
 
-/// Entangles `n` blocks into a distributed store over `locations` nodes.
+/// Entangles `n` blocks into a distributed store over `locations` nodes,
+/// through the batch-first scheme API.
 fn build(cfg: Config, n: u64, locations: u32) -> (Code, DistributedStore) {
-    let code = Code::new(cfg, BLOCK);
+    let mut code = Code::new(cfg, BLOCK);
     let store = DistributedStore::new(locations, Placement::Random { seed: 99 });
-    let mut enc = code.entangler();
-    for k in 0..n {
-        let out = enc.entangle(data_block(k)).unwrap();
-        for id in out.block_ids() {
-            match id {
-                BlockId::Data(_) => store.put(id, out.data.clone()),
-                BlockId::Parity(e) => {
-                    let p = out
-                        .parities
-                        .iter()
-                        .find(|(pe, _)| *pe == e)
-                        .map(|(_, b)| b.clone())
-                        .expect("parity present");
-                    store.put(id, p);
-                }
-            }
-        }
-    }
+    let blocks: Vec<Block> = (0..n).map(data_block).collect();
+    let report = code
+        .encode_batch(&blocks, &mut StoreRepo(&store))
+        .expect("uniform block sizes");
+    assert_eq!(report.data_written(), n);
     (code, store)
 }
 
@@ -76,7 +68,10 @@ fn disaster_then_full_recovery_byte_identical() {
         .flat_map(|i| {
             let mut ids = vec![BlockId::Data(NodeId(i))];
             for &class in cfg.classes() {
-                ids.push(BlockId::Parity(aecodes::blocks::EdgeId::new(class, NodeId(i))));
+                ids.push(BlockId::Parity(aecodes::blocks::EdgeId::new(
+                    class,
+                    NodeId(i),
+                )));
             }
             ids
         })

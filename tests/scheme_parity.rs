@@ -1,0 +1,160 @@
+//! Scheme parity: AE, Reed-Solomon and replication all round-trip
+//! `encode_batch` → random erasures → `repair_missing` through one
+//! `RedundancyScheme`-generic harness. No code in this file knows which
+//! scheme it is exercising.
+
+use aecodes::baselines::{ReedSolomon, Replication};
+use aecodes::blocks::{Block, BlockId, NodeId};
+use aecodes::core::{BlockMap, Code, RedundancyScheme};
+use aecodes::lattice::Config;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const BLOCK: usize = 32;
+
+/// Any scheme in the lineup, boxed behind the one trait.
+fn any_scheme() -> impl Strategy<Value = Box<dyn RedundancyScheme>> {
+    (0u8..7).prop_map(|pick| -> Box<dyn RedundancyScheme> {
+        match pick {
+            0 => Box::new(Code::new(Config::single(), BLOCK)),
+            1 => Box::new(Code::new(Config::new(2, 2, 5).unwrap(), BLOCK)),
+            2 => Box::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK)),
+            3 => Box::new(ReedSolomon::new(4, 2).unwrap()),
+            4 => Box::new(ReedSolomon::new(10, 4).unwrap()),
+            5 => Box::new(Replication::new(2)),
+            _ => Box::new(Replication::new(3)),
+        }
+    })
+}
+
+fn payload(n: u64, seed: u64) -> Vec<Block> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Block::from_vec((0..BLOCK).map(|k| (state >> (k % 56)) as u8).collect())
+        })
+        .collect()
+}
+
+/// Encodes `blocks` through the trait, returning the filled store.
+fn encode_all(scheme: &mut dyn RedundancyScheme, blocks: &[Block]) -> BlockMap {
+    let mut store = BlockMap::new();
+    let report = scheme
+        .encode_batch(blocks, &mut store)
+        .expect("uniform sizes");
+    assert_eq!(report.data_written(), blocks.len() as u64);
+    scheme.seal(&mut store).expect("flush buffered redundancy");
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Scattered single data-block erasures, far enough apart that every
+    /// scheme in the lineup must recover all of them, byte-identically,
+    /// through the same generic code path.
+    #[test]
+    fn all_schemes_round_trip_scattered_erasures(
+        mut scheme in any_scheme(),
+        seed: u64,
+        picks in proptest::collection::btree_set(0u64..20, 1..5),
+    ) {
+        let n = 400u64;
+        let blocks = payload(n, seed);
+        let mut store = encode_all(scheme.as_mut(), &blocks);
+
+        // One victim per 20-wide stride: strictly more than any stripe
+        // width or repair-tuple span apart, so no scheme can be over-erased.
+        let victims: Vec<BlockId> = picks
+            .iter()
+            .map(|&p| BlockId::Data(NodeId(1 + p * 20)))
+            .collect();
+        let originals: Vec<Block> = victims
+            .iter()
+            .map(|v| store.remove(v).expect("victim was stored"))
+            .collect();
+
+        let summary = scheme.repair_missing(&mut store, &victims, n);
+        prop_assert!(
+            summary.fully_recovered(),
+            "{} left {:?}",
+            scheme.scheme_name(),
+            summary.unrecovered
+        );
+        prop_assert!(summary.blocks_read > 0);
+        for (v, original) in victims.iter().zip(&originals) {
+            prop_assert_eq!(&store[v], original, "{}: {}", scheme.scheme_name(), v);
+        }
+    }
+
+    /// Single-block repair agrees with the round engine and reports
+    /// missing tuple members on an empty store.
+    #[test]
+    fn repair_block_matches_and_errors_are_rich(
+        mut scheme in any_scheme(),
+        seed: u64,
+        victim in 1u64..200,
+    ) {
+        let n = 200u64;
+        let blocks = payload(n, seed);
+        let mut store = encode_all(scheme.as_mut(), &blocks);
+        let id = BlockId::Data(NodeId(victim));
+        let original = store.remove(&id).expect("victim was stored");
+        let repaired = scheme.repair_block(&store, id, n);
+        prop_assert_eq!(
+            repaired.as_ref().ok(),
+            Some(&original),
+            "{}",
+            scheme.scheme_name()
+        );
+
+        // With nothing available the repair fails and says what it needed.
+        let err = scheme.repair_block(&BlockMap::new(), id, n).unwrap_err();
+        prop_assert!(
+            !err.missing_blocks().is_empty(),
+            "{} error must name missing members",
+            scheme.scheme_name()
+        );
+    }
+
+    /// The availability hooks agree with the byte plane: a block the
+    /// structural oracle calls repairable under a random availability
+    /// pattern is indeed repairable with bytes, and vice versa.
+    #[test]
+    fn availability_oracle_matches_byte_plane(
+        mut scheme in any_scheme(),
+        seed: u64,
+        down in proptest::collection::btree_set(0usize..600, 1..40),
+    ) {
+        let n = 120u64;
+        let blocks = payload(n, seed);
+        let full = encode_all(scheme.as_mut(), &blocks);
+        let universe = scheme.block_ids(n);
+
+        // Knock out a random subset of the universe.
+        let downed: BTreeSet<BlockId> = down
+            .iter()
+            .filter_map(|&k| universe.get(k % universe.len()).copied())
+            .collect();
+        let mut store = full.clone();
+        for id in &downed {
+            store.remove(id);
+        }
+
+        for &target in downed.iter().take(10) {
+            let avail = |q: BlockId| q != target && !downed.contains(&q) && full.contains_key(&q);
+            let oracle = scheme.is_repairable(target, n, &avail);
+            let bytes = scheme.repair_block(&store, target, n).is_ok();
+            prop_assert_eq!(
+                oracle,
+                bytes,
+                "{}: {} oracle vs bytes",
+                scheme.scheme_name(),
+                target
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the criterion API surface this workspace's benches use —
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], `Bencher::iter` and
+//! the `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock harness: a short warm-up followed by a timed measurement
+//! window, reporting mean time per iteration (and derived throughput).
+//!
+//! Set `CRITERION_QUICK=1` to shrink the measurement windows (used by CI
+//! smoke runs), and `CRITERION_JSON=<path>` to append one JSON line per
+//! benchmark for machine-readable results.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the harness
+    /// sizes its measurement window by time, not samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 {
+            bencher.total / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let full = format!("{}/{}", self.name, id.id);
+        let mut line = format!(
+            "bench {full:<48} {:>12.3} us/iter",
+            per_iter.as_secs_f64() * 1e6
+        );
+        let ns = per_iter.as_secs_f64() * 1e9;
+        if let (Some(Throughput::Bytes(b)), true) = (self.throughput, ns > 0.0) {
+            let gib_s = b as f64 / per_iter.as_secs_f64() / (1 << 30) as f64;
+            line.push_str(&format!("  {gib_s:>8.3} GiB/s"));
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let bytes = match self.throughput {
+                    Some(Throughput::Bytes(b)) => b,
+                    _ => 0,
+                };
+                let _ = writeln!(
+                    file,
+                    "{{\"bench\":\"{full}\",\"ns_per_iter\":{ns:.1},\"iters\":{},\"throughput_bytes\":{bytes}}}",
+                    bencher.iters
+                );
+            }
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up, then a measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        let (warmup, measure) = if quick {
+            (Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (Duration::from_millis(100), Duration::from_millis(400))
+        };
+        // Warm-up: also estimates per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters > 1_000_000_000 {
+                break;
+            }
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < measure || iters == 0 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;

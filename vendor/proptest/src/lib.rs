@@ -1,0 +1,589 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait over integer ranges, tuples, [`Just`]
+//! and unions; [`collection::vec`] / [`collection::btree_set`]; `any::<T>()`
+//! for primitive types; and the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! generated inputs (via `Debug`) and the case number. Generation is fully
+//! deterministic per test (seeded by the test body's location), so failures
+//! reproduce exactly.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Filters and maps generated values, retrying until `f` returns
+    /// `Some` (up to an attempt cap).
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Maps generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map {:?} rejected 10000 candidates",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (built by [`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S> Union<S> {
+    /// Builds a union; panics when empty.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's full value range (what `any::<T>()` returns).
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_full_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_full_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BTreeSet, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specification for collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size in `size`
+    /// (duplicates may yield fewer elements, as in real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng).max(1);
+            let mut out = BTreeSet::new();
+            for _ in 0..target * 20 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The error a failing property returns (message only; no shrinking).
+pub type TestCaseError = String;
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform random choice among strategies of one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// immediately) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{:?} == {:?}`: {} at {}:{}",
+                l, r, format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Parameters may be `name in strategy` or
+/// `name: Type` (the latter uses `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @tests($cfg) $($rest)* }
+    };
+    (@tests($cfg:expr)) => {};
+    (@tests($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params!{ @munch [$cfg, $body] [] $($params)* }
+        }
+        $crate::proptest!{ @tests($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @tests($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: normalises the parameter list
+/// into `pattern in strategy` pairs, then emits the case loop.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_params {
+    // `mut name in strategy` with more parameters following.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] mut $x:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!{ @munch [$cfg, $body] [$([$p, $s])* [mut $x, $strat]] $($rest)* }
+    };
+    // `mut name in strategy` as the final parameter.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] mut $x:ident in $strat:expr) => {
+        $crate::__proptest_params!{ @emit [$cfg, $body] [$([$p, $s])* [mut $x, $strat]] }
+    };
+    // `name in strategy` with more parameters following.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] $x:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!{ @munch [$cfg, $body] [$([$p, $s])* [$x, $strat]] $($rest)* }
+    };
+    // `name in strategy` as the final parameter.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] $x:ident in $strat:expr) => {
+        $crate::__proptest_params!{ @emit [$cfg, $body] [$([$p, $s])* [$x, $strat]] }
+    };
+    // `name: Type` with more parameters following.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] $x:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!{ @munch [$cfg, $body] [$([$p, $s])* [$x, $crate::any::<$t>()]] $($rest)* }
+    };
+    // `name: Type` as the final parameter.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*] $x:ident : $t:ty) => {
+        $crate::__proptest_params!{ @emit [$cfg, $body] [$([$p, $s])* [$x, $crate::any::<$t>()]] }
+    };
+    // Trailing comma already consumed; nothing left.
+    (@munch [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*]) => {
+        $crate::__proptest_params!{ @emit [$cfg, $body] [$([$p, $s])*] }
+    };
+    (@emit [$cfg:expr, $body:block] [$([$p:pat, $s:expr])*]) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        // Seed from the source location so every property is deterministic
+        // but distinct.
+        let seed = {
+            let loc = concat!(file!(), ":", line!(), ":", column!());
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in loc.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        };
+        let mut rng = $crate::TestRng::new(seed);
+        for case in 0..config.cases {
+            $(let $p = $crate::Strategy::generate(&$s, &mut rng);)*
+            let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            })();
+            if let Err(msg) = result {
+                panic!("property failed at case {case}/{}: {msg}", config.cases);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..100 {
+            let v = (1u8..=3).generate(&mut rng);
+            assert!((1..=3).contains(&v));
+            let (a, b) = (0u8..4, 0i64..60).generate(&mut rng);
+            assert!(a < 4 && (0..60).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_options() {
+        let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::TestRng::new(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u8..10, 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let s = crate::collection::btree_set(0u64..1000, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..10, y: u8, pair in (0u8..4, 0i64..60)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(pair.0 as u32, u32::from(pair.0));
+            let _ = y;
+            prop_assert!(pair.1 < 60, "pair {:?}", pair);
+        }
+    }
+}

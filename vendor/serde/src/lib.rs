@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates types with `Serialize`/`Deserialize` so they are
+//! ready for a real serializer, but nothing serializes today and the build
+//! environment has no network access. This crate supplies marker traits and
+//! re-exports the no-op derives so the annotations compile unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The workspace only uses serde derives as forward-looking annotations (no
+//! serializer is wired up anywhere), so deriving nothing is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Derives a no-op `Serialize` marker impl (nothing is emitted).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a no-op `Deserialize` marker impl (nothing is emitted).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
