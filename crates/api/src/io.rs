@@ -18,7 +18,12 @@ pub type BlockMap = HashMap<BlockId, Block>;
 ///
 /// `fetch` returns `None` both for never-written and currently-unreachable
 /// blocks: to a decoder they are the same thing.
-pub trait BlockSource {
+///
+/// Sources are `Sync`: round-based repair plans each round against an
+/// immutable snapshot of the source from several planner threads at once
+/// (see [`crate::RedundancyScheme::repair_missing`]). In-memory maps and
+/// lock-guarded stores satisfy this for free.
+pub trait BlockSource: Sync {
     /// Fetches a block if it is currently available.
     fn fetch(&self, id: BlockId) -> Option<Block>;
 

@@ -19,6 +19,7 @@
 use crate::error::{AeError, RepairError};
 use crate::io::{BlockRepo, BlockSink, BlockSource};
 use ae_blocks::{Block, BlockId};
+use std::collections::HashMap;
 
 /// What one [`RedundancyScheme::encode_batch`] call produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,7 +122,11 @@ impl RepairSummary {
 /// write order; every scheme emits its own redundancy ids (lattice
 /// parities, parity shards, replicas). Block sizes are uniform within a
 /// scheme instance.
-pub trait RedundancyScheme: Send {
+///
+/// Schemes are `Send + Sync`: repair planning fans out across threads
+/// against a shared `&dyn RedundancyScheme` (encoding state is only ever
+/// touched through `&mut self`, so shared planning is read-only).
+pub trait RedundancyScheme: Send + Sync {
     /// Paper-style display name, e.g. `AE(3,2,5)`, `RS(10,4)`,
     /// `3-way replic.`.
     fn scheme_name(&self) -> String;
@@ -174,7 +179,40 @@ pub trait RedundancyScheme: Send {
     /// every target that currently has a complete repair option, commits
     /// them together, and newly repaired blocks enable further repairs
     /// next round (§V.C.4). Already-present targets are skipped.
+    ///
+    /// The default plans each round against the immutable round-start
+    /// snapshot, fanning [`RedundancyScheme::repair_block`] calls across
+    /// [`crate::repair_threads`] scoped threads, then commits the planned
+    /// repairs in deterministic (target-order) sequence. Between rounds it
+    /// keeps a worklist: a failed target is re-attempted only after one of
+    /// the blocks its last [`RepairError`] named was repaired — sound
+    /// because an incomplete repair option can only complete when one of
+    /// its named-missing members comes back. Rounds, per-round statistics,
+    /// traffic and unrecovered targets are bit-identical to
+    /// [`RedundancyScheme::repair_missing_serial`] (proved by the parity
+    /// suites, which compare both planners in one process; the
+    /// `serial-repair` feature additionally routes this method to the
+    /// serial path outright); multi-failure disasters just plan each
+    /// round in parallel and skip provably-futile re-attempts.
     fn repair_missing(
+        &self,
+        repo: &mut dyn BlockRepo,
+        targets: &[BlockId],
+        data_blocks: u64,
+    ) -> RepairSummary {
+        if cfg!(feature = "serial-repair") {
+            return self.repair_missing_serial(repo, targets, data_blocks);
+        }
+        repair_missing_worklist(self, repo, targets, data_blocks)
+    }
+
+    /// The reference single-threaded round loop behind
+    /// [`RedundancyScheme::repair_missing`]: every round re-attempts every
+    /// still-missing target against the round-start state. Kept public as
+    /// the escape hatch (the `serial-repair` feature routes
+    /// `repair_missing` here) and as the oracle the parallel planner is
+    /// tested against.
+    fn repair_missing_serial(
         &self,
         repo: &mut dyn BlockRepo,
         targets: &[BlockId],
@@ -258,6 +296,241 @@ pub trait RedundancyScheme: Send {
     /// replication) keep the empty default.
     fn maintenance_targets(&self, _missing_data: &[BlockId], _data_blocks: u64) -> Vec<BlockId> {
         Vec::new()
+    }
+
+    // --- dense arithmetic indexing ------------------------------------
+
+    /// Number of blocks a deployment of `data_blocks` data blocks stores —
+    /// the length of [`RedundancyScheme::block_ids`]. The default falls
+    /// back to enumerating the universe; schemes with arithmetic structure
+    /// override it with a closed form.
+    fn universe_len(&self, data_blocks: u64) -> u64 {
+        self.block_ids(data_blocks).len() as u64
+    }
+
+    /// Maps `id` to its dense position in write order — the index `id`
+    /// occupies in `block_ids(data_blocks)` — in O(1) arithmetic. Returns
+    /// `None` for ids outside the universe (foreign schemes, positions
+    /// past the written extent) or for universes too large to index with
+    /// a `u32`.
+    ///
+    /// Authoritative only when [`RedundancyScheme::supports_dense_index`]
+    /// is `true`; the default (for schemes without arithmetic structure)
+    /// knows nothing and answers `None` for every id, and callers such as
+    /// `SchemePlane` fall back to a hash index built by enumeration.
+    fn dense_index(&self, _id: &BlockId, _data_blocks: u64) -> Option<u32> {
+        None
+    }
+
+    /// Whether [`RedundancyScheme::dense_index`] is an authoritative O(1)
+    /// index over the whole universe (AE, RS and replication all are;
+    /// custom schemes keep the `false` default and pay a `HashMap`).
+    fn supports_dense_index(&self) -> bool {
+        false
+    }
+}
+
+/// How many targets one round must reach before planning fans out across
+/// threads — below this, scoped-thread spawn overhead beats the win.
+const PARALLEL_PLAN_MIN: usize = 256;
+
+/// End-of-chain sentinel in [`Waiting::Dense`] lists.
+const NO_WAITER: u32 = u32::MAX;
+
+/// Who is waiting on a blocker: target indices keyed by the blocker's
+/// dense universe position when the scheme has the arithmetic hook, by
+/// the blocker id otherwise. The dense variant stores the per-blocker
+/// lists as intrusive chains over two flat arrays — 4 bytes per universe
+/// slot plus 8 per filing, no per-slot allocations.
+enum Waiting {
+    Dense {
+        /// Per universe slot, index of the most recent filing (chain
+        /// head), or [`NO_WAITER`].
+        head: Vec<u32>,
+        /// Filing arena: `(previous filing on the same blocker, target)`.
+        entries: Vec<(u32, u32)>,
+    },
+    Hash(HashMap<BlockId, Vec<u32>>),
+}
+
+impl Waiting {
+    /// Dense keying pays 4 bytes per universe slot up front, so it is
+    /// only worth it when the target set is a sizable share of the
+    /// universe (dense disasters); scattered repairs in a huge deployment
+    /// keep the map.
+    fn for_repair<S: RedundancyScheme + ?Sized>(
+        scheme: &S,
+        targets: usize,
+        data_blocks: u64,
+    ) -> Self {
+        if scheme.supports_dense_index() {
+            let len = scheme.universe_len(data_blocks);
+            if len <= (targets as u64).saturating_mul(8).max(1 << 16) {
+                return Waiting::Dense {
+                    head: vec![NO_WAITER; len as usize],
+                    entries: Vec::new(),
+                };
+            }
+        }
+        Waiting::Hash(HashMap::new())
+    }
+
+    fn file<S: RedundancyScheme + ?Sized>(
+        &mut self,
+        scheme: &S,
+        blocker: BlockId,
+        target: u32,
+        data_blocks: u64,
+    ) {
+        match self {
+            Waiting::Dense { head, entries } => {
+                // A blocker outside the universe can never commit, so
+                // there is nothing to subscribe to.
+                if let Some(k) = scheme.dense_index(&blocker, data_blocks) {
+                    entries.push((head[k as usize], target));
+                    head[k as usize] = entries.len() as u32 - 1;
+                }
+            }
+            Waiting::Hash(map) => map.entry(blocker).or_default().push(target),
+        }
+    }
+
+    /// Invokes `wake` with every target waiting on `committed` and clears
+    /// the blocker's list.
+    fn wake_each<S: RedundancyScheme + ?Sized>(
+        &mut self,
+        scheme: &S,
+        committed: BlockId,
+        data_blocks: u64,
+        mut wake: impl FnMut(u32),
+    ) {
+        match self {
+            Waiting::Dense { head, entries } => {
+                if let Some(k) = scheme.dense_index(&committed, data_blocks) {
+                    let mut cursor = std::mem::replace(&mut head[k as usize], NO_WAITER);
+                    while cursor != NO_WAITER {
+                        let (next, target) = entries[cursor as usize];
+                        wake(target);
+                        cursor = next;
+                    }
+                }
+            }
+            Waiting::Hash(map) => {
+                for target in map.remove(&committed).unwrap_or_default() {
+                    wake(target);
+                }
+            }
+        }
+    }
+}
+
+/// The worklist round loop behind the default
+/// [`RedundancyScheme::repair_missing`]: plan each round in parallel
+/// against the round-start snapshot, commit sequentially, and re-attempt
+/// a failed target only after a block its last error named gets repaired.
+fn repair_missing_worklist<S: RedundancyScheme + ?Sized>(
+    scheme: &S,
+    repo: &mut dyn BlockRepo,
+    targets: &[BlockId],
+    data_blocks: u64,
+) -> RepairSummary {
+    // Targets in stable order; all worklist state is indexed by position
+    // in this vector so the per-round bookkeeping is flat array traffic.
+    let missing: Vec<BlockId> = targets
+        .iter()
+        .copied()
+        .filter(|&id| !repo.has(id))
+        .collect();
+    let mut repaired = vec![false; missing.len()];
+    // Whether target `i` is worth attempting next round. Every target
+    // starts eligible; afterwards only commits of named-missing blockers
+    // re-arm a target.
+    let mut eligible = vec![true; missing.len()];
+    let mut waiting = Waiting::for_repair(scheme, missing.len(), data_blocks);
+    let mut rounds = Vec::new();
+    let mut blocks_read = 0;
+    loop {
+        // Attempt set in target order, so planning (and with it commit
+        // order and round statistics) matches the serial path.
+        let attempts: Vec<u32> = (0..missing.len() as u32)
+            .filter(|&i| !repaired[i as usize] && eligible[i as usize])
+            .collect();
+        if attempts.is_empty() {
+            break; // fixpoint: nothing can have become repairable
+        }
+        let threads = crate::repair_threads().min(attempts.len());
+        let mut planned: Vec<(u32, Block)> = Vec::new();
+        if threads <= 1 || attempts.len() < PARALLEL_PLAN_MIN {
+            // Single planner: attempt inline, filing blockers as they
+            // surface — no intermediate result buffer.
+            for &i in &attempts {
+                match scheme.repair_block(&*repo, missing[i as usize], data_blocks) {
+                    Ok(block) => planned.push((i, block)),
+                    Err(err) => {
+                        for &blocker in err.missing_blocks() {
+                            waiting.file(scheme, blocker, i, data_blocks);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Fan the repair_block attempts out in contiguous chunks;
+            // chunk-order merging keeps the result order (and everything
+            // derived from it) identical to a serial plan.
+            let source: &dyn BlockRepo = repo;
+            let missing = &missing;
+            let results = crate::par::par_chunks(&attempts, threads, PARALLEL_PLAN_MIN, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        (
+                            i,
+                            scheme.repair_block(source, missing[i as usize], data_blocks),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (i, res) in results {
+                match res {
+                    Ok(block) => planned.push((i, block)),
+                    Err(err) => {
+                        for &blocker in err.missing_blocks() {
+                            waiting.file(scheme, blocker, i, data_blocks);
+                        }
+                    }
+                }
+            }
+        }
+        for &i in &attempts {
+            eligible[i as usize] = false;
+        }
+        if planned.is_empty() {
+            break; // fixpoint: a dead pattern remains
+        }
+        let planned_ids: Vec<BlockId> = planned.iter().map(|&(i, _)| missing[i as usize]).collect();
+        blocks_read += scheme.repair_traffic(&planned_ids);
+        let stats = RoundStats {
+            repaired: planned.len(),
+            data_repaired: planned_ids.iter().filter(|id| id.is_data()).count(),
+        };
+        // Commit together in plan order, making the repairs visible next
+        // round and re-arming their waiters.
+        for ((i, block), id) in planned.into_iter().zip(planned_ids) {
+            repo.store(id, block);
+            repaired[i as usize] = true;
+            waiting.wake_each(scheme, id, data_blocks, |w| eligible[w as usize] = true);
+        }
+        rounds.push(stats);
+    }
+    RepairSummary {
+        rounds,
+        unrecovered: missing
+            .into_iter()
+            .zip(&repaired)
+            .filter(|(_, &done)| !done)
+            .map(|(id, _)| id)
+            .collect(),
+        blocks_read,
     }
 }
 
@@ -391,6 +664,89 @@ mod tests {
             summary.into_result(),
             Err(RepairError::Unrecoverable { targets }) if targets.len() == 2
         ));
+    }
+
+    #[test]
+    fn parallel_planner_matches_serial_reference() {
+        // Same disaster, both planners: summaries must be bit-identical.
+        let build = || {
+            let mut scheme = Mirror { written: 0 };
+            let mut store = BlockMap::new();
+            let blocks: Vec<Block> = (0..40u8).map(|k| Block::from_vec(vec![k; 8])).collect();
+            scheme.encode_batch(&blocks, &mut store).unwrap();
+            // Mixed pattern: repairable singles, two dead pairs, and an
+            // already-present target.
+            for i in [3u64, 9, 17, 25] {
+                store.remove(&data(i));
+            }
+            store.remove(&copy(9));
+            store.remove(&data(33));
+            store.remove(&copy(33));
+            // i = 9 and i = 33 lose both copies: unrecoverable.
+            (scheme, store)
+        };
+        let targets: Vec<BlockId> = [3u64, 9, 17, 25, 33]
+            .into_iter()
+            .flat_map(|i| [data(i), copy(i)])
+            .collect();
+        let (scheme_a, mut store_a) = build();
+        let (scheme_b, mut store_b) = build();
+        let parallel = scheme_a.repair_missing(&mut store_a, &targets, 40);
+        let serial = scheme_b.repair_missing_serial(&mut store_b, &targets, 40);
+        assert_eq!(parallel, serial);
+        assert_eq!(
+            parallel.unrecovered,
+            vec![data(9), copy(9), data(33), copy(33)]
+        );
+        for (id, block) in &store_a {
+            assert_eq!(store_b.get(id), Some(block));
+        }
+    }
+
+    #[test]
+    fn chunked_plan_matches_inline_plan() {
+        // The scoped-thread fan-out must return results in attempt order,
+        // whatever the thread count — including counts that do not divide
+        // the attempt set evenly.
+        let mut scheme = Mirror { written: 0 };
+        let mut store = BlockMap::new();
+        let blocks: Vec<Block> = (0..50u8).map(|k| Block::from_vec(vec![k; 8])).collect();
+        scheme.encode_batch(&blocks, &mut store).unwrap();
+        for i in 1..=50u64 {
+            store.remove(&data(i));
+            if i % 5 == 0 {
+                store.remove(&copy(i)); // every fifth block is dead
+            }
+        }
+        let missing: Vec<BlockId> = (1..=50).map(data).collect();
+        let attempts: Vec<u32> = (0..50).collect();
+        let repo: &dyn crate::BlockRepo = &store;
+        let plan = |chunk: &[u32]| -> Vec<(u32, bool)> {
+            chunk
+                .iter()
+                .map(|&i| {
+                    (
+                        i,
+                        scheme.repair_block(repo, missing[i as usize], 50).is_ok(),
+                    )
+                })
+                .collect()
+        };
+        let inline = plan(&attempts);
+        assert_eq!(inline.iter().filter(|(_, ok)| !ok).count(), 10);
+        for threads in [2usize, 3, 7, 64] {
+            let chunked = crate::par::par_chunks(&attempts, threads, 1, plan);
+            assert_eq!(chunked, inline, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn default_dense_index_hooks_are_inert() {
+        let scheme = Mirror { written: 0 };
+        assert!(!scheme.supports_dense_index());
+        assert_eq!(scheme.dense_index(&data(1), 10), None);
+        // The enumeration fallback still answers the universe size.
+        assert_eq!(scheme.universe_len(10), 20);
     }
 
     #[test]

@@ -334,6 +334,36 @@ impl RedundancyScheme for ReedSolomon {
             .filter(|&v| v != id)
             .all(|v| self.is_virtual(v, data_blocks) || avail(v))
     }
+
+    fn universe_len(&self, data_blocks: u64) -> u64 {
+        data_blocks + data_blocks.div_ceil(self.k() as u64) * self.m() as u64
+    }
+
+    fn dense_index(&self, id: &BlockId, data_blocks: u64) -> Option<u32> {
+        // block_ids order: per stripe, its stored data blocks then its m
+        // parity shards. Only the final stripe can be partial, so every
+        // stripe before `t` contributes exactly k + m blocks.
+        let (k, m) = (self.k() as u64, self.m() as u64);
+        let idx = match *id {
+            BlockId::Data(NodeId(i)) if (1..=data_blocks).contains(&i) => {
+                let t = (i - 1) / k;
+                t * (k + m) + (i - 1) % k
+            }
+            BlockId::Shard(ShardId { stripe, index }) => {
+                if u64::from(index) >= m || stripe >= data_blocks.div_ceil(k) {
+                    return None;
+                }
+                let stored_data = (data_blocks - stripe * k).min(k);
+                stripe * (k + m) + stored_data + u64::from(index)
+            }
+            _ => return None,
+        };
+        u32::try_from(idx).ok()
+    }
+
+    fn supports_dense_index(&self) -> bool {
+        true
+    }
 }
 
 impl Replication {
@@ -439,6 +469,31 @@ impl RedundancyScheme for Replication {
     ) -> bool {
         self.other_copies(id)
             .is_some_and(|others| others.into_iter().any(avail))
+    }
+
+    fn universe_len(&self, data_blocks: u64) -> u64 {
+        data_blocks * self.copies() as u64
+    }
+
+    fn dense_index(&self, id: &BlockId, data_blocks: u64) -> Option<u32> {
+        // block_ids order: per data block, the original then its copies in
+        // copy order — a fixed stride of n per node.
+        let n = self.copies() as u64;
+        let idx = match *id {
+            BlockId::Data(NodeId(i)) if (1..=data_blocks).contains(&i) => (i - 1) * n,
+            BlockId::Replica(ReplicaId {
+                node: NodeId(i),
+                copy,
+            }) if (1..=data_blocks).contains(&i) && (1..self.copies() as u16).contains(&copy) => {
+                (i - 1) * n + u64::from(copy)
+            }
+            _ => return None,
+        };
+        u32::try_from(idx).ok()
+    }
+
+    fn supports_dense_index(&self) -> bool {
+        true
     }
 }
 
@@ -573,6 +628,63 @@ mod tests {
         // Only missing member of its stripe: a single failure.
         let only = |id: BlockId| id != t0[0];
         assert!(rs.is_single_failure(t0[0], 100, &only));
+    }
+
+    #[test]
+    fn dense_index_matches_block_ids_enumeration() {
+        // Partial final stripes included: 23 data blocks over RS(4,2) and
+        // RS(10,4) leave 3 data blocks in the last stripe.
+        let schemes: Vec<Box<dyn RedundancyScheme>> = vec![
+            Box::new(ReedSolomon::new(4, 2).unwrap()),
+            Box::new(ReedSolomon::new(10, 4).unwrap()),
+            Box::new(Replication::new(2)),
+            Box::new(Replication::new(3)),
+        ];
+        for scheme in schemes {
+            let name = scheme.scheme_name();
+            assert!(scheme.supports_dense_index(), "{name}");
+            for n in [1u64, 4, 23] {
+                let ids = scheme.block_ids(n);
+                assert_eq!(scheme.universe_len(n), ids.len() as u64, "{name} n={n}");
+                for (k, id) in ids.iter().enumerate() {
+                    assert_eq!(
+                        scheme.dense_index(id, n),
+                        Some(k as u32),
+                        "{name} n={n}: {id}"
+                    );
+                }
+                // Outside the universe.
+                assert_eq!(scheme.dense_index(&BlockId::Data(NodeId(0)), n), None);
+                assert_eq!(scheme.dense_index(&BlockId::Data(NodeId(n + 1)), n), None);
+                let foreign = BlockId::Parity(ae_blocks::EdgeId::new(
+                    ae_blocks::StrandClass::Horizontal,
+                    NodeId(1),
+                ));
+                assert_eq!(scheme.dense_index(&foreign, n), None, "{name}");
+            }
+        }
+        // Shard ids past the stripe count or parity width are rejected.
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let ghost_stripe = BlockId::Shard(ShardId {
+            stripe: 6,
+            index: 0,
+        });
+        let ghost_index = BlockId::Shard(ShardId {
+            stripe: 0,
+            index: 2,
+        });
+        assert_eq!(rs.dense_index(&ghost_stripe, 23), None);
+        assert_eq!(rs.dense_index(&ghost_index, 23), None);
+        // Replication rejects copy 0 (that's the data block itself) and
+        // copies at or past n.
+        let repl = Replication::new(3);
+        for copy in [0u16, 3, 9] {
+            let ghost = BlockId::Replica(ReplicaId {
+                node: NodeId(1),
+                copy,
+            });
+            assert_eq!(repl.dense_index(&ghost, 23), None, "copy {copy}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! arithmetic of AE codes (§VII: "essentially based on exclusive-or
 //! operations"), versus the GF(2^8) multiply-accumulate RS needs.
 
-use ae_blocks::{crc32, xor};
+use ae_blocks::{crc32, xor, Block};
 use ae_gf::{field, Gf256};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -48,5 +48,26 @@ fn bench_crc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_xor, bench_gf_mul_slice, bench_crc);
+/// `Block::verify` is a checksum recomputation over the contents — the
+/// per-fetch cost every repair pays before trusting a remote block, and
+/// the direct beneficiary of the slice-by-8 CRC tables.
+fn bench_block_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/block_verify");
+    for size in [512usize, 4096, 65536] {
+        let block = Block::from_vec((0..size).map(|i| (i * 31 + 7) as u8).collect());
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| black_box(block.verify().is_ok()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xor,
+    bench_gf_mul_slice,
+    bench_crc,
+    bench_block_verify
+);
 criterion_main!(benches);

@@ -175,6 +175,31 @@ impl RedundancyScheme for Code {
         }
     }
 
+    fn universe_len(&self, data_blocks: u64) -> u64 {
+        data_blocks * (1 + self.config().alpha() as u64)
+    }
+
+    fn dense_index(&self, id: &BlockId, data_blocks: u64) -> Option<u32> {
+        // block_ids order: per node i, the data block then its α output
+        // parities in class order — a fixed stride of 1 + α per node.
+        let stride = 1 + self.config().alpha() as u64;
+        let idx = match *id {
+            BlockId::Data(NodeId(i)) if (1..=data_blocks).contains(&i) => (i - 1) * stride,
+            BlockId::Parity(e) if (1..=data_blocks).contains(&e.left.0) => {
+                if e.class.index() >= self.config().alpha() as usize {
+                    return None; // class not present at this α
+                }
+                (e.left.0 - 1) * stride + 1 + e.class.index() as u64
+            }
+            _ => return None,
+        };
+        u32::try_from(idx).ok()
+    }
+
+    fn supports_dense_index(&self) -> bool {
+        true
+    }
+
     fn maintenance_targets(&self, missing_data: &[BlockId], _data_blocks: u64) -> Vec<BlockId> {
         // The parities of a missing data block's pp-tuples: repairing them
         // is what unlocks the data repair ("some parities are repaired if
@@ -255,6 +280,43 @@ mod tests {
         let scheme: &dyn RedundancyScheme = &code;
         let repaired = scheme.repair_block(&store, victim, 80).unwrap();
         assert_eq!(repaired, original);
+    }
+
+    #[test]
+    fn dense_index_matches_block_ids_enumeration() {
+        for cfg in [
+            Config::single(),
+            Config::new(2, 2, 5).unwrap(),
+            Config::new(3, 2, 5).unwrap(),
+        ] {
+            let code = Code::new(cfg, 0);
+            assert!(code.supports_dense_index());
+            let n = 37;
+            let ids = code.block_ids(n);
+            assert_eq!(code.universe_len(n), ids.len() as u64, "{}", cfg.name());
+            for (k, id) in ids.iter().enumerate() {
+                assert_eq!(
+                    code.dense_index(id, n),
+                    Some(k as u32),
+                    "{}: {id}",
+                    cfg.name()
+                );
+            }
+            // Outside the universe: virtual positions, absent classes,
+            // foreign schemes.
+            assert_eq!(code.dense_index(&BlockId::Data(NodeId(0)), n), None);
+            assert_eq!(code.dense_index(&BlockId::Data(NodeId(n + 1)), n), None);
+            if cfg.alpha() < 3 {
+                let absent =
+                    BlockId::Parity(EdgeId::new(ae_blocks::StrandClass::LeftHanded, NodeId(1)));
+                assert_eq!(code.dense_index(&absent, n), None);
+            }
+            let foreign = BlockId::Shard(ae_blocks::ShardId {
+                stripe: 0,
+                index: 0,
+            });
+            assert_eq!(code.dense_index(&foreign, n), None);
+        }
     }
 
     #[test]

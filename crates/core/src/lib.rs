@@ -97,22 +97,6 @@ pub fn to_lattice(id: BlockId) -> LatticeBlock {
         .unwrap_or_else(|id| panic!("{id} is not an entanglement lattice block"))
 }
 
-/// Converts a lattice block back to a byte-plane id.
-///
-/// # Panics
-///
-/// Panics on virtual positions (`i < 1`), which have no stored counterpart.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `BlockId::try_from(lattice_block)`, which reports virtual positions as an error"
-)]
-pub fn from_lattice(b: LatticeBlock) -> BlockId {
-    match BlockId::try_from(b) {
-        Ok(id) => id,
-        Err(e) => panic!("virtual {} has no block id", e.block),
-    }
-}
-
 /// Data-block id for a 1-based lattice position — a shorthand shared by
 /// examples and tests.
 pub fn data_id(i: u64) -> BlockId {
@@ -141,13 +125,6 @@ mod tests {
         let err = BlockId::try_from(LatticeBlock::Node(0)).unwrap_err();
         assert_eq!(err.block, LatticeBlock::Node(0));
         assert!(err.to_string().contains("virtual"));
-    }
-
-    #[test]
-    #[should_panic(expected = "virtual")]
-    fn deprecated_shim_still_panics_on_virtuals() {
-        #[allow(deprecated)]
-        from_lattice(LatticeBlock::Node(0));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! A flat fixed-length bitset.
+//!
+//! The availability plane tracks one boolean per stored block; at the
+//! paper's scale (§V.C: one million data blocks, up to four million blocks
+//! total) a `Vec<bool>` costs 8× the memory of packed words and defeats
+//! word-at-a-time scans. This bitset is deliberately minimal: fixed length,
+//! no iterators to keep in sync, and a word view for skip-scanning.
+
+/// A fixed-length packed bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Overwrites `self` with the bitwise NOT of `other` (same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn assign_not(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (dst, &src) in self.words.iter_mut().zip(&other.words) {
+            *dst = !src;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of zero bits, ascending. Skips fully-set words, so scanning
+    /// a mostly-available plane touches one word per 64 blocks.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != u64::MAX)
+            .flat_map(move |(wi, &w)| {
+                let base = wi * 64;
+                let len = self.len;
+                (0..64)
+                    .filter(move |b| w & (1u64 << b) == 0)
+                    .map(move |b| base + b)
+                    .filter(move |&i| i < len)
+            })
+    }
+
+    /// Heap bytes held by the set.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Clears the bits beyond `len` in the final word so word-level
+    /// operations (NOT, popcount) cannot invent phantom members.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn assign_not_masks_tail() {
+        let mut missing = BitSet::zeros(70);
+        missing.set(3, true);
+        let mut avail = BitSet::zeros(70);
+        avail.assign_not(&missing);
+        assert_eq!(avail.count_ones(), 69, "tail bits beyond len stay clear");
+        assert!(!avail.get(3));
+        assert!(avail.get(69));
+    }
+
+    #[test]
+    fn iter_zeros_skips_full_words() {
+        let mut b = BitSet::zeros(200);
+        for i in 0..200 {
+            b.set(i, true);
+        }
+        for i in [5usize, 64, 199] {
+            b.set(i, false);
+        }
+        assert_eq!(b.iter_zeros().collect::<Vec<_>>(), vec![5, 64, 199]);
+    }
+
+    #[test]
+    fn iter_zeros_respects_length_tail() {
+        let b = BitSet::zeros(66);
+        assert_eq!(b.iter_zeros().count(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_rejects_out_of_range() {
+        BitSet::zeros(10).get(10);
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ae_plane;
+pub mod bitset;
 pub mod cli;
 pub mod experiments;
 pub mod mirror;
@@ -37,7 +38,8 @@ pub mod scheme_plane;
 pub mod schemes;
 
 pub use ae_plane::AeSimulation;
+pub use bitset::BitSet;
 pub use repl_plane::ReplicationSimulation;
 pub use rs_plane::RsSimulation;
-pub use scheme_plane::{SchemePlane, SimPlacement};
+pub use scheme_plane::{IndexMode, SchemePlane, SimPlacement};
 pub use schemes::Scheme;

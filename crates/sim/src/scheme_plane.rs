@@ -12,7 +12,29 @@
 //! Table VI metrics. Blocks are availability flags, not bytes, exactly as
 //! in the paper's evaluation: every §V.C metric depends only on which
 //! blocks are reachable.
+//!
+//! # The index-free fast path
+//!
+//! At the paper's scale (1M data blocks, up to 4M stored blocks) the plane
+//! state is the hot data structure. Availability and the punctured-block
+//! mask live in flat [`BitSet`]s, and block-id → dense-position lookups go
+//! through the scheme's arithmetic [`RedundancyScheme::dense_index`] hook
+//! whenever [`RedundancyScheme::supports_dense_index`] says it is
+//! authoritative — no `HashMap` in sight. Schemes without the hook (and
+//! callers forcing [`IndexMode::Map`], which benchmarks use as the
+//! baseline) fall back to a `HashMap<BlockId, u32>` built by enumeration.
+//!
+//! # Parallel repair rounds
+//!
+//! Each repair round is planned against the immutable round-start
+//! snapshot and committed in one deterministic sweep, so the planning —
+//! the `is_repairable` scan over still-missing blocks — fans out across
+//! [`ae_api::repair_threads`] scoped threads in contiguous chunks.
+//! Chunk-order merging keeps the planned set (and every metric derived
+//! from it) bit-identical to a sequential scan; the `serial-repair`
+//! feature pins the thread count to 1 as an escape hatch.
 
+use crate::bitset::BitSet;
 use ae_api::RedundancyScheme;
 use ae_blocks::BlockId;
 use rand::rngs::StdRng;
@@ -35,6 +57,25 @@ pub enum SimPlacement {
     RoundRobin,
 }
 
+/// How the plane maps block ids to dense positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Use the scheme's arithmetic [`RedundancyScheme::dense_index`] when
+    /// it is authoritative, a `HashMap` otherwise.
+    Auto,
+    /// Always build the `HashMap` index — the memory/time baseline the
+    /// benchmarks compare the dense path against.
+    Map,
+}
+
+/// The id → dense-position index behind one plane.
+enum PlaneIndex {
+    /// The scheme's arithmetic index is authoritative; no storage at all.
+    Dense,
+    /// Hash index built by enumerating the universe.
+    Map(HashMap<BlockId, u32>),
+}
+
 /// Statistics of one repair round (availability plane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundStats {
@@ -45,7 +86,7 @@ pub struct RoundStats {
 }
 
 /// Outcome of a full round-based repair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullRepairOutcome {
     /// Per-round repair counts.
     pub rounds: Vec<RoundStats>,
@@ -86,7 +127,7 @@ impl FullRepairOutcome {
 }
 
 /// Outcome of a minimal-maintenance repair.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MinimalRepairOutcome {
     /// Data blocks repaired.
     pub data_repaired: u64,
@@ -99,23 +140,27 @@ pub struct MinimalRepairOutcome {
     pub vulnerable_data: u64,
 }
 
+/// How many candidates a round scan must reach before it fans out across
+/// threads — below this, scoped-thread spawn overhead beats the win.
+const PARALLEL_ROUND_MIN: usize = 4096;
+
 /// Availability-plane state for one scheme deployment: every block the
 /// scheme stores, its location, and whether it is currently reachable.
 pub struct SchemePlane {
     scheme: Box<dyn RedundancyScheme>,
     data_blocks: u64,
     locations: u32,
-    /// Placement universe in write order.
+    /// Placement universe in write order (dense position `k` → id).
     universe: Vec<BlockId>,
-    /// Dense index of every universe block.
-    index: HashMap<BlockId, u32>,
+    /// id → dense position (arithmetic or hashed).
+    index: PlaneIndex,
     /// Location of universe block `k`.
     loc: Vec<u32>,
     /// Availability of universe block `k`.
-    avail: Vec<bool>,
+    avail: BitSet,
     /// Blocks that start out missing (punctured parities): they are never
     /// "available" until repaired, even after [`SchemePlane::heal_all`].
-    initially_missing: Vec<bool>,
+    initially_missing: BitSet,
 }
 
 impl SchemePlane {
@@ -140,13 +185,57 @@ impl SchemePlane {
         placement: SimPlacement,
         never_stored: impl Fn(BlockId) -> bool,
     ) -> Self {
+        Self::with_index_mode(
+            scheme,
+            data_blocks,
+            locations,
+            placement,
+            never_stored,
+            IndexMode::Auto,
+        )
+    }
+
+    /// Full-control constructor: [`SchemePlane::with_missing`] plus an
+    /// explicit [`IndexMode`] (benchmarks and parity tests force
+    /// [`IndexMode::Map`] to compare against the hash-indexed baseline).
+    pub fn with_index_mode(
+        scheme: Box<dyn RedundancyScheme>,
+        data_blocks: u64,
+        locations: u32,
+        placement: SimPlacement,
+        never_stored: impl Fn(BlockId) -> bool,
+        mode: IndexMode,
+    ) -> Self {
         assert!(data_blocks > 0 && locations > 0);
         let universe = scheme.block_ids(data_blocks);
-        let index: HashMap<BlockId, u32> = universe
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k as u32))
-            .collect();
+        assert!(
+            u32::try_from(universe.len()).is_ok(),
+            "plane universe exceeds u32 positions"
+        );
+        let index = if mode == IndexMode::Auto && scheme.supports_dense_index() {
+            // The arithmetic index must agree with the enumeration it
+            // replaces; verify exhaustively in debug builds.
+            #[cfg(debug_assertions)]
+            {
+                assert_eq!(scheme.universe_len(data_blocks), universe.len() as u64);
+                for (k, id) in universe.iter().enumerate() {
+                    assert_eq!(
+                        scheme.dense_index(id, data_blocks),
+                        Some(k as u32),
+                        "dense index disagrees with block_ids at {id}"
+                    );
+                }
+            }
+            PlaneIndex::Dense
+        } else {
+            PlaneIndex::Map(
+                universe
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &id)| (id, k as u32))
+                    .collect(),
+            )
+        };
         let loc: Vec<u32> = match placement {
             SimPlacement::Random { seed } => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -158,8 +247,14 @@ impl SchemePlane {
                 .map(|k| (k % locations as usize) as u32)
                 .collect(),
         };
-        let initially_missing: Vec<bool> = universe.iter().map(|&id| never_stored(id)).collect();
-        let avail = initially_missing.iter().map(|&m| !m).collect();
+        let mut initially_missing = BitSet::zeros(universe.len());
+        for (k, &id) in universe.iter().enumerate() {
+            if never_stored(id) {
+                initially_missing.set(k, true);
+            }
+        }
+        let mut avail = BitSet::zeros(universe.len());
+        avail.assign_not(&initially_missing);
         SchemePlane {
             scheme,
             data_blocks,
@@ -177,10 +272,36 @@ impl SchemePlane {
         self.scheme.as_ref()
     }
 
+    /// Dense position of `id`, or `None` outside the universe.
+    #[inline]
+    fn index_of(&self, id: BlockId) -> Option<u32> {
+        match &self.index {
+            PlaneIndex::Dense => self.scheme.dense_index(&id, self.data_blocks),
+            PlaneIndex::Map(map) => map.get(&id).copied(),
+        }
+    }
+
+    /// Whether the plane resolves ids arithmetically (no hash index).
+    pub fn uses_dense_index(&self) -> bool {
+        matches!(self.index, PlaneIndex::Dense)
+    }
+
+    /// Approximate heap bytes held by the id index: zero on the dense
+    /// path, the hash table's footprint otherwise. The benchmarks report
+    /// this next to resident-memory measurements.
+    pub fn index_bytes(&self) -> usize {
+        match &self.index {
+            PlaneIndex::Dense => 0,
+            // Key + value per bucket plus hashbrown's one control byte.
+            PlaneIndex::Map(map) => map.capacity() * (std::mem::size_of::<(BlockId, u32)>() + 1),
+        }
+    }
+
     /// Whether `id` is currently available (false for blocks outside the
     /// universe).
     pub fn is_available(&self, id: BlockId) -> bool {
-        self.index.get(&id).is_some_and(|&k| self.avail[k as usize])
+        self.index_of(id)
+            .is_some_and(|k| self.avail.get(k as usize))
     }
 
     /// Data blocks in the deployment.
@@ -196,14 +317,12 @@ impl SchemePlane {
     /// The location a block was placed on, or `None` for ids outside the
     /// universe.
     pub fn location_of(&self, id: BlockId) -> Option<u32> {
-        self.index.get(&id).map(|&k| self.loc[k as usize])
+        self.index_of(id).map(|k| self.loc[k as usize])
     }
 
     /// Resets every stored block to available (punctured blocks stay out).
     pub fn heal_all(&mut self) {
-        for k in 0..self.avail.len() {
-            self.avail[k] = !self.initially_missing[k];
-        }
+        self.avail.assign_not(&self.initially_missing);
     }
 
     /// Fails `fraction` of the locations (chosen uniformly by
@@ -214,8 +333,8 @@ impl SchemePlane {
         let mut missing_data = 0;
         let mut missing_redundancy = 0;
         for k in 0..self.universe.len() {
-            if self.avail[k] && failed[self.loc[k] as usize] {
-                self.avail[k] = false;
+            if self.avail.get(k) && failed[self.loc[k] as usize] {
+                self.avail.set(k, false);
                 if self.universe[k].is_data() {
                     missing_data += 1;
                 } else {
@@ -226,59 +345,77 @@ impl SchemePlane {
         (missing_data, missing_redundancy)
     }
 
-    /// Availability oracle over the current state.
-    fn oracle(&self) -> impl Fn(BlockId) -> bool + '_ {
-        |id| self.index.get(&id).is_some_and(|&k| self.avail[k as usize])
+    /// Whether `id` is available in the current state (the oracle handed
+    /// to the scheme's structural hooks).
+    #[inline]
+    fn block_available(&self, id: BlockId) -> bool {
+        self.index_of(id)
+            .is_some_and(|k| self.avail.get(k as usize))
     }
 
     /// Indices of currently missing blocks, optionally data only.
     fn missing_indices(&self, data_only: bool) -> Vec<u32> {
-        (0..self.universe.len() as u32)
-            .filter(|&k| !self.avail[k as usize])
-            .filter(|&k| !data_only || self.universe[k as usize].is_data())
+        self.avail
+            .iter_zeros()
+            .filter(|&k| !data_only || self.universe[k].is_data())
+            .map(|k| k as u32)
             .collect()
     }
 
+    /// Filters `items` by `pred`, preserving order. Fans out across
+    /// [`ae_api::repair_threads`] scoped threads in contiguous chunks
+    /// ([`ae_api::par::par_chunks`]); chunk-order merging makes the
+    /// result identical to a serial filter.
+    fn par_filter<P>(&self, items: &[u32], pred: P) -> Vec<u32>
+    where
+        P: Fn(u32) -> bool + Send + Sync + Copy,
+    {
+        ae_api::par::par_chunks(
+            items,
+            ae_api::repair_threads(),
+            PARALLEL_ROUND_MIN,
+            move |chunk| chunk.iter().copied().filter(|&k| pred(k)).collect(),
+        )
+    }
+
+    /// The still-missing blocks of `candidates` that are repairable
+    /// against the current snapshot.
+    fn plan_repairable(&self, candidates: &[u32]) -> Vec<u32> {
+        self.par_filter(candidates, |k| {
+            let avail = |id: BlockId| self.block_available(id);
+            self.scheme
+                .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
+        })
+    }
+
     /// Round-based repair of everything until fixpoint (§V.C.4). Each
-    /// round plans against the round-start snapshot, so it models one
-    /// parallel wave of distributed repairs.
+    /// round plans against the round-start snapshot — in parallel — so it
+    /// models one wave of distributed repairs; commits are sequential and
+    /// deterministic.
     pub fn repair_full(&mut self) -> FullRepairOutcome {
         let mut missing = self.missing_indices(false);
         // Judge single failures against the disaster state, before any
         // repair lands (Fig 13's denominator is all repaired data blocks).
-        let single_candidates: std::collections::HashSet<u32> = {
-            let avail = self.oracle();
-            missing
-                .iter()
-                .copied()
-                .filter(|&k| self.universe[k as usize].is_data())
-                .filter(|&k| {
-                    self.scheme.is_single_failure(
-                        self.universe[k as usize],
-                        self.data_blocks,
-                        &avail,
-                    )
-                })
-                .collect()
+        let single_candidates = {
+            let singles = self.par_filter(&missing, |k| {
+                let id = self.universe[k as usize];
+                if !id.is_data() {
+                    return false;
+                }
+                let avail = |id: BlockId| self.block_available(id);
+                self.scheme.is_single_failure(id, self.data_blocks, &avail)
+            });
+            let mut set = BitSet::zeros(self.universe.len());
+            for k in singles {
+                set.set(k as usize, true);
+            }
+            set
         };
         let mut rounds = Vec::new();
         let mut traffic = 0;
         let mut repaired_singles = 0;
         loop {
-            let fix: Vec<u32> = {
-                let avail = self.oracle();
-                missing
-                    .iter()
-                    .copied()
-                    .filter(|&k| {
-                        self.scheme.is_repairable(
-                            self.universe[k as usize],
-                            self.data_blocks,
-                            &avail,
-                        )
-                    })
-                    .collect()
-            };
+            let fix = self.plan_repairable(&missing);
             if fix.is_empty() {
                 break;
             }
@@ -288,17 +425,17 @@ impl SchemePlane {
             if rounds.is_empty() {
                 repaired_singles = fix
                     .iter()
-                    .filter(|&k| single_candidates.contains(k))
+                    .filter(|&&k| single_candidates.get(k as usize))
                     .count() as u64;
             }
             for &k in &fix {
-                self.avail[k as usize] = true;
+                self.avail.set(k as usize, true);
             }
             rounds.push(RoundStats {
                 data,
                 parity: fixed_ids.len() as u64 - data,
             });
-            missing.retain(|&k| !self.avail[k as usize]);
+            missing.retain(|&k| !self.avail.get(k as usize));
         }
         let data_lost = missing
             .iter()
@@ -321,43 +458,30 @@ impl SchemePlane {
         let mut data_repaired = 0;
         let mut parity_repaired = 0;
         loop {
-            let missing_data_ids: Vec<BlockId> = self
-                .missing_indices(true)
-                .into_iter()
-                .map(|k| self.universe[k as usize])
+            let missing_data = self.missing_indices(true);
+            let missing_data_ids: Vec<BlockId> = missing_data
+                .iter()
+                .map(|&k| self.universe[k as usize])
                 .collect();
             let wanted: Vec<u32> = self
                 .scheme
                 .maintenance_targets(&missing_data_ids, self.data_blocks)
                 .into_iter()
-                .filter_map(|id| self.index.get(&id).copied())
-                .filter(|&k| !self.avail[k as usize])
+                .filter_map(|id| self.index_of(id))
+                .filter(|&k| !self.avail.get(k as usize))
                 .collect();
-            let (fix_data, fix_extra): (Vec<u32>, Vec<u32>) = {
-                let avail = self.oracle();
-                let repairable = |k: &u32| {
-                    self.scheme
-                        .is_repairable(self.universe[*k as usize], self.data_blocks, &avail)
-                };
-                (
-                    missing_data_ids
-                        .iter()
-                        .map(|id| self.index[id])
-                        .filter(repairable)
-                        .collect(),
-                    wanted.iter().copied().filter(|k| repairable(k)).collect(),
-                )
-            };
+            let fix_data = self.plan_repairable(&missing_data);
+            let fix_extra = self.plan_repairable(&wanted);
             if fix_data.is_empty() && fix_extra.is_empty() {
                 break;
             }
             for &k in &fix_data {
-                self.avail[k as usize] = true;
+                self.avail.set(k as usize, true);
             }
             data_repaired += fix_data.len() as u64;
             for &k in &fix_extra {
-                if !self.avail[k as usize] {
-                    self.avail[k as usize] = true;
+                if !self.avail.get(k as usize) {
+                    self.avail.set(k as usize, true);
                     parity_repaired += 1;
                 }
             }
@@ -366,15 +490,16 @@ impl SchemePlane {
         // Fig 12: available data blocks with no working redundancy left —
         // if they failed now, they would be unrepairable.
         let vulnerable_data = {
-            let avail = self.oracle();
-            (0..self.universe.len() as u32)
-                .filter(|&k| self.avail[k as usize] && self.universe[k as usize].is_data())
-                .filter(|&k| {
-                    !self
-                        .scheme
-                        .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
-                })
-                .count() as u64
+            let candidates: Vec<u32> = (0..self.universe.len() as u32)
+                .filter(|&k| self.avail.get(k as usize) && self.universe[k as usize].is_data())
+                .collect();
+            self.par_filter(&candidates, |k| {
+                let avail = |id: BlockId| self.block_available(id);
+                !self
+                    .scheme
+                    .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
+            })
+            .len() as u64
         };
         MinimalRepairOutcome {
             data_repaired,
@@ -427,6 +552,8 @@ mod tests {
             let name = scheme.scheme_name();
             let mut plane =
                 SchemePlane::new(scheme, 20_000, 100, SimPlacement::Random { seed: 42 });
+            assert!(plane.uses_dense_index(), "{name} has the arithmetic hook");
+            assert_eq!(plane.index_bytes(), 0, "{name}");
             let (md, mp) = plane.inject_disaster(0.1, 7);
             assert!(md > 0 && mp > 0, "{name}");
             let out = plane.repair_full();
@@ -454,6 +581,44 @@ mod tests {
             (o.data_lost, o.round_count(), o.data_repaired())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dense_and_map_paths_agree_end_to_end() {
+        // The same seeded disaster through both index paths must produce
+        // identical outcomes (the root plane_parity test sweeps this
+        // property over random schemes and disasters).
+        let run = |mode| {
+            let code = ae(Config::new(3, 2, 5).unwrap());
+            let mut p = SchemePlane::with_index_mode(
+                Box::new(code),
+                10_000,
+                100,
+                SimPlacement::Random { seed: 5 },
+                |_| false,
+                mode,
+            );
+            p.inject_disaster(0.35, 9);
+            p.repair_full()
+        };
+        let dense = run(IndexMode::Auto);
+        let map = run(IndexMode::Map);
+        assert_eq!(dense, map);
+    }
+
+    #[test]
+    fn map_mode_is_forced_and_accounted() {
+        let code = ae(Config::new(2, 2, 5).unwrap());
+        let p = SchemePlane::with_index_mode(
+            Box::new(code),
+            1_000,
+            10,
+            SimPlacement::RoundRobin,
+            |_| false,
+            IndexMode::Map,
+        );
+        assert!(!p.uses_dense_index());
+        assert!(p.index_bytes() > 0);
     }
 
     #[test]
