@@ -29,9 +29,11 @@
 pub mod error;
 pub mod io;
 pub mod par;
+pub mod placement;
 pub mod scheme;
 
 pub use error::{AeError, RepairError};
 pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};
 pub use par::repair_threads;
+pub use placement::Placement;
 pub use scheme::{EncodeReport, RedundancyScheme, RepairCost, RepairSummary, RoundStats};

@@ -54,6 +54,25 @@ pub struct RepairCost {
     pub single_failure_reads: u32,
     /// Additional storage as a percentage of the data ("AS" row).
     pub additional_storage_pct: f64,
+    /// Blocks left with a single repair tuple at a chain extremity — the
+    /// open-chain weakness of §IV.B.1 (the tail data block and its only
+    /// parity form a dead pair). Zero for closed chains and for schemes
+    /// without chain structure; Table IV-style cost reports use it to
+    /// distinguish open from closed chains instead of letting the weaker
+    /// redundancy pass silently.
+    pub extremity_exposed: u32,
+}
+
+impl RepairCost {
+    /// Cost model without any chain-extremity exposure (every scheme but
+    /// open entanglement chains).
+    pub fn new(single_failure_reads: u32, additional_storage_pct: f64) -> Self {
+        RepairCost {
+            single_failure_reads,
+            additional_storage_pct,
+            extremity_exposed: 0,
+        }
+    }
 }
 
 /// Statistics of one repair round.
@@ -322,9 +341,31 @@ pub trait RedundancyScheme: Send + Sync {
         None
     }
 
-    /// Whether [`RedundancyScheme::dense_index`] is an authoritative O(1)
-    /// index over the whole universe (AE, RS and replication all are;
-    /// custom schemes keep the `false` default and pay a `HashMap`).
+    /// The inverse of [`RedundancyScheme::dense_index`]: the id of the
+    /// block at dense universe position `k`, i.e. `block_ids(data_blocks)
+    /// [k]`. Returns `None` for `k >= universe_len(data_blocks)`.
+    ///
+    /// Together with `dense_index` this is a full id ⇄ position bijection:
+    /// `block_at(dense_index(id)) == id` and `dense_index(block_at(k)) ==
+    /// k` over the whole universe. When
+    /// [`RedundancyScheme::supports_dense_index`] is `true` both
+    /// directions are authoritative O(1) arithmetic, and a caller such as
+    /// `SchemePlane` never needs to materialize the universe at all —
+    /// positions are the working representation and ids are recomputed at
+    /// the edges (repair commits, summaries).
+    ///
+    /// The default falls back to enumerating the universe — O(universe)
+    /// per call, acceptable only for tests and for schemes that callers
+    /// materialize anyway.
+    fn block_at(&self, k: u32, data_blocks: u64) -> Option<BlockId> {
+        self.block_ids(data_blocks).get(k as usize).copied()
+    }
+
+    /// Whether [`RedundancyScheme::dense_index`] /
+    /// [`RedundancyScheme::block_at`] form an authoritative O(1) bijection
+    /// over the whole universe (AE, RS, replication and the store-backed
+    /// chain/geo schemes all do; custom schemes keep the `false` default
+    /// and pay a materialized universe plus a `HashMap`).
     fn supports_dense_index(&self) -> bool {
         false
     }
@@ -567,10 +608,7 @@ mod tests {
         }
 
         fn repair_cost(&self) -> RepairCost {
-            RepairCost {
-                single_failure_reads: 1,
-                additional_storage_pct: 100.0,
-            }
+            RepairCost::new(1, 100.0)
         }
 
         fn encode_batch(
@@ -745,8 +783,15 @@ mod tests {
         let scheme = Mirror { written: 0 };
         assert!(!scheme.supports_dense_index());
         assert_eq!(scheme.dense_index(&data(1), 10), None);
-        // The enumeration fallback still answers the universe size.
+        // The enumeration fallbacks still answer the universe size and
+        // the position → id direction.
         assert_eq!(scheme.universe_len(10), 20);
+        assert_eq!(scheme.block_at(0, 10), Some(data(1)));
+        assert_eq!(scheme.block_at(1, 10), Some(copy(1)));
+        assert_eq!(scheme.block_at(19, 10), Some(copy(10)));
+        assert_eq!(scheme.block_at(20, 10), None);
+        // No extremity exposure by default.
+        assert_eq!(scheme.repair_cost().extremity_exposed, 0);
     }
 
     #[test]

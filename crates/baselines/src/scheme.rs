@@ -132,10 +132,7 @@ impl RedundancyScheme for ReedSolomon {
     }
 
     fn repair_cost(&self) -> RepairCost {
-        RepairCost {
-            single_failure_reads: self.k() as u32,
-            additional_storage_pct: self.storage_overhead_pct(),
-        }
+        RepairCost::new(self.k() as u32, self.storage_overhead_pct())
     }
 
     fn encode_batch(
@@ -361,6 +358,44 @@ impl RedundancyScheme for ReedSolomon {
         u32::try_from(idx).ok()
     }
 
+    fn block_at(&self, q: u32, data_blocks: u64) -> Option<BlockId> {
+        // Inverse of dense_index. Every stripe before the last contributes
+        // exactly k + m positions; the final stripe may store fewer data
+        // blocks (virtual padding is never stored) but always m shards.
+        let (k, m) = (self.k() as u64, self.m() as u64);
+        let q = u64::from(q);
+        let full_stripes = data_blocks / k;
+        let regular = full_stripes * (k + m);
+        if q < regular {
+            let (t, r) = (q / (k + m), q % (k + m));
+            return Some(if r < k {
+                BlockId::Data(NodeId(t * k + r + 1))
+            } else {
+                BlockId::Shard(ShardId {
+                    stripe: t,
+                    index: (r - k) as u16,
+                })
+            });
+        }
+        // Inside the partial final stripe (if any): its stored data blocks
+        // first, then its m shards.
+        let rem_data = data_blocks - full_stripes * k;
+        if rem_data == 0 {
+            return None; // no partial stripe: q is past the universe
+        }
+        let r = q - regular;
+        if r < rem_data {
+            Some(BlockId::Data(NodeId(full_stripes * k + r + 1)))
+        } else if r < rem_data + m {
+            Some(BlockId::Shard(ShardId {
+                stripe: full_stripes,
+                index: (r - rem_data) as u16,
+            }))
+        } else {
+            None
+        }
+    }
+
     fn supports_dense_index(&self) -> bool {
         true
     }
@@ -397,10 +432,7 @@ impl RedundancyScheme for Replication {
     }
 
     fn repair_cost(&self) -> RepairCost {
-        RepairCost {
-            single_failure_reads: 1,
-            additional_storage_pct: self.storage_overhead_pct(),
-        }
+        RepairCost::new(1, self.storage_overhead_pct())
     }
 
     fn encode_batch(
@@ -490,6 +522,23 @@ impl RedundancyScheme for Replication {
             _ => return None,
         };
         u32::try_from(idx).ok()
+    }
+
+    fn block_at(&self, q: u32, data_blocks: u64) -> Option<BlockId> {
+        // Inverse of dense_index: a fixed stride of n per data block.
+        let n = self.copies() as u64;
+        let (i, copy) = (u64::from(q) / n + 1, u64::from(q) % n);
+        if i > data_blocks {
+            return None;
+        }
+        Some(if copy == 0 {
+            BlockId::Data(NodeId(i))
+        } else {
+            BlockId::Replica(ReplicaId {
+                node: NodeId(i),
+                copy: copy as u16,
+            })
+        })
     }
 
     fn supports_dense_index(&self) -> bool {
@@ -652,7 +701,9 @@ mod tests {
                         Some(k as u32),
                         "{name} n={n}: {id}"
                     );
+                    assert_eq!(scheme.block_at(k as u32, n), Some(*id), "{name} n={n}: {k}");
                 }
+                assert_eq!(scheme.block_at(ids.len() as u32, n), None, "{name} n={n}");
                 // Outside the universe.
                 assert_eq!(scheme.dense_index(&BlockId::Data(NodeId(0)), n), None);
                 assert_eq!(scheme.dense_index(&BlockId::Data(NodeId(n + 1)), n), None);

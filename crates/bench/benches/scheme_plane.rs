@@ -1,13 +1,16 @@
 //! The paper-scale (§V.C: one million data blocks) disaster benchmark:
-//! the dense-index `SchemePlane` fast path against the `HashMap`-indexed
-//! baseline, and the parallel worklist `repair_missing` planner against
-//! the reference sequential planner.
+//! the zero-materialization `SchemePlane` fast path (arithmetic
+//! `dense_index`/`block_at` bijection, nothing per-block in memory)
+//! against the materialized-universe + `HashMap` baseline, and the
+//! parallel worklist `repair_missing` planner against the reference
+//! sequential planner.
 //!
 //! Every comparison first asserts that both sides produce identical
 //! outcomes — these are performance paths, not behavioural ones — then
 //! times them. Alongside the criterion timings, the benchmark records
 //! resident-memory deltas for building each plane variant (read from
-//! `/proc/self/status`) as extra JSON lines in `CRITERION_JSON`.
+//! `/proc/self/status`) plus the exact bytes of materialized id state as
+//! extra JSON lines in `CRITERION_JSON`.
 
 use ae_api::RedundancyScheme;
 use ae_baselines::ReedSolomon;
@@ -15,6 +18,7 @@ use ae_blocks::{Block, BlockId};
 use ae_core::{BlockMap, Code};
 use ae_lattice::Config;
 use ae_sim::{IndexMode, SchemePlane, SimPlacement};
+use ae_store::{ChainMode, EntangledChain};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -30,6 +34,7 @@ fn scheme(name: &str) -> Box<dyn RedundancyScheme> {
     match name {
         "AE(3,2,5)" => Box::new(Code::new(Config::new(3, 2, 5).unwrap(), 0)),
         "RS(10,4)" => Box::new(ReedSolomon::new(10, 4).unwrap()),
+        "chain(closed)" => Box::new(EntangledChain::new(ChainMode::Closed, 0)),
         other => panic!("unknown scheme {other}"),
     }
 }
@@ -103,13 +108,16 @@ fn bench_full_disaster_1m(c: &mut Criterion) {
     g.finish();
 }
 
-/// Plane construction at 1M blocks: the map path pays the id → position
-/// hash table, the dense path only the universe and bitsets. Also records
-/// the resident-memory cost of keeping each variant alive.
+/// Plane construction at 1M blocks, with and without universe
+/// materialization: the map path pays the `Vec<BlockId>` universe plus
+/// the id → position hash table; the dense path holds no per-block id
+/// state at all (two bitsets only). Records build time, the
+/// resident-memory cost of keeping each variant alive, and the exact
+/// bytes of materialized id state.
 fn bench_build_1m(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheme_plane/build_1M");
     g.sample_size(10);
-    for name in ["AE(3,2,5)", "RS(10,4)"] {
+    for name in ["AE(3,2,5)", "RS(10,4)", "chain(closed)"] {
         for (label, mode) in [("dense", IndexMode::Auto), ("map", IndexMode::Map)] {
             g.bench_function(BenchmarkId::new(name, label), |b| {
                 b.iter(|| black_box(plane(name, mode)))
@@ -119,8 +127,9 @@ fn bench_build_1m(c: &mut Criterion) {
             let delta = rss_kib().saturating_sub(before);
             record_json(format!(
                 "{{\"bench\":\"scheme_plane/resident_memory_1M/{name}/{label}\",\
-                 \"rss_delta_kib\":{delta},\"index_bytes\":{}}}",
-                built.index_bytes()
+                 \"rss_delta_kib\":{delta},\"index_bytes\":{},\"materialized_bytes\":{}}}",
+                built.index_bytes(),
+                built.materialized_bytes()
             ));
             drop(built);
         }

@@ -111,10 +111,10 @@ impl RedundancyScheme for Code {
     }
 
     fn repair_cost(&self) -> RepairCost {
-        RepairCost {
-            single_failure_reads: Config::SINGLE_FAILURE_READS,
-            additional_storage_pct: self.config().storage_overhead_pct() as f64,
-        }
+        RepairCost::new(
+            Config::SINGLE_FAILURE_READS,
+            self.config().storage_overhead_pct() as f64,
+        )
     }
 
     fn encode_batch(
@@ -194,6 +194,24 @@ impl RedundancyScheme for Code {
             _ => return None,
         };
         u32::try_from(idx).ok()
+    }
+
+    fn block_at(&self, k: u32, data_blocks: u64) -> Option<BlockId> {
+        // Inverse of dense_index: position k → node 1 + k / stride, then
+        // the data block or the (k mod stride − 1)-th class parity.
+        let stride = 1 + self.config().alpha() as u64;
+        let (i, r) = (u64::from(k) / stride + 1, u64::from(k) % stride);
+        if i > data_blocks {
+            return None;
+        }
+        Some(if r == 0 {
+            BlockId::Data(NodeId(i))
+        } else {
+            BlockId::Parity(EdgeId::new(
+                self.config().classes()[r as usize - 1],
+                NodeId(i),
+            ))
+        })
     }
 
     fn supports_dense_index(&self) -> bool {
@@ -301,7 +319,9 @@ mod tests {
                     "{}: {id}",
                     cfg.name()
                 );
+                assert_eq!(code.block_at(k as u32, n), Some(*id), "{}: {k}", cfg.name());
             }
+            assert_eq!(code.block_at(ids.len() as u32, n), None);
             // Outside the universe: virtual positions, absent classes,
             // foreign schemes.
             assert_eq!(code.dense_index(&BlockId::Data(NodeId(0)), n), None);

@@ -1,20 +1,24 @@
 //! Regenerates Table IV: additional storage (AS) and single-failure repair
-//! reads (SF) for every scheme in the paper's comparison.
+//! reads (SF) for every scheme in the paper's comparison, extended with
+//! the §IV use-case schemes. The EX column is the number of blocks a
+//! chain extremity leaves with a single repair tuple — the typed
+//! open-vs-closed distinction (zero everywhere else).
 
 use ae_sim::schemes::Scheme;
 
 fn main() {
-    println!("# Table IV: redundancy schemes");
+    println!("# Table IV: redundancy schemes (+ §IV use-case schemes)");
     println!(
-        "{:<16} {:>8} {:>10} {:>20}",
-        "scheme", "AS %", "SF reads", "encoded blocks / 1M"
+        "{:<18} {:>8} {:>10} {:>4} {:>20}",
+        "scheme", "AS %", "SF reads", "EX", "encoded blocks / 1M"
     );
-    for s in Scheme::paper_lineup() {
+    for s in Scheme::extended_lineup() {
         println!(
-            "{:<16} {:>8} {:>10} {:>20}",
+            "{:<18} {:>8} {:>10} {:>4} {:>20}",
             s.name(),
             s.additional_storage_pct(),
             s.single_failure_reads(),
+            s.extremity_exposed(),
             s.encoded_blocks(1_000_000),
         );
     }

@@ -8,11 +8,16 @@
 //! only on which blocks are reachable (the byte plane is exercised by the
 //! `ae-core` and integration tests instead).
 //!
-//! * [`schemes`] — the redundancy schemes of Table IV with their
-//!   storage/repair costs, instantiable as `Box<dyn RedundancyScheme>`.
+//! * [`schemes`] — the scheme roster: Table IV's schemes plus the §IV
+//!   use-case schemes (entangled mirror chains, namespaced geo lattices),
+//!   each instantiable as `Box<dyn RedundancyScheme>` via
+//!   [`schemes::Scheme::build`].
 //! * [`scheme_plane`] — the one generic availability-plane engine, driven
 //!   by any [`ae_api::RedundancyScheme`]: placement, disasters,
-//!   round-based repair to fixpoint and minimal maintenance.
+//!   round-based repair to fixpoint and minimal maintenance. With an
+//!   authoritative `dense_index`/`block_at` bijection the plane holds no
+//!   per-block id state at all (no materialized universe, no hash index,
+//!   no location table — pure arithmetic).
 //! * [`ae_plane`], [`rs_plane`], [`repl_plane`] — thin per-scheme adapters
 //!   over [`scheme_plane`] keeping the familiar per-code entry points
 //!   (Fig 11, Fig 12, Fig 13, Table VI metrics).

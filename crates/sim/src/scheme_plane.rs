@@ -13,16 +13,21 @@
 //! in the paper's evaluation: every §V.C metric depends only on which
 //! blocks are reachable.
 //!
-//! # The index-free fast path
+//! # The zero-materialization fast path
 //!
 //! At the paper's scale (1M data blocks, up to 4M stored blocks) the plane
-//! state is the hot data structure. Availability and the punctured-block
-//! mask live in flat [`BitSet`]s, and block-id → dense-position lookups go
-//! through the scheme's arithmetic [`RedundancyScheme::dense_index`] hook
-//! whenever [`RedundancyScheme::supports_dense_index`] says it is
-//! authoritative — no `HashMap` in sight. Schemes without the hook (and
-//! callers forcing [`IndexMode::Map`], which benchmarks use as the
-//! baseline) fall back to a `HashMap<BlockId, u32>` built by enumeration.
+//! state is the hot data structure. When
+//! [`RedundancyScheme::supports_dense_index`] marks the scheme's
+//! `dense_index` ⇄ `block_at` bijection authoritative, the plane holds
+//! **no per-block id state at all**: availability and the punctured-block
+//! mask live in flat [`BitSet`]s keyed by dense position, placement is the
+//! arithmetic [`SimPlacement::place_dense`] of the position, and ids are
+//! recomputed from positions only at the edges (repair planning callbacks,
+//! summaries). No `Vec<BlockId>` universe, no `HashMap<BlockId, u32>`, no
+//! per-position location table — the availability oracle is pure
+//! arithmetic. Schemes without the hook (and callers forcing
+//! [`IndexMode::Map`], which benchmarks use as the baseline) fall back to
+//! a materialized universe plus a hash index built by enumeration.
 //!
 //! # Parallel repair rounds
 //!
@@ -41,39 +46,35 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// How blocks are mapped to locations in the availability simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SimPlacement {
-    /// Uniform random placement — the paper's default (§V.C).
-    Random {
-        /// Placement seed.
-        seed: u64,
-    },
-    /// Round-robin in write order: block k of the universe goes to location
-    /// `k mod n`, so neighbouring blocks (a data block and its redundancy)
-    /// occupy distinct failure domains — the authors' earlier assumption,
-    /// kept for the placement ablation ("we think a round robin placement
-    /// might be difficult to implement", §V.C).
-    RoundRobin,
-}
+/// How blocks are mapped to locations in the availability simulation: the
+/// canonical [`ae_api::Placement`] keyed by dense universe position, so
+/// neighbouring universe entries (a data block and its redundancy) get
+/// distinct keys. Shared with the store layer, which keys the same policy
+/// by block id instead.
+pub use ae_api::Placement as SimPlacement;
 
 /// How the plane maps block ids to dense positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexMode {
-    /// Use the scheme's arithmetic [`RedundancyScheme::dense_index`] when
-    /// it is authoritative, a `HashMap` otherwise.
+    /// Use the scheme's arithmetic `dense_index`/`block_at` bijection when
+    /// it is authoritative, a materialized universe + `HashMap` otherwise.
     Auto,
-    /// Always build the `HashMap` index — the memory/time baseline the
-    /// benchmarks compare the dense path against.
+    /// Always materialize the universe and build the `HashMap` index — the
+    /// memory/time baseline the benchmarks compare the dense path against.
     Map,
 }
 
-/// The id → dense-position index behind one plane.
+/// The id ⇄ dense-position mapping behind one plane.
 enum PlaneIndex {
-    /// The scheme's arithmetic index is authoritative; no storage at all.
+    /// The scheme's arithmetic bijection is authoritative; no storage at
+    /// all — ids are recomputed from positions on demand.
     Dense,
-    /// Hash index built by enumerating the universe.
-    Map(HashMap<BlockId, u32>),
+    /// Materialized universe (position → id) plus a hash index (id →
+    /// position) built by enumeration.
+    Map {
+        universe: Vec<BlockId>,
+        index: HashMap<BlockId, u32>,
+    },
 }
 
 /// Statistics of one repair round (availability plane).
@@ -145,17 +146,17 @@ pub struct MinimalRepairOutcome {
 const PARALLEL_ROUND_MIN: usize = 4096;
 
 /// Availability-plane state for one scheme deployment: every block the
-/// scheme stores, its location, and whether it is currently reachable.
+/// scheme stores, its (arithmetic) location, and whether it is currently
+/// reachable.
 pub struct SchemePlane {
     scheme: Box<dyn RedundancyScheme>,
     data_blocks: u64,
     locations: u32,
-    /// Placement universe in write order (dense position `k` → id).
-    universe: Vec<BlockId>,
-    /// id → dense position (arithmetic or hashed).
+    placement: SimPlacement,
+    /// Number of blocks in the placement universe.
+    universe_len: u32,
+    /// id ⇄ dense position (arithmetic, or materialized + hashed).
     index: PlaneIndex,
-    /// Location of universe block `k`.
-    loc: Vec<u32>,
     /// Availability of universe block `k`.
     avail: BitSet,
     /// Blocks that start out missing (punctured parities): they are never
@@ -164,7 +165,7 @@ pub struct SchemePlane {
 }
 
 impl SchemePlane {
-    /// Builds the plane: asks the scheme for its block universe and places
+    /// Builds the plane: asks the scheme for its universe size and places
     /// every block on one of `locations` failure domains.
     pub fn new(
         scheme: Box<dyn RedundancyScheme>,
@@ -197,7 +198,7 @@ impl SchemePlane {
 
     /// Full-control constructor: [`SchemePlane::with_missing`] plus an
     /// explicit [`IndexMode`] (benchmarks and parity tests force
-    /// [`IndexMode::Map`] to compare against the hash-indexed baseline).
+    /// [`IndexMode::Map`] to compare against the materialized baseline).
     pub fn with_index_mode(
         scheme: Box<dyn RedundancyScheme>,
         data_blocks: u64,
@@ -207,16 +208,13 @@ impl SchemePlane {
         mode: IndexMode,
     ) -> Self {
         assert!(data_blocks > 0 && locations > 0);
-        let universe = scheme.block_ids(data_blocks);
-        assert!(
-            u32::try_from(universe.len()).is_ok(),
-            "plane universe exceeds u32 positions"
-        );
         let index = if mode == IndexMode::Auto && scheme.supports_dense_index() {
-            // The arithmetic index must agree with the enumeration it
-            // replaces; verify exhaustively in debug builds.
+            // The arithmetic bijection must agree with the enumeration it
+            // replaces; verify exhaustively in debug builds (the universe
+            // is materialized transiently here, release builds never do).
             #[cfg(debug_assertions)]
             {
+                let universe = scheme.block_ids(data_blocks);
                 assert_eq!(scheme.universe_len(data_blocks), universe.len() as u64);
                 for (k, id) in universe.iter().enumerate() {
                     assert_eq!(
@@ -224,47 +222,45 @@ impl SchemePlane {
                         Some(k as u32),
                         "dense index disagrees with block_ids at {id}"
                     );
+                    assert_eq!(
+                        scheme.block_at(k as u32, data_blocks),
+                        Some(*id),
+                        "block_at disagrees with block_ids at {k}"
+                    );
                 }
             }
             PlaneIndex::Dense
         } else {
-            PlaneIndex::Map(
-                universe
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &id)| (id, k as u32))
-                    .collect(),
-            )
+            let universe = scheme.block_ids(data_blocks);
+            let index = universe
+                .iter()
+                .enumerate()
+                .map(|(k, &id)| (id, k as u32))
+                .collect();
+            PlaneIndex::Map { universe, index }
         };
-        let loc: Vec<u32> = match placement {
-            SimPlacement::Random { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                (0..universe.len())
-                    .map(|_| rng.random_range(0..locations))
-                    .collect()
-            }
-            SimPlacement::RoundRobin => (0..universe.len())
-                .map(|k| (k % locations as usize) as u32)
-                .collect(),
-        };
-        let mut initially_missing = BitSet::zeros(universe.len());
-        for (k, &id) in universe.iter().enumerate() {
-            if never_stored(id) {
-                initially_missing.set(k, true);
-            }
+        let universe_len = u32::try_from(scheme.universe_len(data_blocks))
+            .expect("plane universe exceeds u32 positions");
+        if let PlaneIndex::Map { universe, .. } = &index {
+            assert_eq!(universe.len() as u32, universe_len);
         }
-        let mut avail = BitSet::zeros(universe.len());
-        avail.assign_not(&initially_missing);
-        SchemePlane {
+        let mut plane = SchemePlane {
             scheme,
             data_blocks,
             locations,
-            universe,
+            placement,
+            universe_len,
             index,
-            loc,
-            avail,
-            initially_missing,
+            avail: BitSet::zeros(universe_len as usize),
+            initially_missing: BitSet::zeros(universe_len as usize),
+        };
+        for k in 0..universe_len {
+            if never_stored(plane.id_at(k)) {
+                plane.initially_missing.set(k as usize, true);
+            }
         }
+        plane.avail.assign_not(&plane.initially_missing);
+        plane
     }
 
     /// The scheme driving this plane.
@@ -272,28 +268,63 @@ impl SchemePlane {
         self.scheme.as_ref()
     }
 
+    /// The id at dense position `k` — arithmetic on the fast path, a table
+    /// read on the materialized one.
+    #[inline]
+    fn id_at(&self, k: u32) -> BlockId {
+        match &self.index {
+            PlaneIndex::Dense => self
+                .scheme
+                .block_at(k, self.data_blocks)
+                .expect("position within universe"),
+            PlaneIndex::Map { universe, .. } => universe[k as usize],
+        }
+    }
+
     /// Dense position of `id`, or `None` outside the universe.
     #[inline]
     fn index_of(&self, id: BlockId) -> Option<u32> {
         match &self.index {
             PlaneIndex::Dense => self.scheme.dense_index(&id, self.data_blocks),
-            PlaneIndex::Map(map) => map.get(&id).copied(),
+            PlaneIndex::Map { index, .. } => index.get(&id).copied(),
         }
     }
 
-    /// Whether the plane resolves ids arithmetically (no hash index).
+    /// The location of dense position `k`: pure placement arithmetic, no
+    /// per-block table.
+    #[inline]
+    fn loc_at(&self, k: u32) -> u32 {
+        self.placement.place_dense(u64::from(k), self.locations)
+    }
+
+    /// Whether the plane resolves ids arithmetically (no materialized
+    /// universe, no hash index).
     pub fn uses_dense_index(&self) -> bool {
         matches!(self.index, PlaneIndex::Dense)
     }
 
-    /// Approximate heap bytes held by the id index: zero on the dense
-    /// path, the hash table's footprint otherwise. The benchmarks report
-    /// this next to resident-memory measurements.
+    /// Approximate heap bytes held by the id → position hash index: zero
+    /// on the dense path, the hash table's footprint otherwise. The
+    /// benchmarks report this next to resident-memory measurements.
     pub fn index_bytes(&self) -> usize {
         match &self.index {
             PlaneIndex::Dense => 0,
             // Key + value per bucket plus hashbrown's one control byte.
-            PlaneIndex::Map(map) => map.capacity() * (std::mem::size_of::<(BlockId, u32)>() + 1),
+            PlaneIndex::Map { index, .. } => {
+                index.capacity() * (std::mem::size_of::<(BlockId, u32)>() + 1)
+            }
+        }
+    }
+
+    /// Approximate heap bytes of all per-block id state — the materialized
+    /// `Vec<BlockId>` universe plus the hash index. Zero on the dense
+    /// path: the bijection is arithmetic, nothing is materialized.
+    pub fn materialized_bytes(&self) -> usize {
+        match &self.index {
+            PlaneIndex::Dense => 0,
+            PlaneIndex::Map { universe, .. } => {
+                universe.capacity() * std::mem::size_of::<BlockId>() + self.index_bytes()
+            }
         }
     }
 
@@ -311,13 +342,13 @@ impl SchemePlane {
 
     /// Total stored blocks (the placement universe).
     pub fn total_blocks(&self) -> u64 {
-        self.universe.len() as u64
+        u64::from(self.universe_len)
     }
 
     /// The location a block was placed on, or `None` for ids outside the
     /// universe.
     pub fn location_of(&self, id: BlockId) -> Option<u32> {
-        self.index_of(id).map(|k| self.loc[k as usize])
+        self.index_of(id).map(|k| self.loc_at(k))
     }
 
     /// Resets every stored block to available (punctured blocks stay out).
@@ -332,10 +363,10 @@ impl SchemePlane {
         let failed = failed_locations(self.locations, fraction, disaster_seed);
         let mut missing_data = 0;
         let mut missing_redundancy = 0;
-        for k in 0..self.universe.len() {
-            if self.avail.get(k) && failed[self.loc[k] as usize] {
-                self.avail.set(k, false);
-                if self.universe[k].is_data() {
+        for k in 0..self.universe_len {
+            if self.avail.get(k as usize) && failed[self.loc_at(k) as usize] {
+                self.avail.set(k as usize, false);
+                if self.id_at(k).is_data() {
                     missing_data += 1;
                 } else {
                     missing_redundancy += 1;
@@ -357,7 +388,7 @@ impl SchemePlane {
     fn missing_indices(&self, data_only: bool) -> Vec<u32> {
         self.avail
             .iter_zeros()
-            .filter(|&k| !data_only || self.universe[k].is_data())
+            .filter(|&k| !data_only || self.id_at(k as u32).is_data())
             .map(|k| k as u32)
             .collect()
     }
@@ -384,7 +415,7 @@ impl SchemePlane {
         self.par_filter(candidates, |k| {
             let avail = |id: BlockId| self.block_available(id);
             self.scheme
-                .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
+                .is_repairable(self.id_at(k), self.data_blocks, &avail)
         })
     }
 
@@ -398,14 +429,14 @@ impl SchemePlane {
         // repair lands (Fig 13's denominator is all repaired data blocks).
         let single_candidates = {
             let singles = self.par_filter(&missing, |k| {
-                let id = self.universe[k as usize];
+                let id = self.id_at(k);
                 if !id.is_data() {
                     return false;
                 }
                 let avail = |id: BlockId| self.block_available(id);
                 self.scheme.is_single_failure(id, self.data_blocks, &avail)
             });
-            let mut set = BitSet::zeros(self.universe.len());
+            let mut set = BitSet::zeros(self.universe_len as usize);
             for k in singles {
                 set.set(k as usize, true);
             }
@@ -419,7 +450,7 @@ impl SchemePlane {
             if fix.is_empty() {
                 break;
             }
-            let fixed_ids: Vec<BlockId> = fix.iter().map(|&k| self.universe[k as usize]).collect();
+            let fixed_ids: Vec<BlockId> = fix.iter().map(|&k| self.id_at(k)).collect();
             traffic += self.scheme.repair_traffic(&fixed_ids);
             let data = fixed_ids.iter().filter(|id| id.is_data()).count() as u64;
             if rounds.is_empty() {
@@ -437,10 +468,7 @@ impl SchemePlane {
             });
             missing.retain(|&k| !self.avail.get(k as usize));
         }
-        let data_lost = missing
-            .iter()
-            .filter(|&&k| self.universe[k as usize].is_data())
-            .count() as u64;
+        let data_lost = missing.iter().filter(|&&k| self.id_at(k).is_data()).count() as u64;
         FullRepairOutcome {
             data_lost,
             parity_lost: missing.len() as u64 - data_lost,
@@ -459,10 +487,8 @@ impl SchemePlane {
         let mut parity_repaired = 0;
         loop {
             let missing_data = self.missing_indices(true);
-            let missing_data_ids: Vec<BlockId> = missing_data
-                .iter()
-                .map(|&k| self.universe[k as usize])
-                .collect();
+            let missing_data_ids: Vec<BlockId> =
+                missing_data.iter().map(|&k| self.id_at(k)).collect();
             let wanted: Vec<u32> = self
                 .scheme
                 .maintenance_targets(&missing_data_ids, self.data_blocks)
@@ -490,14 +516,14 @@ impl SchemePlane {
         // Fig 12: available data blocks with no working redundancy left —
         // if they failed now, they would be unrepairable.
         let vulnerable_data = {
-            let candidates: Vec<u32> = (0..self.universe.len() as u32)
-                .filter(|&k| self.avail.get(k as usize) && self.universe[k as usize].is_data())
+            let candidates: Vec<u32> = (0..self.universe_len)
+                .filter(|&k| self.avail.get(k as usize) && self.id_at(k).is_data())
                 .collect();
             self.par_filter(&candidates, |k| {
                 let avail = |id: BlockId| self.block_available(id);
                 !self
                     .scheme
-                    .is_repairable(self.universe[k as usize], self.data_blocks, &avail)
+                    .is_repairable(self.id_at(k), self.data_blocks, &avail)
             })
             .len() as u64
         };
@@ -533,6 +559,7 @@ pub fn failed_locations(locations: u32, fraction: f64, seed: u64) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schemes::Scheme;
     use ae_baselines::{ReedSolomon, Replication};
     use ae_core::Code;
     use ae_lattice::Config;
@@ -542,25 +569,29 @@ mod tests {
     }
 
     #[test]
-    fn one_plane_drives_all_three_schemes() {
-        let schemes: Vec<Box<dyn RedundancyScheme>> = vec![
-            Box::new(ae(Config::new(3, 2, 5).unwrap())),
-            Box::new(ReedSolomon::new(10, 4).unwrap()),
-            Box::new(Replication::new(3)),
-        ];
-        for scheme in schemes {
-            let name = scheme.scheme_name();
-            let mut plane =
-                SchemePlane::new(scheme, 20_000, 100, SimPlacement::Random { seed: 42 });
+    fn one_plane_drives_all_roster_schemes() {
+        for scheme in Scheme::extended_lineup() {
+            let name = scheme.name();
+            let mut plane = SchemePlane::new(
+                scheme.build(0),
+                20_000,
+                100,
+                SimPlacement::Random { seed: 42 },
+            );
             assert!(plane.uses_dense_index(), "{name} has the arithmetic hook");
             assert_eq!(plane.index_bytes(), 0, "{name}");
+            assert_eq!(plane.materialized_bytes(), 0, "{name}");
             let (md, mp) = plane.inject_disaster(0.1, 7);
             assert!(md > 0 && mp > 0, "{name}");
             let out = plane.repair_full();
-            // A 10% disaster is nearly harmless for all three schemes
-            // (AE(3,2,5) loses nothing; RS(10,4) and 3-way replication
-            // lose at most a handful of unlucky blocks).
-            assert!(out.data_lost < 100, "{name} at 10%: lost {}", out.data_lost);
+            // A 10% disaster costs every roster scheme at most a few
+            // percent (the weak settings — RS(8,2), 2-way anything — bleed
+            // a little; the strong ones lose nothing, asserted elsewhere).
+            assert!(
+                out.data_lost < 1_000,
+                "{name} at 10%: lost {}",
+                out.data_lost
+            );
             assert!(out.data_repaired() > 0, "{name}");
             assert!(out.blocks_read() > 0);
         }
@@ -619,6 +650,7 @@ mod tests {
         );
         assert!(!p.uses_dense_index());
         assert!(p.index_bytes() > 0);
+        assert!(p.materialized_bytes() > p.index_bytes(), "universe counted");
     }
 
     #[test]
@@ -663,5 +695,61 @@ mod tests {
         };
         assert!(run(strong) < 20);
         assert!(run(weak) > 1_000);
+    }
+
+    #[test]
+    fn replication_plane_still_works() {
+        let mut p = SchemePlane::new(
+            Box::new(Replication::new(3)),
+            20_000,
+            100,
+            SimPlacement::Random { seed: 42 },
+        );
+        p.inject_disaster(0.1, 7);
+        let out = p.repair_full();
+        // P(all three copies on failed locations) ≈ 0.1³.
+        assert!(out.data_lost < 100, "lost {}", out.data_lost);
+    }
+
+    #[test]
+    fn chain_extremity_visible_through_the_plane() {
+        // Drive-failure scenario through the generic plane: the closed
+        // ring never loses more than the open chain under the same
+        // disaster, and the open chain's cost model announces the
+        // extremity exposure.
+        let run = |mode| {
+            let mut p = SchemePlane::new(
+                Scheme::Chain { mode }.build(0),
+                10_000,
+                100,
+                SimPlacement::Random { seed: 11 },
+            );
+            p.inject_disaster(0.3, 5);
+            p.repair_full().data_lost
+        };
+        let open = run(ae_store::ChainMode::Open);
+        let closed = run(ae_store::ChainMode::Closed);
+        assert!(closed <= open, "closed {closed} vs open {open}");
+        let open_scheme = Scheme::Chain {
+            mode: ae_store::ChainMode::Open,
+        }
+        .build(0);
+        assert_eq!(open_scheme.repair_cost().extremity_exposed, 2);
+    }
+
+    #[test]
+    fn geo_plane_matches_untagged_lattice() {
+        // A user's namespaced lattice behaves identically to the untagged
+        // code on the availability plane — the tag shifts ids, not
+        // structure.
+        let run = |scheme: Box<dyn RedundancyScheme>| {
+            let mut p = SchemePlane::new(scheme, 10_000, 100, SimPlacement::Random { seed: 3 });
+            p.inject_disaster(0.35, 9);
+            p.repair_full()
+        };
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let plain = run(Box::new(ae(cfg)));
+        let tagged = run(Scheme::Geo { cfg, user: 5 }.build(0));
+        assert_eq!(plain, tagged);
     }
 }

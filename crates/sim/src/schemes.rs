@@ -1,6 +1,14 @@
-//! The redundancy schemes compared in the paper (Table IV).
+//! The scheme roster: the redundancy schemes compared in the paper
+//! (Table IV) plus the two §IV use-case schemes, each instantiable as a
+//! boxed [`RedundancyScheme`] via [`Scheme::build`] so that planes, parity
+//! harnesses and binaries drive every scenario through the same generic
+//! machinery.
 
+use ae_api::RedundancyScheme;
+use ae_baselines::{ReedSolomon, Replication};
+use ae_core::Code;
 use ae_lattice::Config;
+use ae_store::{ChainMode, EntangledChain, GeoLattice};
 use std::fmt;
 
 /// A redundancy scheme with the cost model of Table IV.
@@ -19,6 +27,20 @@ pub enum Scheme {
     Replication {
         /// Copies, original included.
         n: u32,
+    },
+    /// The α = 1 entangled mirror chain of §IV.B.1 (`ae_store`'s
+    /// [`EntangledChain`]): mirroring's storage bill, open or closed.
+    Chain {
+        /// Chain shape; open chains expose the §IV.B.1 extremity pair.
+        mode: ChainMode,
+    },
+    /// One user's namespaced lattice in the §IV.A cooperative backup
+    /// (`ae_store`'s [`GeoLattice`]).
+    Geo {
+        /// The user's code.
+        cfg: Config,
+        /// Namespace owner (tags every block id).
+        user: u64,
     },
 }
 
@@ -40,33 +62,88 @@ impl Scheme {
         ]
     }
 
+    /// The paper lineup plus the §IV use-case schemes: the open and closed
+    /// mirror chains (§IV.B.1) and a namespaced geo lattice (§IV.A).
+    pub fn extended_lineup() -> Vec<Scheme> {
+        let mut all = Self::paper_lineup();
+        all.push(Scheme::Chain {
+            mode: ChainMode::Open,
+        });
+        all.push(Scheme::Chain {
+            mode: ChainMode::Closed,
+        });
+        all.push(Scheme::Geo {
+            cfg: Config::new(3, 2, 5).expect("valid paper setting"),
+            user: 3,
+        });
+        all
+    }
+
+    /// Instantiates the scheme as a boxed [`RedundancyScheme`] — the one
+    /// constructor every plane, harness and binary goes through. Block
+    /// size 0 is fine for availability-plane use.
+    pub fn build(&self, block_size: usize) -> Box<dyn RedundancyScheme> {
+        match *self {
+            Scheme::Ae(cfg) => Box::new(Code::new(cfg, block_size)),
+            Scheme::Rs { k, m } => {
+                Box::new(ReedSolomon::new(k as usize, m as usize).expect("valid RS setting"))
+            }
+            Scheme::Replication { n } => Box::new(Replication::new(n as usize)),
+            Scheme::Chain { mode } => Box::new(EntangledChain::new(mode, block_size)),
+            Scheme::Geo { cfg, user } => {
+                Box::new(GeoLattice::new(Code::new(cfg, block_size), user))
+            }
+        }
+    }
+
     /// Additional storage as a percentage of the original data (Table IV's
-    /// "AS" row): `m/k · 100` for RS, `α · 100` for AE, `(n−1) · 100` for
-    /// replication.
+    /// "AS" row): `m/k · 100` for RS, `α · 100` for AE (and the geo
+    /// lattice), `(n−1) · 100` for replication, mirroring's 100% for the
+    /// chains.
     pub fn additional_storage_pct(&self) -> f64 {
         match self {
-            Scheme::Ae(cfg) => cfg.storage_overhead_pct() as f64,
+            Scheme::Ae(cfg) | Scheme::Geo { cfg, .. } => cfg.storage_overhead_pct() as f64,
             Scheme::Rs { k, m } => *m as f64 / *k as f64 * 100.0,
             Scheme::Replication { n } => (*n as f64 - 1.0) * 100.0,
+            Scheme::Chain { .. } => 100.0,
         }
     }
 
     /// Blocks read to repair one missing block (Table IV's "SF" row):
-    /// `k` for RS, always 2 for AE, 1 for replication.
+    /// `k` for RS, always 2 for entanglements (chains included), 1 for
+    /// replication.
     pub fn single_failure_reads(&self) -> u32 {
         match self {
-            Scheme::Ae(_) => Config::SINGLE_FAILURE_READS,
+            Scheme::Ae(_) | Scheme::Geo { .. } | Scheme::Chain { .. } => {
+                Config::SINGLE_FAILURE_READS
+            }
             Scheme::Rs { k, .. } => *k,
             Scheme::Replication { .. } => 1,
         }
     }
 
-    /// Paper-style name: `RS(10,4)`, `AE(3,2,5)`, `3-way replic.`.
+    /// Blocks at a chain extremity left with a single repair tuple (the
+    /// §IV.B.1 open-chain weakness); zero everywhere else. Matches
+    /// [`ae_api::RepairCost::extremity_exposed`].
+    pub fn extremity_exposed(&self) -> u32 {
+        match self {
+            Scheme::Chain {
+                mode: ChainMode::Open,
+            } => 2,
+            _ => 0,
+        }
+    }
+
+    /// Paper-style name: `RS(10,4)`, `AE(3,2,5)`, `3-way replic.`,
+    /// `chain(open)`, `geo[u3] AE(3,2,5)` — identical to the built
+    /// scheme's `scheme_name`.
     pub fn name(&self) -> String {
         match self {
             Scheme::Ae(cfg) => cfg.name(),
             Scheme::Rs { k, m } => format!("RS({k},{m})"),
             Scheme::Replication { n } => format!("{n}-way replic."),
+            Scheme::Chain { mode } => format!("chain({mode})"),
+            Scheme::Geo { cfg, user } => format!("geo[u{user}] {}", cfg.name()),
         }
     }
 
@@ -75,9 +152,13 @@ impl Scheme {
     /// (§V.C "Simulation Environment").
     pub fn encoded_blocks(&self, data_blocks: u64) -> u64 {
         match self {
-            Scheme::Ae(cfg) => data_blocks * cfg.alpha() as u64,
+            Scheme::Ae(cfg) | Scheme::Geo { cfg, .. } => data_blocks * cfg.alpha() as u64,
             Scheme::Rs { k, m } => data_blocks / *k as u64 * *m as u64,
             Scheme::Replication { n } => data_blocks * (*n as u64 - 1),
+            Scheme::Chain { mode } => match mode {
+                ChainMode::Open => data_blocks,
+                ChainMode::Closed => data_blocks + 1, // the closing parity
+            },
         }
     }
 }
@@ -135,5 +216,43 @@ mod tests {
     fn display_matches_name() {
         let s = Scheme::Rs { k: 5, m: 5 };
         assert_eq!(format!("{s}"), s.name());
+    }
+
+    /// Every roster entry builds to a scheme whose self-description and
+    /// cost model agree with the roster's — the roster is the one source
+    /// of truth binaries print from.
+    #[test]
+    fn extended_lineup_builds_and_costs_agree() {
+        let lineup = Scheme::extended_lineup();
+        assert_eq!(lineup.len(), 13, "paper lineup + 2 chains + geo");
+        for s in lineup {
+            let built = s.build(0);
+            assert_eq!(built.scheme_name(), s.name());
+            let cost = built.repair_cost();
+            assert_eq!(cost.single_failure_reads, s.single_failure_reads(), "{s}");
+            assert!(
+                (cost.additional_storage_pct - s.additional_storage_pct()).abs() < 1e-9,
+                "{s}"
+            );
+            assert_eq!(cost.extremity_exposed, s.extremity_exposed(), "{s}");
+            assert!(built.supports_dense_index(), "{s}");
+        }
+    }
+
+    /// Only the open chain exposes an extremity; the roster distinguishes
+    /// the chain modes in Table IV-style reports.
+    #[test]
+    fn open_and_closed_chains_are_distinguished() {
+        let open = Scheme::Chain {
+            mode: ChainMode::Open,
+        };
+        let closed = Scheme::Chain {
+            mode: ChainMode::Closed,
+        };
+        assert_ne!(open.name(), closed.name());
+        assert_eq!(open.extremity_exposed(), 2);
+        assert_eq!(closed.extremity_exposed(), 0);
+        assert_eq!(open.encoded_blocks(1000), 1000);
+        assert_eq!(closed.encoded_blocks(1000), 1001);
     }
 }

@@ -10,17 +10,25 @@
 //! * **Block-level striping** — blocks round-robin over all drives for
 //!   throughput.
 //!
-//! And two chain shapes:
+//! And two chain shapes ([`ChainMode`]): open (the tail parity has a single
+//! repair tuple, surfaced as a typed [`crate::chain::ExtremityWarning`])
+//! and closed (the ring removes the extremity weakness).
 //!
-//! * **Open** — the plain chain; the tail parity has a single repair tuple,
-//!   so blocks at the extremity have less redundancy.
-//! * **Closed** — after the last block, the chain is tangled through the
-//!   first data block once more, producing one closing parity. Every parity
-//!   then has two repair tuples; the extremity weakness disappears.
+//! The chain logic itself — encoding, repair tuples, the dense
+//! `dense_index`/`block_at` bijection — lives in
+//! [`crate::chain::EntangledChain`], a first-class
+//! [`ae_api::RedundancyScheme`]; [`EntangledArray`] is a thin wrapper
+//! adding drive topology (layout, drive failures) on top. Drive-failure
+//! scenarios therefore run through the exact same generic repair planners
+//! and availability plane as every other scheme.
 
-use crate::store::{BlockStore, MemStore, StoreError};
-use ae_blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
+use crate::chain::EntangledChain;
+use crate::store::{BlockStore, MemStore, StoreError, StoreRepo};
+use ae_api::RedundancyScheme;
+use ae_blocks::{Block, BlockId, EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
+
+pub use crate::chain::{ChainMode, ExtremityWarning};
 
 /// Physical drive index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -38,27 +46,14 @@ pub enum Layout {
     Striping,
 }
 
-/// Chain shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ChainMode {
-    /// Plain open chain.
-    Open,
-    /// Chain closed through the first data block after sealing.
-    Closed,
-}
-
 /// An entangled mirror array: `drives` data drives plus `drives` parity
-/// drives, α = 1 entanglement between them.
+/// drives, α = 1 entanglement between them — a drive topology over the
+/// [`EntangledChain`] scheme.
 pub struct EntangledArray {
     drives: u32,
     layout: Layout,
-    mode: ChainMode,
-    block_size: usize,
+    chain: EntangledChain,
     store: MemStore,
-    written: u64,
-    /// Last parity, kept to extend the chain (encoder frontier of size 1).
-    last_parity: Option<Block>,
-    sealed: bool,
     failed_drives: std::collections::HashSet<DriveId>,
 }
 
@@ -75,12 +70,8 @@ impl EntangledArray {
         EntangledArray {
             drives,
             layout,
-            mode,
-            block_size,
+            chain: EntangledChain::new(mode, block_size),
             store: MemStore::new(),
-            written: 0,
-            last_parity: None,
-            sealed: false,
             failed_drives: std::collections::HashSet::new(),
         }
     }
@@ -93,7 +84,19 @@ impl EntangledArray {
 
     /// Blocks written so far.
     pub fn written(&self) -> u64 {
-        self.written
+        self.chain.data_written()
+    }
+
+    /// The underlying chain scheme (drive-failure scenarios can run it
+    /// through the generic `SchemePlane` and repair planners directly).
+    pub fn scheme(&self) -> &EntangledChain {
+        &self.chain
+    }
+
+    /// The typed §IV.B.1 warning for open chains: the tail pair has a
+    /// single repair tuple. `None` for closed chains (and empty arrays).
+    pub fn extremity_warning(&self) -> Option<ExtremityWarning> {
+        self.chain.extremity_warning(self.written())
     }
 
     /// Data drive holding data block `i` (1-based lattice position).
@@ -129,50 +132,26 @@ impl EntangledArray {
     /// Panics after [`Self::seal`] (the array is append-only and a closed
     /// chain cannot grow) or on a block-size mismatch.
     pub fn write(&mut self, data: Block) -> u64 {
-        assert!(!self.sealed, "array is sealed");
-        assert_eq!(data.len(), self.block_size, "block size mismatch");
-        let i = self.written + 1;
-        let parity = match &self.last_parity {
-            Some(prev) => data.xor(prev).expect("sizes checked"),
-            None => data.clone(),
-        };
-        self.store.put(BlockId::Data(NodeId(i)), data);
-        self.store.put(parity_id(i), parity.clone());
-        self.last_parity = Some(parity);
-        self.written = i;
-        i
+        assert!(!self.chain.is_sealed(), "array is sealed");
+        assert_eq!(data.len(), self.chain.block_size(), "block size mismatch");
+        let mut sink = StoreRepo(&self.store);
+        self.chain
+            .encode_batch(std::slice::from_ref(&data), &mut sink)
+            .expect("size asserted above");
+        self.written()
     }
 
     /// Seals the array. In closed mode this tangles the chain through the
     /// first data block once more, storing the closing parity
     /// `p_close = d_1 XOR p_{n,n+1}` under the edge id `(H, n+1)`.
     pub fn seal(&mut self) {
-        if self.sealed {
-            return;
-        }
-        if self.mode == ChainMode::Closed && self.written > 0 {
-            let d1 = self
-                .store
-                .get(BlockId::Data(NodeId(1)))
-                .expect("first block exists while sealing");
-            let last = self.last_parity.as_ref().expect("written > 0");
-            let closing = d1.xor(last).expect("sizes match");
-            self.store.put(parity_id(self.written + 1), closing);
-        }
-        self.sealed = true;
+        let mut sink = StoreRepo(&self.store);
+        self.chain.seal(&mut sink).expect("sealing never fails");
     }
 
     /// Ids of every block the array holds when healthy.
     pub fn all_blocks(&self) -> Vec<BlockId> {
-        let mut out = Vec::new();
-        for i in 1..=self.written {
-            out.push(BlockId::Data(NodeId(i)));
-            out.push(parity_id(i));
-        }
-        if self.sealed && self.mode == ChainMode::Closed && self.written > 0 {
-            out.push(parity_id(self.written + 1));
-        }
-        out
+        self.chain.stored_ids()
     }
 
     /// Drops a single block, simulating an unreadable sector (as opposed to
@@ -202,98 +181,20 @@ impl EntangledArray {
     }
 
     /// Rebuilds every missing block (e.g. after [`Self::fail_drive`] and a
-    /// drive replacement) from the chain, iterating to a fixpoint. Returns
+    /// drive replacement) from the chain, through the scheme's generic
+    /// round-based [`RedundancyScheme::repair_missing`] planner. Returns
     /// the ids that remain unrecoverable.
     pub fn rebuild(&mut self) -> Vec<BlockId> {
         self.failed_drives.clear();
-        let mut missing: Vec<BlockId> = self
+        let targets: Vec<BlockId> = self
             .all_blocks()
             .into_iter()
             .filter(|&id| !self.store.contains(id))
             .collect();
-        loop {
-            let mut progressed = false;
-            let mut still = Vec::new();
-            for &id in &missing {
-                match self.try_repair(id) {
-                    Some(b) => {
-                        self.store.put(id, b);
-                        progressed = true;
-                    }
-                    None => still.push(id),
-                }
-            }
-            missing = still;
-            if missing.is_empty() || !progressed {
-                return missing;
-            }
-        }
-    }
-
-    /// Single-block repair using the chain identities, including the closed
-    /// ring options when sealed.
-    fn try_repair(&self, id: BlockId) -> Option<Block> {
-        let n = self.written;
-        let closing = self.sealed && self.mode == ChainMode::Closed;
-        let get = |q: BlockId| self.store.get(q).ok();
-        match id {
-            BlockId::Data(NodeId(i)) => {
-                // d_i = p_{i-1,i} XOR p_{i,i+1}  (p_0 = 0).
-                let right = get(parity_id(i));
-                if let Some(right) = right {
-                    let left = if i == 1 {
-                        Some(Block::zero(self.block_size))
-                    } else {
-                        get(parity_id(i - 1))
-                    };
-                    if let Some(left) = left {
-                        return Some(left.xor(&right).expect("sizes match"));
-                    }
-                }
-                // Closed ring gives d_1 a second tuple: d_1 = p_n ⊕ p_close.
-                if closing && i == 1 {
-                    if let (Some(pn), Some(pc)) = (get(parity_id(n)), get(parity_id(n + 1))) {
-                        return Some(pn.xor(&pc).expect("sizes match"));
-                    }
-                }
-                None
-            }
-            BlockId::Parity(EdgeId {
-                left: NodeId(i), ..
-            }) => {
-                // p_i = d_i XOR p_{i-1}  (left tuple)…
-                let left_data = if i == n + 1 {
-                    // Closing parity: p_close = d_1 XOR p_n.
-                    get(BlockId::Data(NodeId(1)))
-                } else {
-                    get(BlockId::Data(NodeId(i)))
-                };
-                if let Some(d) = left_data {
-                    let prev = if i == 1 {
-                        Some(Block::zero(self.block_size))
-                    } else {
-                        get(parity_id(i - 1))
-                    };
-                    if let Some(prev) = prev {
-                        return Some(d.xor(&prev).expect("sizes match"));
-                    }
-                }
-                // …or p_i = d_{i+1} XOR p_{i+1} (right tuple), where the
-                // ring makes d_1/p_close the right neighbours of p_n.
-                let (next_data, next_parity) = if i < n {
-                    (get(BlockId::Data(NodeId(i + 1))), get(parity_id(i + 1)))
-                } else if i == n && closing {
-                    (get(BlockId::Data(NodeId(1))), get(parity_id(n + 1)))
-                } else {
-                    (None, None)
-                };
-                if let (Some(d), Some(p)) = (next_data, next_parity) {
-                    return Some(d.xor(&p).expect("sizes match"));
-                }
-                None
-            }
-            _ => None,
-        }
+        let mut repo = StoreRepo(&self.store);
+        self.chain
+            .repair_missing(&mut repo, &targets, self.written())
+            .unrecovered
     }
 
     fn effective_drive(&self, id: BlockId) -> DriveId {
@@ -302,21 +203,22 @@ impl EntangledArray {
             left: NodeId(i), ..
         }) = id
         {
-            if i == self.written + 1 {
-                return self.parity_drive_of(self.written.max(1));
+            if i == self.written() + 1 {
+                return self.parity_drive_of(self.written().max(1));
             }
         }
         self.drive_of(id)
     }
 }
 
-fn parity_id(i: u64) -> BlockId {
-    BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(i)))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ae_blocks::StrandClass;
+
+    fn parity_id(i: u64) -> BlockId {
+        BlockId::Parity(EdgeId::new(StrandClass::Horizontal, NodeId(i)))
+    }
 
     fn filled(
         drives: u32,
@@ -406,6 +308,10 @@ mod tests {
         open.store.remove(parity_id(10));
         let unrecovered = open.rebuild();
         assert_eq!(unrecovered.len(), 2, "open chain loses the tail");
+        // The weakness is announced, not silent: the typed warning names
+        // exactly the pair that died.
+        let warn = open.extremity_warning().expect("open chains warn");
+        assert_eq!(warn.exposed, unrecovered);
 
         // Closed: p_n repairs through the ring (d_1, p_close), then d_n.
         let (mut closed, data) = filled(2, Layout::Striping, ChainMode::Closed, 10);
@@ -413,6 +319,7 @@ mod tests {
         closed.store.remove(parity_id(10));
         assert!(closed.rebuild().is_empty(), "closed chain survives");
         assert_eq!(closed.get(BlockId::Data(NodeId(10))).unwrap(), data[9]);
+        assert!(closed.extremity_warning().is_none());
     }
 
     /// The ring also protects the head: d_1 gains a second repair tuple.
@@ -454,5 +361,129 @@ mod tests {
         let data = blocks.iter().filter(|b| b.is_data()).count();
         let parity = blocks.iter().filter(|b| b.is_parity()).count();
         assert_eq!(data, parity);
+    }
+
+    /// The scheme-driven rebuild must agree, block for block, with the
+    /// legacy direct-decoder fixpoint loop the array used to carry.
+    #[test]
+    fn scheme_rebuild_matches_legacy_fixpoint() {
+        /// The pre-refactor repair logic, kept verbatim as a test oracle.
+        fn legacy_try_repair(arr: &EntangledArray, id: BlockId) -> Option<Block> {
+            let n = arr.written();
+            let closing = arr.chain.is_sealed() && arr.chain.mode() == ChainMode::Closed;
+            let bs = arr.chain.block_size();
+            let get = |q: BlockId| arr.store.get(q).ok();
+            match id {
+                BlockId::Data(NodeId(i)) => {
+                    if let Some(right) = get(parity_id(i)) {
+                        let left = if i == 1 {
+                            Some(Block::zero(bs))
+                        } else {
+                            get(parity_id(i - 1))
+                        };
+                        if let Some(left) = left {
+                            return Some(left.xor(&right).expect("sizes match"));
+                        }
+                    }
+                    if closing && i == 1 {
+                        if let (Some(pn), Some(pc)) = (get(parity_id(n)), get(parity_id(n + 1))) {
+                            return Some(pn.xor(&pc).expect("sizes match"));
+                        }
+                    }
+                    None
+                }
+                BlockId::Parity(EdgeId {
+                    left: NodeId(i), ..
+                }) => {
+                    let left_data = if i == n + 1 {
+                        get(BlockId::Data(NodeId(1)))
+                    } else {
+                        get(BlockId::Data(NodeId(i)))
+                    };
+                    if let Some(d) = left_data {
+                        let prev = if i == 1 {
+                            Some(Block::zero(bs))
+                        } else {
+                            get(parity_id(i - 1))
+                        };
+                        if let Some(prev) = prev {
+                            return Some(d.xor(&prev).expect("sizes match"));
+                        }
+                    }
+                    let (nd, np) = if i < n {
+                        (get(BlockId::Data(NodeId(i + 1))), get(parity_id(i + 1)))
+                    } else if i == n && closing {
+                        (get(BlockId::Data(NodeId(1))), get(parity_id(n + 1)))
+                    } else {
+                        (None, None)
+                    };
+                    if let (Some(d), Some(p)) = (nd, np) {
+                        return Some(d.xor(&p).expect("sizes match"));
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+
+        fn legacy_rebuild(arr: &mut EntangledArray) -> Vec<BlockId> {
+            arr.failed_drives.clear();
+            let mut missing: Vec<BlockId> = arr
+                .all_blocks()
+                .into_iter()
+                .filter(|&id| !arr.store.contains(id))
+                .collect();
+            loop {
+                let mut progressed = false;
+                let mut still = Vec::new();
+                for &id in &missing {
+                    match legacy_try_repair(arr, id) {
+                        Some(b) => {
+                            arr.store.put(id, b);
+                            progressed = true;
+                        }
+                        None => still.push(id),
+                    }
+                }
+                missing = still;
+                if missing.is_empty() || !progressed {
+                    return missing;
+                }
+            }
+        }
+
+        // A deterministic sweep of damage patterns, both chain modes.
+        for mode in [ChainMode::Open, ChainMode::Closed] {
+            for pattern in 0u64..32 {
+                let build = || {
+                    let (arr, _) = filled(4, Layout::Striping, mode, 30);
+                    // Pseudo-random multi-failure pattern over the universe.
+                    let mut state = pattern.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    for id in arr.all_blocks() {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        if (state >> 33) % 100 < 35 {
+                            arr.store.remove(id);
+                        }
+                    }
+                    arr
+                };
+                let mut scheme_arr = build();
+                let mut legacy_arr = build();
+                let mut via_scheme = scheme_arr.rebuild();
+                let mut via_legacy = legacy_rebuild(&mut legacy_arr);
+                via_scheme.sort();
+                via_legacy.sort();
+                assert_eq!(via_scheme, via_legacy, "{mode} pattern {pattern}");
+                for id in scheme_arr.all_blocks() {
+                    assert_eq!(
+                        scheme_arr.store.get(id).ok(),
+                        legacy_arr.store.get(id).ok(),
+                        "{mode} pattern {pattern}: {id}"
+                    );
+                }
+            }
+        }
     }
 }

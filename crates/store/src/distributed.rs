@@ -6,7 +6,7 @@
 //! failure makes every block placed there unavailable at once).
 
 use crate::cluster::{Cluster, LocationId};
-use crate::placement::Placement;
+use crate::placement::{PlaceBlocks, Placement};
 use crate::store::{BlockStore, MemStore, StoreError};
 use ae_blocks::{Block, BlockId};
 use parking_lot::RwLock;

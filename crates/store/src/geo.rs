@@ -9,13 +9,25 @@
 //! data loss from complete pp-tuples fetched remotely — following the
 //! Table III steps (obtain tuple ids → choose p-block → locate → get →
 //! repair).
+//!
+//! The namespaced lattice itself is a first-class scheme: [`GeoLattice`]
+//! wraps an [`ae_core::Code`] and tags every block id with the user's
+//! namespace ("block keys are derived from the node id and the block
+//! position in the lattice", §IV.A), implementing the full
+//! [`RedundancyScheme`] surface including the O(1)
+//! `dense_index`/`block_at` bijection. Multiple users' lattices therefore
+//! coexist in one id space, and geo-node-failure scenarios run through
+//! the same generic `SchemePlane` and repair planners as every other
+//! scheme; [`GeoBackup`] is a thin two-tier wrapper over it.
 
 use crate::distributed::DistributedStore;
 use crate::placement::Placement;
 use crate::store::{BlockStore, MemStore, StoreError};
-use ae_api::{BlockSink, RedundancyScheme};
+use ae_api::{
+    AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
+};
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
-use ae_core::{decoder, Code};
+use ae_core::Code;
 use ae_lattice::Config;
 use std::fmt;
 use std::sync::Arc;
@@ -25,6 +37,9 @@ use std::sync::Arc;
 /// "derived from the node id and the block position in the lattice".
 const NS_SHIFT: u32 = 48;
 
+/// Low bits holding the lattice-local position.
+const NS_MASK: u64 = (1 << NS_SHIFT) - 1;
+
 /// Applies a namespace tag to a lattice-local block id.
 fn ns_apply(tag: u64, id: BlockId) -> BlockId {
     match id {
@@ -33,6 +48,237 @@ fn ns_apply(tag: u64, id: BlockId) -> BlockId {
             BlockId::Parity(EdgeId::new(class, NodeId(left.0 | tag)))
         }
         other => other,
+    }
+}
+
+/// Strips the namespace tag, answering `None` for ids of other users (or
+/// other schemes).
+fn ns_strip(tag: u64, id: BlockId) -> Option<BlockId> {
+    match id {
+        BlockId::Data(NodeId(i)) if i & !NS_MASK == tag => Some(BlockId::Data(NodeId(i & NS_MASK))),
+        BlockId::Parity(EdgeId { class, left }) if left.0 & !NS_MASK == tag => Some(
+            BlockId::Parity(EdgeId::new(class, NodeId(left.0 & NS_MASK))),
+        ),
+        _ => None,
+    }
+}
+
+/// Maps every id inside a repair error into the namespaced key space, so
+/// round-based planners subscribe to blockers that actually exist in the
+/// namespaced universe.
+fn ns_apply_err(tag: u64, err: RepairError) -> RepairError {
+    match err {
+        RepairError::NoCompleteTuple { target, missing } => RepairError::NoCompleteTuple {
+            target: ns_apply(tag, target),
+            missing: missing.into_iter().map(|m| ns_apply(tag, m)).collect(),
+        },
+        RepairError::Unrecoverable { targets } => RepairError::Unrecoverable {
+            targets: targets.into_iter().map(|t| ns_apply(tag, t)).collect(),
+        },
+        RepairError::ForeignBlock { id } => RepairError::ForeignBlock {
+            id: ns_apply(tag, id),
+        },
+        RepairError::OutOfExtent { id, written } => RepairError::OutOfExtent {
+            id: ns_apply(tag, id),
+            written,
+        },
+        other => other,
+    }
+}
+
+/// A [`BlockSource`] view that translates lattice-local reads into the
+/// namespaced key space.
+struct NsSource<'a> {
+    inner: &'a dyn BlockSource,
+    tag: u64,
+}
+
+impl BlockSource for NsSource<'_> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.inner.fetch(ns_apply(self.tag, id))
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.inner.has(ns_apply(self.tag, id))
+    }
+}
+
+/// A [`BlockSink`] that translates lattice-local writes into the
+/// namespaced key space.
+struct NsSink<'a> {
+    inner: &'a mut dyn BlockSink,
+    tag: u64,
+}
+
+impl BlockSink for NsSink<'_> {
+    fn store(&mut self, id: BlockId, block: Block) {
+        self.inner.store(ns_apply(self.tag, id), block);
+    }
+}
+
+/// One user's namespaced entanglement lattice as a first-class scheme:
+/// an [`ae_core::Code`] whose every block id carries the user's namespace
+/// tag in the high [`NS_SHIFT`] bits (lattice positions must stay below
+/// 2^48).
+///
+/// Everything — encoding, repair, the availability hooks, the dense
+/// bijection — delegates to the wrapped code with ids translated at the
+/// boundary, so the generic plane and planners drive a user's lattice
+/// exactly like any other scheme while several users share one id space.
+pub struct GeoLattice {
+    code: Code,
+    user: u64,
+    tag: u64,
+}
+
+impl GeoLattice {
+    /// Wraps `code` for `user` (user 0 is the untagged namespace).
+    pub fn new(code: Code, user: u64) -> Self {
+        GeoLattice {
+            code,
+            user,
+            tag: user << NS_SHIFT,
+        }
+    }
+
+    /// The wrapped code.
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// The namespace owner.
+    pub fn user(&self) -> u64 {
+        self.user
+    }
+
+    /// Maps a lattice-local id into this user's key space.
+    pub fn ns(&self, id: BlockId) -> BlockId {
+        ns_apply(self.tag, id)
+    }
+
+    /// The inverse: strips this user's tag, `None` for foreign ids.
+    pub fn ns_strip(&self, id: BlockId) -> Option<BlockId> {
+        ns_strip(self.tag, id)
+    }
+}
+
+impl RedundancyScheme for GeoLattice {
+    fn scheme_name(&self) -> String {
+        format!("geo[u{}] {}", self.user, self.code.scheme_name())
+    }
+
+    fn data_written(&self) -> u64 {
+        self.code.data_written()
+    }
+
+    fn repair_cost(&self) -> RepairCost {
+        self.code.repair_cost()
+    }
+
+    fn encode_batch(
+        &mut self,
+        blocks: &[Block],
+        sink: &mut dyn BlockSink,
+    ) -> Result<EncodeReport, AeError> {
+        let mut ns_sink = NsSink {
+            inner: sink,
+            tag: self.tag,
+        };
+        let report = self.code.encode_batch(blocks, &mut ns_sink)?;
+        Ok(EncodeReport {
+            first_node: report.first_node,
+            ids: report.ids.into_iter().map(|id| self.ns(id)).collect(),
+        })
+    }
+
+    fn seal(&mut self, sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        let mut ns_sink = NsSink {
+            inner: sink,
+            tag: self.tag,
+        };
+        let ids = self.code.seal(&mut ns_sink)?;
+        Ok(ids.into_iter().map(|id| self.ns(id)).collect())
+    }
+
+    fn repair_block(
+        &self,
+        source: &dyn BlockSource,
+        id: BlockId,
+        data_blocks: u64,
+    ) -> Result<Block, RepairError> {
+        let Some(local) = self.ns_strip(id) else {
+            return Err(RepairError::ForeignBlock { id });
+        };
+        let ns_source = NsSource {
+            inner: source,
+            tag: self.tag,
+        };
+        self.code
+            .repair_block(&ns_source, local, data_blocks)
+            .map_err(|e| ns_apply_err(self.tag, e))
+    }
+
+    fn block_ids(&self, data_blocks: u64) -> Vec<BlockId> {
+        self.code
+            .block_ids(data_blocks)
+            .into_iter()
+            .map(|id| self.ns(id))
+            .collect()
+    }
+
+    fn is_repairable(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        let Some(local) = self.ns_strip(id) else {
+            return false;
+        };
+        self.code
+            .is_repairable(local, data_blocks, &|q| avail(ns_apply(self.tag, q)))
+    }
+
+    fn is_single_failure(
+        &self,
+        id: BlockId,
+        data_blocks: u64,
+        avail: &dyn Fn(BlockId) -> bool,
+    ) -> bool {
+        let Some(local) = self.ns_strip(id) else {
+            return false;
+        };
+        self.code
+            .is_single_failure(local, data_blocks, &|q| avail(ns_apply(self.tag, q)))
+    }
+
+    fn maintenance_targets(&self, missing_data: &[BlockId], data_blocks: u64) -> Vec<BlockId> {
+        let local: Vec<BlockId> = missing_data
+            .iter()
+            .filter_map(|&id| self.ns_strip(id))
+            .collect();
+        self.code
+            .maintenance_targets(&local, data_blocks)
+            .into_iter()
+            .map(|id| self.ns(id))
+            .collect()
+    }
+
+    fn universe_len(&self, data_blocks: u64) -> u64 {
+        self.code.universe_len(data_blocks)
+    }
+
+    fn dense_index(&self, id: &BlockId, data_blocks: u64) -> Option<u32> {
+        self.ns_strip(*id)
+            .and_then(|local| self.code.dense_index(&local, data_blocks))
+    }
+
+    fn block_at(&self, k: u32, data_blocks: u64) -> Option<BlockId> {
+        self.code.block_at(k, data_blocks).map(|id| self.ns(id))
+    }
+
+    fn supports_dense_index(&self) -> bool {
+        true
     }
 }
 
@@ -68,33 +314,51 @@ impl fmt::Display for GeoError {
 
 impl std::error::Error for GeoError {}
 
-/// One user's broker plus their view of the cooperative network.
+/// One user's broker plus their view of the cooperative network — a thin
+/// two-tier wrapper over the [`GeoLattice`] scheme: data blocks stay on
+/// the local tier, parities go to the shared remote tier, and every
+/// repair flows through the scheme's generic
+/// [`RedundancyScheme::repair_block`].
 pub struct GeoBackup {
-    code: Code,
-    /// Tier 1: the user's own machine, holding d-blocks.
+    scheme: GeoLattice,
+    /// Tier 1: the user's own machine, holding d-blocks (namespaced keys).
     local: MemStore,
     /// Tier 2: remote storage nodes, holding p-blocks — possibly shared
     /// with other users' lattices.
     remote: Arc<DistributedStore>,
-    /// This user's namespace tag within the shared tier.
-    user: u64,
 }
 
 /// Write-side routing for a broker: data blocks stay on the local tier,
-/// parities go to the (namespaced) remote tier — the §IV.A two-tier split,
-/// expressed as a [`BlockSink`] so the batch encoder streams straight
-/// through it.
+/// parities go to the remote tier — the §IV.A two-tier split, expressed as
+/// a [`BlockSink`] so the batch encoder streams straight through it. Ids
+/// arrive already namespaced by the [`GeoLattice`] scheme.
 struct TierSink<'a> {
     local: &'a MemStore,
     remote: &'a DistributedStore,
-    ns_tag: u64,
 }
 
 impl BlockSink for TierSink<'_> {
     fn store(&mut self, id: BlockId, block: Block) {
         match id {
             BlockId::Data(_) => self.local.put(id, block),
-            _ => self.remote.put(ns_apply(self.ns_tag, id), block),
+            _ => self.remote.put(id, block),
+        }
+    }
+}
+
+/// Read-side routing: the mirror of [`TierSink`], handed to the scheme's
+/// repair paths (ids are namespaced).
+struct TierSource<'a> {
+    local: &'a MemStore,
+    remote: &'a DistributedStore,
+}
+
+impl BlockSource for TierSource<'_> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        match id {
+            BlockId::Data(_) => self.local.get(id).ok(),
+            BlockId::Parity(_) => self.remote.get(id).ok(),
+            _ => None,
         }
     }
 }
@@ -124,21 +388,34 @@ impl GeoBackup {
         user: u64,
     ) -> Self {
         GeoBackup {
-            code: Code::new(cfg, block_size),
+            scheme: GeoLattice::new(Code::new(cfg, block_size), user),
             local: MemStore::new(),
             remote,
-            user,
         }
     }
 
     /// Maps a lattice-local block id into the shared key space.
     fn ns(&self, id: BlockId) -> BlockId {
-        ns_apply(self.user << NS_SHIFT, id)
+        self.scheme.ns(id)
+    }
+
+    /// The two-tier read view for scheme repairs.
+    fn tiers(&self) -> TierSource<'_> {
+        TierSource {
+            local: &self.local,
+            remote: &self.remote,
+        }
     }
 
     /// The code in use.
     pub fn code(&self) -> &Code {
-        &self.code
+        self.scheme.code()
+    }
+
+    /// The namespaced lattice scheme (geo-node-failure scenarios can run
+    /// it through the generic `SchemePlane` and repair planners directly).
+    pub fn scheme(&self) -> &GeoLattice {
+        &self.scheme
     }
 
     /// Remote tier (exposed so tests and examples can fail storage nodes).
@@ -147,10 +424,10 @@ impl GeoBackup {
     }
 
     /// Backs up a file: splits it into d-blocks (zero-padding the tail),
-    /// entangles the whole file as one batch, keeps d-blocks locally and
-    /// uploads p-blocks to the remote nodes.
+    /// entangles the whole file as one batch through the scheme, keeps
+    /// d-blocks locally and uploads p-blocks to the remote nodes.
     pub fn backup(&mut self, file: &[u8]) -> FileHandle {
-        let bs = self.code.block_size();
+        let bs = self.scheme.code().block_size();
         let blocks: Vec<Block> = file
             .chunks(bs)
             .map(|chunk| {
@@ -162,10 +439,9 @@ impl GeoBackup {
         let mut sink = TierSink {
             local: &self.local,
             remote: &self.remote,
-            ns_tag: self.user << NS_SHIFT,
         };
         let report = self
-            .code
+            .scheme
             .encode_batch(&blocks, &mut sink)
             .expect("broker blocks are always block_size bytes");
         FileHandle {
@@ -185,10 +461,12 @@ impl GeoBackup {
     pub fn read(&self, handle: FileHandle) -> Result<Vec<u8>, GeoError> {
         let mut out = Vec::with_capacity(handle.byte_len);
         for i in handle.first_node..handle.first_node + handle.block_count {
-            let id = BlockId::Data(NodeId(i));
+            let id = self.ns(BlockId::Data(NodeId(i)));
             let block = match self.local.get(id) {
                 Ok(b) => b,
-                Err(_) => self.decode_remote(i).ok_or(GeoError::Unrecoverable(id))?,
+                Err(_) => self
+                    .decode_remote(i)
+                    .ok_or(GeoError::Unrecoverable(BlockId::Data(NodeId(i))))?,
             };
             out.extend_from_slice(block.as_slice());
         }
@@ -198,7 +476,7 @@ impl GeoBackup {
 
     /// Simulates local data loss (disk crash, accidental deletion).
     pub fn lose_local(&mut self, node: u64) {
-        self.local.remove(BlockId::Data(NodeId(node)));
+        self.local.remove(self.ns(BlockId::Data(NodeId(node))));
     }
 
     /// Repairs every missing local d-block of a file from remote pp-tuples,
@@ -210,7 +488,7 @@ impl GeoBackup {
         let mut repaired = 0;
         let mut unrecovered = Vec::new();
         for i in handle.first_node..handle.first_node + handle.block_count {
-            let id = BlockId::Data(NodeId(i));
+            let id = self.ns(BlockId::Data(NodeId(i)));
             if self.local.contains(id) {
                 continue;
             }
@@ -219,7 +497,7 @@ impl GeoBackup {
                     self.local.put(id, block);
                     repaired += 1;
                 }
-                None => unrecovered.push(id),
+                None => unrecovered.push(BlockId::Data(NodeId(i))),
             }
         }
         (repaired, unrecovered)
@@ -229,27 +507,18 @@ impl GeoBackup {
     /// flow) and re-homes them on available nodes. Blocks whose tuples are
     /// incomplete are skipped; returns how many parities were regenerated.
     pub fn repair_remote(&self) -> u64 {
-        let max_node = self.code.written();
-        let zero = self.code.zero_block().clone();
+        let max_node = self.scheme.data_written();
         let mut repaired = 0;
         // Walk every parity the lattice should hold; regenerate missing
-        // ones from the dp-tuples that survive.
+        // ones from the dp-tuples that survive, through the scheme.
         for i in 1..=max_node {
-            for &class in self.code.config().classes() {
-                let edge = ae_blocks::EdgeId::new(class, NodeId(i));
-                let id = BlockId::Parity(edge);
-                if self.remote.contains(self.ns(id)) {
+            for &class in self.scheme.code().config().classes() {
+                let id = self.ns(BlockId::Parity(EdgeId::new(class, NodeId(i))));
+                if self.remote.contains(id) {
                     continue;
                 }
-                let mut lookup = |q: BlockId| match q {
-                    BlockId::Data(_) => self.local.get(q).ok(),
-                    BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
-                    _ => None,
-                };
-                if let Ok(r) =
-                    decoder::repair_edge(self.code.config(), edge, max_node, &zero, &mut lookup)
-                {
-                    if self.remote.put_rehomed(self.ns(id), r.block).is_some() {
+                if let Ok(block) = self.scheme.repair_block(&self.tiers(), id, max_node) {
+                    if self.remote.put_rehomed(id, block).is_some() {
                         repaired += 1;
                     }
                 }
@@ -258,20 +527,14 @@ impl GeoBackup {
         repaired
     }
 
-    /// Decodes data block `i` from remote parities only (the broker lost its
-    /// local copy). One XOR of two fetched p-blocks when a pp-tuple is
+    /// Decodes data block `i` through the scheme (the broker lost its
+    /// local copy): one XOR of two fetched p-blocks when a pp-tuple is
     /// complete.
     fn decode_remote(&self, i: u64) -> Option<Block> {
-        let mut lookup = |q: BlockId| match q {
-            // Only parities live remotely; other data blocks may also be
-            // gone, so never rely on them here.
-            BlockId::Parity(_) => self.remote.get(self.ns(q)).ok(),
-            BlockId::Data(_) => self.local.get(q).ok(),
-            _ => None,
-        };
-        decoder::repair_node(self.code.config(), i, self.code.zero_block(), &mut lookup)
+        let id = self.ns(BlockId::Data(NodeId(i)));
+        self.scheme
+            .repair_block(&self.tiers(), id, self.scheme.data_written())
             .ok()
-            .map(|r| r.block)
     }
 }
 
@@ -487,6 +750,132 @@ mod tests {
             let (_, missing) = com.user_mut(u).repair_local(*h);
             assert!(missing.is_empty(), "user {u}: {missing:?}");
             assert_eq!(com.user(u).read(*h).unwrap(), files[u]);
+        }
+    }
+
+    /// The scheme-driven repair path must agree, block for block, with
+    /// the direct decoder calls the broker used to make (`repair_node` /
+    /// `repair_edge` against the two tiers).
+    #[test]
+    fn scheme_repairs_match_legacy_decoder_path() {
+        use ae_core::decoder;
+        for damage_seed in 0u64..8 {
+            let mut geo = GeoBackup::with_shared_remote(
+                Config::new(2, 2, 5).unwrap(),
+                32,
+                Arc::new(DistributedStore::new(20, Placement::Random { seed: 3 })),
+                4,
+            );
+            let file = sample_file(1200);
+            let handle = geo.backup(&file);
+            // Correlated damage: fail a couple of storage nodes and lose a
+            // pseudo-random subset of the local tier.
+            geo.remote().with_cluster(|c| {
+                c.fail(crate::cluster::LocationId((damage_seed % 20) as u32));
+                c.fail(crate::cluster::LocationId(((damage_seed + 7) % 20) as u32));
+            });
+            let mut state = damage_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for k in 0..handle.block_count {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33) % 100 < 40 {
+                    geo.lose_local(handle.first_node + k);
+                }
+            }
+            let written = geo.scheme().data_written();
+            let cfg = *geo.code().config();
+            let zero = geo.code().zero_block().clone();
+            // Every data block and parity: the generic scheme path and
+            // the legacy direct decoder must agree on repairability and
+            // bytes.
+            let tag = |id| geo.ns(id);
+            let mut legacy_lookup = |q: BlockId| match q {
+                BlockId::Data(_) => geo.local.get(tag(q)).ok(),
+                BlockId::Parity(_) => geo.remote.get(tag(q)).ok(),
+                _ => None,
+            };
+            for i in handle.first_node..handle.first_node + handle.block_count {
+                let legacy = decoder::repair_node(&cfg, i, &zero, &mut legacy_lookup)
+                    .ok()
+                    .map(|r| r.block);
+                let via_scheme = geo
+                    .scheme()
+                    .repair_block(&geo.tiers(), geo.ns(BlockId::Data(NodeId(i))), written)
+                    .ok();
+                assert_eq!(via_scheme, legacy, "seed {damage_seed}: d{i}");
+            }
+            for i in 1..=written {
+                for &class in cfg.classes() {
+                    let edge = EdgeId::new(class, NodeId(i));
+                    let legacy =
+                        decoder::repair_edge(&cfg, edge, written, &zero, &mut legacy_lookup)
+                            .ok()
+                            .map(|r| r.block);
+                    let via_scheme = geo
+                        .scheme()
+                        .repair_block(&geo.tiers(), geo.ns(BlockId::Parity(edge)), written)
+                        .ok();
+                    assert_eq!(via_scheme, legacy, "seed {damage_seed}: {edge:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geo_lattice_namespaces_the_whole_universe() {
+        let cfg = Config::new(2, 2, 5).unwrap();
+        let a = GeoLattice::new(Code::new(cfg, 0), 1);
+        let b = GeoLattice::new(Code::new(cfg, 0), 2);
+        let ids_a: std::collections::HashSet<BlockId> = a.block_ids(50).into_iter().collect();
+        let ids_b: std::collections::HashSet<BlockId> = b.block_ids(50).into_iter().collect();
+        assert!(ids_a.is_disjoint(&ids_b), "namespaces must not collide");
+        // Each scheme only answers for its own namespace.
+        for id in ids_a.iter().take(5) {
+            assert!(a.dense_index(id, 50).is_some());
+            assert_eq!(b.dense_index(id, 50), None);
+        }
+    }
+
+    #[test]
+    fn geo_lattice_bijection_matches_enumeration() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let scheme = GeoLattice::new(Code::new(cfg, 0), 7);
+        assert!(scheme.supports_dense_index());
+        let n = 40;
+        let ids = scheme.block_ids(n);
+        assert_eq!(scheme.universe_len(n), ids.len() as u64);
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(scheme.dense_index(id, n), Some(k as u32), "{id}");
+            assert_eq!(scheme.block_at(k as u32, n), Some(*id), "{k}");
+        }
+        assert_eq!(scheme.block_at(ids.len() as u32, n), None);
+        // Un-namespaced ids are foreign to a tagged lattice.
+        assert_eq!(scheme.dense_index(&BlockId::Data(NodeId(1)), n), None);
+        assert!(!scheme.is_repairable(BlockId::Data(NodeId(1)), n, &|_| true));
+    }
+
+    #[test]
+    fn geo_lattice_repair_errors_stay_namespaced() {
+        let cfg = Config::new(2, 2, 5).unwrap();
+        let mut scheme = GeoLattice::new(Code::new(cfg, 16), 3);
+        let mut store = ae_api::BlockMap::new();
+        let blocks: Vec<Block> = (0..30u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        let report = scheme.encode_batch(&blocks, &mut store).unwrap();
+        // Every stored id carries the namespace.
+        for id in &report.ids {
+            assert!(scheme.ns_strip(*id).is_some(), "{id}");
+        }
+        let victim = report.ids[0];
+        let original = store.remove(&victim).unwrap();
+        assert_eq!(scheme.repair_block(&store, victim, 30).unwrap(), original);
+        // On an empty store the error names namespaced blockers only.
+        let err = scheme
+            .repair_block(&ae_api::BlockMap::new(), victim, 30)
+            .unwrap_err();
+        assert!(!err.missing_blocks().is_empty());
+        for m in err.missing_blocks() {
+            assert!(scheme.ns_strip(*m).is_some(), "{m} must stay namespaced");
         }
     }
 }

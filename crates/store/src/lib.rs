@@ -9,17 +9,21 @@
 //! * [`cluster`] — failure domains: a set of locations with availability
 //!   state, plus disaster injection ("simulates disasters by changing the
 //!   availability of a certain number of locations", §V.C).
-//! * [`placement`] — block-to-location mapping policies: uniform random
-//!   (the paper's default) and round-robin (the earlier work's assumption,
-//!   kept for the placement ablation).
+//! * [`placement`] — the store-side half of block placement: the canonical
+//!   [`ae_api::Placement`] policies applied to per-id keys
+//!   ([`placement::PlaceBlocks`]).
 //! * [`distributed`] — [`distributed::DistributedStore`]: a block store
 //!   sharded over cluster locations; reads fail while a block's location is
 //!   down.
-//! * [`geo`] — use case A (§IV.A): the two-tier cooperative backup with
-//!   broker nodes that entangle local files and storage nodes that hold
-//!   parities for others.
-//! * [`array`] — use case B (§IV.B): entangled mirror disk arrays with full
-//!   partition and block-level striping layouts, open or closed chains.
+//! * [`chain`] — the α = 1 open/closed entanglement chain of §IV.B.1 as a
+//!   first-class [`ae_api::RedundancyScheme`]
+//!   ([`chain::EntangledChain`]), with the typed open-chain
+//!   [`chain::ExtremityWarning`].
+//! * [`geo`] — use case A (§IV.A): the two-tier cooperative backup. The
+//!   namespaced per-user lattice is itself a scheme ([`geo::GeoLattice`]);
+//!   [`geo::GeoBackup`] is the thin broker wrapper over it.
+//! * [`array`] — use case B (§IV.B): entangled mirror disk arrays — drive
+//!   topology (full partition / striping layouts) over the chain scheme.
 //! * [`archive`] — the user-facing layer: an append-only file archive with
 //!   a manifest, degraded reads, scrubbing and end-to-end verification.
 
@@ -28,13 +32,16 @@
 
 pub mod archive;
 pub mod array;
+pub mod chain;
 pub mod cluster;
 pub mod distributed;
 pub mod geo;
 pub mod placement;
 pub mod store;
 
+pub use chain::{ChainMode, EntangledChain, ExtremityWarning};
 pub use cluster::{Cluster, LocationId};
 pub use distributed::DistributedStore;
-pub use placement::Placement;
+pub use geo::{GeoBackup, GeoLattice};
+pub use placement::{PlaceBlocks, Placement};
 pub use store::{BlockStore, MemStore, StoreError, StoreRepo};

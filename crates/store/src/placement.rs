@@ -1,42 +1,37 @@
 //! Placement policies: mapping blocks to locations.
 //!
-//! The paper's simulations distribute blocks "in n locations using random
-//! placements, i.e., each block is assigned a random number from 0 to n−1"
-//! (§V.C), and note that their earlier work assumed round-robin placement,
-//! which guarantees that lattice neighbours land in different failure
-//! domains but "might be difficult to implement". Both policies live here
-//! so the placement ablation can compare them.
+//! The policy itself — uniform random keyed by a SplitMix64 hash, or
+//! round-robin — is the canonical [`ae_api::Placement`], shared with the
+//! availability-plane simulation (`ae-sim` keys it by dense universe
+//! position). This module adds the store-side half: deriving a stable
+//! 64-bit key from a [`BlockId`] so that blocks of different schemes never
+//! collide in one store, via the [`PlaceBlocks`] extension trait.
 
 use crate::cluster::LocationId;
 use ae_blocks::{BlockId, EdgeId, NodeId};
+
+pub use ae_api::Placement;
 
 /// Shard/replica ids get key-space offsets far above lattice ids so the
 /// schemes never collide in one store.
 const FOREIGN_BASE: u64 = 1 << 62;
 
-/// A deterministic block-to-location mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Placement {
-    /// Uniform pseudo-random placement keyed by block id and seed — the
-    /// paper's default model.
-    Random {
-        /// Seed mixed into the hash so different runs get different maps.
-        seed: u64,
-    },
-    /// Round-robin by lattice position: block k of the write sequence goes
-    /// to location `k mod n`. Guarantees neighbouring lattice elements sit
-    /// in distinct failure domains when `n` exceeds the neighbourhood size.
-    RoundRobin,
+/// Store-side placement of block ids: the canonical policy applied to a
+/// per-id key. Random placement hashes a stable id key; round-robin uses
+/// the id's write-sequence index so that a block and its redundancy land
+/// in distinct failure domains.
+pub trait PlaceBlocks {
+    /// The location for `id` among `n` locations.
+    fn place(&self, id: BlockId, n: u32) -> LocationId;
 }
 
-impl Placement {
-    /// The location for `id` among `n` locations.
-    pub fn place(&self, id: BlockId, n: u32) -> LocationId {
-        assert!(n > 0, "placement needs at least one location");
-        match self {
-            Placement::Random { seed } => LocationId((mix(block_key(id), *seed) % n as u64) as u32),
-            Placement::RoundRobin => LocationId((sequence_index(id) % n as u64) as u32),
-        }
+impl PlaceBlocks for Placement {
+    fn place(&self, id: BlockId, n: u32) -> LocationId {
+        let key = match self {
+            Placement::Random { .. } => block_key(id),
+            Placement::RoundRobin => sequence_index(id),
+        };
+        LocationId(self.place_key(key, n))
     }
 }
 
@@ -59,14 +54,6 @@ fn sequence_index(id: BlockId) -> u64 {
         BlockId::Shard(s) => s.stripe * 4 + s.index as u64,
         BlockId::Replica(r) => r.node.0 * 4 + r.copy as u64,
     }
-}
-
-/// SplitMix64 finalizer: a well-distributed 64-bit mix.
-fn mix(x: u64, seed: u64) -> u64 {
-    let mut z = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

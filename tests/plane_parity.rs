@@ -16,19 +16,26 @@ use aecodes::blocks::{Block, BlockId};
 use aecodes::core::{BlockMap, Code};
 use aecodes::lattice::Config;
 use aecodes::sim::{IndexMode, SchemePlane, SimPlacement};
+use aecodes::store::{ChainMode, EntangledChain, GeoLattice};
 use proptest::prelude::*;
 
 const BLOCK: usize = 32;
 
 fn scheme_for(pick: u8) -> Box<dyn RedundancyScheme> {
-    match pick % 7 {
+    match pick % 10 {
         0 => Box::new(Code::new(Config::single(), BLOCK)),
         1 => Box::new(Code::new(Config::new(2, 2, 5).unwrap(), BLOCK)),
         2 => Box::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK)),
         3 => Box::new(ReedSolomon::new(4, 2).unwrap()),
         4 => Box::new(ReedSolomon::new(10, 4).unwrap()),
         5 => Box::new(Replication::new(2)),
-        _ => Box::new(Replication::new(3)),
+        6 => Box::new(Replication::new(3)),
+        7 => Box::new(EntangledChain::new(ChainMode::Open, BLOCK)),
+        8 => Box::new(EntangledChain::new(ChainMode::Closed, BLOCK)),
+        _ => Box::new(GeoLattice::new(
+            Code::new(Config::new(2, 2, 5).unwrap(), BLOCK),
+            7,
+        )),
     }
 }
 
@@ -52,7 +59,7 @@ proptest! {
     /// second disaster.
     #[test]
     fn dense_and_map_index_paths_agree(
-        pick in 0u8..7,
+        pick in 0u8..10,
         placement_seed: u64,
         disaster_seed: u64,
         fraction_pct in 5u32..50,
@@ -84,7 +91,7 @@ proptest! {
     /// multi-failure erasure patterns.
     #[test]
     fn parallel_and_serial_repair_missing_agree(
-        pick in 0u8..7,
+        pick in 0u8..10,
         seed: u64,
         down in proptest::collection::btree_set(0usize..800, 1..120),
     ) {

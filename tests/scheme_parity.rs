@@ -4,17 +4,19 @@
 //! scheme it is exercising.
 
 use aecodes::baselines::{ReedSolomon, Replication};
-use aecodes::blocks::{Block, BlockId, NodeId};
+use aecodes::blocks::{Block, BlockId};
 use aecodes::core::{BlockMap, Code, RedundancyScheme};
 use aecodes::lattice::Config;
+use aecodes::store::{ChainMode, EntangledChain, GeoLattice};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 const BLOCK: usize = 32;
 
-/// Any scheme in the lineup, boxed behind the one trait.
+/// Any scheme in the lineup — the Table IV codes plus the store-backed
+/// §IV use-case schemes — boxed behind the one trait.
 fn any_scheme() -> impl Strategy<Value = Box<dyn RedundancyScheme>> {
-    (0u8..7).prop_map(|pick| -> Box<dyn RedundancyScheme> {
+    (0u8..10).prop_map(|pick| -> Box<dyn RedundancyScheme> {
         match pick {
             0 => Box::new(Code::new(Config::single(), BLOCK)),
             1 => Box::new(Code::new(Config::new(2, 2, 5).unwrap(), BLOCK)),
@@ -22,7 +24,13 @@ fn any_scheme() -> impl Strategy<Value = Box<dyn RedundancyScheme>> {
             3 => Box::new(ReedSolomon::new(4, 2).unwrap()),
             4 => Box::new(ReedSolomon::new(10, 4).unwrap()),
             5 => Box::new(Replication::new(2)),
-            _ => Box::new(Replication::new(3)),
+            6 => Box::new(Replication::new(3)),
+            7 => Box::new(EntangledChain::new(ChainMode::Open, BLOCK)),
+            8 => Box::new(EntangledChain::new(ChainMode::Closed, BLOCK)),
+            _ => Box::new(GeoLattice::new(
+                Code::new(Config::new(2, 2, 5).unwrap(), BLOCK),
+                7,
+            )),
         }
     })
 }
@@ -68,10 +76,14 @@ proptest! {
 
         // One victim per 20-wide stride: strictly more than any stripe
         // width or repair-tuple span apart, so no scheme can be over-erased.
-        let victims: Vec<BlockId> = picks
-            .iter()
-            .map(|&p| BlockId::Data(NodeId(1 + p * 20)))
+        // Victims come from the scheme's own universe (the geo lattice
+        // namespaces its ids), in write order, data blocks only.
+        let data_ids: Vec<BlockId> = scheme
+            .block_ids(n)
+            .into_iter()
+            .filter(|id| id.is_data())
             .collect();
+        let victims: Vec<BlockId> = picks.iter().map(|&p| data_ids[(p * 20) as usize]).collect();
         let originals: Vec<Block> = victims
             .iter()
             .map(|v| store.remove(v).expect("victim was stored"))
@@ -101,7 +113,13 @@ proptest! {
         let n = 200u64;
         let blocks = payload(n, seed);
         let mut store = encode_all(scheme.as_mut(), &blocks);
-        let id = BlockId::Data(NodeId(victim));
+        // The victim's id in the scheme's own (possibly namespaced) space.
+        let id = scheme
+            .block_ids(n)
+            .into_iter()
+            .filter(|q| q.is_data())
+            .nth(victim as usize - 1)
+            .expect("victim within extent");
         let original = store.remove(&id).expect("victim was stored");
         let repaired = scheme.repair_block(&store, id, n);
         prop_assert_eq!(
