@@ -1,8 +1,9 @@
 //! The error hierarchy of the scheme-agnostic API.
 //!
-//! Two families, mirroring the two halves of [`crate::RedundancyScheme`]:
+//! Three families, mirroring the thirds of the public surface:
 //! [`AeError`] for encoding and configuration, [`RepairError`] for decode
-//! paths. Repair errors carry the block ids that made the repair
+//! paths, and [`StoreError`] for the backend traits ([`crate::BlockSource`]
+//! and friends). Repair errors carry the block ids that made the repair
 //! impossible, so callers (and log readers) see *which* tuple members were
 //! missing rather than a bare `None`.
 
@@ -71,6 +72,32 @@ impl From<RepairError> for AeError {
         AeError::Repair(e)
     }
 }
+
+/// Errors from backend read operations (the failure surface every storage
+/// backend shares — see [`crate::BlockSource::read`]).
+///
+/// Lived in `ae_store` as long as backends had their own trait family;
+/// with one unified family the error type lives here, next to the traits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested block is not in the backend (or its location is
+    /// currently unreachable — to a decoder both mean "not available").
+    NotFound(BlockId),
+    /// The stored block failed checksum verification — corruption or
+    /// tampering detected at read time.
+    Corrupted(BlockId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(id) => write!(f, "block {id} not found"),
+            StoreError::Corrupted(id) => write!(f, "block {id} failed integrity verification"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Why a repair could not be performed.
 #[derive(Debug, Clone, PartialEq, Eq)]

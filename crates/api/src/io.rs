@@ -1,18 +1,45 @@
-//! Where blocks live: the [`BlockSource`] / [`BlockSink`] traits.
+//! Where blocks live: the unified [`BlockSource`] / [`BlockSink`] /
+//! [`BlockRepo`] backend family.
 //!
 //! Encoders write into a sink; decoders read from a source; round-based
-//! repair needs both ([`BlockRepo`]). The plain in-memory [`BlockMap`]
-//! implements all three, as do the stores in `ae_store` — so the same
-//! encode/repair code serves a unit test, an archive over a distributed
-//! store and a simulation harness.
+//! repair needs both ([`BlockRepo`]). There is exactly **one** backend
+//! abstraction: the in-memory [`BlockMap`], every `ae_store` backend (the
+//! plain, distributed, tiered and fault-injecting stores) and ad-hoc
+//! adapters (tier routers, overlays, counting sinks) all implement these
+//! same traits — so the same encode/repair/archive code serves a unit
+//! test, a multi-backend deployment and a simulation harness without an
+//! adapter layer in between.
+//!
+//! # The one mutability story
+//!
+//! Every method takes `&self`. Storage backends are shared by nature —
+//! repair planners read them from several threads, archives and brokers
+//! write through `Arc` handles — so the traits commit to interior
+//! mutability once, instead of `&mut` signatures that concurrent backends
+//! would quietly ignore. [`BlockSource`] is additionally `Sync`, because
+//! round-based repair plans each round against an immutable snapshot of
+//! the source from several planner threads at once (see
+//! [`crate::RedundancyScheme::repair_missing`]).
+//!
+//! The plain `HashMap` therefore no longer qualifies as a backend; the
+//! in-memory [`BlockMap`] is that map behind a lock, with the familiar
+//! map-flavoured API on `&self`.
+//!
+//! # Failure surface
+//!
+//! Backends with real failure modes (unreachable locations, corrupted
+//! bytes) speak through the same family: [`BlockSource::fetch`] answers
+//! `None` for anything unavailable, and the error-typed
+//! [`BlockSource::read`] distinguishes *absent* from *corrupted* via
+//! [`StoreError`]. [`BlockSink::remove`] covers deletion (failure
+//! injection, garbage collection); pure write-adapters keep the no-op
+//! default.
 
+use crate::error::StoreError;
 use ae_blocks::{Block, BlockId};
+use parking_lot::RwLock;
 use std::collections::HashMap;
-
-/// In-memory block container: block id → contents. Presence in the map
-/// *is* availability. This replaces the old `ae_core::BlockMap` type alias
-/// and is re-exported from there for compatibility.
-pub type BlockMap = HashMap<BlockId, Block>;
+use std::sync::Arc;
 
 /// Something blocks can be read from.
 ///
@@ -21,8 +48,8 @@ pub type BlockMap = HashMap<BlockId, Block>;
 ///
 /// Sources are `Sync`: round-based repair plans each round against an
 /// immutable snapshot of the source from several planner threads at once
-/// (see [`crate::RedundancyScheme::repair_missing`]). In-memory maps and
-/// lock-guarded stores satisfy this for free.
+/// (see [`crate::RedundancyScheme::repair_missing`]). The lock-guarded
+/// [`BlockMap`] and every `ae_store` backend satisfy this for free.
 pub trait BlockSource: Sync {
     /// Fetches a block if it is currently available.
     fn fetch(&self, id: BlockId) -> Option<Block>;
@@ -31,38 +58,40 @@ pub trait BlockSource: Sync {
     fn has(&self, id: BlockId) -> bool {
         self.fetch(id).is_some()
     }
+
+    /// Error-typed read: like [`BlockSource::fetch`], but distinguishes a
+    /// block that is absent/unreachable ([`StoreError::NotFound`]) from one
+    /// that failed integrity verification ([`StoreError::Corrupted`]).
+    /// Backends that verify checksums on read override this.
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        self.fetch(id).ok_or(StoreError::NotFound(id))
+    }
 }
 
 /// Something blocks can be written to.
 ///
-/// Takes `&mut self` so the plain `HashMap` qualifies; concurrent stores
-/// with interior mutability simply ignore the exclusivity.
+/// Takes `&self`: backends are interior-mutable so they can be shared
+/// (`Arc<Store>`, `&Store`) between encoders, repair workers and archives
+/// without wrapper gymnastics — the one mutability story of the family.
 pub trait BlockSink {
     /// Stores a block, replacing any previous contents under the id.
-    fn store(&mut self, id: BlockId, block: Block);
+    fn store(&self, id: BlockId, block: Block);
+
+    /// Removes a block, returning whether it was present — the deletion
+    /// half of the failure surface (failure injection, garbage collection,
+    /// replaced hardware). Pure write-adapters (tier routers, counting
+    /// sinks) keep the no-op default.
+    fn remove(&self, _id: BlockId) -> bool {
+        false
+    }
 }
 
 /// A combined source + sink, as round-based repair requires (each round
-/// reads survivors and writes back what it reconstructed).
+/// reads survivors and writes back what it reconstructed) and as archives
+/// require of their backend.
 pub trait BlockRepo: BlockSource + BlockSink {}
 
 impl<T: BlockSource + BlockSink + ?Sized> BlockRepo for T {}
-
-impl BlockSource for BlockMap {
-    fn fetch(&self, id: BlockId) -> Option<Block> {
-        self.get(&id).cloned()
-    }
-
-    fn has(&self, id: BlockId) -> bool {
-        self.contains_key(&id)
-    }
-}
-
-impl BlockSink for BlockMap {
-    fn store(&mut self, id: BlockId, block: Block) {
-        self.insert(id, block);
-    }
-}
 
 impl<S: BlockSource + ?Sized> BlockSource for &S {
     fn fetch(&self, id: BlockId) -> Option<Block> {
@@ -71,6 +100,163 @@ impl<S: BlockSource + ?Sized> BlockSource for &S {
 
     fn has(&self, id: BlockId) -> bool {
         (**self).has(id)
+    }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        (**self).read(id)
+    }
+}
+
+impl<S: BlockSink + ?Sized> BlockSink for &S {
+    fn store(&self, id: BlockId, block: Block) {
+        (**self).store(id, block)
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        (**self).remove(id)
+    }
+}
+
+impl<S: BlockSource + Send + ?Sized> BlockSource for Arc<S> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        (**self).fetch(id)
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        (**self).has(id)
+    }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        (**self).read(id)
+    }
+}
+
+impl<S: BlockSink + ?Sized> BlockSink for Arc<S> {
+    fn store(&self, id: BlockId, block: Block) {
+        (**self).store(id, block)
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        (**self).remove(id)
+    }
+}
+
+/// The in-memory backend: block id → contents behind a reader-writer lock.
+/// Presence in the map *is* availability.
+///
+/// This is the plain `HashMap` of earlier revisions put behind the
+/// lock-guarded wrapper, so it implements the `&self` backend family
+/// honestly instead of ignoring `&mut` exclusivity. The map-flavoured
+/// inherent API (`insert` / `remove` / `get` / `contains_key` / …) is kept,
+/// on `&self`; reads return owned clones because no reference can outlive
+/// the lock guard.
+#[derive(Debug, Default)]
+pub struct BlockMap {
+    inner: RwLock<HashMap<BlockId, Block>>,
+}
+
+impl BlockMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a block, returning the previous contents under the id.
+    pub fn insert(&self, id: BlockId, block: Block) -> Option<Block> {
+        self.inner.write().insert(id, block)
+    }
+
+    /// Removes a block, returning it if it was present.
+    pub fn remove(&self, id: &BlockId) -> Option<Block> {
+        self.inner.write().remove(id)
+    }
+
+    /// The block under `id`, cloned.
+    pub fn get(&self, id: &BlockId) -> Option<Block> {
+        self.inner.read().get(id).cloned()
+    }
+
+    /// Whether the map holds `id`.
+    pub fn contains_key(&self, id: &BlockId) -> bool {
+        self.inner.read().contains_key(id)
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// All ids currently present (snapshot, unordered).
+    pub fn ids(&self) -> Vec<BlockId> {
+        self.inner.read().keys().copied().collect()
+    }
+
+    /// All `(id, block)` pairs currently present (snapshot, unordered).
+    pub fn entries(&self) -> Vec<(BlockId, Block)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(id, b)| (*id, b.clone()))
+            .collect()
+    }
+
+    /// Removes every block.
+    pub fn clear(&self) {
+        self.inner.write().clear()
+    }
+
+    /// Keeps only the blocks for which `f` answers `true`.
+    pub fn retain(&self, mut f: impl FnMut(&BlockId, &Block) -> bool) {
+        self.inner.write().retain(|id, b| f(id, b));
+    }
+}
+
+impl Clone for BlockMap {
+    fn clone(&self) -> Self {
+        BlockMap {
+            inner: RwLock::new(self.inner.read().clone()),
+        }
+    }
+}
+
+impl PartialEq for BlockMap {
+    fn eq(&self, other: &Self) -> bool {
+        *self.inner.read() == *other.inner.read()
+    }
+}
+
+impl Eq for BlockMap {}
+
+impl FromIterator<(BlockId, Block)> for BlockMap {
+    fn from_iter<I: IntoIterator<Item = (BlockId, Block)>>(iter: I) -> Self {
+        BlockMap {
+            inner: RwLock::new(iter.into_iter().collect()),
+        }
+    }
+}
+
+impl BlockSource for BlockMap {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.get(&id)
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.contains_key(&id)
+    }
+}
+
+impl BlockSink for BlockMap {
+    fn store(&self, id: BlockId, block: Block) {
+        self.insert(id, block);
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        BlockMap::remove(self, &id).is_some()
     }
 }
 
@@ -94,7 +280,7 @@ impl<'a> Overlay<'a> {
 
 impl BlockSource for Overlay<'_> {
     fn fetch(&self, id: BlockId) -> Option<Block> {
-        self.patch.get(&id).cloned().or_else(|| self.base.fetch(id))
+        self.patch.get(&id).or_else(|| self.base.fetch(id))
     }
 
     fn has(&self, id: BlockId) -> bool {
@@ -103,8 +289,14 @@ impl BlockSource for Overlay<'_> {
 }
 
 impl BlockSink for Overlay<'_> {
-    fn store(&mut self, id: BlockId, block: Block) {
+    fn store(&self, id: BlockId, block: Block) {
         self.patch.insert(id, block);
+    }
+
+    /// Removes from the patch only — the base stays untouched (that is the
+    /// point of an overlay), so a block present in the base reports `false`.
+    fn remove(&self, id: BlockId) -> bool {
+        self.patch.remove(&id).is_some()
     }
 }
 
@@ -119,35 +311,77 @@ mod tests {
 
     #[test]
     fn block_map_source_sink_roundtrip() {
-        let mut map = BlockMap::new();
+        let map = BlockMap::new();
         assert!(!map.has(id(1)));
         map.store(id(1), Block::from_vec(vec![1, 2]));
         assert!(map.has(id(1)));
         assert_eq!(map.fetch(id(1)).unwrap().as_slice(), &[1, 2]);
         assert_eq!(map.fetch(id(2)), None);
+        assert_eq!(map.read(id(2)), Err(StoreError::NotFound(id(2))));
+        assert!(BlockSink::remove(&map, id(1)));
+        assert!(!BlockSink::remove(&map, id(1)));
+    }
+
+    #[test]
+    fn block_map_is_shareable_across_threads() {
+        let map = Arc::new(BlockMap::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for k in 0..50u64 {
+                        // Through the trait: &self stores on a shared handle.
+                        map.store(id(t * 100 + k), Block::from_vec(vec![t as u8; 8]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), 200);
+    }
+
+    #[test]
+    fn block_map_compares_and_clones() {
+        let a = BlockMap::new();
+        a.insert(id(1), Block::from_vec(vec![1]));
+        let b = a.clone();
+        assert_eq!(a, b);
+        b.insert(id(2), Block::from_vec(vec![2]));
+        assert_ne!(a, b);
+        let c: BlockMap = b.entries().into_iter().collect();
+        assert_eq!(b, c);
     }
 
     #[test]
     fn overlay_reads_through_and_shields_writes() {
-        let mut base = BlockMap::new();
+        let base = BlockMap::new();
         base.store(id(1), Block::from_vec(vec![1]));
-        let mut overlay = Overlay::new(&base);
+        let overlay = Overlay::new(&base);
         assert!(overlay.has(id(1)));
         overlay.store(id(2), Block::from_vec(vec![2]));
         assert!(overlay.has(id(2)));
         assert_eq!(overlay.fetch(id(2)).unwrap().as_slice(), &[2]);
-        // The base was not touched.
+        // The base was not touched, and removes never reach it.
         assert!(!base.has(id(2)));
+        assert!(!BlockSink::remove(&overlay, id(1)));
+        assert!(base.has(id(1)));
     }
 
     #[test]
-    fn repo_is_usable_as_trait_object() {
-        fn exercise(repo: &mut dyn BlockRepo) {
+    fn repo_is_usable_as_trait_object_and_through_arc() {
+        fn exercise(repo: &dyn BlockRepo) {
             repo.store(id(9), Block::zero(4));
             assert!(repo.has(id(9)));
         }
-        let mut map = BlockMap::new();
-        exercise(&mut map);
+        let map = BlockMap::new();
+        exercise(&map);
         assert_eq!(map.len(), 1);
+
+        let shared: Arc<BlockMap> = Arc::new(BlockMap::new());
+        // Arc<S> is itself a repo: no adapter needed for shared backends.
+        exercise(&shared);
+        assert_eq!(shared.len(), 1);
     }
 }

@@ -12,16 +12,30 @@
 //!   [`RedundancyScheme::repair_missing`]), the Table IV cost model
 //!   ([`RedundancyScheme::repair_cost`]) and the structural hooks the
 //!   availability-plane simulation drives
-//!   ([`RedundancyScheme::is_repairable`] and friends).
-//! * [`BlockSource`] / [`BlockSink`] — where blocks come from and go to.
-//!   Implemented by the plain in-memory [`BlockMap`] and by `ae_store`'s
-//!   stores, so encode and repair never care where bytes live.
-//! * [`AeError`] / [`RepairError`] — the error hierarchy. Repairs report
-//!   *which* tuple members were missing instead of a bare `None`.
+//!   ([`RedundancyScheme::is_repairable`] and friends). Encoding state
+//!   lives behind interior mutability, so a scheme is shared as
+//!   `Arc<dyn RedundancyScheme>` between archives, planes and repair
+//!   workers.
+//! * [`BlockSource`] / [`BlockSink`] / [`BlockRepo`] — the **one** backend
+//!   family: where blocks come from and go to, plus the failure surface
+//!   every backend shares (`None` for unavailable, the error-typed
+//!   [`BlockSource::read`] distinguishing absent from corrupted via
+//!   [`StoreError`], and [`BlockSink::remove`] for deletion). Every method
+//!   takes `&self`; backends are interior-mutable and shared by `Arc` or
+//!   `&` handle. Implemented by the in-memory [`BlockMap`] and by every
+//!   `ae_store` backend (plain, distributed, tiered, fault-injecting), so
+//!   encode, repair and archival never care where bytes live — and there
+//!   is no adapter layer between "repair-facing" and "store-facing" trait
+//!   families, because there is only one family.
+//! * [`Placement`] — the canonical placement policies shared by the store
+//!   and simulation layers.
+//! * [`AeError`] / [`RepairError`] / [`StoreError`] — the error hierarchy.
+//!   Repairs report *which* tuple members were missing instead of a bare
+//!   `None`.
 //!
 //! Implementations live next to each code: `ae_core::Code` (alpha
-//! entanglement), `ae_baselines::ReedSolomon` and
-//! `ae_baselines::Replication`.
+//! entanglement), `ae_baselines::ReedSolomon`, `ae_baselines::Replication`
+//! and the `ae_store` use-case schemes (`EntangledChain`, `GeoLattice`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +46,7 @@ pub mod par;
 pub mod placement;
 pub mod scheme;
 
-pub use error::{AeError, RepairError};
+pub use error::{AeError, RepairError, StoreError};
 pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};
 pub use par::repair_threads;
 pub use placement::Placement;

@@ -142,9 +142,13 @@ impl RepairSummary {
 /// parities, parity shards, replicas). Block sizes are uniform within a
 /// scheme instance.
 ///
-/// Schemes are `Send + Sync`: repair planning fans out across threads
-/// against a shared `&dyn RedundancyScheme` (encoding state is only ever
-/// touched through `&mut self`, so shared planning is read-only).
+/// Schemes are `Send + Sync` and every method takes `&self`: encoding
+/// state (a strand frontier, a partial stripe, a write counter) sits
+/// behind interior mutability inside the scheme, so one instance can be
+/// shared — `Arc<dyn RedundancyScheme>` between an archive, a plane and
+/// repair workers — with no wrapper gymnastics. This mirrors the backend
+/// family ([`BlockSink`] is `&self` too): shared-by-default is the one
+/// mutability story of the public API.
 pub trait RedundancyScheme: Send + Sync {
     /// Paper-style display name, e.g. `AE(3,2,5)`, `RS(10,4)`,
     /// `3-way replic.`.
@@ -166,16 +170,13 @@ pub trait RedundancyScheme: Send + Sync {
     ///
     /// Fails (without writing anything) when a block's size differs from
     /// the scheme's.
-    fn encode_batch(
-        &mut self,
-        blocks: &[Block],
-        sink: &mut dyn BlockSink,
-    ) -> Result<EncodeReport, AeError>;
+    fn encode_batch(&self, blocks: &[Block], sink: &dyn BlockSink)
+        -> Result<EncodeReport, AeError>;
 
     /// Flushes any buffered redundancy (for example a partial
     /// Reed-Solomon stripe, padded with virtual zero blocks). Returns the
     /// ids written; the default is a no-op for schemes that never buffer.
-    fn seal(&mut self, _sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+    fn seal(&self, _sink: &dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
         Ok(Vec::new())
     }
 
@@ -215,7 +216,7 @@ pub trait RedundancyScheme: Send + Sync {
     /// round in parallel and skip provably-futile re-attempts.
     fn repair_missing(
         &self,
-        repo: &mut dyn BlockRepo,
+        repo: &dyn BlockRepo,
         targets: &[BlockId],
         data_blocks: u64,
     ) -> RepairSummary {
@@ -233,7 +234,7 @@ pub trait RedundancyScheme: Send + Sync {
     /// tested against.
     fn repair_missing_serial(
         &self,
-        repo: &mut dyn BlockRepo,
+        repo: &dyn BlockRepo,
         targets: &[BlockId],
         data_blocks: u64,
     ) -> RepairSummary {
@@ -249,7 +250,7 @@ pub trait RedundancyScheme: Send + Sync {
             let mut planned: Vec<(BlockId, Block)> = Vec::new();
             let mut still_missing = Vec::new();
             for &id in &missing {
-                match self.repair_block(&*repo, id, data_blocks) {
+                match self.repair_block(repo, id, data_blocks) {
                     Ok(block) => planned.push((id, block)),
                     Err(_) => still_missing.push(id),
                 }
@@ -471,7 +472,7 @@ impl Waiting {
 /// a failed target only after a block its last error named gets repaired.
 fn repair_missing_worklist<S: RedundancyScheme + ?Sized>(
     scheme: &S,
-    repo: &mut dyn BlockRepo,
+    repo: &dyn BlockRepo,
     targets: &[BlockId],
     data_blocks: u64,
 ) -> RepairSummary {
@@ -505,7 +506,7 @@ fn repair_missing_worklist<S: RedundancyScheme + ?Sized>(
             // Single planner: attempt inline, filing blockers as they
             // surface — no intermediate result buffer.
             for &i in &attempts {
-                match scheme.repair_block(&*repo, missing[i as usize], data_blocks) {
+                match scheme.repair_block(repo, missing[i as usize], data_blocks) {
                     Ok(block) => planned.push((i, block)),
                     Err(err) => {
                         for &blocker in err.missing_blocks() {
@@ -584,7 +585,15 @@ mod tests {
     /// A toy mirror scheme (1 extra copy) exercising the default
     /// `repair_missing` round loop.
     struct Mirror {
-        written: u64,
+        written: parking_lot::Mutex<u64>,
+    }
+
+    impl Mirror {
+        fn new() -> Self {
+            Mirror {
+                written: parking_lot::Mutex::new(0),
+            }
+        }
     }
 
     fn data(i: u64) -> BlockId {
@@ -604,7 +613,7 @@ mod tests {
         }
 
         fn data_written(&self) -> u64 {
-            self.written
+            *self.written.lock()
         }
 
         fn repair_cost(&self) -> RepairCost {
@@ -612,18 +621,19 @@ mod tests {
         }
 
         fn encode_batch(
-            &mut self,
+            &self,
             blocks: &[Block],
-            sink: &mut dyn BlockSink,
+            sink: &dyn BlockSink,
         ) -> Result<EncodeReport, AeError> {
-            let first_node = self.written + 1;
+            let mut written = self.written.lock();
+            let first_node = *written + 1;
             let mut ids = Vec::new();
             for b in blocks {
-                self.written += 1;
-                sink.store(data(self.written), b.clone());
-                sink.store(copy(self.written), b.clone());
-                ids.push(data(self.written));
-                ids.push(copy(self.written));
+                *written += 1;
+                sink.store(data(*written), b.clone());
+                sink.store(copy(*written), b.clone());
+                ids.push(data(*written));
+                ids.push(copy(*written));
             }
             Ok(EncodeReport { first_node, ids })
         }
@@ -665,10 +675,10 @@ mod tests {
 
     #[test]
     fn default_repair_missing_round_trips() {
-        let mut scheme = Mirror { written: 0 };
-        let mut store = BlockMap::new();
+        let scheme = Mirror::new();
+        let store = BlockMap::new();
         let blocks: Vec<Block> = (0..10u8).map(|k| Block::from_vec(vec![k; 8])).collect();
-        let report = scheme.encode_batch(&blocks, &mut store).unwrap();
+        let report = scheme.encode_batch(&blocks, &store).unwrap();
         assert_eq!(report.first_node, 1);
         assert_eq!(report.data_written(), 10);
         assert_eq!(report.redundancy_written(), 10);
@@ -676,26 +686,26 @@ mod tests {
         // Lose a data block and an unrelated copy.
         let original = store.remove(&data(4)).unwrap();
         store.remove(&copy(7));
-        let summary = scheme.repair_missing(&mut store, &[data(4), copy(7)], 10);
+        let summary = scheme.repair_missing(&store, &[data(4), copy(7)], 10);
         assert!(summary.fully_recovered());
         assert_eq!(summary.round_count(), 1);
         assert_eq!(summary.total_repaired(), 2);
         assert_eq!(summary.blocks_read, 2);
-        assert_eq!(store[&data(4)], original);
+        assert_eq!(store.get(&data(4)).unwrap(), original);
         assert!(summary.into_result().is_ok());
     }
 
     #[test]
     fn default_repair_missing_reports_dead_blocks() {
-        let mut scheme = Mirror { written: 0 };
-        let mut store = BlockMap::new();
+        let scheme = Mirror::new();
+        let store = BlockMap::new();
         scheme
-            .encode_batch(&[Block::zero(4), Block::from_vec(vec![1; 4])], &mut store)
+            .encode_batch(&[Block::zero(4), Block::from_vec(vec![1; 4])], &store)
             .unwrap();
         // Both copies of block 2 gone: unrecoverable.
         store.remove(&data(2));
         store.remove(&copy(2));
-        let summary = scheme.repair_missing(&mut store, &[data(2), copy(2)], 2);
+        let summary = scheme.repair_missing(&store, &[data(2), copy(2)], 2);
         assert!(!summary.fully_recovered());
         assert_eq!(summary.unrecovered.len(), 2);
         assert!(matches!(
@@ -708,10 +718,10 @@ mod tests {
     fn parallel_planner_matches_serial_reference() {
         // Same disaster, both planners: summaries must be bit-identical.
         let build = || {
-            let mut scheme = Mirror { written: 0 };
-            let mut store = BlockMap::new();
+            let scheme = Mirror::new();
+            let store = BlockMap::new();
             let blocks: Vec<Block> = (0..40u8).map(|k| Block::from_vec(vec![k; 8])).collect();
-            scheme.encode_batch(&blocks, &mut store).unwrap();
+            scheme.encode_batch(&blocks, &store).unwrap();
             // Mixed pattern: repairable singles, two dead pairs, and an
             // already-present target.
             for i in [3u64, 9, 17, 25] {
@@ -727,18 +737,16 @@ mod tests {
             .into_iter()
             .flat_map(|i| [data(i), copy(i)])
             .collect();
-        let (scheme_a, mut store_a) = build();
-        let (scheme_b, mut store_b) = build();
-        let parallel = scheme_a.repair_missing(&mut store_a, &targets, 40);
-        let serial = scheme_b.repair_missing_serial(&mut store_b, &targets, 40);
+        let (scheme_a, store_a) = build();
+        let (scheme_b, store_b) = build();
+        let parallel = scheme_a.repair_missing(&store_a, &targets, 40);
+        let serial = scheme_b.repair_missing_serial(&store_b, &targets, 40);
         assert_eq!(parallel, serial);
         assert_eq!(
             parallel.unrecovered,
             vec![data(9), copy(9), data(33), copy(33)]
         );
-        for (id, block) in &store_a {
-            assert_eq!(store_b.get(id), Some(block));
-        }
+        assert_eq!(store_a, store_b);
     }
 
     #[test]
@@ -746,10 +754,10 @@ mod tests {
         // The scoped-thread fan-out must return results in attempt order,
         // whatever the thread count — including counts that do not divide
         // the attempt set evenly.
-        let mut scheme = Mirror { written: 0 };
-        let mut store = BlockMap::new();
+        let scheme = Mirror::new();
+        let store = BlockMap::new();
         let blocks: Vec<Block> = (0..50u8).map(|k| Block::from_vec(vec![k; 8])).collect();
-        scheme.encode_batch(&blocks, &mut store).unwrap();
+        scheme.encode_batch(&blocks, &store).unwrap();
         for i in 1..=50u64 {
             store.remove(&data(i));
             if i % 5 == 0 {
@@ -780,7 +788,7 @@ mod tests {
 
     #[test]
     fn default_dense_index_hooks_are_inert() {
-        let scheme = Mirror { written: 0 };
+        let scheme = Mirror::new();
         assert!(!scheme.supports_dense_index());
         assert_eq!(scheme.dense_index(&data(1), 10), None);
         // The enumeration fallbacks still answer the universe size and
@@ -795,12 +803,14 @@ mod tests {
     }
 
     #[test]
-    fn scheme_is_object_safe() {
-        let mut boxed: Box<dyn RedundancyScheme> = Box::new(Mirror { written: 0 });
-        let mut store = BlockMap::new();
-        boxed.encode_batch(&[Block::zero(4)], &mut store).unwrap();
-        assert_eq!(boxed.scheme_name(), "2-way replic.");
-        assert_eq!(boxed.data_written(), 1);
-        assert_eq!(boxed.block_ids(1).len(), 2);
+    fn scheme_is_object_safe_and_shareable() {
+        use std::sync::Arc;
+        let shared: Arc<dyn RedundancyScheme> = Arc::new(Mirror::new());
+        let store = BlockMap::new();
+        // Encoding through a shared handle: no &mut anywhere.
+        shared.encode_batch(&[Block::zero(4)], &store).unwrap();
+        assert_eq!(shared.scheme_name(), "2-way replic.");
+        assert_eq!(shared.data_written(), 1);
+        assert_eq!(shared.block_ids(1).len(), 2);
     }
 }

@@ -7,13 +7,27 @@
 //! block — but pays linearly in storage for every level of fault tolerance.
 
 use ae_blocks::Block;
+use parking_lot::Mutex;
 
 /// An n-way replication scheme.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The write counter — the only encoding state — sits behind a lock, so
+/// one instance can be shared (`Arc<dyn RedundancyScheme>`) between
+/// writers and repair workers.
+#[derive(Debug)]
 pub struct Replication {
     n: usize,
     /// Data blocks written through the scheme API.
-    pub(crate) written: u64,
+    pub(crate) written: Mutex<u64>,
+}
+
+impl Clone for Replication {
+    fn clone(&self) -> Self {
+        Replication {
+            n: self.n,
+            written: Mutex::new(*self.written.lock()),
+        }
+    }
 }
 
 impl Replication {
@@ -24,7 +38,10 @@ impl Replication {
     /// Panics for `n < 2`: one copy is no redundancy scheme.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "replication needs at least 2 copies, got {n}");
-        Replication { n, written: 0 }
+        Replication {
+            n,
+            written: Mutex::new(0),
+        }
     }
 
     /// Number of copies, original included.

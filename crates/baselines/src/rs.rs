@@ -4,14 +4,15 @@
 //! `k` suffice to reconstruct everything (maximum distance separable). The
 //! generator is `[I_k; C]` with `C` an m×k Cauchy matrix, whose every square
 //! submatrix is invertible — the textbook construction used by storage
-//! systems (Plank's tutorial, reference [2] of the paper; Backblaze's
-//! open-source encoder, reference [32]).
+//! systems (Plank's tutorial, reference \[2\] of the paper; Backblaze's
+//! open-source encoder, reference \[32\]).
 //!
 //! The paper's cost model (§I, Table IV): repairing a single lost shard
 //! requires reading `k` surviving shards and moving `k · B` bytes — this is
 //! what AE codes beat with their fixed two-block repairs.
 
 use ae_gf::{field, Gf256, Matrix};
+use parking_lot::Mutex;
 use std::fmt;
 
 /// Errors from Reed-Solomon operations.
@@ -88,16 +89,36 @@ impl std::error::Error for RsError {}
 /// rs.reconstruct(&mut shards).unwrap();
 /// assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ReedSolomon {
     k: usize,
     m: usize,
     /// Full generator `[I_k; C]`, (k+m) × k.
     generator: Matrix,
+    /// Streaming-encoder state — the write counter and the buffered
+    /// partial stripe — behind one lock, so an instance can be shared
+    /// (`Arc<dyn RedundancyScheme>`) between writers and repair workers.
+    pub(crate) enc: Mutex<RsEncoderState>,
+}
+
+/// The mutable half of a streaming [`ReedSolomon`] encoder.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RsEncoderState {
     /// Data blocks written through the scheme API.
     pub(crate) written: u64,
     /// Buffered data blocks of the current (incomplete) stripe.
     pub(crate) pending: Vec<ae_blocks::Block>,
+}
+
+impl Clone for ReedSolomon {
+    fn clone(&self) -> Self {
+        ReedSolomon {
+            k: self.k,
+            m: self.m,
+            generator: self.generator.clone(),
+            enc: Mutex::new(self.enc.lock().clone()),
+        }
+    }
 }
 
 impl ReedSolomon {
@@ -117,8 +138,7 @@ impl ReedSolomon {
             k,
             m,
             generator,
-            written: 0,
-            pending: Vec::new(),
+            enc: Mutex::new(RsEncoderState::default()),
         })
     }
 

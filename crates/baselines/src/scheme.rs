@@ -54,13 +54,7 @@ impl ReedSolomon {
     }
 
     /// Encodes one full stripe of data blocks into its parity shards.
-    fn emit_stripe(
-        &self,
-        t: u64,
-        data: &[Block],
-        sink: &mut dyn BlockSink,
-        ids: &mut Vec<BlockId>,
-    ) {
+    fn emit_stripe(&self, t: u64, data: &[Block], sink: &dyn BlockSink, ids: &mut Vec<BlockId>) {
         let shards: Vec<Vec<u8>> = data.iter().map(|b| b.as_slice().to_vec()).collect();
         let parity = self
             .encode(&shards)
@@ -128,7 +122,7 @@ impl RedundancyScheme for ReedSolomon {
     }
 
     fn data_written(&self) -> u64 {
-        self.written
+        self.enc.lock().written
     }
 
     fn repair_cost(&self) -> RepairCost {
@@ -136,13 +130,14 @@ impl RedundancyScheme for ReedSolomon {
     }
 
     fn encode_batch(
-        &mut self,
+        &self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
+        let mut enc = self.enc.lock();
         // The buffered partial stripe fixes the size; a batch may not
         // change it mid-stripe.
-        if let Some(first) = self.pending.first().or(blocks.first()) {
+        if let Some(first) = enc.pending.first().or(blocks.first()) {
             let expected = first.len();
             for b in blocks {
                 if b.len() != expected {
@@ -153,33 +148,34 @@ impl RedundancyScheme for ReedSolomon {
                 }
             }
         }
-        let first_node = self.written + 1;
+        let first_node = enc.written + 1;
         let mut ids = Vec::new();
         for b in blocks {
-            self.written += 1;
-            let id = BlockId::Data(NodeId(self.written));
+            enc.written += 1;
+            let id = BlockId::Data(NodeId(enc.written));
             sink.store(id, b.clone());
             ids.push(id);
-            self.pending.push(b.clone());
-            if self.pending.len() == self.k() {
-                let t = self.stripe_of(self.written);
-                let stripe = std::mem::take(&mut self.pending);
+            enc.pending.push(b.clone());
+            if enc.pending.len() == self.k() {
+                let t = self.stripe_of(enc.written);
+                let stripe = std::mem::take(&mut enc.pending);
                 self.emit_stripe(t, &stripe, sink, &mut ids);
             }
         }
         Ok(EncodeReport { first_node, ids })
     }
 
-    fn seal(&mut self, sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
-        if self.pending.is_empty() {
+    fn seal(&self, sink: &dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        let mut enc = self.enc.lock();
+        if enc.pending.is_empty() {
             return Ok(Vec::new());
         }
         // Complete the final stripe with virtual zero data blocks; only the
         // parity shards are stored.
-        let len = self.pending[0].len();
-        let mut stripe = std::mem::take(&mut self.pending);
+        let len = enc.pending[0].len();
+        let mut stripe = std::mem::take(&mut enc.pending);
         stripe.resize(self.k(), Block::zero(len));
-        let t = self.stripe_of(self.written);
+        let t = self.stripe_of(enc.written);
         let mut ids = Vec::new();
         self.emit_stripe(t, &stripe, sink, &mut ids);
         Ok(ids)
@@ -218,7 +214,7 @@ impl RedundancyScheme for ReedSolomon {
 
     fn repair_missing(
         &self,
-        repo: &mut dyn BlockRepo,
+        repo: &dyn BlockRepo,
         targets: &[BlockId],
         data_blocks: u64,
     ) -> RepairSummary {
@@ -240,7 +236,7 @@ impl RedundancyScheme for ReedSolomon {
         let mut data_repaired = 0;
         let mut blocks_read = 0;
         for t in stripes {
-            let Ok(blocks) = self.decode_stripe(&*repo, t, data_blocks) else {
+            let Ok(blocks) = self.decode_stripe(repo, t, data_blocks) else {
                 continue; // stripe damaged beyond recovery
             };
             blocks_read += self.k() as u64;
@@ -428,7 +424,7 @@ impl RedundancyScheme for Replication {
     }
 
     fn data_written(&self) -> u64 {
-        self.written
+        *self.written.lock()
     }
 
     fn repair_cost(&self) -> RepairCost {
@@ -436,15 +432,16 @@ impl RedundancyScheme for Replication {
     }
 
     fn encode_batch(
-        &mut self,
+        &self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
-        let first_node = self.written + 1;
+        let mut written = self.written.lock();
+        let first_node = *written + 1;
         let mut ids = Vec::with_capacity(blocks.len() * self.copies());
         for b in blocks {
-            self.written += 1;
-            let node = NodeId(self.written);
+            *written += 1;
+            let node = NodeId(*written);
             sink.store(BlockId::Data(node), b.clone());
             ids.push(BlockId::Data(node));
             for copy in 1..self.copies() as u16 {
@@ -561,11 +558,11 @@ mod tests {
     fn rs_rejects_size_change_against_buffered_stripe() {
         // The buffered partial stripe fixes the block size: a later batch
         // with a different size must fail without writing anything.
-        let mut rs = ReedSolomon::new(4, 2).unwrap();
-        let mut store = BlockMap::new();
-        rs.encode_batch(&payload(2, 32), &mut store).unwrap();
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let store = BlockMap::new();
+        rs.encode_batch(&payload(2, 32), &store).unwrap();
         let before = store.len();
-        let err = rs.encode_batch(&payload(2, 16), &mut store).unwrap_err();
+        let err = rs.encode_batch(&payload(2, 16), &store).unwrap_err();
         assert!(matches!(
             err,
             ae_api::AeError::SizeMismatch {
@@ -581,10 +578,10 @@ mod tests {
     fn rs_out_of_extent_targets_error_not_fabricate() {
         // Virtual padding positions of the sealed final stripe are not
         // repairable targets: no Ok(zero block), no oracle "true".
-        let mut rs = ReedSolomon::new(4, 2).unwrap();
-        let mut store = BlockMap::new();
-        rs.encode_batch(&payload(10, 16), &mut store).unwrap();
-        rs.seal(&mut store).unwrap();
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let store = BlockMap::new();
+        rs.encode_batch(&payload(10, 16), &store).unwrap();
+        rs.seal(&store).unwrap();
         let ghost = BlockId::Data(NodeId(11));
         assert!(matches!(
             rs.repair_block(&store, ghost, 10),
@@ -595,13 +592,13 @@ mod tests {
 
     #[test]
     fn rs_scheme_roundtrip_with_seal() {
-        let mut rs = ReedSolomon::new(4, 2).unwrap();
-        let mut store = BlockMap::new();
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let store = BlockMap::new();
         let blocks = payload(10, 32); // 2 full stripes + 2 pending
-        let report = rs.encode_batch(&blocks, &mut store).unwrap();
+        let report = rs.encode_batch(&blocks, &store).unwrap();
         assert_eq!(report.data_written(), 10);
         assert_eq!(report.redundancy_written(), 4, "2 stripes x 2 shards");
-        let sealed = rs.seal(&mut store).unwrap();
+        let sealed = rs.seal(&store).unwrap();
         assert_eq!(sealed.len(), 2, "final padded stripe's shards");
         assert_eq!(rs.data_written(), 10);
         assert_eq!(rs.scheme_name(), "RS(4,2)");
@@ -609,19 +606,19 @@ mod tests {
         // Lose two members of the padded stripe (its max erasures).
         let victims = [BlockId::Data(NodeId(9)), BlockId::Data(NodeId(10))];
         let originals: Vec<Block> = victims.iter().map(|v| store.remove(v).unwrap()).collect();
-        let summary = rs.repair_missing(&mut store, &victims, 10);
+        let summary = rs.repair_missing(&store, &victims, 10);
         assert!(summary.fully_recovered());
         assert_eq!(summary.blocks_read, 4, "one k-shard decode");
         for (v, o) in victims.iter().zip(&originals) {
-            assert_eq!(&store[v], o);
+            assert_eq!(store.get(v).as_ref(), Some(o));
         }
     }
 
     #[test]
     fn rs_repair_block_and_errors() {
-        let mut rs = ReedSolomon::new(3, 2).unwrap();
-        let mut store = BlockMap::new();
-        rs.encode_batch(&payload(6, 16), &mut store).unwrap();
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let store = BlockMap::new();
+        rs.encode_batch(&payload(6, 16), &store).unwrap();
 
         let victim = BlockId::Shard(ShardId {
             stripe: 0,
@@ -740,10 +737,10 @@ mod tests {
 
     #[test]
     fn replication_scheme_roundtrip() {
-        let mut r = Replication::new(3);
-        let mut store = BlockMap::new();
+        let r = Replication::new(3);
+        let store = BlockMap::new();
         let blocks = payload(5, 8);
-        let report = r.encode_batch(&blocks, &mut store).unwrap();
+        let report = r.encode_batch(&blocks, &store).unwrap();
         assert_eq!(report.ids.len(), 15);
         assert_eq!(r.scheme_name(), "3-way replic.");
         assert_eq!(r.repair_cost().single_failure_reads, 1);
@@ -756,9 +753,9 @@ mod tests {
         });
         let original = store.remove(&d).unwrap();
         store.remove(&c1);
-        let summary = r.repair_missing(&mut store, &[d, c1], 5);
+        let summary = r.repair_missing(&store, &[d, c1], 5);
         assert!(summary.fully_recovered());
-        assert_eq!(store[&d], original);
+        assert_eq!(store.get(&d).unwrap(), original);
 
         // All copies gone: unrecoverable, error lists the copies tried.
         let d5 = BlockId::Data(NodeId(5));

@@ -1,0 +1,129 @@
+//! Archive-layer cost: put / get / scrub through the scheme-generic
+//! `Archive`, AE vs Reed-Solomon vs replication, over the in-memory and
+//! the two-tier backends.
+//!
+//! The archive is the layer a user actually touches; these benches price
+//! the full path — chunking, batch encode, manifest bookkeeping, backend
+//! routing — rather than a bare kernel. `put` archives a fresh file per
+//! iteration, `get` reads a healthy file back (manifest CRC verified),
+//! `scrub` repairs a scattered 5% disaster injected before each
+//! iteration. Recorded numbers live in `BENCH_archive.json`.
+
+use ae_api::{BlockRepo, RedundancyScheme};
+use ae_baselines::{ReedSolomon, Replication};
+use ae_core::Code;
+use ae_lattice::Config;
+use ae_store::{archive::Archive, MemStore, TieredStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BLOCK: usize = 4096;
+const FILE_LEN: usize = 64 * BLOCK; // 256 KiB per archived file
+
+fn sample_file(seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..FILE_LEN)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// The 300%-overhead-class contenders priced against each other. Each
+/// archive needs a fresh scheme, so this returns factories.
+type SchemeFactory = fn() -> Arc<dyn RedundancyScheme>;
+
+fn schemes() -> Vec<SchemeFactory> {
+    vec![
+        || Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK)),
+        || Arc::new(ReedSolomon::new(10, 4).unwrap()),
+        || Arc::new(Replication::new(3)),
+    ]
+}
+
+/// Fresh instances of both backends, type-erased so one bench body serves
+/// every scheme × backend cell.
+fn backends() -> Vec<(&'static str, Arc<dyn BlockRepo>)> {
+    vec![
+        ("mem", Arc::new(MemStore::new())),
+        (
+            "tiered",
+            Arc::new(TieredStore::new(Arc::new(MemStore::new()))),
+        ),
+    ]
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive/put");
+    g.throughput(Throughput::Bytes(FILE_LEN as u64));
+    for make_scheme in schemes() {
+        for (backend, store) in backends() {
+            let scheme = make_scheme();
+            let name = format!("{}/{backend}", scheme.scheme_name());
+            // A fresh archive per cell; each iteration appends a new file.
+            let mut ar = Archive::with_scheme(scheme, BLOCK, store);
+            let file = sample_file(7);
+            let mut k = 0u64;
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    k += 1;
+                    black_box(ar.put(&format!("f{k}"), &file).expect("fresh name"))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive/get");
+    g.throughput(Throughput::Bytes(FILE_LEN as u64));
+    for make_scheme in schemes() {
+        for (backend, store) in backends() {
+            let scheme = make_scheme();
+            let name = format!("{}/{backend}", scheme.scheme_name());
+            let mut ar = Archive::with_scheme(scheme, BLOCK, store);
+            let file = sample_file(11);
+            ar.put("f", &file).expect("fresh name");
+            ar.seal().expect("flush");
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| black_box(ar.get("f").expect("healthy read")))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive/scrub_5pct");
+    for make_scheme in schemes() {
+        for (backend, store) in backends() {
+            let scheme = make_scheme();
+            let name = format!("{}/{backend}", scheme.scheme_name());
+            let mut ar = Archive::with_scheme(scheme, BLOCK, Arc::clone(&store));
+            let file = sample_file(13);
+            ar.put("f", &file).expect("fresh name");
+            ar.seal().expect("flush");
+            // Every 20th stored block dies before each scrub.
+            let victims: Vec<_> = ar.stored_ids().iter().copied().step_by(20).collect();
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    for v in &victims {
+                        store.remove(*v);
+                    }
+                    let restored = ar.scrub();
+                    assert_eq!(restored as usize, victims.len());
+                    black_box(restored)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_scrub);
+criterion_main!(benches);

@@ -18,10 +18,10 @@ const BLOCK: usize = 4096;
 
 fn build_store(cfg: Config, n: u64) -> (Code, BlockMap) {
     let code = Code::new(cfg, BLOCK);
-    let mut store = BlockMap::new();
+    let store = BlockMap::new();
     let mut enc = code.entangler();
     for blk in data_blocks(n as usize, BLOCK, 3) {
-        enc.entangle(blk).unwrap().insert_into(&mut store);
+        enc.entangle(blk).unwrap().insert_into(&store);
     }
     (code, store)
 }
@@ -32,7 +32,7 @@ fn bench_ae_single_failure(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(BLOCK as u64));
     for (a, s, p) in [(1u8, 1u16, 0u16), (2, 2, 5), (3, 2, 5)] {
         let cfg = Config::new(a, s, p).unwrap();
-        let (code, mut store) = build_store(cfg, 500);
+        let (code, store) = build_store(cfg, 500);
         let victim = BlockId::Data(NodeId(250));
         store.remove(&victim);
         g.bench_function(BenchmarkId::from_parameter(cfg.name()), |b| {
@@ -78,9 +78,9 @@ fn bench_entangle_batch_vs_single(c: &mut Criterion) {
             g.bench_function(BenchmarkId::new("single", cfg.name()), |b| {
                 b.iter(|| {
                     let mut enc = Entangler::new(cfg, size);
-                    let mut store = BlockMap::new();
+                    let store = BlockMap::new();
                     for blk in &blocks {
-                        enc.entangle(blk.clone()).unwrap().insert_into(&mut store);
+                        enc.entangle(blk.clone()).unwrap().insert_into(&store);
                     }
                     black_box(store)
                 })
@@ -88,8 +88,8 @@ fn bench_entangle_batch_vs_single(c: &mut Criterion) {
             g.bench_function(BenchmarkId::new("batch", cfg.name()), |b| {
                 b.iter(|| {
                     let mut enc = Entangler::new(cfg, size);
-                    let mut store = BlockMap::new();
-                    enc.entangle_batch(&blocks, &mut store).unwrap();
+                    let store = BlockMap::new();
+                    enc.entangle_batch(&blocks, &store).unwrap();
                     black_box(store)
                 })
             });
@@ -110,21 +110,21 @@ fn bench_repair_missing_dyn(c: &mut Criterion) {
         Box::new(ReedSolomon::new(4, 12).unwrap()),
         Box::new(Replication::new(4)),
     ];
-    for mut scheme in schemes {
+    for scheme in schemes {
         let name = scheme.scheme_name();
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         scheme
-            .encode_batch(&data_blocks(500, BLOCK, 5), &mut store)
+            .encode_batch(&data_blocks(500, BLOCK, 5), &store)
             .unwrap();
-        scheme.seal(&mut store).unwrap();
+        scheme.seal(&store).unwrap();
         let victims: Vec<BlockId> = (200..240).map(|i| BlockId::Data(NodeId(i))).collect();
         g.bench_function(BenchmarkId::from_parameter(&name), |b| {
             b.iter(|| {
-                let mut damaged = store.clone();
+                let damaged = store.clone();
                 for v in &victims {
                     damaged.remove(v);
                 }
-                let summary = scheme.repair_missing(&mut damaged, &victims, 500);
+                let summary = scheme.repair_missing(&damaged, &victims, 500);
                 assert!(summary.fully_recovered(), "{name}");
                 black_box(summary)
             })
@@ -142,13 +142,13 @@ fn bench_clustered_repair(c: &mut Criterion) {
     let victims: Vec<BlockId> = (400..460).map(|i| BlockId::Data(NodeId(i))).collect();
     g.bench_function("AE(3,2,5)/60_nodes", |b| {
         b.iter(|| {
-            let mut damaged = store.clone();
+            let damaged = store.clone();
             for v in &victims {
                 damaged.remove(v);
             }
             let report = code
                 .repair_engine(1000)
-                .repair_all(&mut damaged, victims.clone());
+                .repair_all(&damaged, victims.clone());
             assert!(report.fully_recovered());
             black_box(report)
         })

@@ -154,12 +154,12 @@ fn bench_repair_missing_multi_failure(c: &mut Criterion) {
     g.sample_size(10);
     let n = 20_000u64;
     for cfg in [Config::new(2, 2, 5).unwrap(), Config::new(3, 2, 5).unwrap()] {
-        let mut code = Code::new(cfg, 64);
-        let mut full = BlockMap::new();
+        let code = Code::new(cfg, 64);
+        let full = BlockMap::new();
         let blocks: Vec<Block> = (0..n)
             .map(|i| Block::from_vec((0..64).map(|k| ((i * 31 + k * 7) % 251) as u8).collect()))
             .collect();
-        code.encode_batch(&blocks, &mut full).expect("encode");
+        code.encode_batch(&blocks, &full).expect("encode");
 
         // 40% contiguous span + seeded ~10% scatter over the universe.
         let universe = code.block_ids(n);
@@ -178,28 +178,28 @@ fn bench_repair_missing_multi_failure(c: &mut Criterion) {
             })
             .map(|(_, id)| id)
             .collect();
-        let mut damaged = full.clone();
+        let damaged = full.clone();
         for v in &victims {
             damaged.remove(v);
         }
 
         // Outcome parity first.
-        let (mut a, mut b) = (damaged.clone(), damaged.clone());
-        let parallel = code.repair_missing(&mut a, &victims, n);
-        let serial = code.repair_missing_serial(&mut b, &victims, n);
+        let (a, b) = (damaged.clone(), damaged.clone());
+        let parallel = code.repair_missing(&a, &victims, n);
+        let serial = code.repair_missing_serial(&b, &victims, n);
         assert_eq!(parallel, serial, "planners disagree");
         assert!(parallel.total_repaired() > 0);
 
         g.bench_function(BenchmarkId::new(cfg.name(), "parallel"), |bch| {
             bch.iter(|| {
-                let mut store = damaged.clone();
-                black_box(code.repair_missing(&mut store, &victims, n))
+                let store = damaged.clone();
+                black_box(code.repair_missing(&store, &victims, n))
             })
         });
         g.bench_function(BenchmarkId::new(cfg.name(), "serial"), |bch| {
             bch.iter(|| {
-                let mut store = damaged.clone();
-                black_box(code.repair_missing_serial(&mut store, &victims, n))
+                let store = damaged.clone();
+                black_box(code.repair_missing_serial(&store, &victims, n))
             })
         });
     }

@@ -10,6 +10,7 @@ use ae_api::{
 };
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
 use ae_lattice::{rules, Config};
+use parking_lot::Mutex;
 
 /// In-memory block container used throughout the byte plane: block id →
 /// contents. Presence in the map *is* availability.
@@ -20,28 +21,42 @@ pub type BlockMap = ae_api::BlockMap;
 
 /// An alpha entanglement code bound to a block size.
 ///
-/// `Code` owns the streaming encoder state, so one value is both the
-/// encoder ([`Code::encode_batch`] via [`RedundancyScheme`]) and the
-/// decoder ([`Code::repair_block`], [`Code::repair_engine`]). See the
-/// crate-level example for end-to-end usage.
-#[derive(Debug, Clone)]
+/// `Code` owns the streaming encoder state behind a lock, so one value is
+/// both the encoder ([`Code::encode_batch`] via [`RedundancyScheme`]) and
+/// the decoder ([`Code::repair_block`], [`Code::repair_engine`]) — and can
+/// be shared (`Arc<Code>`, `Arc<dyn RedundancyScheme>`) between an
+/// archive, a plane and repair workers. See the crate-level example for
+/// end-to-end usage.
+#[derive(Debug)]
 pub struct Code {
+    cfg: Config,
     zero: Block,
-    entangler: Entangler,
+    entangler: Mutex<Entangler>,
+}
+
+impl Clone for Code {
+    fn clone(&self) -> Self {
+        Code {
+            cfg: self.cfg,
+            zero: self.zero.clone(),
+            entangler: Mutex::new(self.entangler.lock().clone()),
+        }
+    }
 }
 
 impl Code {
     /// Creates a code for blocks of `block_size` bytes.
     pub fn new(cfg: Config, block_size: usize) -> Self {
         Code {
+            cfg,
             zero: Block::zero(block_size),
-            entangler: Entangler::new(cfg, block_size),
+            entangler: Mutex::new(Entangler::new(cfg, block_size)),
         }
     }
 
     /// The code configuration.
     pub fn config(&self) -> &Config {
-        self.entangler.config()
+        &self.cfg
     }
 
     /// Block size in bytes.
@@ -56,7 +71,7 @@ impl Code {
 
     /// Data blocks encoded through this code so far.
     pub fn written(&self) -> u64 {
-        self.entangler.written()
+        self.entangler.lock().written()
     }
 
     /// A fresh streaming encoder for this code, independent of the code's
@@ -107,7 +122,7 @@ impl RedundancyScheme for Code {
     }
 
     fn data_written(&self) -> u64 {
-        self.entangler.written()
+        self.written()
     }
 
     fn repair_cost(&self) -> RepairCost {
@@ -118,11 +133,11 @@ impl RedundancyScheme for Code {
     }
 
     fn encode_batch(
-        &mut self,
+        &self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
-        self.entangler.entangle_batch(blocks, sink)
+        self.entangler.lock().entangle_batch(blocks, sink)
     }
 
     fn repair_block(
@@ -252,12 +267,12 @@ mod tests {
         assert_eq!(code.config().alpha(), 2);
         assert!(code.zero_block().is_zero());
 
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         for k in 0..60u8 {
             enc.entangle(Block::from_vec(vec![k; 32]))
                 .unwrap()
-                .insert_into(&mut store);
+                .insert_into(&store);
         }
         let lost = BlockId::Data(NodeId(30));
         let original = store.remove(&lost).unwrap();
@@ -283,10 +298,10 @@ mod tests {
 
     #[test]
     fn scheme_impl_encode_and_repair() {
-        let mut code = Code::new(Config::new(3, 2, 5).unwrap(), 16);
-        let mut store = BlockMap::new();
+        let code = Code::new(Config::new(3, 2, 5).unwrap(), 16);
+        let store = BlockMap::new();
         let blocks: Vec<Block> = (0..80u8).map(|k| Block::from_vec(vec![k; 16])).collect();
-        let report = code.encode_batch(&blocks, &mut store).unwrap();
+        let report = code.encode_batch(&blocks, &store).unwrap();
         assert_eq!(report.data_written(), 80);
         assert_eq!(report.redundancy_written(), 240);
         assert_eq!(code.data_written(), 80);

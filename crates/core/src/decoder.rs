@@ -1,7 +1,7 @@
 //! Single-block repairs.
 //!
 //! "The decoder repairs a node using two adjacent edges that belong to the
-//! same strand, thus, there are α options. [It] repairs an edge using any of
+//! same strand, thus, there are α options. \[It\] repairs an edge using any of
 //! the two incident nodes on the damaged edge and its corresponding adjacent
 //! edge, hence, there are always two options" (§III.B). Each repair is one
 //! XOR of two blocks — the fixed "k = 2" single-failure cost of Table IV.
@@ -201,13 +201,13 @@ mod tests {
 
     fn build(cfg: Config, n: u64, len: usize) -> HashMap<BlockId, Block> {
         let mut enc = Entangler::new(cfg, len);
-        let mut store = HashMap::new();
+        let store = ae_api::BlockMap::new();
         for k in 0..n {
             enc.entangle(Block::from_vec(vec![k as u8; len]))
                 .unwrap()
-                .insert_into(&mut store);
+                .insert_into(&store);
         }
-        store
+        store.entries().into_iter().collect()
     }
 
     fn lookup_in(store: &HashMap<BlockId, Block>) -> impl FnMut(BlockId) -> Option<Block> + '_ {

@@ -24,7 +24,6 @@
 use ae_api::{AeError, BlockSink, EncodeReport};
 use ae_blocks::{Block, BlockError, BlockId, EdgeId, NodeId};
 use ae_lattice::{rules, Config};
-use std::collections::HashMap;
 
 /// The result of entangling one data block: the node it became and the α
 /// parities the entanglement created.
@@ -39,12 +38,12 @@ pub struct EntangleOutput {
 }
 
 impl EntangleOutput {
-    /// Inserts the data block and all parities into a block map (a "sealed
+    /// Inserts the data block and all parities into any backend (a "sealed
     /// bucket" write: the d-block plus its α parities, §V.B).
-    pub fn insert_into(&self, store: &mut HashMap<BlockId, Block>) {
-        store.insert(BlockId::Data(self.node), self.data.clone());
+    pub fn insert_into(&self, store: &dyn BlockSink) {
+        store.store(BlockId::Data(self.node), self.data.clone());
         for (e, b) in &self.parities {
-            store.insert(BlockId::Parity(*e), b.clone());
+            store.store(BlockId::Parity(*e), b.clone());
         }
     }
 
@@ -282,7 +281,7 @@ impl Entangler {
     pub fn entangle_batch(
         &mut self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
         for b in blocks {
             if b.len() != self.block_size {
@@ -313,6 +312,7 @@ mod tests {
     use super::*;
     use ae_blocks::StrandClass::*;
     use ae_blocks::{xor, StrandClass};
+    use std::collections::HashMap;
 
     fn blk(seed: u8, len: usize) -> Block {
         Block::from_vec(
@@ -324,12 +324,13 @@ mod tests {
 
     fn run_encoder(cfg: Config, n: u64, len: usize) -> (Entangler, HashMap<BlockId, Block>) {
         let mut enc = Entangler::new(cfg, len);
-        let mut store = HashMap::new();
+        let store = ae_api::BlockMap::new();
         for k in 0..n {
             let out = enc.entangle(blk(k as u8, len)).unwrap();
-            out.insert_into(&mut store);
+            out.insert_into(&store);
         }
-        (enc, store)
+        // Snapshot into a plain map for the indexing-heavy assertions.
+        (enc, store.entries().into_iter().collect())
     }
 
     #[test]
@@ -408,11 +409,11 @@ mod tests {
             let blocks: Vec<Block> = (0..200).map(|k| blk(k as u8, 16)).collect();
 
             let (_, streamed) = run_encoder(cfg, 200, 16);
-            let mut batched: HashMap<BlockId, Block> = HashMap::new();
+            let batched = ae_api::BlockMap::new();
             let mut enc = Entangler::new(cfg, 16);
             // Split into uneven batches to exercise batch boundaries.
-            let report_a = enc.entangle_batch(&blocks[..37], &mut batched).unwrap();
-            let report_b = enc.entangle_batch(&blocks[37..], &mut batched).unwrap();
+            let report_a = enc.entangle_batch(&blocks[..37], &batched).unwrap();
+            let report_b = enc.entangle_batch(&blocks[37..], &batched).unwrap();
 
             assert_eq!(report_a.first_node, 1);
             assert_eq!(report_b.first_node, 38);
@@ -420,7 +421,7 @@ mod tests {
             assert_eq!(enc.written(), 200);
             assert_eq!(batched.len(), streamed.len(), "{cfg}");
             for (id, block) in &streamed {
-                assert_eq!(batched.get(id), Some(block), "{cfg}: {id}");
+                assert_eq!(batched.get(id).as_ref(), Some(block), "{cfg}: {id}");
             }
         }
     }
@@ -460,8 +461,8 @@ mod tests {
             })
         ));
         // The batch path rejects before writing anything.
-        let mut store = HashMap::new();
-        let result = enc.entangle_batch(&[Block::zero(8), Block::zero(9)], &mut store);
+        let store = ae_api::BlockMap::new();
+        let result = enc.entangle_batch(&[Block::zero(8), Block::zero(9)], &store);
         assert!(matches!(
             result,
             Err(AeError::SizeMismatch {

@@ -43,12 +43,13 @@
 //! use ae_lattice::Config;
 //!
 //! // AE(3,2,5): triple entanglement, the paper's 5-HEC equivalent.
-//! let mut code = Code::new(Config::new(3, 2, 5).unwrap(), 64);
-//! let mut store = BlockMap::new();
+//! let code = Code::new(Config::new(3, 2, 5).unwrap(), 64);
+//! let store = BlockMap::new();
 //!
-//! // Batch-first encoding: data and parities stream into any BlockSink.
+//! // Batch-first encoding: data and parities stream into any BlockSink
+//! // (everything is &self; schemes and backends are shared-by-default).
 //! let blocks: Vec<Block> = (0u8..100).map(|n| Block::from_vec(vec![n; 64])).collect();
-//! let report = code.encode_batch(&blocks, &mut store).unwrap();
+//! let report = code.encode_batch(&blocks, &store).unwrap();
 //! assert_eq!(report.data_written(), 100);
 //!
 //! // Lose a data block; repair it with a single XOR of two parities.

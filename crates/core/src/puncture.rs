@@ -147,7 +147,7 @@ mod tests {
         let code = Code::new(cfg, 8);
         let plan = PuncturePlan::every_in_class(StrandClass::LeftHanded, 2);
 
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         for k in 0..200u64 {
             let out = enc.entangle(Block::from_vec(vec![k as u8; 8])).unwrap();

@@ -86,7 +86,7 @@ impl<'a> RepairEngine<'a> {
     /// only reads blocks present at the round's start.
     pub fn repair_all(
         &self,
-        store: &mut (impl BlockSource + BlockSink),
+        store: &(impl BlockSource + BlockSink + ?Sized),
         targets: impl IntoIterator<Item = BlockId>,
     ) -> RepairReport {
         let mut missing: Vec<BlockId> = targets.into_iter().filter(|&id| !store.has(id)).collect();
@@ -131,12 +131,12 @@ mod tests {
 
     fn build(cfg: Config, n: u64, len: usize) -> (Code, BlockMap) {
         let code = Code::new(cfg, len);
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         for k in 0..n {
             enc.entangle(Block::from_vec(vec![(k % 251) as u8; len]))
                 .unwrap()
-                .insert_into(&mut store);
+                .insert_into(&store);
         }
         (code, store)
     }
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn scattered_singles_repair_in_one_round() {
         let cfg = Config::new(3, 2, 5).unwrap();
-        let (code, mut store) = build(cfg, 300, 16);
+        let (code, store) = build(cfg, 300, 16);
         let full = store.clone();
         let victims: Vec<BlockId> = vec![
             BlockId::Data(NodeId(50)),
@@ -155,15 +155,13 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code
-            .repair_engine(300)
-            .repair_all(&mut store, victims.clone());
+        let report = code.repair_engine(300).repair_all(&store, victims.clone());
         assert!(report.fully_recovered());
         assert_eq!(report.round_count(), 1);
         assert_eq!(report.total_repaired(), 3);
         assert_eq!(report.single_failure_data_repairs(), 2);
         for v in &victims {
-            assert_eq!(store[v], full[v], "{v:?}");
+            assert_eq!(store.get(v), full.get(v), "{v:?}");
         }
     }
 
@@ -173,7 +171,7 @@ mod tests {
     #[test]
     fn clustered_failure_needs_multiple_rounds() {
         let cfg = Config::new(3, 2, 5).unwrap();
-        let (code, mut store) = build(cfg, 400, 8);
+        let (code, store) = build(cfg, 400, 8);
         let full = store.clone();
         // Erase a contiguous range of nodes together with their horizontal
         // parities: the H pp-tuples are gone, so data blocks must repair via
@@ -189,9 +187,7 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code
-            .repair_engine(400)
-            .repair_all(&mut store, victims.clone());
+        let report = code.repair_engine(400).repair_all(&store, victims.clone());
         assert!(
             report.fully_recovered(),
             "unrecovered: {:?}",
@@ -199,7 +195,7 @@ mod tests {
         );
         assert!(report.round_count() > 1, "rounds: {:?}", report.rounds);
         for v in &victims {
-            assert_eq!(store[v], full[v], "{v:?}");
+            assert_eq!(store.get(v), full.get(v), "{v:?}");
         }
     }
 
@@ -208,7 +204,7 @@ mod tests {
     #[test]
     fn dead_pattern_reported_unrecovered() {
         let cfg = Config::new(2, 1, 1).unwrap();
-        let (code, mut store) = build(cfg, 100, 8);
+        let (code, store) = build(cfg, 100, 8);
         // Fig 7 A: two adjacent nodes plus both parallel edges between them.
         let victims = vec![
             BlockId::Data(NodeId(50)),
@@ -219,9 +215,7 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code
-            .repair_engine(100)
-            .repair_all(&mut store, victims.clone());
+        let report = code.repair_engine(100).repair_all(&store, victims.clone());
         assert!(!report.fully_recovered());
         assert_eq!(report.unrecovered.len(), 4);
         assert_eq!(report.round_count(), 0);
@@ -232,7 +226,7 @@ mod tests {
     #[test]
     fn partial_recovery_around_dead_core() {
         let cfg = Config::new(2, 1, 1).unwrap();
-        let (code, mut store) = build(cfg, 100, 8);
+        let (code, store) = build(cfg, 100, 8);
         let mut victims = vec![
             BlockId::Data(NodeId(50)),
             BlockId::Data(NodeId(51)),
@@ -248,7 +242,7 @@ mod tests {
         for v in &victims {
             store.remove(v);
         }
-        let report = code.repair_engine(100).repair_all(&mut store, victims);
+        let report = code.repair_engine(100).repair_all(&store, victims);
         assert_eq!(report.unrecovered.len(), 4);
         assert_eq!(report.total_repaired(), 2);
     }
@@ -256,10 +250,10 @@ mod tests {
     #[test]
     fn already_present_targets_are_skipped() {
         let cfg = Config::single();
-        let (code, mut store) = build(cfg, 20, 8);
+        let (code, store) = build(cfg, 20, 8);
         let report = code
             .repair_engine(20)
-            .repair_all(&mut store, vec![BlockId::Data(NodeId(5))]);
+            .repair_all(&store, vec![BlockId::Data(NodeId(5))]);
         assert_eq!(report.round_count(), 0);
         assert!(report.fully_recovered());
     }

@@ -117,7 +117,6 @@ pub fn upgrade_parities(
 mod tests {
     use super::*;
     use ae_blocks::{BlockId, NodeId};
-    use std::collections::HashMap;
 
     fn data(n: u64, len: usize) -> Vec<Block> {
         (0..n)
@@ -169,17 +168,21 @@ mod tests {
         let blocks = data(150, 16);
 
         // From-scratch AE(3,2,5) encoding as ground truth.
-        let mut truth = HashMap::new();
+        let truth = ae_api::BlockMap::new();
         let mut enc3 = Entangler::new(to, 16);
         for b in &blocks {
-            enc3.entangle(b.clone()).unwrap().insert_into(&mut truth);
+            enc3.entangle(b.clone()).unwrap().insert_into(&truth);
         }
 
         let new_parities = upgrade_parities(&from, &to, 16, blocks.clone()).unwrap();
         assert_eq!(new_parities.len(), 150, "one LH parity per data block");
         for (edge, parity) in &new_parities {
             assert_eq!(edge.class, ae_blocks::StrandClass::LeftHanded);
-            assert_eq!(&truth[&BlockId::Parity(*edge)], parity, "{edge:?}");
+            assert_eq!(
+                truth.get(&BlockId::Parity(*edge)).as_ref(),
+                Some(parity),
+                "{edge:?}"
+            );
         }
 
         // Old H/RH parities are already identical between AE(2) and AE(3).
@@ -188,8 +191,8 @@ mod tests {
             let out2 = enc2.entangle(b.clone()).unwrap();
             for (edge, parity) in &out2.parities {
                 assert_eq!(
-                    &truth[&BlockId::Parity(*edge)],
-                    parity,
+                    truth.get(&BlockId::Parity(*edge)).as_ref(),
+                    Some(parity),
                     "block {k} class {}",
                     edge.class
                 );
@@ -208,10 +211,10 @@ mod tests {
         let to = Config::new(3, 1, 2).unwrap();
         let blocks = data(60, 8);
 
-        let mut store = HashMap::new();
+        let store = ae_api::BlockMap::new();
         let mut enc = Entangler::new(from, 8);
         for b in &blocks {
-            enc.entangle(b.clone()).unwrap().insert_into(&mut store);
+            enc.entangle(b.clone()).unwrap().insert_into(&store);
         }
         for (e, p) in upgrade_parities(&from, &to, 8, blocks.clone()).unwrap() {
             store.insert(BlockId::Parity(e), p);

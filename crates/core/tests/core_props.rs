@@ -18,7 +18,7 @@ fn any_config() -> impl Strategy<Value = Config> {
 
 fn build(cfg: Config, n: u64, seed: u64) -> (Code, BlockMap) {
     let code = Code::new(cfg, 24);
-    let mut store = BlockMap::new();
+    let store = BlockMap::new();
     let mut enc = code.entangler();
     let mut state = seed | 1;
     for _ in 0..n {
@@ -28,7 +28,7 @@ fn build(cfg: Config, n: u64, seed: u64) -> (Code, BlockMap) {
         let bytes: Vec<u8> = (0..24).map(|k| (state >> (k & 31)) as u8).collect();
         enc.entangle(Block::from_vec(bytes))
             .unwrap()
-            .insert_into(&mut store);
+            .insert_into(&store);
     }
     (code, store)
 }
@@ -45,7 +45,7 @@ proptest! {
         kind in 0u8..4,
     ) {
         let n = 260;
-        let (code, mut store) = build(cfg, n, seed);
+        let (code, store) = build(cfg, n, seed);
         let id = match kind % (1 + cfg.alpha()) {
             0 => BlockId::Data(NodeId(pos)),
             k => BlockId::Parity(EdgeId::new(cfg.classes()[(k - 1) as usize], NodeId(pos))),
@@ -64,7 +64,7 @@ proptest! {
         positions in proptest::collection::btree_set(50u64..250, 1..6),
     ) {
         let n = 300;
-        let (code, mut store) = build(cfg, n, seed);
+        let (code, store) = build(cfg, n, seed);
         let full = store.clone();
         // Erase one data block per chosen position — far enough apart that
         // no dead pattern can form (dead patterns need co-located erasures
@@ -76,10 +76,10 @@ proptest! {
         for v in &victims {
             store.remove(v);
         }
-        let report = code.repair_engine(n).repair_all(&mut store, victims.clone());
+        let report = code.repair_engine(n).repair_all(&store, victims.clone());
         prop_assert!(report.fully_recovered());
         for v in &victims {
-            prop_assert_eq!(&store[v], &full[v]);
+            prop_assert_eq!(store.get(v), full.get(v));
         }
     }
 
@@ -88,7 +88,7 @@ proptest! {
     #[test]
     fn restore_at_any_point_is_seamless(cfg in any_config(), seed: u64, crash in 30u64..150) {
         let code = Code::new(cfg, 24);
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         let mut state = seed | 1;
         let mut next_block = move || {
@@ -96,10 +96,10 @@ proptest! {
             Block::from_vec((0..24).map(|k| (state >> (k & 31)) as u8).collect())
         };
         for _ in 0..crash {
-            enc.entangle(next_block()).unwrap().insert_into(&mut store);
+            enc.entangle(next_block()).unwrap().insert_into(&store);
         }
         let mut restored = Entangler::restore(cfg, 24, crash, |e| {
-            store.get(&BlockId::Parity(e)).cloned()
+            store.get(&BlockId::Parity(e))
         })
         .expect("all frontier parities stored");
         // Both encoders continue with the same inputs.
@@ -125,15 +125,15 @@ proptest! {
                 Block::from_vec((0..24).map(|k| (state >> (k & 31)) as u8).collect())
             })
             .collect();
-        let mut truth = BlockMap::new();
+        let truth = BlockMap::new();
         let mut enc = Entangler::new(to, 24);
         for b in &blocks {
-            enc.entangle(b.clone()).unwrap().insert_into(&mut truth);
+            enc.entangle(b.clone()).unwrap().insert_into(&truth);
         }
         let added = upgrade::upgrade_parities(&from, &to, 24, blocks).unwrap();
         prop_assert_eq!(added.len(), 100);
         for (e, p) in added {
-            prop_assert_eq!(&truth[&BlockId::Parity(e)], &p);
+            prop_assert_eq!(truth.get(&BlockId::Parity(e)), Some(p));
         }
     }
 

@@ -3,7 +3,7 @@
 //! Elements are bytes; addition is XOR; multiplication is polynomial
 //! multiplication modulo the primitive polynomial
 //! `x^8 + x^4 + x^3 + x^2 + 1` (bit pattern `0x11D`), the conventional
-//! choice for Reed-Solomon storage codes (Plank's tutorial, reference [2] of
+//! choice for Reed-Solomon storage codes (Plank's tutorial, reference \[2\] of
 //! the paper). The generator `g = 2` is primitive for this polynomial, so
 //! `exp`/`log` tables over powers of 2 give O(1) multiplication, division
 //! and exponentiation.

@@ -1,31 +1,52 @@
-//! A file-level archival API over an entangled block store.
+//! A file-level archival API over any redundancy scheme and any backend.
 //!
 //! The paper positions AE codes as codes "to archive data in unreliable
 //! environments"; this module is the layer a user actually touches: an
-//! append-only [`Archive`] that chunks files into lattice blocks, keeps a
-//! manifest (name → lattice extent + length + CRC32), and serves reads and
-//! repairs. Data and parities live in any [`BlockStore`], so the archive
-//! runs equally over a local [`crate::MemStore`] or a
-//! [`crate::DistributedStore`] with failing locations.
+//! append-only [`Archive`] that chunks files into blocks, keeps a manifest
+//! (name → dense data extent + length + CRC32), and serves reads and
+//! repairs. It is doubly generic:
 //!
-//! Files are encoded through [`Code::encode_batch`] — the batch-first hot
-//! path — and degraded reads repair through the error-typed decoder, so an
-//! unreadable file reports *which* blocks were unavailable.
+//! * **over the scheme** — any `Arc<dyn RedundancyScheme>`: alpha
+//!   entanglement, Reed-Solomon, replication, the §IV.B entangled chain, a
+//!   namespaced geo lattice. `put` goes through the batch-first
+//!   [`RedundancyScheme::encode_batch`], degraded `get` through the
+//!   error-typed [`RedundancyScheme::repair_block`] fast path and, for
+//!   chained reconstructions, the round-based planners into a read-side
+//!   [`Overlay`]; `scrub`/`verify_all` use the same generic machinery — so
+//!   an unreadable file reports *which* blocks were unavailable,
+//!   whatever the code.
+//! * **over the backend** — any [`BlockRepo`] of the unified `ae_api`
+//!   family: a local [`crate::MemStore`], a [`crate::DistributedStore`]
+//!   with failing locations, a two-tier [`crate::TieredStore`], a
+//!   fault-injecting [`crate::FaultyStore`] in a disaster drill.
+//!
+//! [`Archive::new`] remains the thin AE convenience constructor
+//! (config + block size), byte-compatible with the archive this module
+//! shipped before it became scheme-generic.
+//!
+//! Schemes that buffer redundancy (Reed-Solomon's partial stripe) leave
+//! the newest blocks unprotected until the stripe fills or the archive is
+//! sealed; [`Archive::seal`] flushes every buffer and freezes the archive
+//! (further `put`s error), which is the natural end state of an archival
+//! workload.
 
-use crate::store::{BlockStore, StoreRepo};
-use ae_api::{BlockSource, Overlay, RedundancyScheme, RepairError};
-use ae_blocks::{crc32, Block, BlockId, NodeId};
-use ae_core::{decoder, Code};
+use ae_api::{AeError, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError};
+use ae_blocks::{crc32, Block, BlockId};
+use ae_core::Code;
 use ae_lattice::Config;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// Manifest entry for one archived file.
+/// Manifest entry for one archived file: the file's **dense data extent**
+/// — its index range in the archive's data-block write order, which every
+/// scheme shares — plus length and checksum. The extent indexes into the
+/// archive's write-order id log, so entries stay scheme-agnostic even for
+/// schemes with namespaced ids (the geo lattice).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    /// First lattice position of the file's blocks.
-    pub first_node: u64,
+    /// 0-based index of the file's first data block in write order.
+    pub first_block: u64,
     /// Number of data blocks.
     pub block_count: u64,
     /// Original length in bytes (the tail block is zero-padded).
@@ -58,6 +79,12 @@ pub enum ArchiveError {
     },
     /// A name was archived twice.
     DuplicateName(String),
+    /// A `put` after [`Archive::seal`]: sealed archives are frozen
+    /// (buffered-redundancy schemes cannot soundly grow past their flush).
+    Sealed(String),
+    /// The scheme rejected the encode (e.g. a block-size change against a
+    /// buffered partial stripe).
+    Encode(AeError),
 }
 
 impl fmt::Display for ArchiveError {
@@ -72,6 +99,10 @@ impl fmt::Display for ArchiveError {
                 "file {name:?} failed verification: manifest crc {expected:#010x}, got {actual:#010x}"
             ),
             ArchiveError::DuplicateName(n) => write!(f, "file {n:?} already archived"),
+            ArchiveError::Sealed(n) => {
+                write!(f, "archive is sealed; cannot archive {n:?}")
+            }
+            ArchiveError::Encode(e) => write!(f, "encode failed: {e}"),
         }
     }
 }
@@ -80,14 +111,17 @@ impl std::error::Error for ArchiveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ArchiveError::BlockUnavailable { source, .. } => Some(source),
+            ArchiveError::Encode(e) => Some(e),
             _ => None,
         }
     }
 }
 
-/// An append-only entangled archive over any block store.
+/// An append-only archive over any scheme and any backend.
 ///
 /// # Examples
+///
+/// The legacy AE constructor:
 ///
 /// ```
 /// use ae_store::archive::Archive;
@@ -100,36 +134,96 @@ impl std::error::Error for ArchiveError {
 /// ar.put("notes.txt", b"alpha entanglement").unwrap();
 /// assert_eq!(ar.get("notes.txt").unwrap(), b"alpha entanglement");
 /// ```
-pub struct Archive<S: BlockStore> {
-    code: Code,
-    store: Arc<S>,
+///
+/// The same archive over Reed-Solomon — nothing else changes:
+///
+/// ```
+/// use ae_store::archive::Archive;
+/// use ae_store::MemStore;
+/// use ae_baselines::ReedSolomon;
+/// use std::sync::Arc;
+///
+/// let scheme = Arc::new(ReedSolomon::new(4, 2).unwrap());
+/// let mut ar = Archive::with_scheme(scheme, 64, Arc::new(MemStore::new()));
+/// ar.put("notes.txt", b"maximum distance separable").unwrap();
+/// ar.seal().unwrap(); // flush the partial stripe
+/// assert_eq!(ar.get("notes.txt").unwrap(), b"maximum distance separable");
+/// ```
+pub struct Archive<B: BlockRepo + ?Sized = dyn BlockRepo> {
+    scheme: Arc<dyn RedundancyScheme>,
+    store: Arc<B>,
+    block_size: usize,
     manifest: BTreeMap<String, Entry>,
+    /// Write-order log of data-block ids (the manifest extents index into
+    /// it); schemes with namespaced ids stay opaque to the archive.
+    data_ids: Vec<BlockId>,
+    /// Every id written through this archive (data + redundancy + sealed),
+    /// in write order — the scrub/repair target universe. Exactly what the
+    /// backend should hold, honouring buffered redundancy.
+    stored_ids: Vec<BlockId>,
+    sealed: bool,
 }
 
-impl<S: BlockStore> Archive<S> {
-    /// Creates an empty archive writing `block_size`-byte blocks into
-    /// `store`.
-    pub fn new(cfg: Config, block_size: usize, store: Arc<S>) -> Self {
+impl<B: BlockRepo + ?Sized> Archive<B> {
+    /// Creates an empty **alpha-entanglement** archive writing
+    /// `block_size`-byte blocks into `store` — the thin AE convenience
+    /// constructor, kept signature-compatible with the pre-generic
+    /// archive.
+    pub fn new(cfg: Config, block_size: usize, store: Arc<B>) -> Self {
+        Self::with_scheme(Arc::new(Code::new(cfg, block_size)), block_size, store)
+    }
+
+    /// Creates an empty archive over any scheme: files are chunked into
+    /// `block_size`-byte blocks and encoded through `scheme` into `store`.
+    ///
+    /// The scheme must be fresh (nothing written through it yet): the
+    /// archive owns the write-order log that maps manifest extents to
+    /// block ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme has already encoded data.
+    pub fn with_scheme(
+        scheme: Arc<dyn RedundancyScheme>,
+        block_size: usize,
+        store: Arc<B>,
+    ) -> Self {
+        assert_eq!(scheme.data_written(), 0, "archive schemes must start fresh");
+        assert!(block_size > 0, "blocks must be non-empty");
         Archive {
-            code: Code::new(cfg, block_size),
+            scheme,
             store,
+            block_size,
             manifest: BTreeMap::new(),
+            data_ids: Vec::new(),
+            stored_ids: Vec::new(),
+            sealed: false,
         }
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<S> {
+    /// The underlying backend.
+    pub fn store(&self) -> &Arc<B> {
         &self.store
     }
 
-    /// The code in use.
-    pub fn code(&self) -> &Code {
-        &self.code
+    /// The scheme in use.
+    pub fn scheme(&self) -> &Arc<dyn RedundancyScheme> {
+        &self.scheme
+    }
+
+    /// Chunk size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
     }
 
     /// Data blocks written so far (all files).
     pub fn blocks_written(&self) -> u64 {
-        self.code.written()
+        self.data_ids.len() as u64
+    }
+
+    /// Whether [`Archive::seal`] has been called.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
     }
 
     /// Names currently archived, in order.
@@ -142,18 +236,41 @@ impl<S: BlockStore> Archive<S> {
         self.manifest.get(name)
     }
 
-    /// Archives a file: chunks, entangles the whole file as one batch,
-    /// stores data + parities.
+    /// Every id written through this archive (data + redundancy + sealed),
+    /// in write order — exactly what the backend should hold right now.
+    /// Disaster drills pick victims from this list; [`Archive::scrub`]
+    /// repairs against it.
+    pub fn stored_ids(&self) -> &[BlockId] {
+        &self.stored_ids
+    }
+
+    /// The write-order log of data-block ids; manifest extents
+    /// ([`Entry::first_block`]) index into it.
+    pub fn data_ids(&self) -> &[BlockId] {
+        &self.data_ids
+    }
+
+    /// Id of the data block at write-order index `k`.
+    fn data_id(&self, k: u64) -> BlockId {
+        self.data_ids[k as usize]
+    }
+
+    /// Archives a file: chunks, encodes the whole file as one batch
+    /// through the scheme, stores data + redundancy.
     ///
     /// # Errors
     ///
-    /// Fails on duplicate names; archives are append-only (§III: "the only
-    /// assumption is that data are stored permanently").
+    /// Fails on duplicate names and on sealed archives; archives are
+    /// append-only (§III: "the only assumption is that data are stored
+    /// permanently").
     pub fn put(&mut self, name: &str, contents: &[u8]) -> Result<Entry, ArchiveError> {
+        if self.sealed {
+            return Err(ArchiveError::Sealed(name.to_string()));
+        }
         if self.manifest.contains_key(name) {
             return Err(ArchiveError::DuplicateName(name.to_string()));
         }
-        let bs = self.code.block_size();
+        let bs = self.block_size;
         // Even empty files occupy one (zero) block so they have an extent.
         let blocks: Vec<Block> = if contents.is_empty() {
             vec![Block::zero(bs)]
@@ -167,19 +284,43 @@ impl<S: BlockStore> Archive<S> {
                 })
                 .collect()
         };
-        let mut sink = StoreRepo(&*self.store);
+        let first_block = self.data_ids.len() as u64;
         let report = self
-            .code
-            .encode_batch(&blocks, &mut sink)
-            .expect("chunks are resized to the block size");
+            .scheme
+            .encode_batch(&blocks, &self.store)
+            .map_err(ArchiveError::Encode)?;
+        self.data_ids
+            .extend(report.ids.iter().copied().filter(|id| id.is_data()));
+        self.stored_ids.extend(report.ids);
         let entry = Entry {
-            first_node: report.first_node,
+            first_block,
             block_count: blocks.len() as u64,
             byte_len: contents.len(),
             crc: crc32(contents),
         };
         self.manifest.insert(name.to_string(), entry.clone());
         Ok(entry)
+    }
+
+    /// Flushes any buffered redundancy (a partial Reed-Solomon stripe, a
+    /// closed chain's closing parity) and freezes the archive: further
+    /// `put`s report [`ArchiveError::Sealed`]. Idempotent; returns the ids
+    /// the flush stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme flush failures.
+    pub fn seal(&mut self) -> Result<Vec<BlockId>, ArchiveError> {
+        if self.sealed {
+            return Ok(Vec::new());
+        }
+        let flushed = self
+            .scheme
+            .seal(&self.store)
+            .map_err(ArchiveError::Encode)?;
+        self.stored_ids.extend(flushed.iter().copied());
+        self.sealed = true;
+        Ok(flushed)
     }
 
     /// Reads a file back, repairing missing blocks on the fly (a degraded
@@ -191,8 +332,8 @@ impl<S: BlockStore> Archive<S> {
             .get(name)
             .ok_or_else(|| ArchiveError::UnknownFile(name.to_string()))?;
         let mut out = Vec::with_capacity(entry.byte_len);
-        for i in entry.first_node..entry.first_node + entry.block_count {
-            let block = self.fetch_or_repair(BlockId::Data(NodeId(i)))?;
+        for k in entry.first_block..entry.first_block + entry.block_count {
+            let block = self.fetch_or_repair(self.data_id(k))?;
             out.extend_from_slice(block.as_slice());
         }
         out.truncate(entry.byte_len);
@@ -217,47 +358,37 @@ impl<S: BlockStore> Archive<S> {
             .collect()
     }
 
-    /// Every block the lattice should hold for the written extent.
-    fn lattice_ids(&self) -> Vec<BlockId> {
-        self.code.block_ids(self.code.written())
-    }
-
     /// Scrubs the archive: round-based repair of every missing block the
-    /// lattice should hold, writing restored blocks back to the store.
-    /// Returns how many blocks were restored.
+    /// backend should hold, written back to the backend. Returns how many
+    /// blocks were restored.
     pub fn scrub(&self) -> u64 {
-        let targets = self.lattice_ids();
-        let mut repo = StoreRepo(&*self.store);
-        let summary = self
-            .code
-            .repair_missing(&mut repo, &targets, self.code.written());
+        let store: &B = &self.store;
+        let repo: &dyn BlockRepo = &store;
+        let summary =
+            self.scheme
+                .repair_missing(repo, &self.stored_ids, self.scheme.data_written());
         summary.total_repaired() as u64
     }
 
     fn fetch_or_repair(&self, id: BlockId) -> Result<Block, ArchiveError> {
-        let source = StoreRepo(&*self.store);
-        if let Some(b) = source.fetch(id) {
+        if let Some(b) = self.store.fetch(id) {
             return Ok(b);
         }
-        // Fast path: one XOR from a complete tuple.
-        let mut lookup = |q: BlockId| source.fetch(q);
-        let fast = decoder::repair_block(
-            self.code.config(),
-            id,
-            self.code.written(),
-            self.code.zero_block(),
-            &mut lookup,
-        );
-        let fast_err = match fast {
-            Ok(r) => return Ok(r.block),
+        let store: &B = &self.store;
+        let source: &dyn BlockSource = &store;
+        let written = self.scheme.data_written();
+        // Fast path: a single repair option from currently available
+        // blocks (one XOR for entanglements, one stripe decode for RS).
+        let fast_err = match self.scheme.repair_block(source, id, written) {
+            Ok(b) => return Ok(b),
             Err(e) => e,
         };
         // Slow path: round-based repair into a read-side overlay, so
-        // chained reconstructions work without mutating the store
+        // chained reconstructions work without mutating the backend
         // (degraded reads stay read-only).
-        let mut overlay = Overlay::new(&source);
-        self.code
-            .repair_missing(&mut overlay, &self.lattice_ids(), self.code.written());
+        let overlay = Overlay::new(source);
+        self.scheme
+            .repair_missing(&overlay, &self.stored_ids, written);
         overlay
             .patch
             .remove(&id)
@@ -272,6 +403,11 @@ impl<S: BlockStore> Archive<S> {
 mod tests {
     use super::*;
     use crate::store::MemStore;
+    use ae_blocks::NodeId;
+
+    fn data_id(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
 
     fn archive() -> Archive<MemStore> {
         Archive::new(Config::new(3, 2, 5).unwrap(), 64, Arc::new(MemStore::new()))
@@ -298,6 +434,8 @@ mod tests {
         assert_eq!(ar.names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
         assert_eq!(ar.entry("b").unwrap().block_count, 1);
         assert_eq!(ar.entry("c").unwrap().block_count, 2);
+        assert_eq!(ar.entry("a").unwrap().first_block, 0);
+        assert_eq!(ar.entry("b").unwrap().first_block, 16);
     }
 
     #[test]
@@ -319,6 +457,17 @@ mod tests {
     }
 
     #[test]
+    fn sealed_archives_reject_puts() {
+        let mut ar = archive();
+        ar.put("x", b"1").unwrap();
+        assert!(ar.seal().is_ok());
+        assert!(ar.is_sealed());
+        assert!(matches!(ar.put("y", b"2"), Err(ArchiveError::Sealed(_))));
+        assert_eq!(ar.seal().unwrap(), Vec::new(), "idempotent");
+        assert_eq!(ar.get("x").unwrap(), b"1");
+    }
+
+    #[test]
     fn unknown_file_reported() {
         let ar = archive();
         assert!(matches!(ar.get("nope"), Err(ArchiveError::UnknownFile(_))));
@@ -331,15 +480,14 @@ mod tests {
         let entry = ar.put("f", &data).unwrap();
         // Drop three data blocks behind the archive's back.
         for k in [0, 4, 9] {
-            ar.store()
-                .remove(BlockId::Data(NodeId(entry.first_node + k)));
+            ar.store().remove(data_id(entry.first_block + k + 1));
         }
         assert_eq!(ar.get("f").unwrap(), data, "read-time repair");
         // Blocks remain missing until scrubbed.
-        assert!(!ar.store().contains(BlockId::Data(NodeId(entry.first_node))));
+        assert!(!ar.store().contains(data_id(1)));
         let restored = ar.scrub();
         assert_eq!(restored, 3);
-        assert!(ar.store().contains(BlockId::Data(NodeId(entry.first_node))));
+        assert!(ar.store().contains(data_id(1)));
         assert_eq!(ar.scrub(), 0, "idempotent");
     }
 
@@ -365,9 +513,9 @@ mod tests {
         let entry = ar.put("doomed", &payload(100, 4)).unwrap();
         // Erase a Fig 7 A dead pattern inside "doomed": two adjacent nodes
         // plus both parallel edges between them.
-        let i = entry.first_node + 1;
-        ar.store().remove(BlockId::Data(NodeId(i)));
-        ar.store().remove(BlockId::Data(NodeId(i + 1)));
+        let i = entry.first_block + 2; // 1-based node of the second block
+        ar.store().remove(data_id(i));
+        ar.store().remove(data_id(i + 1));
         for class in [
             ae_blocks::StrandClass::Horizontal,
             ae_blocks::StrandClass::RightHanded,
@@ -394,8 +542,8 @@ mod tests {
         let mut ar = archive();
         let data = payload(640, 17);
         let entry = ar.put("f", &data).unwrap();
-        let i = entry.first_node + 4;
-        ar.store().remove(BlockId::Data(NodeId(i)));
+        let i = entry.first_block + 5; // 1-based node of the fifth block
+        ar.store().remove(data_id(i));
         // Break every pp-tuple of d_i by removing one parity per class…
         for &class in [
             ae_blocks::StrandClass::Horizontal,
@@ -410,8 +558,8 @@ mod tests {
         // …the parities themselves are repairable (their dp-tuples are
         // intact), so a two-round read still reconstructs the file.
         assert_eq!(ar.get("f").unwrap(), data);
-        // And the store was not mutated by the read.
-        assert!(!ar.store().contains(BlockId::Data(NodeId(i))));
+        // And the backend was not mutated by the read.
+        assert!(!ar.store().contains(data_id(i)));
     }
 
     #[test]
@@ -433,6 +581,17 @@ mod tests {
     }
 
     #[test]
+    fn type_erased_backend_works() {
+        // Archive<dyn BlockRepo>: backend chosen at runtime.
+        let store: Arc<dyn BlockRepo> = Arc::new(MemStore::new());
+        let mut ar: Archive = Archive::new(Config::new(2, 1, 2).unwrap(), 32, store);
+        let data = payload(200, 29);
+        ar.put("f", &data).unwrap();
+        ar.store().remove(data_id(2));
+        assert_eq!(ar.get("f").unwrap(), data);
+    }
+
+    #[test]
     fn error_display() {
         let e = ArchiveError::ChecksumMismatch {
             name: "f".into(),
@@ -443,5 +602,8 @@ mod tests {
         assert!(ArchiveError::UnknownFile("x".into())
             .to_string()
             .contains("x"));
+        assert!(ArchiveError::Sealed("y".into())
+            .to_string()
+            .contains("sealed"));
     }
 }

@@ -23,7 +23,7 @@
 //! and availability plane as every other scheme.
 
 use crate::chain::EntangledChain;
-use crate::store::{BlockStore, MemStore, StoreError, StoreRepo};
+use crate::store::{MemStore, StoreError};
 use ae_api::RedundancyScheme;
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
@@ -134,9 +134,8 @@ impl EntangledArray {
     pub fn write(&mut self, data: Block) -> u64 {
         assert!(!self.chain.is_sealed(), "array is sealed");
         assert_eq!(data.len(), self.chain.block_size(), "block size mismatch");
-        let mut sink = StoreRepo(&self.store);
         self.chain
-            .encode_batch(std::slice::from_ref(&data), &mut sink)
+            .encode_batch(std::slice::from_ref(&data), &self.store)
             .expect("size asserted above");
         self.written()
     }
@@ -145,8 +144,7 @@ impl EntangledArray {
     /// first data block once more, storing the closing parity
     /// `p_close = d_1 XOR p_{n,n+1}` under the edge id `(H, n+1)`.
     pub fn seal(&mut self) {
-        let mut sink = StoreRepo(&self.store);
-        self.chain.seal(&mut sink).expect("sealing never fails");
+        self.chain.seal(&self.store).expect("sealing never fails");
     }
 
     /// Ids of every block the array holds when healthy.
@@ -191,9 +189,8 @@ impl EntangledArray {
             .into_iter()
             .filter(|&id| !self.store.contains(id))
             .collect();
-        let mut repo = StoreRepo(&self.store);
         self.chain
-            .repair_missing(&mut repo, &targets, self.written())
+            .repair_missing(&self.store, &targets, self.written())
             .unrecovered
     }
 

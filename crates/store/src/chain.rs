@@ -27,6 +27,7 @@ use ae_api::{
     AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
 };
 use ae_blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -87,6 +88,14 @@ fn parity_id(i: u64) -> BlockId {
 pub struct EntangledChain {
     mode: ChainMode,
     block_size: usize,
+    /// Streaming-encoder state behind a lock, so an instance can be
+    /// shared (`Arc<dyn RedundancyScheme>`) like every other scheme.
+    enc: Mutex<ChainEncoderState>,
+}
+
+/// The mutable half of a streaming chain encoder.
+#[derive(Debug, Clone, Default)]
+struct ChainEncoderState {
     written: u64,
     /// Encoder frontier of size 1: the last parity emitted.
     last_parity: Option<Block>,
@@ -103,10 +112,7 @@ impl EntangledChain {
         EntangledChain {
             mode,
             block_size,
-            written: 0,
-            last_parity: None,
-            first_data: None,
-            sealed: false,
+            enc: Mutex::new(ChainEncoderState::default()),
         }
     }
 
@@ -122,14 +128,18 @@ impl EntangledChain {
 
     /// Whether [`RedundancyScheme::seal`] has been called.
     pub fn is_sealed(&self) -> bool {
-        self.sealed
+        self.enc.lock().sealed
     }
 
     /// Every id the chain stores right now, honouring the sealed state
     /// (the closing parity exists only after sealing a closed chain).
     pub fn stored_ids(&self) -> Vec<BlockId> {
-        let mut ids = self.block_ids(self.written);
-        if self.mode == ChainMode::Closed && self.written > 0 && !self.sealed {
+        let (written, sealed) = {
+            let enc = self.enc.lock();
+            (enc.written, enc.sealed)
+        };
+        let mut ids = self.block_ids(written);
+        if self.mode == ChainMode::Closed && written > 0 && !sealed {
             ids.pop(); // closing parity not stored yet
         }
         ids
@@ -156,7 +166,7 @@ impl RedundancyScheme for EntangledChain {
     }
 
     fn data_written(&self) -> u64 {
-        self.written
+        self.enc.lock().written
     }
 
     fn repair_cost(&self) -> RepairCost {
@@ -172,11 +182,12 @@ impl RedundancyScheme for EntangledChain {
     }
 
     fn encode_batch(
-        &mut self,
+        &self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
-        assert!(!self.sealed, "chain is sealed (closed rings cannot grow)");
+        let mut enc = self.enc.lock();
+        assert!(!enc.sealed, "chain is sealed (closed rings cannot grow)");
         for b in blocks {
             if b.len() != self.block_size {
                 return Err(AeError::SizeMismatch {
@@ -185,40 +196,41 @@ impl RedundancyScheme for EntangledChain {
                 });
             }
         }
-        let first_node = self.written + 1;
+        let first_node = enc.written + 1;
         let mut ids = Vec::with_capacity(blocks.len() * 2);
         for b in blocks {
-            let i = self.written + 1;
+            let i = enc.written + 1;
             // p_i = d_i ⊕ p_{i-1}; p_0 is the virtual zero block.
-            let parity = match &self.last_parity {
+            let parity = match &enc.last_parity {
                 Some(prev) => b.xor(prev).expect("sizes checked"),
                 None => b.clone(),
             };
-            if self.first_data.is_none() {
-                self.first_data = Some(b.clone());
+            if enc.first_data.is_none() {
+                enc.first_data = Some(b.clone());
             }
             sink.store(BlockId::Data(NodeId(i)), b.clone());
             sink.store(parity_id(i), parity.clone());
             ids.push(BlockId::Data(NodeId(i)));
             ids.push(parity_id(i));
-            self.last_parity = Some(parity);
-            self.written = i;
+            enc.last_parity = Some(parity);
+            enc.written = i;
         }
         Ok(EncodeReport { first_node, ids })
     }
 
-    fn seal(&mut self, sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
-        if self.sealed {
+    fn seal(&self, sink: &dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        let mut enc = self.enc.lock();
+        if enc.sealed {
             return Ok(Vec::new());
         }
-        self.sealed = true;
-        if self.mode == ChainMode::Closed && self.written > 0 {
+        enc.sealed = true;
+        if self.mode == ChainMode::Closed && enc.written > 0 {
             // Tangle the chain through the first data block once more:
             // p_{n+1} = d_1 ⊕ p_n.
-            let d1 = self.first_data.as_ref().expect("written > 0");
-            let last = self.last_parity.as_ref().expect("written > 0");
+            let d1 = enc.first_data.as_ref().expect("written > 0");
+            let last = enc.last_parity.as_ref().expect("written > 0");
             let closing = d1.xor(last).expect("sizes match");
-            let id = parity_id(self.written + 1);
+            let id = parity_id(enc.written + 1);
             sink.store(id, closing);
             return Ok(vec![id]);
         }
@@ -452,11 +464,11 @@ mod tests {
     }
 
     fn encoded(mode: ChainMode, n: usize) -> (EntangledChain, BlockMap, Vec<Block>) {
-        let mut chain = EntangledChain::new(mode, 16);
-        let mut store = BlockMap::new();
+        let chain = EntangledChain::new(mode, 16);
+        let store = BlockMap::new();
         let blocks = payload(n);
-        chain.encode_batch(&blocks, &mut store).unwrap();
-        chain.seal(&mut store).unwrap();
+        chain.encode_batch(&blocks, &store).unwrap();
+        chain.seal(&store).unwrap();
         (chain, store, blocks)
     }
 
@@ -464,9 +476,9 @@ mod tests {
     fn chain_identity_holds() {
         let (_, store, blocks) = encoded(ChainMode::Open, 10);
         // p_i = d_i ⊕ p_{i-1}, so p_1 = d_1 and p_i chains forward.
-        assert_eq!(store[&parity_id(1)], blocks[0]);
-        let p2 = blocks[1].xor(&store[&parity_id(1)]).unwrap();
-        assert_eq!(store[&parity_id(2)], p2);
+        assert_eq!(store.get(&parity_id(1)).unwrap(), blocks[0]);
+        let p2 = blocks[1].xor(&store.get(&parity_id(1)).unwrap()).unwrap();
+        assert_eq!(store.get(&parity_id(2)).unwrap(), p2);
     }
 
     #[test]
@@ -474,7 +486,10 @@ mod tests {
         let (chain, store, blocks) = encoded(ChainMode::Closed, 10);
         assert!(chain.is_sealed());
         let closing = store.get(&parity_id(11)).expect("closing parity");
-        assert_eq!(closing, &blocks[0].xor(&store[&parity_id(10)]).unwrap());
+        assert_eq!(
+            closing,
+            blocks[0].xor(&store.get(&parity_id(10)).unwrap()).unwrap()
+        );
         // Universe includes it, at the last dense position.
         assert_eq!(chain.universe_len(10), 21);
         assert_eq!(chain.dense_index(&parity_id(11), 10), Some(20));
@@ -504,13 +519,13 @@ mod tests {
     #[test]
     fn open_extremity_is_dead_closed_survives() {
         for (mode, survives) in [(ChainMode::Open, false), (ChainMode::Closed, true)] {
-            let (chain, mut store, blocks) = encoded(mode, 10);
+            let (chain, store, blocks) = encoded(mode, 10);
             store.remove(&data(10));
             store.remove(&parity_id(10));
-            let summary = chain.repair_missing(&mut store, &[data(10), parity_id(10)], 10);
+            let summary = chain.repair_missing(&store, &[data(10), parity_id(10)], 10);
             assert_eq!(summary.fully_recovered(), survives, "{mode}");
             if survives {
-                assert_eq!(store[&data(10)], blocks[9]);
+                assert_eq!(store.get(&data(10)).unwrap(), blocks[9]);
             }
         }
     }
@@ -557,11 +572,11 @@ mod tests {
 
     #[test]
     fn stored_ids_track_seal_state() {
-        let mut chain = EntangledChain::new(ChainMode::Closed, 16);
-        let mut store = BlockMap::new();
-        chain.encode_batch(&payload(4), &mut store).unwrap();
+        let chain = EntangledChain::new(ChainMode::Closed, 16);
+        let store = BlockMap::new();
+        chain.encode_batch(&payload(4), &store).unwrap();
         assert_eq!(chain.stored_ids().len(), 8, "no closing parity yet");
-        chain.seal(&mut store).unwrap();
+        chain.seal(&store).unwrap();
         assert_eq!(chain.stored_ids().len(), 9);
         assert_eq!(chain.stored_ids(), chain.block_ids(4));
     }
@@ -569,7 +584,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sealed")]
     fn encode_after_seal_panics() {
-        let (mut chain, mut store, _) = encoded(ChainMode::Closed, 4);
-        chain.encode_batch(&payload(1), &mut store).unwrap();
+        let (chain, store, _) = encoded(ChainMode::Closed, 4);
+        chain.encode_batch(&payload(1), &store).unwrap();
     }
 }

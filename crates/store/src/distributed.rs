@@ -7,7 +7,7 @@
 
 use crate::cluster::{Cluster, LocationId};
 use crate::placement::{PlaceBlocks, Placement};
-use crate::store::{BlockStore, MemStore, StoreError};
+use crate::store::{MemStore, StoreError};
 use ae_blocks::{Block, BlockId};
 use parking_lot::RwLock;
 
@@ -87,15 +87,21 @@ impl DistributedStore {
     pub fn total_blocks(&self) -> usize {
         self.shards.iter().map(MemStore::len).sum()
     }
-}
 
-impl BlockStore for DistributedStore {
-    fn put(&self, id: BlockId, block: Block) {
+    /// Stores a block on its placed location.
+    pub fn put(&self, id: BlockId, block: Block) {
         let loc = self.location_of(id);
         self.shards[loc.0 as usize].put(id, block);
     }
 
-    fn get(&self, id: BlockId) -> Result<Block, StoreError> {
+    /// Fetches a block, verifying its integrity.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] when absent or the block's location is
+    /// down; [`StoreError::Corrupted`] when the stored checksum no longer
+    /// matches.
+    pub fn get(&self, id: BlockId) -> Result<Block, StoreError> {
         let loc = self.location_of(id);
         if !self.cluster.read().is_available(loc) {
             return Err(StoreError::NotFound(id));
@@ -103,17 +109,21 @@ impl BlockStore for DistributedStore {
         self.shards[loc.0 as usize].get(id)
     }
 
-    fn remove(&self, id: BlockId) -> bool {
+    /// Removes a block, returning whether it was present. Works even while
+    /// the block's location is down (garbage collection on dead hardware).
+    pub fn remove(&self, id: BlockId) -> bool {
         let loc = self.location_of(id);
         self.shards[loc.0 as usize].remove(id)
     }
 
-    fn contains(&self, id: BlockId) -> bool {
+    /// Whether the block is present *and* its location reachable.
+    pub fn contains(&self, id: BlockId) -> bool {
         let loc = self.location_of(id);
         self.cluster.read().is_available(loc) && self.shards[loc.0 as usize].contains(id)
     }
 
-    fn len(&self) -> usize {
+    /// Number of currently reachable blocks.
+    pub fn len(&self) -> usize {
         let cluster = self.cluster.read();
         self.shards
             .iter()
@@ -121,6 +131,11 @@ impl BlockStore for DistributedStore {
             .filter(|(i, _)| cluster.is_available(LocationId(*i as u32)))
             .map(|(_, s)| s.len())
             .sum()
+    }
+
+    /// Whether no block is currently reachable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -132,11 +147,19 @@ impl ae_api::BlockSource for DistributedStore {
     fn has(&self, id: BlockId) -> bool {
         self.contains(id)
     }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        self.get(id)
+    }
 }
 
 impl ae_api::BlockSink for DistributedStore {
-    fn store(&mut self, id: BlockId, block: Block) {
+    fn store(&self, id: BlockId, block: Block) {
         self.put(id, block);
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        DistributedStore::remove(self, id)
     }
 }
 

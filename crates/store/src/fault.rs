@@ -1,0 +1,151 @@
+//! A fault-injecting backend wrapper for disaster drills.
+//!
+//! [`FaultyStore`] wraps any backend of the unified [`ae_api`] family and
+//! blackholes a chosen set of block ids: fetches of a failed block answer
+//! `None` (the block's hardware is gone) while the wrapped backend's other
+//! contents stay reachable. Repair flows heal naturally — a write to a
+//! failed id models replaced hardware, clearing the fault and storing the
+//! regenerated block — so archive disaster scenarios
+//! (put → fail → degraded get → scrub) run in tests and examples against
+//! **every** roster scheme, over any inner backend, with no scheme- or
+//! backend-specific plumbing.
+
+use ae_api::{BlockRepo, BlockSink, BlockSource, StoreError};
+use ae_blocks::{Block, BlockId};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A backend wrapper that makes selected blocks unavailable.
+#[derive(Debug)]
+pub struct FaultyStore<S: BlockRepo + Send + ?Sized> {
+    down: RwLock<HashSet<BlockId>>,
+    inner: Arc<S>,
+}
+
+impl<S: BlockRepo + Send + ?Sized> FaultyStore<S> {
+    /// Wraps `inner` with no faults injected.
+    pub fn new(inner: Arc<S>) -> Self {
+        FaultyStore {
+            down: RwLock::new(HashSet::new()),
+            inner,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<S> {
+        &self.inner
+    }
+
+    /// Makes `id` unavailable until it is restored or rewritten.
+    pub fn fail(&self, id: BlockId) {
+        self.down.write().insert(id);
+    }
+
+    /// Fails every id in the iterator.
+    pub fn fail_all(&self, ids: impl IntoIterator<Item = BlockId>) {
+        let mut down = self.down.write();
+        down.extend(ids);
+    }
+
+    /// Clears the fault on `id` (the hardware came back with its contents
+    /// intact). Returns whether a fault was present.
+    pub fn restore(&self, id: BlockId) -> bool {
+        self.down.write().remove(&id)
+    }
+
+    /// Clears every injected fault.
+    pub fn restore_all(&self) {
+        self.down.write().clear();
+    }
+
+    /// Number of currently failed ids.
+    pub fn failed_len(&self) -> usize {
+        self.down.read().len()
+    }
+
+    fn is_down(&self, id: BlockId) -> bool {
+        self.down.read().contains(&id)
+    }
+}
+
+impl<S: BlockRepo + Send + ?Sized> BlockSource for FaultyStore<S> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        if self.is_down(id) {
+            return None;
+        }
+        self.inner.fetch(id)
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        !self.is_down(id) && self.inner.has(id)
+    }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        if self.is_down(id) {
+            return Err(StoreError::NotFound(id));
+        }
+        self.inner.read(id)
+    }
+}
+
+impl<S: BlockRepo + Send + ?Sized> BlockSink for FaultyStore<S> {
+    /// A write models replaced hardware: the fault clears and the block is
+    /// stored, so repair flows (scrub, re-encode) heal injected failures.
+    fn store(&self, id: BlockId, block: Block) {
+        self.down.write().remove(&id);
+        self.inner.store(id, block);
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        self.down.write().remove(&id);
+        self.inner.remove(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use ae_blocks::NodeId;
+
+    fn id(i: u64) -> BlockId {
+        BlockId::Data(NodeId(i))
+    }
+
+    #[test]
+    fn failed_blocks_vanish_until_restored() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.store(id(1), Block::from_vec(vec![1]));
+        faulty.fail(id(1));
+        assert!(!faulty.has(id(1)));
+        assert_eq!(faulty.fetch(id(1)), None);
+        assert_eq!(faulty.read(id(1)), Err(StoreError::NotFound(id(1))));
+        // The contents were never lost in the wrapped store.
+        assert!(faulty.inner().contains(id(1)));
+        assert!(faulty.restore(id(1)));
+        assert_eq!(faulty.fetch(id(1)).unwrap().as_slice(), &[1]);
+    }
+
+    #[test]
+    fn writes_heal_faults() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.fail_all([id(1), id(2)]);
+        assert_eq!(faulty.failed_len(), 2);
+        faulty.store(id(1), Block::from_vec(vec![9]));
+        assert_eq!(faulty.failed_len(), 1);
+        assert!(faulty.has(id(1)), "rewrite models replaced hardware");
+        faulty.restore_all();
+        assert_eq!(faulty.failed_len(), 0);
+    }
+
+    #[test]
+    fn remove_clears_the_fault_too() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.store(id(3), Block::zero(2));
+        faulty.fail(id(3));
+        assert!(BlockSink::remove(&faulty, id(3)));
+        assert_eq!(faulty.failed_len(), 0);
+        assert!(!faulty.inner().contains(id(3)));
+    }
+}

@@ -18,11 +18,15 @@
 //! `dense_index`/`block_at` bijection. Multiple users' lattices therefore
 //! coexist in one id space, and geo-node-failure scenarios run through
 //! the same generic `SchemePlane` and repair planners as every other
-//! scheme; [`GeoBackup`] is a thin two-tier wrapper over it.
+//! scheme; [`GeoBackup`] is a thin wrapper holding a
+//! [`TieredStore`] (local data tier over the shared remote tier) — the
+//! two-tier routing is a first-class backend now, not broker-private
+//! adapters.
 
 use crate::distributed::DistributedStore;
 use crate::placement::Placement;
-use crate::store::{BlockStore, MemStore, StoreError};
+use crate::store::StoreError;
+use crate::tiered::TieredStore;
 use ae_api::{
     AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
 };
@@ -106,19 +110,19 @@ impl BlockSource for NsSource<'_> {
 /// A [`BlockSink`] that translates lattice-local writes into the
 /// namespaced key space.
 struct NsSink<'a> {
-    inner: &'a mut dyn BlockSink,
+    inner: &'a dyn BlockSink,
     tag: u64,
 }
 
 impl BlockSink for NsSink<'_> {
-    fn store(&mut self, id: BlockId, block: Block) {
+    fn store(&self, id: BlockId, block: Block) {
         self.inner.store(ns_apply(self.tag, id), block);
     }
 }
 
 /// One user's namespaced entanglement lattice as a first-class scheme:
 /// an [`ae_core::Code`] whose every block id carries the user's namespace
-/// tag in the high [`NS_SHIFT`] bits (lattice positions must stay below
+/// tag in the high 16 bits (lattice positions must stay below
 /// 2^48).
 ///
 /// Everything — encoding, repair, the availability hooks, the dense
@@ -176,27 +180,27 @@ impl RedundancyScheme for GeoLattice {
     }
 
     fn encode_batch(
-        &mut self,
+        &self,
         blocks: &[Block],
-        sink: &mut dyn BlockSink,
+        sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
-        let mut ns_sink = NsSink {
+        let ns_sink = NsSink {
             inner: sink,
             tag: self.tag,
         };
-        let report = self.code.encode_batch(blocks, &mut ns_sink)?;
+        let report = self.code.encode_batch(blocks, &ns_sink)?;
         Ok(EncodeReport {
             first_node: report.first_node,
             ids: report.ids.into_iter().map(|id| self.ns(id)).collect(),
         })
     }
 
-    fn seal(&mut self, sink: &mut dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
-        let mut ns_sink = NsSink {
+    fn seal(&self, sink: &dyn BlockSink) -> Result<Vec<BlockId>, AeError> {
+        let ns_sink = NsSink {
             inner: sink,
             tag: self.tag,
         };
-        let ids = self.code.seal(&mut ns_sink)?;
+        let ids = self.code.seal(&ns_sink)?;
         Ok(ids.into_iter().map(|id| self.ns(id)).collect())
     }
 
@@ -314,53 +318,19 @@ impl fmt::Display for GeoError {
 
 impl std::error::Error for GeoError {}
 
-/// One user's broker plus their view of the cooperative network — a thin
-/// two-tier wrapper over the [`GeoLattice`] scheme: data blocks stay on
-/// the local tier, parities go to the shared remote tier, and every
-/// repair flows through the scheme's generic
-/// [`RedundancyScheme::repair_block`].
+/// One user's broker plus their view of the cooperative network: the
+/// [`GeoLattice`] scheme over a [`TieredStore`] — d-blocks on the user's
+/// own machine (the fast tier), p-blocks on the shared remote nodes — with
+/// every repair flowing through the scheme's generic
+/// [`RedundancyScheme::repair_block`]. All methods take `&self`: both the
+/// scheme and the backend are interior-mutable, so brokers can be shared
+/// and maintained from worker threads.
 pub struct GeoBackup {
     scheme: GeoLattice,
-    /// Tier 1: the user's own machine, holding d-blocks (namespaced keys).
-    local: MemStore,
-    /// Tier 2: remote storage nodes, holding p-blocks — possibly shared
-    /// with other users' lattices.
-    remote: Arc<DistributedStore>,
-}
-
-/// Write-side routing for a broker: data blocks stay on the local tier,
-/// parities go to the remote tier — the §IV.A two-tier split, expressed as
-/// a [`BlockSink`] so the batch encoder streams straight through it. Ids
-/// arrive already namespaced by the [`GeoLattice`] scheme.
-struct TierSink<'a> {
-    local: &'a MemStore,
-    remote: &'a DistributedStore,
-}
-
-impl BlockSink for TierSink<'_> {
-    fn store(&mut self, id: BlockId, block: Block) {
-        match id {
-            BlockId::Data(_) => self.local.put(id, block),
-            _ => self.remote.put(id, block),
-        }
-    }
-}
-
-/// Read-side routing: the mirror of [`TierSink`], handed to the scheme's
-/// repair paths (ids are namespaced).
-struct TierSource<'a> {
-    local: &'a MemStore,
-    remote: &'a DistributedStore,
-}
-
-impl BlockSource for TierSource<'_> {
-    fn fetch(&self, id: BlockId) -> Option<Block> {
-        match id {
-            BlockId::Data(_) => self.local.get(id).ok(),
-            BlockId::Parity(_) => self.remote.get(id).ok(),
-            _ => None,
-        }
-    }
+    /// The two-tier backend: tier 1 is the user's own machine holding
+    /// d-blocks, tier 2 the remote storage nodes holding p-blocks —
+    /// possibly shared with other users' lattices (namespaced keys).
+    tiers: TieredStore<DistributedStore>,
 }
 
 impl GeoBackup {
@@ -389,22 +359,13 @@ impl GeoBackup {
     ) -> Self {
         GeoBackup {
             scheme: GeoLattice::new(Code::new(cfg, block_size), user),
-            local: MemStore::new(),
-            remote,
+            tiers: TieredStore::new(remote),
         }
     }
 
     /// Maps a lattice-local block id into the shared key space.
     fn ns(&self, id: BlockId) -> BlockId {
         self.scheme.ns(id)
-    }
-
-    /// The two-tier read view for scheme repairs.
-    fn tiers(&self) -> TierSource<'_> {
-        TierSource {
-            local: &self.local,
-            remote: &self.remote,
-        }
     }
 
     /// The code in use.
@@ -418,15 +379,22 @@ impl GeoBackup {
         &self.scheme
     }
 
+    /// The two-tier backend itself (an [`ae_api::BlockRepo`]; archives can
+    /// run directly over it).
+    pub fn tiers(&self) -> &TieredStore<DistributedStore> {
+        &self.tiers
+    }
+
     /// Remote tier (exposed so tests and examples can fail storage nodes).
     pub fn remote(&self) -> &DistributedStore {
-        &self.remote
+        self.tiers.shared()
     }
 
     /// Backs up a file: splits it into d-blocks (zero-padding the tail),
     /// entangles the whole file as one batch through the scheme, keeps
-    /// d-blocks locally and uploads p-blocks to the remote nodes.
-    pub fn backup(&mut self, file: &[u8]) -> FileHandle {
+    /// d-blocks locally and uploads p-blocks to the remote nodes — the
+    /// routing is the [`TieredStore`] itself.
+    pub fn backup(&self, file: &[u8]) -> FileHandle {
         let bs = self.scheme.code().block_size();
         let blocks: Vec<Block> = file
             .chunks(bs)
@@ -436,13 +404,9 @@ impl GeoBackup {
                 Block::from_vec(bytes)
             })
             .collect();
-        let mut sink = TierSink {
-            local: &self.local,
-            remote: &self.remote,
-        };
         let report = self
             .scheme
-            .encode_batch(&blocks, &mut sink)
+            .encode_batch(&blocks, &self.tiers)
             .expect("broker blocks are always block_size bytes");
         FileHandle {
             first_node: report.first_node,
@@ -462,7 +426,7 @@ impl GeoBackup {
         let mut out = Vec::with_capacity(handle.byte_len);
         for i in handle.first_node..handle.first_node + handle.block_count {
             let id = self.ns(BlockId::Data(NodeId(i)));
-            let block = match self.local.get(id) {
+            let block = match self.tiers.fast().get(id) {
                 Ok(b) => b,
                 Err(_) => self
                     .decode_remote(i)
@@ -475,8 +439,10 @@ impl GeoBackup {
     }
 
     /// Simulates local data loss (disk crash, accidental deletion).
-    pub fn lose_local(&mut self, node: u64) {
-        self.local.remove(self.ns(BlockId::Data(NodeId(node))));
+    pub fn lose_local(&self, node: u64) {
+        self.tiers
+            .fast()
+            .remove(self.ns(BlockId::Data(NodeId(node))));
     }
 
     /// Repairs every missing local d-block of a file from remote pp-tuples,
@@ -484,17 +450,17 @@ impl GeoBackup {
     /// after a [`Self::repair_remote`] round, mirroring the paper's
     /// round-based decoder). Returns the repaired count and the ids still
     /// missing.
-    pub fn repair_local(&mut self, handle: FileHandle) -> (u64, Vec<BlockId>) {
+    pub fn repair_local(&self, handle: FileHandle) -> (u64, Vec<BlockId>) {
         let mut repaired = 0;
         let mut unrecovered = Vec::new();
         for i in handle.first_node..handle.first_node + handle.block_count {
             let id = self.ns(BlockId::Data(NodeId(i)));
-            if self.local.contains(id) {
+            if self.tiers.fast().contains(id) {
                 continue;
             }
             match self.decode_remote(i) {
                 Some(block) => {
-                    self.local.put(id, block);
+                    self.tiers.fast().put(id, block);
                     repaired += 1;
                 }
                 None => unrecovered.push(BlockId::Data(NodeId(i))),
@@ -514,11 +480,11 @@ impl GeoBackup {
         for i in 1..=max_node {
             for &class in self.scheme.code().config().classes() {
                 let id = self.ns(BlockId::Parity(EdgeId::new(class, NodeId(i))));
-                if self.remote.contains(id) {
+                if self.remote().contains(id) {
                     continue;
                 }
-                if let Ok(block) = self.scheme.repair_block(&self.tiers(), id, max_node) {
-                    if self.remote.put_rehomed(id, block).is_some() {
+                if let Ok(block) = self.scheme.repair_block(&self.tiers, id, max_node) {
+                    if self.remote().put_rehomed(id, block).is_some() {
                         repaired += 1;
                     }
                 }
@@ -533,7 +499,7 @@ impl GeoBackup {
     fn decode_remote(&self, i: u64) -> Option<Block> {
         let id = self.ns(BlockId::Data(NodeId(i)));
         self.scheme
-            .repair_block(&self.tiers(), id, self.scheme.data_written())
+            .repair_block(&self.tiers, id, self.scheme.data_written())
             .ok()
     }
 }
@@ -590,16 +556,25 @@ impl Community {
         &self.users[u]
     }
 
-    /// Mutably borrows user `u`'s broker.
-    pub fn user_mut(&mut self, u: usize) -> &mut GeoBackup {
-        &mut self.users[u]
-    }
-
     /// Community-wide maintenance: every member regenerates the parities of
     /// every lattice it can (its own and, altruistically, the others').
     /// Returns total parities regenerated.
+    ///
+    /// Maintenance fans out per user across [`ae_api::repair_threads`]
+    /// scoped threads with the same contiguous-chunk /
+    /// deterministic-chunk-order-merge pattern as the repair planners —
+    /// sound because each user's lattice occupies a disjoint namespaced id
+    /// range of the shared tier, and re-homing probes depend only on
+    /// cluster availability, never on the other users' writes. The
+    /// `serial-repair` feature (via `repair_threads() == 1`) pins it to the
+    /// sequential walk, and `AE_REPAIR_THREADS` overrides the width.
     pub fn maintain_all(&self) -> u64 {
-        self.users.iter().map(GeoBackup::repair_remote).sum()
+        let threads = ae_api::repair_threads().min(self.users.len());
+        ae_api::par::par_chunks(&self.users, threads, 2, |chunk| {
+            chunk.iter().map(GeoBackup::repair_remote).collect()
+        })
+        .into_iter()
+        .sum()
     }
 }
 
@@ -612,7 +587,7 @@ mod tests {
     }
 
     fn backup_one(cfg: Config, file_len: usize) -> (GeoBackup, FileHandle, Vec<u8>) {
-        let mut geo = GeoBackup::new(cfg, 64, 20, 3);
+        let geo = GeoBackup::new(cfg, 64, 20, 3);
         let file = sample_file(file_len);
         let handle = geo.backup(&file);
         (geo, handle, file)
@@ -630,7 +605,7 @@ mod tests {
 
     #[test]
     fn degraded_read_after_local_loss() {
-        let (mut geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 640);
+        let (geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 640);
         geo.lose_local(handle.first_node + 3);
         geo.lose_local(handle.first_node + 7);
         assert_eq!(geo.read(handle).unwrap(), file, "read decodes remotely");
@@ -642,7 +617,7 @@ mod tests {
 
     #[test]
     fn repairs_survive_storage_node_failures() {
-        let (mut geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 2000);
+        let (geo, handle, file) = backup_one(Config::new(3, 2, 5).unwrap(), 2000);
         // Fail some remote nodes and lose ALL local data; repair in rounds,
         // regenerating reachable parities between data passes (the paper's
         // round-based decoding).
@@ -684,7 +659,7 @@ mod tests {
 
     #[test]
     fn multiple_files_share_one_lattice() {
-        let mut geo = GeoBackup::new(Config::new(2, 1, 2).unwrap(), 32, 10, 1);
+        let geo = GeoBackup::new(Config::new(2, 1, 2).unwrap(), 32, 10, 1);
         let f1 = sample_file(100);
         let f2 = sample_file(300);
         let h1 = geo.backup(&f1);
@@ -696,7 +671,7 @@ mod tests {
 
     #[test]
     fn unrecoverable_loss_is_reported() {
-        let (mut geo, handle, _) = backup_one(Config::new(2, 1, 1).unwrap(), 320);
+        let (geo, handle, _) = backup_one(Config::new(2, 1, 1).unwrap(), 320);
         // Lose a local block AND all remote nodes.
         geo.lose_local(handle.first_node + 2);
         geo.remote().with_cluster(|c| {
@@ -710,13 +685,13 @@ mod tests {
     #[test]
     fn community_lattices_do_not_collide() {
         let configs = [Config::new(3, 2, 5).unwrap(), Config::new(2, 1, 2).unwrap()];
-        let mut com = Community::new(&configs, 64, 25, 11);
+        let com = Community::new(&configs, 64, 25, 11);
         assert_eq!(com.len(), 2);
         assert!(!com.is_empty());
         let f0 = sample_file(500);
         let f1: Vec<u8> = sample_file(500).iter().map(|b| b ^ 0xFF).collect();
-        let h0 = com.user_mut(0).backup(&f0);
-        let h1 = com.user_mut(1).backup(&f1);
+        let h0 = com.user(0).backup(&f0);
+        let h1 = com.user(1).backup(&f1);
         // Same lattice positions, different users: contents must not mix.
         assert_eq!(h0.first_node, h1.first_node);
         assert_eq!(com.user(0).read(h0).unwrap(), f0);
@@ -726,12 +701,12 @@ mod tests {
     #[test]
     fn community_survives_shared_tier_failures() {
         let configs = [Config::new(3, 2, 5).unwrap(), Config::new(3, 2, 5).unwrap()];
-        let mut com = Community::new(&configs, 64, 25, 13);
+        let com = Community::new(&configs, 64, 25, 13);
         let files: Vec<Vec<u8>> = (0..2).map(|k| sample_file(800 + k * 64)).collect();
         let handles: Vec<FileHandle> = files
             .iter()
             .enumerate()
-            .map(|(u, f)| com.user_mut(u).backup(f))
+            .map(|(u, f)| com.user(u).backup(f))
             .collect();
         // Fail a slice of the shared tier; both users lose some local data.
         com.remote().with_cluster(|c| {
@@ -740,16 +715,64 @@ mod tests {
             }
         });
         for (u, h) in handles.iter().enumerate() {
-            com.user_mut(u).lose_local(h.first_node + 2);
-            com.user_mut(u).lose_local(h.first_node + 5);
+            com.user(u).lose_local(h.first_node + 2);
+            com.user(u).lose_local(h.first_node + 5);
         }
         // Community-wide maintenance re-homes what it can, then each user
         // repairs locally.
         com.maintain_all();
         for (u, h) in handles.iter().enumerate() {
-            let (_, missing) = com.user_mut(u).repair_local(*h);
+            let (_, missing) = com.user(u).repair_local(*h);
             assert!(missing.is_empty(), "user {u}: {missing:?}");
             assert_eq!(com.user(u).read(*h).unwrap(), files[u]);
+        }
+    }
+
+    /// The fanned-out community maintenance must regenerate exactly the
+    /// same parities onto exactly the same re-homed locations as the
+    /// reference serial walk — the deterministic-merge guarantee.
+    #[test]
+    fn parallel_maintenance_matches_serial_walk() {
+        let build = || {
+            let configs = [
+                Config::new(3, 2, 5).unwrap(),
+                Config::new(2, 2, 5).unwrap(),
+                Config::new(2, 1, 2).unwrap(),
+                Config::new(3, 2, 5).unwrap(),
+            ];
+            let com = Community::new(&configs, 32, 15, 41);
+            for u in 0..com.len() {
+                com.user(u).backup(&sample_file(700 + u * 96));
+            }
+            // Fail a third of the shared tier: many parities to regenerate.
+            com.remote().with_cluster(|c| {
+                for l in [0, 3, 6, 9, 12] {
+                    c.fail(crate::cluster::LocationId(l));
+                }
+            });
+            for l in [0u32, 3, 6, 9, 12] {
+                for id in com.remote().blocks_at(crate::cluster::LocationId(l)) {
+                    com.remote().remove(id);
+                }
+            }
+            com
+        };
+        let parallel = build();
+        let serial = build();
+        let total_parallel = parallel.maintain_all();
+        // Reference: the strictly sequential per-user walk.
+        let total_serial: u64 = serial.users.iter().map(GeoBackup::repair_remote).sum();
+        assert_eq!(total_parallel, total_serial);
+        assert!(total_parallel > 0, "the disaster must cost something");
+        // Block-for-block identical shared tier afterwards, including
+        // re-homed locations.
+        for l in 0..15u32 {
+            let loc = crate::cluster::LocationId(l);
+            let mut a = parallel.remote().blocks_at(loc);
+            let mut b = serial.remote().blocks_at(loc);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "location {l}");
         }
     }
 
@@ -760,7 +783,7 @@ mod tests {
     fn scheme_repairs_match_legacy_decoder_path() {
         use ae_core::decoder;
         for damage_seed in 0u64..8 {
-            let mut geo = GeoBackup::with_shared_remote(
+            let geo = GeoBackup::with_shared_remote(
                 Config::new(2, 2, 5).unwrap(),
                 32,
                 Arc::new(DistributedStore::new(20, Placement::Random { seed: 3 })),
@@ -791,8 +814,8 @@ mod tests {
             // bytes.
             let tag = |id| geo.ns(id);
             let mut legacy_lookup = |q: BlockId| match q {
-                BlockId::Data(_) => geo.local.get(tag(q)).ok(),
-                BlockId::Parity(_) => geo.remote.get(tag(q)).ok(),
+                BlockId::Data(_) => geo.tiers().fast().get(tag(q)).ok(),
+                BlockId::Parity(_) => geo.remote().get(tag(q)).ok(),
                 _ => None,
             };
             for i in handle.first_node..handle.first_node + handle.block_count {
@@ -801,7 +824,7 @@ mod tests {
                     .map(|r| r.block);
                 let via_scheme = geo
                     .scheme()
-                    .repair_block(&geo.tiers(), geo.ns(BlockId::Data(NodeId(i))), written)
+                    .repair_block(geo.tiers(), geo.ns(BlockId::Data(NodeId(i))), written)
                     .ok();
                 assert_eq!(via_scheme, legacy, "seed {damage_seed}: d{i}");
             }
@@ -814,7 +837,7 @@ mod tests {
                             .map(|r| r.block);
                     let via_scheme = geo
                         .scheme()
-                        .repair_block(&geo.tiers(), geo.ns(BlockId::Parity(edge)), written)
+                        .repair_block(geo.tiers(), geo.ns(BlockId::Parity(edge)), written)
                         .ok();
                     assert_eq!(via_scheme, legacy, "seed {damage_seed}: {edge:?}");
                 }
@@ -858,10 +881,10 @@ mod tests {
     #[test]
     fn geo_lattice_repair_errors_stay_namespaced() {
         let cfg = Config::new(2, 2, 5).unwrap();
-        let mut scheme = GeoLattice::new(Code::new(cfg, 16), 3);
-        let mut store = ae_api::BlockMap::new();
+        let scheme = GeoLattice::new(Code::new(cfg, 16), 3);
+        let store = ae_api::BlockMap::new();
         let blocks: Vec<Block> = (0..30u8).map(|k| Block::from_vec(vec![k; 16])).collect();
-        let report = scheme.encode_batch(&blocks, &mut store).unwrap();
+        let report = scheme.encode_batch(&blocks, &store).unwrap();
         // Every stored id carries the namespace.
         for id in &report.ids {
             assert!(scheme.ns_strip(*id).is_some(), "{id}");

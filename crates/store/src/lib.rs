@@ -2,29 +2,40 @@
 //!
 //! The paper's evaluation (§V.C) and use cases (§IV) assume a storage layer
 //! with *locations* (disks, machines or peers) that hold blocks and fail —
-//! individually or en masse. This crate builds that layer:
+//! individually or en masse. This crate builds that layer. Every backend
+//! implements the **unified** `ae_api` family ([`ae_api::BlockSource`] /
+//! [`ae_api::BlockSink`] / [`ae_api::BlockRepo`]) directly — there is no
+//! store-side trait family or adapter anymore — so archives, encoders and
+//! repair planners run over any of them unchanged:
 //!
-//! * [`store`] — the [`store::BlockStore`] trait and a thread-safe in-memory
-//!   implementation with checksum verification on reads.
+//! * [`store`] — [`store::MemStore`], the thread-safe in-memory backend
+//!   with checksum verification on reads.
 //! * [`cluster`] — failure domains: a set of locations with availability
 //!   state, plus disaster injection ("simulates disasters by changing the
 //!   availability of a certain number of locations", §V.C).
 //! * [`placement`] — the store-side half of block placement: the canonical
 //!   [`ae_api::Placement`] policies applied to per-id keys
 //!   ([`placement::PlaceBlocks`]).
-//! * [`distributed`] — [`distributed::DistributedStore`]: a block store
-//!   sharded over cluster locations; reads fail while a block's location is
-//!   down.
+//! * [`distributed`] — [`distributed::DistributedStore`]: a backend
+//!   sharded over cluster locations; reads fail while a block's location
+//!   is down.
+//! * [`tiered`] — [`tiered::TieredStore`]: a fast local tier (data) over a
+//!   shared remote tier (redundancy), the §IV.A two-tier flow as a
+//!   first-class backend.
+//! * [`fault`] — [`fault::FaultyStore`]: a fault-injecting wrapper for
+//!   disaster drills over any inner backend.
 //! * [`chain`] — the α = 1 open/closed entanglement chain of §IV.B.1 as a
 //!   first-class [`ae_api::RedundancyScheme`]
 //!   ([`chain::EntangledChain`]), with the typed open-chain
 //!   [`chain::ExtremityWarning`].
 //! * [`geo`] — use case A (§IV.A): the two-tier cooperative backup. The
 //!   namespaced per-user lattice is itself a scheme ([`geo::GeoLattice`]);
-//!   [`geo::GeoBackup`] is the thin broker wrapper over it.
-//! * [`array`] — use case B (§IV.B): entangled mirror disk arrays — drive
+//!   [`geo::GeoBackup`] is the thin broker wrapper over it, and
+//!   [`geo::Community`] fans community-wide maintenance out per user.
+//! * [`mod@array`] — use case B (§IV.B): entangled mirror disk arrays — drive
 //!   topology (full partition / striping layouts) over the chain scheme.
-//! * [`archive`] — the user-facing layer: an append-only file archive with
+//! * [`archive`] — the user-facing layer: an append-only file archive,
+//!   generic over `Arc<dyn RedundancyScheme>` *and* over the backend, with
 //!   a manifest, degraded reads, scrubbing and end-to-end verification.
 
 #![forbid(unsafe_code)]
@@ -35,13 +46,18 @@ pub mod array;
 pub mod chain;
 pub mod cluster;
 pub mod distributed;
+pub mod fault;
 pub mod geo;
 pub mod placement;
 pub mod store;
+pub mod tiered;
 
+pub use archive::{Archive, ArchiveError};
 pub use chain::{ChainMode, EntangledChain, ExtremityWarning};
 pub use cluster::{Cluster, LocationId};
 pub use distributed::DistributedStore;
-pub use geo::{GeoBackup, GeoLattice};
+pub use fault::FaultyStore;
+pub use geo::{Community, GeoBackup, GeoLattice};
 pub use placement::{PlaceBlocks, Placement};
-pub use store::{BlockStore, MemStore, StoreError, StoreRepo};
+pub use store::{MemStore, StoreError};
+pub use tiered::TieredStore;

@@ -1,67 +1,27 @@
-//! Block stores: where block contents live.
+//! The thread-safe in-memory block store.
+//!
+//! Earlier revisions defined a store-side `BlockStore` trait here, bridged
+//! to the repair-facing traits by a `StoreRepo` adapter. Both are gone:
+//! every backend now implements the **one** unified family —
+//! [`ae_api::BlockSource`] / [`ae_api::BlockSink`] /
+//! [`ae_api::BlockRepo`] — directly, so encoders, repair engines and
+//! archives write through plain `&Store` / `Arc<Store>` handles with no
+//! adapter in between. [`StoreError`] (the shared failure surface) now
+//! lives in `ae_api` and is re-exported here.
 
-use ae_api::{BlockSink, BlockSource};
+pub use ae_api::StoreError;
+use ae_api::{BlockMap, BlockSink, BlockSource};
 use ae_blocks::{Block, BlockId};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::fmt;
 
-/// Errors from store operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StoreError {
-    /// The requested block is not in the store (or its location is down).
-    NotFound(BlockId),
-    /// The stored block failed checksum verification — corruption or
-    /// tampering detected at read time.
-    Corrupted(BlockId),
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::NotFound(id) => write!(f, "block {id} not found"),
-            StoreError::Corrupted(id) => write!(f, "block {id} failed integrity verification"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-/// Anything that stores blocks by id.
+/// A thread-safe in-memory block store that verifies checksums on read.
 ///
-/// Implementations must be safe for concurrent use; the geo-backup broker
-/// and repair workers share stores across threads.
-pub trait BlockStore: Send + Sync {
-    /// Stores a block, replacing any previous contents.
-    fn put(&self, id: BlockId, block: Block);
-
-    /// Fetches a block, verifying its integrity.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::NotFound`] if absent; [`StoreError::Corrupted`] if the
-    /// stored checksum no longer matches.
-    fn get(&self, id: BlockId) -> Result<Block, StoreError>;
-
-    /// Removes a block, returning whether it was present.
-    fn remove(&self, id: BlockId) -> bool;
-
-    /// Whether the block is present (without reading it).
-    fn contains(&self, id: BlockId) -> bool;
-
-    /// Number of blocks held.
-    fn len(&self) -> usize;
-
-    /// Whether the store holds nothing.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// A thread-safe in-memory block store.
+/// A thin wrapper over the one canonical in-memory backend
+/// ([`ae_api::BlockMap`]) adding integrity verification to every read —
+/// [`crate::DistributedStore`] shards over many of these,
+/// [`crate::TieredStore`] stacks a fast one over a shared remote tier.
 #[derive(Debug, Default)]
 pub struct MemStore {
-    blocks: RwLock<HashMap<BlockId, Block>>,
+    blocks: BlockMap,
 }
 
 impl MemStore {
@@ -70,58 +30,46 @@ impl MemStore {
         Self::default()
     }
 
+    /// Stores a block, replacing any previous contents.
+    pub fn put(&self, id: BlockId, block: Block) {
+        self.blocks.insert(id, block);
+    }
+
+    /// Fetches a block, verifying its integrity.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent; [`StoreError::Corrupted`] if the
+    /// stored checksum no longer matches.
+    pub fn get(&self, id: BlockId) -> Result<Block, StoreError> {
+        let block = self.blocks.get(&id).ok_or(StoreError::NotFound(id))?;
+        block.verify().map_err(|_| StoreError::Corrupted(id))?;
+        Ok(block)
+    }
+
+    /// Removes a block, returning whether it was present.
+    pub fn remove(&self, id: BlockId) -> bool {
+        self.blocks.remove(&id).is_some()
+    }
+
+    /// Whether the block is present (without reading it).
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
     /// All ids currently present (snapshot).
     pub fn ids(&self) -> Vec<BlockId> {
-        self.blocks.read().keys().copied().collect()
-    }
-}
-
-/// Adapter presenting any shared [`BlockStore`] as the scheme-agnostic
-/// [`BlockSource`] + [`BlockSink`] pair (a [`ae_api::BlockRepo`]), so
-/// encoders and repair engines can write through `&S` / `Arc<S>` handles.
-///
-/// Failed reads (missing or corrupted) surface as `None`: to a decoder
-/// both mean "not available here".
-pub struct StoreRepo<'a, S: BlockStore + ?Sized>(pub &'a S);
-
-impl<S: BlockStore + ?Sized> BlockSource for StoreRepo<'_, S> {
-    fn fetch(&self, id: BlockId) -> Option<Block> {
-        self.0.get(id).ok()
-    }
-
-    fn has(&self, id: BlockId) -> bool {
-        self.0.contains(id)
-    }
-}
-
-impl<S: BlockStore + ?Sized> BlockSink for StoreRepo<'_, S> {
-    fn store(&mut self, id: BlockId, block: Block) {
-        self.0.put(id, block);
-    }
-}
-
-impl BlockStore for MemStore {
-    fn put(&self, id: BlockId, block: Block) {
-        self.blocks.write().insert(id, block);
-    }
-
-    fn get(&self, id: BlockId) -> Result<Block, StoreError> {
-        let guard = self.blocks.read();
-        let block = guard.get(&id).ok_or(StoreError::NotFound(id))?;
-        block.verify().map_err(|_| StoreError::Corrupted(id))?;
-        Ok(block.clone())
-    }
-
-    fn remove(&self, id: BlockId) -> bool {
-        self.blocks.write().remove(&id).is_some()
-    }
-
-    fn contains(&self, id: BlockId) -> bool {
-        self.blocks.read().contains_key(&id)
-    }
-
-    fn len(&self) -> usize {
-        self.blocks.read().len()
+        self.blocks.ids()
     }
 }
 
@@ -133,17 +81,26 @@ impl BlockSource for MemStore {
     fn has(&self, id: BlockId) -> bool {
         self.contains(id)
     }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        self.get(id)
+    }
 }
 
 impl BlockSink for MemStore {
-    fn store(&mut self, id: BlockId, block: Block) {
+    fn store(&self, id: BlockId, block: Block) {
         self.put(id, block);
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        MemStore::remove(self, id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ae_api::BlockRepo;
     use ae_blocks::NodeId;
 
     fn id(i: u64) -> BlockId {
@@ -200,6 +157,19 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.len(), 800);
+    }
+
+    #[test]
+    fn unified_family_without_adapter() {
+        // The store IS a BlockRepo: no StoreRepo wrapper anywhere.
+        let s = MemStore::new();
+        let repo: &dyn BlockRepo = &s;
+        repo.store(id(4), Block::from_vec(vec![4]));
+        assert!(repo.has(id(4)));
+        assert_eq!(repo.read(id(4)).unwrap().as_slice(), &[4]);
+        assert_eq!(repo.read(id(5)), Err(StoreError::NotFound(id(5))));
+        assert!(BlockSink::remove(repo, id(4)));
+        assert!(!repo.has(id(4)));
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //! entangled, distributed block store — with degraded reads, scrubbing,
 //! and end-to-end verification.
 //!
+//! The archive is generic over both the redundancy scheme
+//! (`Arc<dyn RedundancyScheme>`) and the backend (any `BlockRepo`); this
+//! example runs the classic alpha-entanglement configuration over a
+//! 30-location distributed store. See `rs_archive.rs` for the *same*
+//! archive code over Reed-Solomon and a two-tier backend.
+//!
 //! ```sh
 //! cargo run --example archive
 //! ```
@@ -9,7 +15,7 @@
 use aecodes::lattice::Config;
 use aecodes::store::archive::Archive;
 use aecodes::store::cluster::LocationId;
-use aecodes::store::{BlockStore, DistributedStore, Placement};
+use aecodes::store::{DistributedStore, Placement};
 use std::sync::Arc;
 
 fn main() {
@@ -32,15 +38,19 @@ fn main() {
     ar.put("server.log", &logs).expect("fresh name");
     ar.put("empty.flag", b"").expect("fresh name");
     println!(
-        "archived {} files, {} data blocks total",
+        "archived {} files with {} ({} data blocks total)",
         ar.names().count(),
+        ar.scheme().scheme_name(),
         ar.blocks_written()
     );
     for name in ["report.pdf", "server.log", "empty.flag"] {
         let e = ar.entry(name).expect("archived");
         println!(
-            "  {name}: {} blocks, {} bytes, crc {:#010x}",
-            e.block_count, e.byte_len, e.crc
+            "  {name}: blocks [{}, {}), {} bytes, crc {:#010x}",
+            e.first_block,
+            e.first_block + e.block_count,
+            e.byte_len,
+            e.crc
         );
     }
 

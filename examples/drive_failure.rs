@@ -107,7 +107,7 @@ fn main() {
 
     // And with real bytes: a broker loses storage nodes AND local data,
     // then repairs everything through the scheme.
-    let mut geo = GeoBackup::new(Config::new(3, 2, 5).expect("paper setting"), 64, 20, 3);
+    let geo = GeoBackup::new(Config::new(3, 2, 5).expect("paper setting"), 64, 20, 3);
     let file: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
     let handle = geo.backup(&file);
     geo.remote().with_cluster(|c| {

@@ -24,10 +24,10 @@ fn main() {
     let data: Vec<Block> = (0..200u8)
         .map(|k| Block::from_vec(vec![k.wrapping_mul(13); block_size]))
         .collect();
-    let mut store = BlockMap::new();
+    let store = BlockMap::new();
     let mut enc = Entangler::new(old_cfg, block_size);
     for d in &data {
-        enc.entangle(d.clone()).unwrap().insert_into(&mut store);
+        enc.entangle(d.clone()).unwrap().insert_into(&store);
     }
     println!(
         "year 1: {old_cfg} holds {} blocks ({}% overhead)",

@@ -15,7 +15,7 @@ use aecodes::store::geo::GeoBackup;
 
 fn main() {
     let cfg = Config::new(3, 2, 5).expect("valid code parameters");
-    let mut geo = GeoBackup::new(cfg, 256, 40, 2024);
+    let geo = GeoBackup::new(cfg, 256, 40, 2024);
     println!("broker: {cfg}, 40 storage nodes, 256-byte blocks");
 
     // Back up two "files".

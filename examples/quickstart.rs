@@ -14,7 +14,7 @@ fn main() {
     // AE(3,2,5): triple entanglement over 2 horizontal and 2×5 helical
     // strands — the paper's equivalent of its earlier 5-HEC code.
     let cfg = Config::new(3, 2, 5).expect("valid code parameters");
-    let mut code = Code::new(cfg, 64);
+    let code = Code::new(cfg, 64);
     println!("code: {cfg}");
     println!("  rate                : {:.3}", cfg.code_rate());
     println!(
@@ -32,9 +32,9 @@ fn main() {
     let originals: Vec<Block> = (0..100u8)
         .map(|k| Block::from_vec((0..64).map(|b| k.wrapping_mul(7) ^ b).collect()))
         .collect();
-    let mut store = BlockMap::new();
+    let store = BlockMap::new();
     let report = code
-        .encode_batch(&originals, &mut store)
+        .encode_batch(&originals, &store)
         .expect("uniform sizes");
     println!(
         "\nentangled {} data blocks -> {} stored blocks (batch, one call)",

@@ -78,28 +78,27 @@ fn main() {
         (Config::new(2, 2, 5).unwrap(), "clustered", 40),
         (Config::new(3, 2, 5).unwrap(), "clustered", 40),
     ] {
-        let mut code = Code::new(cfg, 64);
-        let mut full = BlockMap::new();
-        code.encode_batch(&payload(n, 64), &mut full)
-            .expect("encode");
+        let code = Code::new(cfg, 64);
+        let full = BlockMap::new();
+        code.encode_batch(&payload(n, 64), &full).expect("encode");
         let ids = code.block_ids(n);
         let victims = match pattern {
             "clustered" => clustered(&ids, pct, 10),
             _ => scattered(&ids, pct),
         };
-        let mut damaged = full.clone();
+        let damaged = full.clone();
         for v in &victims {
             damaged.remove(v);
         }
 
-        let mut serial_store = damaged.clone();
+        let serial_store = damaged.clone();
         let t = Instant::now();
-        let serial = code.repair_missing_serial(&mut serial_store, &victims, n);
+        let serial = code.repair_missing_serial(&serial_store, &victims, n);
         let serial_ms = t.elapsed().as_secs_f64() * 1e3;
 
-        let mut parallel_store = damaged.clone();
+        let parallel_store = damaged.clone();
         let t = Instant::now();
-        let parallel = code.repair_missing(&mut parallel_store, &victims, n);
+        let parallel = code.repair_missing(&parallel_store, &victims, n);
         let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(parallel, serial, "planners must agree");

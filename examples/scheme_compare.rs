@@ -24,23 +24,21 @@ fn contenders() -> Vec<Box<dyn RedundancyScheme>> {
 fn main() {
     // --- Byte plane: encode, erase, repair — same code for every scheme.
     println!("byte plane: encode 200 blocks, erase 5, round-based repair\n");
-    for mut scheme in contenders() {
+    for scheme in contenders() {
         let blocks: Vec<Block> = (0..200u8).map(|k| Block::from_vec(vec![k; 64])).collect();
-        let mut store = BlockMap::new();
-        scheme
-            .encode_batch(&blocks, &mut store)
-            .expect("uniform sizes");
-        scheme.seal(&mut store).expect("flush buffered redundancy");
+        let store = BlockMap::new();
+        scheme.encode_batch(&blocks, &store).expect("uniform sizes");
+        scheme.seal(&store).expect("flush buffered redundancy");
 
         let victims: Vec<_> = [3u64, 57, 111, 160, 199]
             .iter()
             .map(|&i| aecodes::blocks::BlockId::Data(aecodes::blocks::NodeId(i)))
             .collect();
         let originals: Vec<Block> = victims.iter().map(|v| store.remove(v).unwrap()).collect();
-        let summary = scheme.repair_missing(&mut store, &victims, 200);
+        let summary = scheme.repair_missing(&store, &victims, 200);
         assert!(summary.fully_recovered());
         for (v, o) in victims.iter().zip(&originals) {
-            assert_eq!(&store[v], o, "byte-identical repair");
+            assert_eq!(store.get(v).as_ref(), Some(o), "byte-identical repair");
         }
         println!(
             "  {:14} repaired {} blocks in {} round(s), {} blocks read",

@@ -29,18 +29,20 @@
 //! use aecodes::blocks::{Block, BlockId, NodeId};
 //! use aecodes::core::{BlockMap, Code};
 //! use aecodes::lattice::Config;
+//! use std::sync::Arc;
 //!
-//! let mut scheme = Code::new(Config::new(3, 2, 5).unwrap(), 64);
-//! let mut store = BlockMap::new();
+//! // Schemes and backends are shared-by-default: every method is &self.
+//! let scheme: Arc<dyn RedundancyScheme> = Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 64));
+//! let store = BlockMap::new();
 //! let blocks: Vec<Block> = (0u8..50).map(|n| Block::from_vec(vec![n; 64])).collect();
-//! scheme.encode_batch(&blocks, &mut store).unwrap();
+//! scheme.encode_batch(&blocks, &store).unwrap();
 //!
 //! // Lose a few blocks; round-based repair restores them byte-identically.
 //! let victims = [BlockId::Data(NodeId(7)), BlockId::Data(NodeId(33))];
 //! let originals: Vec<Block> = victims.iter().map(|v| store.remove(v).unwrap()).collect();
-//! let summary = scheme.repair_missing(&mut store, &victims, 50);
+//! let summary = scheme.repair_missing(&store, &victims, 50);
 //! assert!(summary.fully_recovered());
-//! assert_eq!(store[&victims[0]], originals[0]);
+//! assert_eq!(store.get(&victims[0]).unwrap(), originals[0]);
 //!
 //! // Failed repairs say which tuple members were missing.
 //! let err = scheme.repair_block(&BlockMap::new(), victims[0], 50).unwrap_err();

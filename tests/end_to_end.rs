@@ -5,7 +5,7 @@ use aecodes::blocks::{Block, BlockId, NodeId};
 use aecodes::core::{BlockMap, Code, RedundancyScheme};
 use aecodes::lattice::Config;
 use aecodes::store::cluster::LocationId;
-use aecodes::store::{BlockStore, DistributedStore, Placement, StoreRepo};
+use aecodes::store::{DistributedStore, Placement};
 
 const BLOCK: usize = 256;
 
@@ -20,11 +20,11 @@ fn data_block(k: u64) -> Block {
 /// Entangles `n` blocks into a distributed store over `locations` nodes,
 /// through the batch-first scheme API.
 fn build(cfg: Config, n: u64, locations: u32) -> (Code, DistributedStore) {
-    let mut code = Code::new(cfg, BLOCK);
+    let code = Code::new(cfg, BLOCK);
     let store = DistributedStore::new(locations, Placement::Random { seed: 99 });
     let blocks: Vec<Block> = (0..n).map(data_block).collect();
     let report = code
-        .encode_batch(&blocks, &mut StoreRepo(&store))
+        .encode_batch(&blocks, &store)
         .expect("uniform block sizes");
     assert_eq!(report.data_written(), n);
     (code, store)
@@ -33,7 +33,7 @@ fn build(cfg: Config, n: u64, locations: u32) -> (Code, DistributedStore) {
 /// Pulls every reachable block into an in-memory map (what a repair
 /// coordinator can see during the outage).
 fn reachable(store: &DistributedStore, cfg: &Config, n: u64) -> BlockMap {
-    let mut map = BlockMap::new();
+    let map = BlockMap::new();
     for i in 1..=n {
         let id = BlockId::Data(NodeId(i));
         if let Ok(b) = store.get(id) {
@@ -63,7 +63,7 @@ fn disaster_then_full_recovery_byte_identical() {
     });
 
     // Coordinator view: only reachable blocks.
-    let mut view = reachable(&store, &cfg, n);
+    let view = reachable(&store, &cfg, n);
     let missing: Vec<BlockId> = (1..=n)
         .flat_map(|i| {
             let mut ids = vec![BlockId::Data(NodeId(i))];
@@ -79,7 +79,7 @@ fn disaster_then_full_recovery_byte_identical() {
         .collect();
     assert!(!missing.is_empty(), "the disaster must hit something");
 
-    let report = code.repair_engine(n).repair_all(&mut view, missing);
+    let report = code.repair_engine(n).repair_all(&view, missing);
     assert!(
         report.fully_recovered(),
         "unrecovered after 30% location loss: {:?}",
@@ -89,13 +89,13 @@ fn disaster_then_full_recovery_byte_identical() {
     // Every data block byte-identical to the original.
     for k in 0..n {
         let id = BlockId::Data(NodeId(k + 1));
-        assert_eq!(view[&id], data_block(k), "d{}", k + 1);
+        assert_eq!(view.get(&id).unwrap(), data_block(k), "d{}", k + 1);
     }
 
     // Re-home repaired blocks onto live nodes so the system is healthy.
-    for (id, block) in &view {
-        if !store.contains(*id) {
-            assert!(store.put_rehomed(*id, block.clone()).is_some());
+    for (id, block) in view.entries() {
+        if !store.contains(id) {
+            assert!(store.put_rehomed(id, block).is_some());
         }
     }
     store.with_cluster(|c| c.restore_all());
@@ -117,12 +117,12 @@ fn weaker_codes_lose_data_in_the_same_disaster() {
             c.fail(LocationId(l));
         }
     });
-    let mut view = reachable(&store, &cfg, n);
+    let view = reachable(&store, &cfg, n);
     let missing: Vec<BlockId> = (1..=n)
         .map(|i| BlockId::Data(NodeId(i)))
         .filter(|id| !view.contains_key(id))
         .collect();
-    let report = code.repair_engine(n).repair_all(&mut view, missing);
+    let report = code.repair_engine(n).repair_all(&view, missing);
     assert!(
         !report.fully_recovered(),
         "a single chain should not survive a 30% location outage unscathed"

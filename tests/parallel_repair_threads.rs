@@ -24,12 +24,12 @@ fn threaded_planner_matches_serial_on_a_large_disaster() {
 
     let n = 400u64;
     let build = || {
-        let mut code = Code::new(Config::new(2, 2, 5).unwrap(), 32);
-        let mut store = BlockMap::new();
+        let code = Code::new(Config::new(2, 2, 5).unwrap(), 32);
+        let store = BlockMap::new();
         let blocks: Vec<Block> = (0..n)
             .map(|i| Block::from_vec((0..32).map(|k| ((i * 37 + k * 11) % 251) as u8).collect()))
             .collect();
-        code.encode_batch(&blocks, &mut store).expect("encode");
+        code.encode_batch(&blocks, &store).expect("encode");
         // A clustered disaster well above PARALLEL_PLAN_MIN (256)
         // targets: a contiguous dead span plus deterministic scatter.
         let universe = code.block_ids(n);
@@ -53,14 +53,12 @@ fn threaded_planner_matches_serial_on_a_large_disaster() {
         (code, store, victims)
     };
 
-    let (code_a, mut store_a, victims) = build();
-    let (code_b, mut store_b, _) = build();
-    let parallel = code_a.repair_missing(&mut store_a, &victims, n);
-    let serial = code_b.repair_missing_serial(&mut store_b, &victims, n);
+    let (code_a, store_a, victims) = build();
+    let (code_b, store_b, _) = build();
+    let parallel = code_a.repair_missing(&store_a, &victims, n);
+    let serial = code_b.repair_missing_serial(&store_b, &victims, n);
     assert_eq!(parallel, serial, "threaded planner diverged from serial");
     assert!(parallel.total_repaired() > 0);
     assert_eq!(store_a.len(), store_b.len());
-    for (id, block) in &store_a {
-        assert_eq!(store_b.get(id), Some(block));
-    }
+    assert_eq!(store_a, store_b);
 }

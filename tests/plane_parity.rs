@@ -97,12 +97,12 @@ proptest! {
     ) {
         let n = 200u64;
         let build = || {
-            let mut scheme = scheme_for(pick);
-            let mut store = BlockMap::new();
+            let scheme = scheme_for(pick);
+            let store = BlockMap::new();
             scheme
-                .encode_batch(&payload(n, seed), &mut store)
+                .encode_batch(&payload(n, seed), &store)
                 .expect("uniform sizes");
-            scheme.seal(&mut store).expect("flush");
+            scheme.seal(&store).expect("flush");
             let universe = scheme.block_ids(n);
             let mut victims: Vec<BlockId> = down
                 .iter()
@@ -117,10 +117,10 @@ proptest! {
             }
             (scheme, store, victims)
         };
-        let (scheme_a, mut store_a, victims) = build();
-        let (scheme_b, mut store_b, _) = build();
-        let parallel = scheme_a.repair_missing(&mut store_a, &victims, n);
-        let serial = scheme_b.repair_missing_serial(&mut store_b, &victims, n);
+        let (scheme_a, store_a, victims) = build();
+        let (scheme_b, store_b, _) = build();
+        let parallel = scheme_a.repair_missing(&store_a, &victims, n);
+        let serial = scheme_b.repair_missing_serial(&store_b, &victims, n);
         prop_assert_eq!(
             &parallel,
             &serial,
@@ -128,8 +128,13 @@ proptest! {
             scheme_a.scheme_name()
         );
         prop_assert_eq!(store_a.len(), store_b.len());
-        for (id, block) in &store_a {
-            prop_assert_eq!(store_b.get(id), Some(block), "{}", scheme_a.scheme_name());
+        for (id, block) in store_a.entries() {
+            prop_assert_eq!(
+                store_b.get(&id),
+                Some(block),
+                "{}",
+                scheme_a.scheme_name()
+            );
         }
     }
 }

@@ -44,25 +44,28 @@ proptest! {
     fn encoder_identity_holds(cfg in any_config(), seed: u64) {
         let n = 120u64;
         let code = Code::new(cfg, 32);
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         let mut state = seed;
         for _ in 0..n {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let bytes: Vec<u8> = (0..32).map(|k| (state >> (k % 8)) as u8).collect();
-            enc.entangle(Block::from_vec(bytes)).unwrap().insert_into(&mut store);
+            enc.entangle(Block::from_vec(bytes)).unwrap().insert_into(&store);
         }
         for i in 1..=n {
-            let d = &store[&BlockId::Data(NodeId(i))];
+            let d = store.get(&BlockId::Data(NodeId(i))).unwrap();
             for &class in cfg.classes() {
-                let out = &store[&BlockId::Parity(EdgeId::new(class, NodeId(i)))];
+                let out = store.get(&BlockId::Parity(EdgeId::new(class, NodeId(i)))).unwrap();
                 let h = aecodes::lattice::rules::input_source(&cfg, class, i as i64);
                 let expected = if h >= 1 {
-                    d.xor(&store[&BlockId::Parity(EdgeId::new(class, NodeId(h as u64)))]).unwrap()
+                    let input = store
+                        .get(&BlockId::Parity(EdgeId::new(class, NodeId(h as u64))))
+                        .unwrap();
+                    d.xor(&input).unwrap()
                 } else {
                     d.clone()
                 };
-                prop_assert_eq!(out, &expected);
+                prop_assert_eq!(out, expected);
             }
         }
     }
@@ -156,11 +159,11 @@ proptest! {
         let n = 400u64;
         let base = 150i64; // interior: far from both head and tail
         let code = Code::new(cfg, 16);
-        let mut store = BlockMap::new();
+        let store = BlockMap::new();
         let mut enc = code.entangler();
         for k in 0..n {
             enc.entangle(Block::from_vec(vec![(k % 255) as u8; 16])).unwrap()
-                .insert_into(&mut store);
+                .insert_into(&store);
         }
         // Build the erasure on both planes.
         let mut lattice_erased = BTreeSet::new();
@@ -182,7 +185,7 @@ proptest! {
                 store.remove(&id);
             }
         }
-        let report = code.repair_engine(n).repair_all(&mut store, ids);
+        let report = code.repair_engine(n).repair_all(&store, ids);
         let lattice_rest = me::decode_fixpoint(&cfg, &lattice_erased);
         let byte_rest: BTreeSet<LatticeBlock> = report
             .unrecovered

@@ -48,13 +48,11 @@ fn payload(n: u64, seed: u64) -> Vec<Block> {
 }
 
 /// Encodes `blocks` through the trait, returning the filled store.
-fn encode_all(scheme: &mut dyn RedundancyScheme, blocks: &[Block]) -> BlockMap {
-    let mut store = BlockMap::new();
-    let report = scheme
-        .encode_batch(blocks, &mut store)
-        .expect("uniform sizes");
+fn encode_all(scheme: &dyn RedundancyScheme, blocks: &[Block]) -> BlockMap {
+    let store = BlockMap::new();
+    let report = scheme.encode_batch(blocks, &store).expect("uniform sizes");
     assert_eq!(report.data_written(), blocks.len() as u64);
-    scheme.seal(&mut store).expect("flush buffered redundancy");
+    scheme.seal(&store).expect("flush buffered redundancy");
     store
 }
 
@@ -66,13 +64,13 @@ proptest! {
     /// through the same generic code path.
     #[test]
     fn all_schemes_round_trip_scattered_erasures(
-        mut scheme in any_scheme(),
+        scheme in any_scheme(),
         seed: u64,
         picks in proptest::collection::btree_set(0u64..20, 1..5),
     ) {
         let n = 400u64;
         let blocks = payload(n, seed);
-        let mut store = encode_all(scheme.as_mut(), &blocks);
+        let store = encode_all(scheme.as_ref(), &blocks);
 
         // One victim per 20-wide stride: strictly more than any stripe
         // width or repair-tuple span apart, so no scheme can be over-erased.
@@ -89,7 +87,7 @@ proptest! {
             .map(|v| store.remove(v).expect("victim was stored"))
             .collect();
 
-        let summary = scheme.repair_missing(&mut store, &victims, n);
+        let summary = scheme.repair_missing(&store, &victims, n);
         prop_assert!(
             summary.fully_recovered(),
             "{} left {:?}",
@@ -98,7 +96,14 @@ proptest! {
         );
         prop_assert!(summary.blocks_read > 0);
         for (v, original) in victims.iter().zip(&originals) {
-            prop_assert_eq!(&store[v], original, "{}: {}", scheme.scheme_name(), v);
+            let repaired = store.get(v);
+            prop_assert_eq!(
+                repaired.as_ref(),
+                Some(original),
+                "{}: {}",
+                scheme.scheme_name(),
+                v
+            );
         }
     }
 
@@ -106,13 +111,13 @@ proptest! {
     /// missing tuple members on an empty store.
     #[test]
     fn repair_block_matches_and_errors_are_rich(
-        mut scheme in any_scheme(),
+        scheme in any_scheme(),
         seed: u64,
         victim in 1u64..200,
     ) {
         let n = 200u64;
         let blocks = payload(n, seed);
-        let mut store = encode_all(scheme.as_mut(), &blocks);
+        let store = encode_all(scheme.as_ref(), &blocks);
         // The victim's id in the scheme's own (possibly namespaced) space.
         let id = scheme
             .block_ids(n)
@@ -143,13 +148,13 @@ proptest! {
     /// pattern is indeed repairable with bytes, and vice versa.
     #[test]
     fn availability_oracle_matches_byte_plane(
-        mut scheme in any_scheme(),
+        scheme in any_scheme(),
         seed: u64,
         down in proptest::collection::btree_set(0usize..600, 1..40),
     ) {
         let n = 120u64;
         let blocks = payload(n, seed);
-        let full = encode_all(scheme.as_mut(), &blocks);
+        let full = encode_all(scheme.as_ref(), &blocks);
         let universe = scheme.block_ids(n);
 
         // Knock out a random subset of the universe.
@@ -157,7 +162,7 @@ proptest! {
             .iter()
             .filter_map(|&k| universe.get(k % universe.len()).copied())
             .collect();
-        let mut store = full.clone();
+        let store = full.clone();
         for id in &downed {
             store.remove(id);
         }
