@@ -31,6 +31,27 @@ pub enum AeError {
         /// The id the scheme does not recognise.
         id: BlockId,
     },
+    /// A persisted encoder-frontier snapshot could not be decoded (wrong
+    /// version, wrong length, inconsistent counters). See
+    /// [`crate::RedundancyScheme::restore_frontier`].
+    CorruptFrontier {
+        /// What exactly failed to parse.
+        detail: String,
+    },
+    /// Restoring the encoder frontier needed a block the backend no
+    /// longer holds (for example an in-flight strand parity, or a
+    /// buffered partial-stripe data block) — the error names exactly
+    /// what was lost.
+    FrontierBlockMissing {
+        /// The block the restore could not fetch.
+        id: BlockId,
+    },
+    /// The scheme does not implement the frontier snapshot/restore
+    /// surface, so its archives cannot be reopened after a crash.
+    FrontierUnsupported {
+        /// The scheme's display name.
+        scheme: String,
+    },
 }
 
 impl fmt::Display for AeError {
@@ -46,6 +67,18 @@ impl fmt::Display for AeError {
             AeError::Repair(e) => write!(f, "repair failed: {e}"),
             AeError::ForeignBlock { id } => {
                 write!(f, "block {id} does not belong to this scheme")
+            }
+            AeError::CorruptFrontier { detail } => {
+                write!(f, "corrupt encoder-frontier snapshot: {detail}")
+            }
+            AeError::FrontierBlockMissing { id } => {
+                write!(f, "cannot restore encoder frontier: block {id} is gone")
+            }
+            AeError::FrontierUnsupported { scheme } => {
+                write!(
+                    f,
+                    "scheme {scheme} does not support frontier snapshot/restore"
+                )
             }
         }
     }

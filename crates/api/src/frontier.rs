@@ -1,0 +1,192 @@
+//! Helpers for encoding and decoding encoder-frontier snapshots.
+//!
+//! Every scheme defines its own snapshot payload (see
+//! [`crate::RedundancyScheme::frontier_snapshot`]); this module provides
+//! the shared scaffolding — a leading version byte, little-endian integer
+//! fields, and typed [`AeError::CorruptFrontier`] errors when the bytes do
+//! not parse — so all implementations fail the same way on truncated or
+//! foreign snapshots instead of panicking.
+
+use crate::error::AeError;
+
+/// Builds a frontier snapshot: a version byte followed by little-endian
+/// fields.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot with the scheme's format `version` byte.
+    pub fn new(version: u8) -> Self {
+        SnapshotWriter { buf: vec![version] }
+    }
+
+    /// Appends a `u8` field.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32` field.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64` field.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// The finished snapshot bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over frontier-snapshot bytes with typed
+/// [`AeError::CorruptFrontier`] errors.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    scheme: &'a str,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens `snapshot` for `scheme` (used in error messages), verifying
+    /// the leading version byte equals `version`.
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when the snapshot is empty or carries
+    /// a different version.
+    pub fn new(snapshot: &'a [u8], version: u8, scheme: &'a str) -> Result<Self, AeError> {
+        match snapshot.first() {
+            Some(&v) if v == version => Ok(SnapshotReader {
+                buf: snapshot,
+                pos: 1,
+                scheme,
+            }),
+            Some(&v) => Err(AeError::CorruptFrontier {
+                detail: format!("{scheme}: snapshot version {v}, expected {version}"),
+            }),
+            None => Err(AeError::CorruptFrontier {
+                detail: format!("{scheme}: empty snapshot"),
+            }),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], AeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let bytes = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(bytes)
+            }
+            None => Err(AeError::CorruptFrontier {
+                detail: format!(
+                    "{}: snapshot truncated at byte {} (wanted {} more of {})",
+                    self.scheme,
+                    self.pos,
+                    n,
+                    self.buf.len()
+                ),
+            }),
+        }
+    }
+
+    /// Reads a `u8` field.
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when the snapshot is exhausted.
+    pub fn u8(&mut self) -> Result<u8, AeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when the snapshot is exhausted.
+    pub fn u32(&mut self) -> Result<u32, AeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64` field.
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when the snapshot is exhausted.
+    pub fn u64(&mut self) -> Result<u64, AeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Asserts every byte was consumed — trailing garbage means the
+    /// snapshot is not what the scheme wrote.
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when bytes remain.
+    pub fn finish(self) -> Result<(), AeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(AeError::CorruptFrontier {
+                detail: format!(
+                    "{}: {} trailing snapshot byte(s)",
+                    self.scheme,
+                    self.buf.len() - self.pos
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let snap = SnapshotWriter::new(3).u64(42).u32(7).u8(1).finish();
+        let mut r = SnapshotReader::new(&snap, 3, "test").unwrap();
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u8().unwrap(), 1);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn version_and_truncation_are_typed() {
+        let snap = SnapshotWriter::new(3).u64(42).finish();
+        assert!(matches!(
+            SnapshotReader::new(&snap, 4, "test"),
+            Err(AeError::CorruptFrontier { .. })
+        ));
+        assert!(matches!(
+            SnapshotReader::new(&[], 1, "test"),
+            Err(AeError::CorruptFrontier { .. })
+        ));
+        let mut r = SnapshotReader::new(&snap[..5], 3, "test").unwrap();
+        let err = r.u64().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let snap = SnapshotWriter::new(1).u8(0).u8(0).finish();
+        let mut r = SnapshotReader::new(&snap, 1, "test").unwrap();
+        r.u8().unwrap();
+        let err = r.finish().unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod frontier;
 pub mod io;
 pub mod par;
 pub mod placement;
 pub mod scheme;
 
 pub use error::{AeError, RepairError, StoreError};
+pub use frontier::{SnapshotReader, SnapshotWriter};
 pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};
 pub use par::repair_threads;
 pub use placement::Placement;

@@ -180,6 +180,50 @@ pub trait RedundancyScheme: Send + Sync {
         Ok(Vec::new())
     }
 
+    /// Serializes the scheme's **encoder frontier** — everything beyond
+    /// the already-stored blocks that the encoder needs to keep producing
+    /// (the AE strand-frontier counter, the Reed-Solomon write counter and
+    /// buffered-stripe length, replication's write counter, a chain's
+    /// sealed flag) — into a small, versioned, scheme-defined byte string.
+    ///
+    /// The snapshot is deliberately *thin*: block contents that already
+    /// live on the backend (frontier parities, buffered stripe data) are
+    /// **not** embedded; [`RedundancyScheme::restore_frontier`] refetches
+    /// them, the way the paper's broker recovers after a crash ("it only
+    /// needs to retrieve the p-blocks from the remote nodes", §IV.A).
+    /// Archives persist the snapshot in their on-backend metadata journal
+    /// after every mutation, making the whole archive crash-recoverable.
+    ///
+    /// The default snapshot is the little-endian write counter — enough
+    /// for schemes whose only state is `data_written` — but restoring is
+    /// opt-in: the default [`RedundancyScheme::restore_frontier`] reports
+    /// [`AeError::FrontierUnsupported`]. Implement **both** to make a
+    /// custom scheme archive-recoverable.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        self.data_written().to_le_bytes().to_vec()
+    }
+
+    /// Restores the encoder frontier from a
+    /// [`RedundancyScheme::frontier_snapshot`], refetching any in-flight
+    /// blocks (strand-frontier parities, buffered partial-stripe data)
+    /// from `source`. After a successful restore the scheme continues
+    /// encoding **bit-identically** to the instance that took the
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeError::CorruptFrontier`] — the snapshot bytes do not parse
+    ///   (wrong version, wrong length, inconsistent counters).
+    /// * [`AeError::FrontierBlockMissing`] — a block the restore needed is
+    ///   no longer available from `source`; the error names it.
+    /// * [`AeError::FrontierUnsupported`] — the scheme keeps the default
+    ///   and cannot be restored.
+    fn restore_frontier(&self, _snapshot: &[u8], _source: &dyn BlockSource) -> Result<(), AeError> {
+        Err(AeError::FrontierUnsupported {
+            scheme: self.scheme_name(),
+        })
+    }
+
     /// Repairs a single block from currently available blocks.
     /// `data_blocks` bounds the written extent (repair coordinators often
     /// know it without owning the encoder).
@@ -800,6 +844,24 @@ mod tests {
         assert_eq!(scheme.block_at(20, 10), None);
         // No extremity exposure by default.
         assert_eq!(scheme.repair_cost().extremity_exposed, 0);
+    }
+
+    #[test]
+    fn default_frontier_surface_is_counter_only_and_restore_opt_in() {
+        let scheme = Mirror::new();
+        let store = BlockMap::new();
+        scheme
+            .encode_batch(&[Block::zero(4), Block::zero(4)], &store)
+            .unwrap();
+        // The default snapshot is the LE write counter…
+        assert_eq!(scheme.frontier_snapshot(), 2u64.to_le_bytes().to_vec());
+        // …and restoring is opt-in: the default refuses, naming the scheme.
+        let err = scheme
+            .restore_frontier(&scheme.frontier_snapshot(), &store)
+            .unwrap_err();
+        assert!(
+            matches!(err, AeError::FrontierUnsupported { ref scheme } if scheme == "2-way replic.")
+        );
     }
 
     #[test]

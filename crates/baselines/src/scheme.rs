@@ -15,7 +15,7 @@ use crate::replication::Replication;
 use crate::rs::ReedSolomon;
 use ae_api::{
     AeError, BlockRepo, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost,
-    RepairError, RepairSummary, RoundStats,
+    RepairError, RepairSummary, RoundStats, SnapshotReader, SnapshotWriter,
 };
 use ae_blocks::{Block, BlockId, NodeId, ReplicaId, ShardId};
 use std::collections::BTreeSet;
@@ -179,6 +179,57 @@ impl RedundancyScheme for ReedSolomon {
         let mut ids = Vec::new();
         self.emit_stripe(t, &stripe, sink, &mut ids);
         Ok(ids)
+    }
+
+    /// Version 1: `[written u64, pending u32]`. The buffered
+    /// partial-stripe *data* blocks already live on the backend (data is
+    /// stored immediately; only their parity is buffered), so restore
+    /// refetches the last `pending` data blocks instead of embedding them.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        let enc = self.enc.lock();
+        SnapshotWriter::new(1)
+            .u64(enc.written)
+            .u32(enc.pending.len() as u32)
+            .finish()
+    }
+
+    fn restore_frontier(&self, snapshot: &[u8], source: &dyn BlockSource) -> Result<(), AeError> {
+        let name = self.scheme_name();
+        let mut r = SnapshotReader::new(snapshot, 1, &name)?;
+        let written = r.u64()?;
+        let pending = u64::from(r.u32()?);
+        r.finish()?;
+        if pending >= self.k() as u64 || pending > written {
+            return Err(AeError::CorruptFrontier {
+                detail: format!(
+                    "{name}: {pending} buffered blocks against {written} written (stripe is {})",
+                    self.k()
+                ),
+            });
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(pending as usize);
+        for i in written - pending + 1..=written {
+            let id = BlockId::Data(NodeId(i));
+            let block = source
+                .fetch(id)
+                .ok_or(AeError::FrontierBlockMissing { id })?;
+            if let Some(first) = blocks.first() {
+                if block.len() != first.len() {
+                    return Err(AeError::CorruptFrontier {
+                        detail: format!(
+                            "{name}: buffered stripe mixes {}- and {}-byte blocks",
+                            first.len(),
+                            block.len()
+                        ),
+                    });
+                }
+            }
+            blocks.push(block);
+        }
+        let mut enc = self.enc.lock();
+        enc.written = written;
+        enc.pending = blocks;
+        Ok(())
     }
 
     fn repair_block(
@@ -451,6 +502,21 @@ impl RedundancyScheme for Replication {
             }
         }
         Ok(EncodeReport { first_node, ids })
+    }
+
+    /// Version 1: `[written u64]` — the write counter is replication's
+    /// entire encoder state.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        SnapshotWriter::new(1).u64(*self.written.lock()).finish()
+    }
+
+    fn restore_frontier(&self, snapshot: &[u8], _source: &dyn BlockSource) -> Result<(), AeError> {
+        let name = self.scheme_name();
+        let mut r = SnapshotReader::new(snapshot, 1, &name)?;
+        let written = r.u64()?;
+        r.finish()?;
+        *self.written.lock() = written;
+        Ok(())
     }
 
     fn repair_block(
@@ -733,6 +799,58 @@ mod tests {
             });
             assert_eq!(repl.dense_index(&ghost, 23), None, "copy {copy}");
         }
+    }
+
+    #[test]
+    fn rs_frontier_restores_partial_stripe_from_backend() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let store = BlockMap::new();
+        rs.encode_batch(&payload(10, 32), &store).unwrap(); // 2 buffered
+        let snap = rs.frontier_snapshot();
+
+        let resumed = ReedSolomon::new(4, 2).unwrap();
+        resumed.restore_frontier(&snap, &store).unwrap();
+        assert_eq!(resumed.data_written(), 10);
+        // Both instances must emit identical blocks (and the identical
+        // final-stripe parity) from here on.
+        let (a, b) = (BlockMap::new(), BlockMap::new());
+        let more = payload(3, 32);
+        rs.encode_batch(&more, &a).unwrap();
+        resumed.encode_batch(&more, &b).unwrap();
+        rs.seal(&a).unwrap();
+        resumed.seal(&b).unwrap();
+        assert_eq!(a, b, "post-restore stripes are bit-identical");
+
+        // Losing a buffered data block makes the restore name it.
+        store.remove(&BlockId::Data(NodeId(10)));
+        let broken = ReedSolomon::new(4, 2).unwrap();
+        assert!(matches!(
+            broken.restore_frontier(&snap, &store),
+            Err(ae_api::AeError::FrontierBlockMissing { id }) if id == BlockId::Data(NodeId(10))
+        ));
+        // Inconsistent counters are typed.
+        let bogus = ae_api::SnapshotWriter::new(1).u64(2).u32(3).finish();
+        assert!(matches!(
+            broken.restore_frontier(&bogus, &store),
+            Err(ae_api::AeError::CorruptFrontier { .. })
+        ));
+    }
+
+    #[test]
+    fn replication_frontier_is_the_write_counter() {
+        let r = Replication::new(3);
+        let store = BlockMap::new();
+        r.encode_batch(&payload(5, 8), &store).unwrap();
+        let resumed = Replication::new(3);
+        resumed
+            .restore_frontier(&r.frontier_snapshot(), &store)
+            .unwrap();
+        assert_eq!(resumed.data_written(), 5);
+        let (a, b) = (BlockMap::new(), BlockMap::new());
+        let more = payload(2, 8);
+        r.encode_batch(&more, &a).unwrap();
+        resumed.encode_batch(&more, &b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

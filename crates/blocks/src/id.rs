@@ -193,13 +193,39 @@ impl fmt::Display for ReplicaId {
     }
 }
 
+/// Identifier of an archive metadata record: position `seq` (0-based) in
+/// an archive's on-backend metadata journal.
+///
+/// Metadata blocks live in a **reserved namespace** of the shared id
+/// space: no redundancy scheme ever emits a `Meta` id, every scheme
+/// treats one as foreign, and placement keys them far away from all
+/// scheme ids — so an archive can persist its manifest, write-order id
+/// log and encoder frontier through the *same* backend that holds the
+/// blocks, without colliding with any code's universe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetaId(pub u64);
+
+impl fmt::Debug for MetaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "meta#{}", self.0)
+    }
+}
+
+impl fmt::Display for MetaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
 /// Any block in an entangled (or baseline-encoded) storage system.
 ///
 /// Data blocks are shared across all redundancy schemes; the redundancy
 /// variants identify each scheme's derived blocks: lattice parities for
 /// alpha entanglement, parity shards for Reed-Solomon, extra copies for
 /// replication. A scheme only ever emits ids of its own redundancy kind,
-/// but stores and simulations handle all of them uniformly.
+/// but stores and simulations handle all of them uniformly. The
+/// [`BlockId::Meta`] namespace is reserved for archive metadata records
+/// (see [`MetaId`]) and belongs to no scheme.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BlockId {
     /// A data block `d_i`.
@@ -211,6 +237,8 @@ pub enum BlockId {
     Shard(ShardId),
     /// An extra replica of a data block.
     Replica(ReplicaId),
+    /// An archive metadata record (reserved namespace; scheme-foreign).
+    Meta(MetaId),
 }
 
 impl BlockId {
@@ -224,9 +252,16 @@ impl BlockId {
         matches!(self, BlockId::Parity(_))
     }
 
-    /// Returns `true` for any redundancy block (everything but data).
+    /// Returns `true` for any redundancy block (everything but data and
+    /// archive metadata).
     pub fn is_redundancy(self) -> bool {
-        !self.is_data()
+        !self.is_data() && !self.is_meta()
+    }
+
+    /// Returns `true` for archive metadata records (the reserved
+    /// scheme-foreign namespace).
+    pub fn is_meta(self) -> bool {
+        matches!(self, BlockId::Meta(_))
     }
 
     /// The node id if this is a data block.
@@ -270,6 +305,12 @@ impl From<ReplicaId> for BlockId {
     }
 }
 
+impl From<MetaId> for BlockId {
+    fn from(m: MetaId) -> Self {
+        BlockId::Meta(m)
+    }
+}
+
 impl fmt::Debug for BlockId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -277,6 +318,7 @@ impl fmt::Debug for BlockId {
             BlockId::Parity(e) => write!(f, "{e:?}"),
             BlockId::Shard(s) => write!(f, "{s:?}"),
             BlockId::Replica(r) => write!(f, "{r:?}"),
+            BlockId::Meta(m) => write!(f, "{m:?}"),
         }
     }
 }
@@ -327,6 +369,10 @@ mod tests {
         let p: BlockId = EdgeId::new(StrandClass::Horizontal, NodeId(5)).into();
         assert!(d.is_data() && !d.is_parity());
         assert!(p.is_parity() && !p.is_data());
+        let m: BlockId = MetaId(7).into();
+        assert!(m.is_meta() && !m.is_data() && !m.is_redundancy());
+        assert_eq!(m.to_string(), "meta#7");
+        assert!(p.is_redundancy() && !d.is_redundancy());
         assert_eq!(d.as_data(), Some(NodeId(5)));
         assert_eq!(p.as_data(), None);
         assert_eq!(p.as_parity().unwrap().left, NodeId(5));

@@ -33,4 +33,4 @@ pub mod xor;
 
 pub use block::{Block, BlockError};
 pub use crc::{crc32, crc32_of_xor, crc32_zeros, Crc32};
-pub use id::{BlockId, EdgeId, NodeId, ReplicaId, ShardId, StrandClass};
+pub use id::{BlockId, EdgeId, MetaId, NodeId, ReplicaId, ShardId, StrandClass};

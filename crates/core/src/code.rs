@@ -7,6 +7,7 @@ use crate::encoder::Entangler;
 use crate::repair::RepairEngine;
 use ae_api::{
     AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
+    SnapshotReader, SnapshotWriter,
 };
 use ae_blocks::{Block, BlockId, EdgeId, NodeId};
 use ae_lattice::{rules, Config};
@@ -138,6 +139,43 @@ impl RedundancyScheme for Code {
         sink: &dyn BlockSink,
     ) -> Result<EncodeReport, AeError> {
         self.entangler.lock().entangle_batch(blocks, sink)
+    }
+
+    /// Version 1: `[counter u64, block_size u64]`. The strand-frontier
+    /// parities themselves live on the backend (every parity is stored
+    /// permanently), so the snapshot is just the write counter — exactly
+    /// the broker recovery of §IV.A — plus the block size, so restoring
+    /// into a code with mismatched parameters fails typed at open instead
+    /// of confusingly at the next encode.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        SnapshotWriter::new(1)
+            .u64(self.written())
+            .u64(self.block_size() as u64)
+            .finish()
+    }
+
+    fn restore_frontier(&self, snapshot: &[u8], source: &dyn BlockSource) -> Result<(), AeError> {
+        let name = self.scheme_name();
+        let mut r = SnapshotReader::new(snapshot, 1, &name)?;
+        let counter = r.u64()?;
+        let block_size = r.u64()?;
+        r.finish()?;
+        if block_size != self.block_size() as u64 {
+            return Err(AeError::CorruptFrontier {
+                detail: format!(
+                    "{name}: snapshot encodes {block_size}-byte blocks, this code {}",
+                    self.block_size()
+                ),
+            });
+        }
+        let restored = Entangler::restore(self.cfg, self.block_size(), counter, |e| {
+            source.fetch(BlockId::Parity(e))
+        })
+        .map_err(|e| AeError::FrontierBlockMissing {
+            id: BlockId::Parity(e),
+        })?;
+        *self.entangler.lock() = restored;
+        Ok(())
     }
 
     fn repair_block(
@@ -313,6 +351,42 @@ mod tests {
         let scheme: &dyn RedundancyScheme = &code;
         let repaired = scheme.repair_block(&store, victim, 80).unwrap();
         assert_eq!(repaired, original);
+    }
+
+    #[test]
+    fn frontier_snapshot_restores_bit_identical_encoding() {
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let code = Code::new(cfg, 16);
+        let store = BlockMap::new();
+        let blocks: Vec<Block> = (0..77u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        code.encode_batch(&blocks, &store).unwrap();
+        let snap = code.frontier_snapshot();
+
+        // A fresh instance restored from backend + snapshot continues
+        // exactly where the original stopped.
+        let resumed = Code::new(cfg, 16);
+        resumed.restore_frontier(&snap, &store).unwrap();
+        assert_eq!(resumed.data_written(), 77);
+        let more: Vec<Block> = (77..99u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        let a = BlockMap::new();
+        let b = BlockMap::new();
+        code.encode_batch(&more, &a).unwrap();
+        resumed.encode_batch(&more, &b).unwrap();
+        assert_eq!(a, b, "post-restore encoding is bit-identical");
+
+        // Losing a frontier parity makes the restore name it.
+        let frontier_edge = EdgeId::new(ae_blocks::StrandClass::Horizontal, NodeId(77));
+        store.remove(&BlockId::Parity(frontier_edge));
+        let broken = Code::new(cfg, 16);
+        assert!(matches!(
+            broken.restore_frontier(&snap, &store),
+            Err(AeError::FrontierBlockMissing { id }) if id.is_parity()
+        ));
+        // Garbage snapshots are typed, never a panic.
+        assert!(matches!(
+            broken.restore_frontier(&[9, 9], &store),
+            Err(AeError::CorruptFrontier { .. })
+        ));
     }
 
     #[test]

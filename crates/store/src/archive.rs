@@ -29,7 +29,23 @@
 //! sealed; [`Archive::seal`] flushes every buffer and freezes the archive
 //! (further `put`s error), which is the natural end state of an archival
 //! workload.
+//!
+//! # Crash recovery
+//!
+//! Archives are **crash-recoverable end to end**: every mutation appends
+//! a versioned, checksummed record to an on-backend metadata journal (the
+//! reserved [`BlockId::Meta`] namespace — see [`crate::meta`] for the
+//! format) carrying the manifest entry, the ids written, and the scheme's
+//! encoder-frontier snapshot. After a crash, [`Archive::open`] replays
+//! the journal, restores the encoder frontier through
+//! [`RedundancyScheme::restore_frontier`] (refetching in-flight blocks
+//! from the backend, repairing them on the fly if the crash also took
+//! hardware with it), and resumes `put`/`seal`/`scrub` exactly where the
+//! crashed process stopped — a torn final journal record is detected and
+//! truncated ([`Archive::torn_tail`]), while damaged metadata surfaces as
+//! a typed [`RecoveryError`] naming what was lost.
 
+use crate::meta::{meta_id, MetaRecord};
 use ae_api::{AeError, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError};
 use ae_blocks::{crc32, Block, BlockId};
 use ae_core::Code;
@@ -117,6 +133,82 @@ impl std::error::Error for ArchiveError {
     }
 }
 
+/// Why [`Archive::open`] could not reconstruct an archive from a backend.
+///
+/// Every variant names what was lost or mismatched — recovery never
+/// panics and never silently serves stale state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The backend holds no archive metadata at all (no genesis record).
+    NoArchive,
+    /// A metadata record is damaged, missing mid-journal, or structurally
+    /// inconsistent with the records before it. The files logged from
+    /// this record onward are unrecoverable from metadata alone.
+    CorruptRecord {
+        /// Journal sequence number of the damaged record.
+        seq: u64,
+        /// The exact check that failed.
+        detail: String,
+    },
+    /// The journal was written by a different scheme than the one given —
+    /// replaying it would decode garbage.
+    SchemeMismatch {
+        /// Scheme name in the genesis record.
+        archived: String,
+        /// Name of the scheme passed to [`Archive::open`].
+        given: String,
+    },
+    /// The encoder frontier could not be restored (snapshot corrupt, or
+    /// an in-flight block is gone and unrepairable); the wrapped error
+    /// names the missing block.
+    Frontier(AeError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NoArchive => write!(f, "backend holds no archive metadata"),
+            RecoveryError::CorruptRecord { seq, detail } => {
+                write!(f, "metadata record meta#{seq} is unusable: {detail}")
+            }
+            RecoveryError::SchemeMismatch { archived, given } => write!(
+                f,
+                "archive was written by {archived}, cannot open with {given}"
+            ),
+            RecoveryError::Frontier(e) => write!(f, "encoder frontier not restorable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Frontier(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A read-only view that falls back to the scheme's single-block repair
+/// when the backend no longer holds a block — so restoring the encoder
+/// frontier survives a crash that *also* lost the frontier blocks, as
+/// long as they are repairable from surviving redundancy. Nothing is
+/// written back; [`Archive::scrub`] heals the backend afterwards.
+struct RepairingSource<'a> {
+    scheme: &'a dyn RedundancyScheme,
+    base: &'a dyn BlockSource,
+    written: u64,
+}
+
+impl BlockSource for RepairingSource<'_> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.base
+            .fetch(id)
+            .or_else(|| self.scheme.repair_block(self.base, id, self.written).ok())
+    }
+}
+
 /// An append-only archive over any scheme and any backend.
 ///
 /// # Examples
@@ -162,6 +254,15 @@ pub struct Archive<B: BlockRepo + ?Sized = dyn BlockRepo> {
     /// backend should hold, honouring buffered redundancy.
     stored_ids: Vec<BlockId>,
     sealed: bool,
+    /// Sequence number of the next metadata journal record.
+    next_meta: u64,
+    /// The encoded journal records this archive wrote or replayed, by
+    /// sequence number — [`Archive::scrub`] re-materializes any the
+    /// backend lost, so a live archive's journal is self-healing.
+    meta_log: Vec<Block>,
+    /// Set by [`Archive::open`] when a torn final journal record was
+    /// detected and truncated.
+    torn_tail: Option<u64>,
 }
 
 impl<B: BlockRepo + ?Sized> Archive<B> {
@@ -174,7 +275,10 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     }
 
     /// Creates an empty archive over any scheme: files are chunked into
-    /// `block_size`-byte blocks and encoded through `scheme` into `store`.
+    /// `block_size`-byte blocks and encoded through `scheme` into `store`,
+    /// and a genesis record is written to the backend's metadata journal
+    /// so the archive can be reopened with [`Archive::open`] after a
+    /// crash.
     ///
     /// The scheme must be fresh (nothing written through it yet): the
     /// archive owns the write-order log that maps manifest extents to
@@ -182,7 +286,9 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     ///
     /// # Panics
     ///
-    /// Panics if the scheme has already encoded data.
+    /// Panics if the scheme has already encoded data, or if the backend
+    /// already holds archive metadata (reopen those with
+    /// [`Archive::open`] instead of silently shadowing them).
     pub fn with_scheme(
         scheme: Arc<dyn RedundancyScheme>,
         block_size: usize,
@@ -190,7 +296,11 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     ) -> Self {
         assert_eq!(scheme.data_written(), 0, "archive schemes must start fresh");
         assert!(block_size > 0, "blocks must be non-empty");
-        Archive {
+        assert!(
+            store.fetch(meta_id(0)).is_none(),
+            "backend already holds an archive; reopen it with Archive::open"
+        );
+        let mut ar = Archive {
             scheme,
             store,
             block_size,
@@ -198,7 +308,225 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             data_ids: Vec::new(),
             stored_ids: Vec::new(),
             sealed: false,
+            next_meta: 0,
+            meta_log: Vec::new(),
+            torn_tail: None,
+        };
+        ar.append_meta(MetaRecord::Genesis {
+            scheme: ar.scheme.scheme_name(),
+            block_size: block_size as u64,
+        });
+        ar
+    }
+
+    /// Reopens an archive previously created over `store`, replaying the
+    /// on-backend metadata journal: the manifest, the write-order id log
+    /// and the sealed state are reconstructed record by record (each
+    /// record CRC-verified), the scheme's encoder frontier is restored
+    /// through [`RedundancyScheme::restore_frontier`] — refetching
+    /// in-flight blocks from the backend and falling back to single-block
+    /// repair if the crash also lost hardware — and the archive resumes
+    /// `put`/`get`/`seal`/`scrub` exactly where the crashed process
+    /// stopped.
+    ///
+    /// `scheme` must be a **fresh** instance of the same scheme the
+    /// archive was created with (same parameters; the genesis record's
+    /// scheme name is checked). A torn final journal record — a write the
+    /// crash cut short — is detected, truncated and reported via
+    /// [`Archive::torn_tail`]; the mutation it described was never
+    /// acknowledged and its orphan blocks are overwritten as the archive
+    /// resumes.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] naming exactly what was lost: no metadata at
+    /// all, a damaged or missing mid-journal record, a scheme mismatch,
+    /// or an unrestorable encoder frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheme` already encoded data.
+    pub fn open(scheme: Arc<dyn RedundancyScheme>, store: Arc<B>) -> Result<Self, RecoveryError> {
+        assert_eq!(
+            scheme.data_written(),
+            0,
+            "Archive::open requires a fresh scheme instance"
+        );
+        let genesis = store.fetch(meta_id(0)).ok_or(RecoveryError::NoArchive)?;
+        let record = MetaRecord::decode(0, genesis.as_slice())
+            .map_err(|detail| RecoveryError::CorruptRecord { seq: 0, detail })?;
+        let MetaRecord::Genesis {
+            scheme: archived,
+            block_size,
+        } = record
+        else {
+            return Err(RecoveryError::CorruptRecord {
+                seq: 0,
+                detail: "record 0 is not a genesis record".into(),
+            });
+        };
+        if archived != scheme.scheme_name() {
+            return Err(RecoveryError::SchemeMismatch {
+                archived,
+                given: scheme.scheme_name(),
+            });
         }
+        let mut ar = Archive {
+            scheme,
+            store,
+            block_size: block_size as usize,
+            manifest: BTreeMap::new(),
+            data_ids: Vec::new(),
+            stored_ids: Vec::new(),
+            sealed: false,
+            next_meta: 1,
+            meta_log: vec![genesis],
+            torn_tail: None,
+        };
+        let frontier = ar.replay()?;
+        if let Some(snapshot) = frontier {
+            let store: &B = &ar.store;
+            let base: &dyn BlockSource = &store;
+            let repairing = RepairingSource {
+                scheme: &*ar.scheme,
+                base,
+                written: ar.data_ids.len() as u64,
+            };
+            ar.scheme
+                .restore_frontier(&snapshot, &repairing)
+                .map_err(RecoveryError::Frontier)?;
+        }
+        Ok(ar)
+    }
+
+    /// How far past an invalid or missing record the replay looks for
+    /// survivors before concluding the journal ended there. A gap longer
+    /// than this with valid records beyond it is indistinguishable from
+    /// end-of-journal (see the torn-write rules in [`crate::meta`]).
+    const REPLAY_PROBE_WINDOW: u64 = 16;
+
+    /// Whether any journal record exists within the probe window after
+    /// `seq` — i.e. `seq` failing is mid-journal damage, not the tail.
+    fn journal_continues(&self, seq: u64) -> bool {
+        (seq + 1..=seq + Self::REPLAY_PROBE_WINDOW).any(|s| self.store.has(meta_id(s)))
+    }
+
+    /// Replays journal records from `next_meta` on, returning the last
+    /// frontier snapshot seen (`None` when the journal holds no mutations
+    /// — a freshly created archive).
+    fn replay(&mut self) -> Result<Option<Vec<u8>>, RecoveryError> {
+        let mut frontier = None;
+        loop {
+            let seq = self.next_meta;
+            let Some(block) = self.store.fetch(meta_id(seq)) else {
+                // End of journal — unless a later record exists within
+                // the probe window, in which case this one was lost
+                // mid-journal (damaged metadata, not a torn tail) and
+                // replaying past it would serve a silently rewound
+                // archive.
+                if self.journal_continues(seq) {
+                    return Err(RecoveryError::CorruptRecord {
+                        seq,
+                        detail: "record missing mid-journal".into(),
+                    });
+                }
+                break;
+            };
+            let record = match MetaRecord::decode(seq, block.as_slice()) {
+                Ok(record) => record,
+                Err(detail) => {
+                    if self.journal_continues(seq) {
+                        return Err(RecoveryError::CorruptRecord { seq, detail });
+                    }
+                    // A torn final record: the crash cut the write short.
+                    // Truncate the journal here — the mutation was never
+                    // acknowledged — and report it.
+                    self.torn_tail = Some(seq);
+                    break;
+                }
+            };
+            match record {
+                MetaRecord::Genesis { .. } => {
+                    return Err(RecoveryError::CorruptRecord {
+                        seq,
+                        detail: "unexpected genesis record mid-journal".into(),
+                    });
+                }
+                MetaRecord::Put {
+                    name,
+                    byte_len,
+                    crc,
+                    first_block,
+                    block_count,
+                    ids,
+                    frontier: snap,
+                } => {
+                    if first_block != self.data_ids.len() as u64 {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: format!(
+                                "extent starts at {first_block} but {} data blocks were replayed",
+                                self.data_ids.len()
+                            ),
+                        });
+                    }
+                    let data_added = ids.iter().filter(|id| id.is_data()).count() as u64;
+                    if data_added != block_count {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: format!(
+                                "entry claims {block_count} data blocks, record stores {data_added}"
+                            ),
+                        });
+                    }
+                    let entry = Entry {
+                        first_block,
+                        block_count,
+                        byte_len: byte_len as usize,
+                        crc,
+                    };
+                    if self.manifest.insert(name.clone(), entry).is_some() {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: format!("duplicate manifest entry {name:?}"),
+                        });
+                    }
+                    self.data_ids
+                        .extend(ids.iter().copied().filter(|id| id.is_data()));
+                    self.stored_ids.extend(ids);
+                    frontier = Some(snap);
+                }
+                MetaRecord::Seal {
+                    ids,
+                    frontier: snap,
+                } => {
+                    if self.sealed {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: "second seal record".into(),
+                        });
+                    }
+                    self.stored_ids.extend(ids);
+                    self.sealed = true;
+                    frontier = Some(snap);
+                }
+            }
+            self.meta_log.push(block);
+            self.next_meta += 1;
+        }
+        Ok(frontier)
+    }
+
+    /// Appends a record to the on-backend metadata journal, keeping the
+    /// encoded block so [`Archive::scrub`] can re-materialize it if the
+    /// backend loses it.
+    fn append_meta(&mut self, record: MetaRecord) {
+        let seq = self.next_meta;
+        let block = Block::from_vec(record.encode(seq));
+        self.store.store(meta_id(seq), block.clone());
+        debug_assert_eq!(self.meta_log.len() as u64, seq, "log tracks the journal");
+        self.meta_log.push(block);
+        self.next_meta += 1;
     }
 
     /// The underlying backend.
@@ -224,6 +552,20 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     /// Whether [`Archive::seal`] has been called.
     pub fn is_sealed(&self) -> bool {
         self.sealed
+    }
+
+    /// Number of records in the on-backend metadata journal (genesis
+    /// included): `Meta(0)..Meta(meta_len()-1)` are live.
+    pub fn meta_len(&self) -> u64 {
+        self.next_meta
+    }
+
+    /// The journal sequence number of a torn final record that
+    /// [`Archive::open`] detected and truncated — the mutation the crash
+    /// cut short. `None` for archives that opened clean (or were never
+    /// reopened).
+    pub fn torn_tail(&self) -> Option<u64> {
+        self.torn_tail
     }
 
     /// Names currently archived, in order.
@@ -289,23 +631,40 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             .scheme
             .encode_batch(&blocks, &self.store)
             .map_err(ArchiveError::Encode)?;
-        self.data_ids
-            .extend(report.ids.iter().copied().filter(|id| id.is_data()));
-        self.stored_ids.extend(report.ids);
         let entry = Entry {
             first_block,
             block_count: blocks.len() as u64,
             byte_len: contents.len(),
             crc: crc32(contents),
         };
+        // Journal the mutation before acknowledging it: a crash after the
+        // record lands replays the put; a crash before leaves only orphan
+        // blocks that the resumed encoder overwrites.
+        self.append_meta(MetaRecord::Put {
+            name: name.to_string(),
+            byte_len: entry.byte_len as u64,
+            crc: entry.crc,
+            first_block,
+            block_count: entry.block_count,
+            ids: report.ids.clone(),
+            frontier: self.scheme.frontier_snapshot(),
+        });
+        self.data_ids
+            .extend(report.ids.iter().copied().filter(|id| id.is_data()));
+        self.stored_ids.extend(report.ids);
         self.manifest.insert(name.to_string(), entry.clone());
         Ok(entry)
     }
 
     /// Flushes any buffered redundancy (a partial Reed-Solomon stripe, a
     /// closed chain's closing parity) and freezes the archive: further
-    /// `put`s report [`ArchiveError::Sealed`]. Idempotent; returns the ids
-    /// the flush stored.
+    /// `put`s report [`ArchiveError::Sealed`]. Returns the ids the flush
+    /// stored.
+    ///
+    /// Idempotent — on an already-sealed archive, including one freshly
+    /// reopened with [`Archive::open`], this is a no-op: the sealed state
+    /// is journaled, so a second call never re-flushes the stripe or
+    /// stores a duplicate closing parity.
     ///
     /// # Errors
     ///
@@ -318,6 +677,10 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             .scheme
             .seal(&self.store)
             .map_err(ArchiveError::Encode)?;
+        self.append_meta(MetaRecord::Seal {
+            ids: flushed.clone(),
+            frontier: self.scheme.frontier_snapshot(),
+        });
         self.stored_ids.extend(flushed.iter().copied());
         self.sealed = true;
         Ok(flushed)
@@ -359,15 +722,26 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     }
 
     /// Scrubs the archive: round-based repair of every missing block the
-    /// backend should hold, written back to the backend. Returns how many
-    /// blocks were restored.
+    /// backend should hold, written back to the backend — **including the
+    /// metadata journal**: records the backend lost are re-stored from
+    /// the archive's in-memory log, so a live archive heals its own
+    /// persistence layer and stays reopenable. Returns how many blocks
+    /// were restored (data, redundancy and journal records).
     pub fn scrub(&self) -> u64 {
         let store: &B = &self.store;
         let repo: &dyn BlockRepo = &store;
         let summary =
             self.scheme
                 .repair_missing(repo, &self.stored_ids, self.scheme.data_written());
-        summary.total_repaired() as u64
+        let mut restored = summary.total_repaired() as u64;
+        for (seq, block) in self.meta_log.iter().enumerate() {
+            let id = meta_id(seq as u64);
+            if !self.store.has(id) {
+                self.store.store(id, block.clone());
+                restored += 1;
+            }
+        }
+        restored
     }
 
     fn fetch_or_repair(&self, id: BlockId) -> Result<Block, ArchiveError> {
@@ -605,5 +979,229 @@ mod tests {
         assert!(ArchiveError::Sealed("y".into())
             .to_string()
             .contains("sealed"));
+        assert!(RecoveryError::NoArchive.to_string().contains("metadata"));
+        assert!(RecoveryError::SchemeMismatch {
+            archived: "AE(3,2,5)".into(),
+            given: "RS(4,2)".into()
+        }
+        .to_string()
+        .contains("AE(3,2,5)"));
+    }
+
+    fn ae_scheme() -> Arc<dyn RedundancyScheme> {
+        Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 64))
+    }
+
+    #[test]
+    fn crash_and_reopen_resumes_mid_stream() {
+        let (a, b, c) = (payload(1000, 7), payload(300, 11), payload(129, 13));
+
+        // The uninterrupted reference run.
+        let ref_store = Arc::new(MemStore::new());
+        let mut reference = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&ref_store));
+        reference.put("a", &a).unwrap();
+        reference.put("b", &b).unwrap();
+        reference.put("c", &c).unwrap();
+        reference.seal().unwrap();
+
+        // The crashed run: two puts, then the process dies.
+        let store = Arc::new(MemStore::new());
+        {
+            let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+            ar.put("a", &a).unwrap();
+            ar.put("b", &b).unwrap();
+        } // crash: archive and scheme dropped, backend survives
+
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.torn_tail(), None);
+        assert_eq!(ar.block_size(), 64);
+        assert_eq!(ar.names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(ar.get("a").unwrap(), a, "pre-crash contents replay");
+        ar.put("c", &c).unwrap();
+        ar.seal().unwrap();
+        assert_eq!(ar.get("c").unwrap(), c);
+
+        // Block-for-block identical to the uninterrupted run.
+        assert_eq!(ar.stored_ids(), reference.stored_ids());
+        assert_eq!(ar.entry("c"), reference.entry("c"));
+        for id in reference.stored_ids() {
+            assert_eq!(store.get(*id).unwrap(), ref_store.get(*id).unwrap(), "{id}");
+        }
+    }
+
+    #[test]
+    fn reopen_restores_sealed_state_and_seal_stays_idempotent() {
+        use ae_baselines::ReedSolomon;
+        let store = Arc::new(MemStore::new());
+        {
+            let scheme: Arc<dyn RedundancyScheme> = Arc::new(ReedSolomon::new(4, 2).unwrap());
+            let mut ar = Archive::with_scheme(scheme, 32, Arc::clone(&store));
+            ar.put("f", &payload(200, 9)).unwrap(); // 7 blocks: 3 buffered
+            assert!(!ar.seal().unwrap().is_empty(), "partial stripe flushed");
+        }
+        let before = store.len();
+        let scheme: Arc<dyn RedundancyScheme> = Arc::new(ReedSolomon::new(4, 2).unwrap());
+        let mut ar = Archive::open(scheme, Arc::clone(&store)).unwrap();
+        assert!(ar.is_sealed(), "sealed state survives the crash");
+        assert_eq!(ar.seal().unwrap(), Vec::new(), "re-seal is a no-op");
+        assert_eq!(store.len(), before, "no duplicate stripe flush");
+        assert!(matches!(
+            ar.put("late", b"no"),
+            Err(ArchiveError::Sealed(_))
+        ));
+        assert_eq!(ar.get("f").unwrap(), payload(200, 9));
+    }
+
+    #[test]
+    fn open_repairs_lost_frontier_blocks_on_the_fly() {
+        let store = Arc::new(MemStore::new());
+        {
+            let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+            ar.put("f", &payload(1000, 5)).unwrap();
+        }
+        // The crash also takes a frontier parity with it; its dp-tuple
+        // survives, so open's repairing fallback reconstructs it.
+        let frontier = BlockId::Parity(ae_blocks::EdgeId::new(
+            ae_blocks::StrandClass::Horizontal,
+            NodeId(16),
+        ));
+        assert!(store.remove(frontier));
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(!store.contains(frontier), "open mutates nothing");
+        assert_eq!(ar.scrub(), 1, "scrub heals the backend afterwards");
+        ar.put("g", &payload(70, 6)).unwrap();
+        assert_eq!(ar.get("g").unwrap(), payload(70, 6));
+    }
+
+    #[test]
+    fn scrub_heals_the_metadata_journal_too() {
+        let store = Arc::new(MemStore::new());
+        let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+        ar.put("a", &payload(500, 3)).unwrap();
+        ar.put("b", &payload(500, 4)).unwrap();
+        // The backend loses a journal record AND a data block.
+        assert!(store.remove(meta_id(1)));
+        assert!(store.remove(data_id(3)));
+        assert_eq!(ar.scrub(), 2, "one data repair + one journal re-store");
+        assert!(store.contains(meta_id(1)), "journal is self-healing");
+        assert_eq!(ar.scrub(), 0, "idempotent");
+        // The healed journal replays: a crash right now is survivable.
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.get("a").unwrap(), payload(500, 3));
+        assert_eq!(ar.get("b").unwrap(), payload(500, 4));
+    }
+
+    #[test]
+    fn open_failure_modes_are_typed() {
+        // No metadata at all.
+        assert!(matches!(
+            Archive::open(ae_scheme(), Arc::new(MemStore::new())),
+            Err(RecoveryError::NoArchive)
+        ));
+
+        // Wrong scheme.
+        let store = Arc::new(MemStore::new());
+        drop(Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store)));
+        let rs: Arc<dyn RedundancyScheme> = Arc::new(ae_baselines::ReedSolomon::new(4, 2).unwrap());
+        assert!(matches!(
+            Archive::open(rs, Arc::clone(&store)),
+            Err(RecoveryError::SchemeMismatch { archived, given })
+                if archived == "AE(3,2,5)" && given == "RS(4,2)"
+        ));
+
+        // Scribbled genesis record.
+        store.put(meta_id(0), Block::from_vec(vec![0xAB; 40]));
+        assert!(matches!(
+            Archive::open(ae_scheme(), Arc::clone(&store)),
+            Err(RecoveryError::CorruptRecord { seq: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn torn_final_record_is_truncated_and_reported() {
+        let store = Arc::new(MemStore::new());
+        let torn_seq = {
+            let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+            ar.put("kept", &payload(500, 3)).unwrap();
+            ar.put("torn", &payload(500, 4)).unwrap();
+            ar.meta_len() - 1
+        };
+        // Tear the final journal record: keep a prefix of its bytes.
+        let full = store.get(meta_id(torn_seq)).unwrap();
+        store.put(
+            meta_id(torn_seq),
+            Block::copy_from_slice(&full.as_slice()[..10]),
+        );
+
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.torn_tail(), Some(torn_seq), "truncation is reported");
+        assert_eq!(ar.names().collect::<Vec<_>>(), vec!["kept"]);
+        assert_eq!(ar.get("kept").unwrap(), payload(500, 3));
+        assert!(
+            matches!(ar.get("torn"), Err(ArchiveError::UnknownFile(_)),),
+            "the un-acknowledged put is gone, not stale"
+        );
+        // The archive resumes: the journal overwrites the torn record.
+        ar.put("after", &payload(100, 5)).unwrap();
+        assert_eq!(ar.get("after").unwrap(), payload(100, 5));
+        assert!(ar.verify_all().is_empty());
+    }
+
+    #[test]
+    fn mid_journal_damage_is_fatal_not_silent() {
+        let store = Arc::new(MemStore::new());
+        {
+            let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+            ar.put("a", &payload(200, 3)).unwrap();
+            ar.put("b", &payload(200, 4)).unwrap();
+            ar.put("c", &payload(200, 5)).unwrap();
+            ar.put("d", &payload(200, 6)).unwrap();
+        }
+        // Damage the FIRST put record (later records follow): replay must
+        // refuse rather than silently rewind past it.
+        store.remove(meta_id(1));
+        assert!(matches!(
+            Archive::open(ae_scheme(), Arc::clone(&store)),
+            Err(RecoveryError::CorruptRecord { seq: 1, .. })
+        ));
+        // A *gap* of consecutive lost records with survivors beyond is
+        // still mid-journal damage, not an end-of-journal.
+        store.remove(meta_id(2));
+        store.remove(meta_id(3));
+        assert!(matches!(
+            Archive::open(ae_scheme(), Arc::clone(&store)),
+            Err(RecoveryError::CorruptRecord { seq: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_a_scheme_with_the_wrong_block_size() {
+        let store = Arc::new(MemStore::new());
+        {
+            let mut ar = Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store));
+            ar.put("f", &payload(500, 3)).unwrap();
+        }
+        // Same AE parameters (same scheme name!) but 32-byte blocks: the
+        // frontier snapshot pins the block size, so open fails typed
+        // instead of serving an archive that breaks on the next put.
+        let wrong: Arc<dyn RedundancyScheme> =
+            Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 32));
+        match Archive::open(wrong, Arc::clone(&store)) {
+            Err(RecoveryError::Frontier(AeError::CorruptFrontier { detail })) => {
+                assert!(detail.contains("64"), "{detail}");
+            }
+            Err(other) => panic!("expected CorruptFrontier, got {other}"),
+            Ok(_) => panic!("wrong block size must not open"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Archive::open")]
+    fn fresh_constructor_refuses_an_occupied_backend() {
+        let store = Arc::new(MemStore::new());
+        drop(Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store)));
+        // Shadowing an existing archive must panic, pointing at open().
+        let _ = Archive::with_scheme(ae_scheme(), 64, store);
     }
 }

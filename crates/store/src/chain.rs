@@ -25,6 +25,7 @@
 
 use ae_api::{
     AeError, BlockSink, BlockSource, EncodeReport, RedundancyScheme, RepairCost, RepairError,
+    SnapshotReader, SnapshotWriter,
 };
 use ae_blocks::{Block, BlockId, EdgeId, NodeId, StrandClass};
 use parking_lot::Mutex;
@@ -235,6 +236,62 @@ impl RedundancyScheme for EntangledChain {
             return Ok(vec![id]);
         }
         Ok(Vec::new())
+    }
+
+    /// Version 1: `[written u64, sealed u8, block_size u64]`. The
+    /// frontier blocks — the last emitted parity and (for closing a ring)
+    /// the first data block — already live on the backend, so restore
+    /// refetches them; the block size makes a mismatched chain fail typed
+    /// at open instead of at the next encode.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        let enc = self.enc.lock();
+        SnapshotWriter::new(1)
+            .u64(enc.written)
+            .u8(enc.sealed as u8)
+            .u64(self.block_size as u64)
+            .finish()
+    }
+
+    fn restore_frontier(&self, snapshot: &[u8], source: &dyn BlockSource) -> Result<(), AeError> {
+        let name = self.scheme_name();
+        let mut r = SnapshotReader::new(snapshot, 1, &name)?;
+        let written = r.u64()?;
+        let sealed = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(AeError::CorruptFrontier {
+                    detail: format!("{name}: sealed flag is {other}"),
+                })
+            }
+        };
+        let block_size = r.u64()?;
+        r.finish()?;
+        if block_size != self.block_size as u64 {
+            return Err(AeError::CorruptFrontier {
+                detail: format!(
+                    "{name}: snapshot encodes {block_size}-byte blocks, this chain {}",
+                    self.block_size
+                ),
+            });
+        }
+        let fetch = |id: BlockId| source.fetch(id).ok_or(AeError::FrontierBlockMissing { id });
+        // A sealed chain never encodes again; an unsealed one needs its
+        // frontier parity, and a closed ring additionally d_1 to tangle
+        // the closing parity at seal time.
+        let mut state = ChainEncoderState {
+            written,
+            sealed,
+            ..ChainEncoderState::default()
+        };
+        if written > 0 && !sealed {
+            state.last_parity = Some(fetch(parity_id(written))?);
+            if self.mode == ChainMode::Closed {
+                state.first_data = Some(fetch(BlockId::Data(NodeId(1)))?);
+            }
+        }
+        *self.enc.lock() = state;
+        Ok(())
     }
 
     fn repair_block(
@@ -568,6 +625,54 @@ mod tests {
             chain.repair_block(&BlockMap::new(), foreign, 10),
             Err(RepairError::ForeignBlock { .. })
         ));
+    }
+
+    #[test]
+    fn frontier_restores_mid_stream_and_sealed_chains() {
+        for mode in [ChainMode::Open, ChainMode::Closed] {
+            // Mid-stream: restored chains keep chaining bit-identically.
+            let chain = EntangledChain::new(mode, 16);
+            let store = BlockMap::new();
+            chain.encode_batch(&payload(6), &store).unwrap();
+            let resumed = EntangledChain::new(mode, 16);
+            resumed
+                .restore_frontier(&chain.frontier_snapshot(), &store)
+                .unwrap();
+            assert_eq!(resumed.data_written(), 6, "{mode}");
+            let (a, b) = (BlockMap::new(), BlockMap::new());
+            let more = payload(9).split_off(6);
+            chain.encode_batch(&more, &a).unwrap();
+            resumed.encode_batch(&more, &b).unwrap();
+            chain.seal(&a).unwrap();
+            resumed.seal(&b).unwrap();
+            assert_eq!(a, b, "{mode}: continuation + closing parity agree");
+
+            // Sealed: restore needs nothing from the backend and re-seal
+            // stays a no-op (no duplicate closing parity).
+            let sealed = EntangledChain::new(mode, 16);
+            sealed
+                .restore_frontier(&resumed.frontier_snapshot(), &BlockMap::new())
+                .unwrap();
+            assert!(sealed.is_sealed(), "{mode}");
+            assert_eq!(sealed.seal(&BlockMap::new()).unwrap(), Vec::new());
+
+            // Losing the frontier parity is a typed, named failure.
+            store.remove(&parity_id(6));
+            let broken = EntangledChain::new(mode, 16);
+            assert!(matches!(
+                broken.restore_frontier(&chain_snapshot_at(6), &store),
+                Err(AeError::FrontierBlockMissing { id }) if id == parity_id(6)
+            ));
+        }
+    }
+
+    /// An unsealed version-1 snapshot at `written` 16-byte blocks.
+    fn chain_snapshot_at(written: u64) -> Vec<u8> {
+        ae_api::SnapshotWriter::new(1)
+            .u64(written)
+            .u8(0)
+            .u64(16)
+            .finish()
     }
 
     #[test]

@@ -204,6 +204,29 @@ impl RedundancyScheme for GeoLattice {
         Ok(ids.into_iter().map(|id| self.ns(id)).collect())
     }
 
+    /// Delegates to the wrapped code's snapshot (the lattice write
+    /// counter); the namespace tag is structural, not state.
+    fn frontier_snapshot(&self) -> Vec<u8> {
+        self.code.frontier_snapshot()
+    }
+
+    fn restore_frontier(&self, snapshot: &[u8], source: &dyn BlockSource) -> Result<(), AeError> {
+        let ns_source = NsSource {
+            inner: source,
+            tag: self.tag,
+        };
+        self.code
+            .restore_frontier(snapshot, &ns_source)
+            .map_err(|e| match e {
+                // Surface the id that is actually missing in the shared
+                // (namespaced) key space, not the lattice-local one.
+                AeError::FrontierBlockMissing { id } => AeError::FrontierBlockMissing {
+                    id: ns_apply(self.tag, id),
+                },
+                other => other,
+            })
+    }
+
     fn repair_block(
         &self,
         source: &dyn BlockSource,
@@ -591,6 +614,40 @@ mod tests {
         let file = sample_file(file_len);
         let handle = geo.backup(&file);
         (geo, handle, file)
+    }
+
+    #[test]
+    fn geo_frontier_restores_through_the_namespace() {
+        use ae_api::BlockMap;
+
+        let cfg = Config::new(3, 2, 5).unwrap();
+        let geo = GeoLattice::new(ae_core::Code::new(cfg, 16), 3);
+        let store = BlockMap::new();
+        let blocks: Vec<Block> = (0..30u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        geo.encode_batch(&blocks, &store).unwrap();
+        let snap = geo.frontier_snapshot();
+
+        let resumed = GeoLattice::new(ae_core::Code::new(cfg, 16), 3);
+        resumed.restore_frontier(&snap, &store).unwrap();
+        assert_eq!(resumed.data_written(), 30);
+        let (a, b) = (BlockMap::new(), BlockMap::new());
+        let more: Vec<Block> = (30..40u8).map(|k| Block::from_vec(vec![k; 16])).collect();
+        geo.encode_batch(&more, &a).unwrap();
+        resumed.encode_batch(&more, &b).unwrap();
+        assert_eq!(a, b, "namespaced continuation is bit-identical");
+
+        // A missing frontier parity is named in the *namespaced* id space.
+        let frontier = geo.ns(BlockId::Parity(EdgeId::new(
+            ae_blocks::StrandClass::Horizontal,
+            NodeId(30),
+        )));
+        store.remove(&frontier);
+        let broken = GeoLattice::new(ae_core::Code::new(cfg, 16), 3);
+        let err = broken.restore_frontier(&snap, &store).unwrap_err();
+        assert!(
+            matches!(err, AeError::FrontierBlockMissing { id } if id == frontier),
+            "{err}"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@
 //!   topology (full partition / striping layouts) over the chain scheme.
 //! * [`archive`] — the user-facing layer: an append-only file archive,
 //!   generic over `Arc<dyn RedundancyScheme>` *and* over the backend, with
-//!   a manifest, degraded reads, scrubbing and end-to-end verification.
+//!   a manifest, degraded reads, scrubbing and end-to-end verification —
+//!   crash-recoverable via [`archive::Archive::open`].
+//! * [`meta`] — the archive's on-backend metadata journal: the versioned,
+//!   checksummed record format persisting the manifest, the write-order
+//!   id log and the encoder frontier through any backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,11 +52,12 @@ pub mod cluster;
 pub mod distributed;
 pub mod fault;
 pub mod geo;
+pub mod meta;
 pub mod placement;
 pub mod store;
 pub mod tiered;
 
-pub use archive::{Archive, ArchiveError};
+pub use archive::{Archive, ArchiveError, RecoveryError};
 pub use chain::{ChainMode, EntangledChain, ExtremityWarning};
 pub use cluster::{Cluster, LocationId};
 pub use distributed::DistributedStore;

@@ -1,0 +1,469 @@
+//! The archive's **on-backend metadata journal**: the persistent form of
+//! the manifest, the write-order id log and the encoder frontier.
+//!
+//! [`crate::Archive`] keeps its metadata as a sequence of records stored
+//! as ordinary blocks under the reserved [`BlockId::Meta`] namespace of
+//! the *same* backend that holds the data — `Meta(0)`, `Meta(1)`,
+//! `Meta(2)`, … — so a process crash loses nothing:
+//! [`crate::Archive::open`] replays the journal and resumes exactly where
+//! the crashed process stopped.
+//!
+//! # Record layout (format version 1)
+//!
+//! Every record is one block whose bytes are:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"AEMJ"` |
+//! | 4      | 2    | format version, little-endian (`1`) |
+//! | 6      | 2    | record kind, little-endian (`0` genesis, `1` put, `2` seal) |
+//! | 8      | 8    | sequence number, little-endian — must equal the [`MetaId`] the record is stored under |
+//! | 16     | 4    | payload length `L`, little-endian |
+//! | 20     | `L`  | kind-specific payload (below) |
+//! | 20+L   | 4    | CRC32 (IEEE) over bytes `[0, 20+L)`, little-endian |
+//!
+//! Payloads (all integers little-endian; strings are UTF-8, length-prefixed
+//! with a `u16`; block ids use the tagged encoding of [`encode_block_id`]):
+//!
+//! * **Genesis** (`kind 0`, written once at archive creation, always at
+//!   `Meta(0)`): scheme display name (string), block size (`u64`).
+//!   [`crate::Archive::open`] refuses to replay a journal whose scheme
+//!   name differs from the scheme it was given.
+//! * **Put** (`kind 1`, one per [`crate::Archive::put`]): file name
+//!   (string), byte length (`u64`), content CRC32 (`u32`), dense extent
+//!   (`first_block u64`, `block_count u64`), the block ids this put stored
+//!   (`u32` count, then ids, write order, redundancy included), and the
+//!   post-put encoder-frontier snapshot (`u32` length + bytes, see
+//!   [`ae_api::RedundancyScheme::frontier_snapshot`]).
+//! * **Seal** (`kind 2`, at most one, written by
+//!   [`crate::Archive::seal`]): the ids the flush stored (`u32` count +
+//!   ids) and the post-seal frontier snapshot (`u32` length + bytes).
+//!
+//! # Versioning and torn-write rules
+//!
+//! * The journal is **append-only**: record `n` is written before record
+//!   `n + 1`, records are never rewritten, and each record is one
+//!   atomically-stored block. The sequence number inside the record must
+//!   match the id it is fetched from, so a block misdirected between
+//!   archives cannot be replayed silently.
+//! * A reader rejects any record whose magic, version, kind, sequence
+//!   number, length framing or CRC32 does not check out — with a typed
+//!   error, never a panic.
+//! * **Torn tail**: if the *final* record of the journal is invalid (a
+//!   write torn by the crash) and no record follows it, replay truncates
+//!   the journal there — the un-acknowledged mutation is dropped, the
+//!   archive reopens at the last durable state, and the truncation is
+//!   reported via [`crate::Archive::torn_tail`]. Blocks the torn mutation
+//!   already stored are orphans; the resumed encoder overwrites them.
+//! * **Mid-journal damage is fatal at open**: an invalid or missing
+//!   record that is *followed* by a valid one means the metadata itself
+//!   was damaged (not a torn write), and replay fails with
+//!   [`crate::archive::RecoveryError::CorruptRecord`] naming the record —
+//!   stale or reordered state is never served silently. Replay probes a
+//!   16-record window past a failure to distinguish damage from the
+//!   tail; only a gap of *more* than 16 consecutive destroyed records
+//!   with survivors beyond it is indistinguishable from end-of-journal.
+//!   A **live** archive, by contrast, keeps every record it wrote in
+//!   memory and [`crate::Archive::scrub`] re-stores any the backend
+//!   lost, so the journal heals with the data it describes.
+
+use ae_blocks::{crc32, BlockId, EdgeId, MetaId, NodeId, ReplicaId, ShardId, StrandClass};
+
+/// Magic prefix of every journal record: "AE Meta Journal".
+pub const MAGIC: [u8; 4] = *b"AEMJ";
+
+/// Journal format version written and accepted by this build.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The id of journal record `seq`.
+pub fn meta_id(seq: u64) -> BlockId {
+    BlockId::Meta(MetaId(seq))
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaRecord {
+    /// Archive birth certificate (`Meta(0)`).
+    Genesis {
+        /// Display name of the scheme the archive was created over.
+        scheme: String,
+        /// Chunk size in bytes.
+        block_size: u64,
+    },
+    /// One archived file.
+    Put {
+        /// File name.
+        name: String,
+        /// Original length in bytes.
+        byte_len: u64,
+        /// CRC32 of the original contents.
+        crc: u32,
+        /// 0-based index of the file's first data block in write order.
+        first_block: u64,
+        /// Number of data blocks.
+        block_count: u64,
+        /// Every id this put stored (data + redundancy), in write order.
+        ids: Vec<BlockId>,
+        /// Post-put encoder-frontier snapshot.
+        frontier: Vec<u8>,
+    },
+    /// The archive was sealed.
+    Seal {
+        /// Ids the redundancy flush stored.
+        ids: Vec<BlockId>,
+        /// Post-seal encoder-frontier snapshot.
+        frontier: Vec<u8>,
+    },
+}
+
+/// Why a record's bytes could not be decoded. The string names the exact
+/// check that failed; [`crate::Archive::open`] wraps it with the record's
+/// sequence number.
+pub type RecordError = String;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn put_ids(buf: &mut Vec<u8>, ids: &[BlockId]) {
+    buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for &id in ids {
+        encode_block_id(buf, id);
+    }
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends the tagged wire form of `id`: a one-byte variant tag followed
+/// by the variant's fields, little-endian (`0` data: node `u64`;
+/// `1` parity: class `u8`, left `u64`; `2` shard: stripe `u64`, index
+/// `u16`; `3` replica: node `u64`, copy `u16`; `4` meta: seq `u64`).
+pub fn encode_block_id(buf: &mut Vec<u8>, id: BlockId) {
+    match id {
+        BlockId::Data(NodeId(i)) => {
+            buf.push(0);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        BlockId::Parity(EdgeId { class, left }) => {
+            buf.push(1);
+            buf.push(class.index() as u8);
+            buf.extend_from_slice(&left.0.to_le_bytes());
+        }
+        BlockId::Shard(ShardId { stripe, index }) => {
+            buf.push(2);
+            buf.extend_from_slice(&stripe.to_le_bytes());
+            buf.extend_from_slice(&index.to_le_bytes());
+        }
+        BlockId::Replica(ReplicaId { node, copy }) => {
+            buf.push(3);
+            buf.extend_from_slice(&node.0.to_le_bytes());
+            buf.extend_from_slice(&copy.to_le_bytes());
+        }
+        BlockId::Meta(MetaId(seq)) => {
+            buf.push(4);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+}
+
+/// Bounds-checked cursor over record bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecordError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let bytes = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(bytes)
+            }
+            None => Err(format!("truncated at byte {}", self.pos)),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, RecordError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RecordError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, RecordError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RecordError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn string(&mut self) -> Result<String, RecordError> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "non-UTF-8 string".to_string())
+    }
+
+    fn block_id(&mut self) -> Result<BlockId, RecordError> {
+        Ok(match self.u8()? {
+            0 => BlockId::Data(NodeId(self.u64()?)),
+            1 => {
+                let class = match self.u8()? {
+                    0 => StrandClass::Horizontal,
+                    1 => StrandClass::RightHanded,
+                    2 => StrandClass::LeftHanded,
+                    c => return Err(format!("unknown strand class {c}")),
+                };
+                BlockId::Parity(EdgeId::new(class, NodeId(self.u64()?)))
+            }
+            2 => BlockId::Shard(ShardId {
+                stripe: self.u64()?,
+                index: self.u16()?,
+            }),
+            3 => BlockId::Replica(ReplicaId {
+                node: NodeId(self.u64()?),
+                copy: self.u16()?,
+            }),
+            4 => BlockId::Meta(MetaId(self.u64()?)),
+            t => return Err(format!("unknown block-id tag {t}")),
+        })
+    }
+
+    fn ids(&mut self) -> Result<Vec<BlockId>, RecordError> {
+        let count = self.u32()? as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            out.push(self.block_id()?);
+        }
+        Ok(out)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, RecordError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), RecordError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing payload byte(s)",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+impl MetaRecord {
+    fn kind(&self) -> u16 {
+        match self {
+            MetaRecord::Genesis { .. } => 0,
+            MetaRecord::Put { .. } => 1,
+            MetaRecord::Seal { .. } => 2,
+        }
+    }
+
+    /// Encodes the record for storage at `Meta(seq)`: header, payload and
+    /// trailing CRC32 as documented at module level.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            MetaRecord::Genesis { scheme, block_size } => {
+                put_str(&mut payload, scheme);
+                payload.extend_from_slice(&block_size.to_le_bytes());
+            }
+            MetaRecord::Put {
+                name,
+                byte_len,
+                crc,
+                first_block,
+                block_count,
+                ids,
+                frontier,
+            } => {
+                put_str(&mut payload, name);
+                payload.extend_from_slice(&byte_len.to_le_bytes());
+                payload.extend_from_slice(&crc.to_le_bytes());
+                payload.extend_from_slice(&first_block.to_le_bytes());
+                payload.extend_from_slice(&block_count.to_le_bytes());
+                put_ids(&mut payload, ids);
+                put_bytes(&mut payload, frontier);
+            }
+            MetaRecord::Seal { ids, frontier } => {
+                put_ids(&mut payload, ids);
+                put_bytes(&mut payload, frontier);
+            }
+        }
+        let mut out = Vec::with_capacity(24 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.kind().to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes the record stored at `Meta(seq)`, verifying magic, version,
+    /// sequence number, length framing and CRC32.
+    ///
+    /// # Errors
+    ///
+    /// A [`RecordError`] naming the first check that failed — the caller
+    /// decides whether that means a torn tail (truncate) or damaged
+    /// metadata (fatal).
+    pub fn decode(seq: u64, bytes: &[u8]) -> Result<MetaRecord, RecordError> {
+        if bytes.len() < 24 {
+            return Err(format!("{} bytes is shorter than any record", bytes.len()));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4"));
+        if crc32(body) != stored_crc {
+            return Err("record CRC mismatch".to_string());
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err("bad magic".to_string());
+        }
+        let version = r.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "format version {version}, expected {FORMAT_VERSION}"
+            ));
+        }
+        let kind = r.u16()?;
+        let stored_seq = r.u64()?;
+        if stored_seq != seq {
+            return Err(format!("sequence {stored_seq} stored under meta#{seq}"));
+        }
+        let payload_len = r.u32()? as usize;
+        if body.len() != 20 + payload_len {
+            return Err(format!(
+                "payload length {payload_len} does not match record length {}",
+                bytes.len()
+            ));
+        }
+        let record = match kind {
+            0 => MetaRecord::Genesis {
+                scheme: r.string()?,
+                block_size: r.u64()?,
+            },
+            1 => MetaRecord::Put {
+                name: r.string()?,
+                byte_len: r.u64()?,
+                crc: r.u32()?,
+                first_block: r.u64()?,
+                block_count: r.u64()?,
+                ids: r.ids()?,
+                frontier: r.bytes()?,
+            },
+            2 => MetaRecord::Seal {
+                ids: r.ids()?,
+                frontier: r.bytes()?,
+            },
+            k => return Err(format!("unknown record kind {k}")),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ids() -> Vec<BlockId> {
+        vec![
+            BlockId::Data(NodeId(7)),
+            BlockId::Parity(EdgeId::new(StrandClass::LeftHanded, NodeId(7))),
+            BlockId::Shard(ShardId {
+                stripe: 3,
+                index: 1,
+            }),
+            BlockId::Replica(ReplicaId {
+                node: NodeId(9),
+                copy: 2,
+            }),
+            BlockId::Meta(MetaId(4)),
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            MetaRecord::Genesis {
+                scheme: "AE(3,2,5)".into(),
+                block_size: 64,
+            },
+            MetaRecord::Put {
+                name: "report.pdf".into(),
+                byte_len: 2000,
+                crc: 0xDEAD_BEEF,
+                first_block: 5,
+                block_count: 32,
+                ids: sample_ids(),
+                frontier: vec![1, 2, 3],
+            },
+            MetaRecord::Seal {
+                ids: sample_ids(),
+                frontier: vec![],
+            },
+        ];
+        for (seq, record) in records.iter().enumerate() {
+            let bytes = record.encode(seq as u64);
+            assert_eq!(
+                MetaRecord::decode(seq as u64, &bytes).as_ref(),
+                Ok(record),
+                "seq {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = MetaRecord::Put {
+            name: "f".into(),
+            byte_len: 10,
+            crc: 1,
+            first_block: 0,
+            block_count: 1,
+            ids: sample_ids(),
+            frontier: vec![9; 17],
+        }
+        .encode(3);
+        for cut in 0..bytes.len() {
+            assert!(
+                MetaRecord::decode(3, &bytes[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn field_corruption_is_detected() {
+        let good = MetaRecord::Genesis {
+            scheme: "RS(4,2)".into(),
+            block_size: 32,
+        }
+        .encode(0);
+        // Flip one byte anywhere: the CRC (or, for the CRC bytes
+        // themselves, the body mismatch) must catch it.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(MetaRecord::decode(0, &bad).is_err(), "flip at {i}");
+        }
+        // A record replayed under the wrong sequence number is rejected.
+        assert!(MetaRecord::decode(1, &good).is_err());
+    }
+}

@@ -42,6 +42,7 @@ fn block_key(id: BlockId) -> u64 {
         BlockId::Parity(EdgeId { class, left }) => (left.0 << 2) | (class.index() as u64 + 1),
         BlockId::Shard(s) => FOREIGN_BASE | (s.stripe << 9) | s.index as u64,
         BlockId::Replica(r) => (FOREIGN_BASE << 1) | (r.node.0 << 9) | r.copy as u64,
+        BlockId::Meta(m) => (FOREIGN_BASE | (FOREIGN_BASE << 1)) | m.0,
     }
 }
 
@@ -53,6 +54,8 @@ fn sequence_index(id: BlockId) -> u64 {
         BlockId::Parity(EdgeId { class, left }) => left.0 * 4 + 1 + class.index() as u64,
         BlockId::Shard(s) => s.stripe * 4 + s.index as u64,
         BlockId::Replica(r) => r.node.0 * 4 + r.copy as u64,
+        // Metadata records spread over locations like any other sequence.
+        BlockId::Meta(m) => m.0,
     }
 }
 
