@@ -1,0 +1,346 @@
+//! Service-layer benchmark: multi-tenant serving throughput and latency,
+//! AE vs Reed-Solomon vs replication, uniform vs Zipf-skewed traffic,
+//! one shard vs a pool.
+//!
+//! Criterion's per-iteration timing can't express in-run latency
+//! percentiles, so this bench is a custom `harness = false` main: each
+//! cell builds a fresh multi-tenant [`ArchiveService`], warms every
+//! tenant with a seeded write phase (unmeasured), then drives an
+//! open-loop paced serving phase (reads over writes and scrubs) through
+//! the worker pool and reports the service's own [`ServiceReport`] —
+//! p50/p99 per op kind, aggregate throughput, queue-depth highwater.
+//!
+//! Two throughput figures per cell:
+//!
+//! - `ops_per_sec` — raw completions over the serving wall clock. On a
+//!   single-core host this is compute-bound and near-identical across
+//!   shard counts.
+//! - `goodput_slo_ops_per_sec` — completions that met the latency SLO
+//!   ([`SLO`]). Scrubs are whole-archive sweeps, so a lone shard
+//!   head-of-line-blocks every tenant's reads behind them; a pool keeps
+//!   the other shards' queues draining. This is where sharding pays even
+//!   without parallel compute, and the figure the multi-shard >
+//!   single-shard gate is asserted on.
+//!
+//! Each cell pools [`TRIALS`] runs (merged histograms, summed wall
+//! clock) to damp scheduler noise. JSON lines go to **stdout** (the
+//! `BENCH_service.json` format), human commentary to stderr:
+//!
+//! ```sh
+//! cargo bench -p ae-bench --bench service > BENCH_service.json
+//! AE_BENCH_SERVICE_OPS=200 cargo bench -p ae-bench --bench service   # smoke
+//! ```
+
+use ae_api::RedundancyScheme;
+use ae_baselines::{ReedSolomon, Replication};
+use ae_core::Code;
+use ae_lattice::Config;
+use ae_service::{
+    ArchiveService, OpKind, OpMix, Phase, ServiceConfig, ServiceReport, SharedBackend, TenantId,
+    Workload, WorkloadConfig,
+};
+use ae_store::MemStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BLOCK: usize = 1024;
+const TENANTS: u16 = 8;
+const SEED: u64 = 0xAE5E;
+/// Per-op latency SLO for the goodput figure: generous against the
+/// sub-millisecond media path, tight against a multi-millisecond wait
+/// behind another tenant's archive-wide scrub.
+const SLO: Duration = Duration::from_millis(5);
+/// Trials pooled per cell; single-core scheduler noise otherwise
+/// dominates any single run.
+const TRIALS: usize = 3;
+
+type SchemeFactory = fn() -> Arc<dyn RedundancyScheme>;
+
+/// (name, factory, warm-corpus factor). The factor sizes each scheme's
+/// corpus so one scrub sweep lasts a comparable wall time (~2-4× the
+/// SLO) across schemes: AE verifies a whole entanglement lattice per
+/// sweep so it needs a smaller corpus, Reed-Solomon only re-codes
+/// stripes so it needs a larger one. Equal burst durations make the
+/// single-vs-pool isolation comparison apples-to-apples.
+fn schemes() -> Vec<(&'static str, SchemeFactory, f64)> {
+    vec![
+        (
+            "AE(3,2,5)",
+            (|| Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK))) as SchemeFactory,
+            0.75,
+        ),
+        ("RS(4,2)", || Arc::new(ReedSolomon::new(4, 2).unwrap()), 2.0),
+        ("3-replic", || Arc::new(Replication::new(3)), 1.25),
+    ]
+}
+
+/// Two phases sharing one seed: an unmeasured warm phase that populates
+/// every tenant, then the measured serving phase paced at `interarrival`.
+fn workload_phases(
+    serve_ops: usize,
+    warm_ops: usize,
+    zipf: bool,
+    interarrival: Duration,
+) -> Vec<Workload> {
+    Workload::generate_phased(
+        SEED,
+        WorkloadConfig {
+            tenants: TENANTS,
+            phases: vec![
+                // Large warm corpus: scrub cost scales with archive
+                // size, and long scrub bursts are what a single shard
+                // cannot absorb.
+                Phase {
+                    ops: warm_ops,
+                    mix: OpMix::write_only(),
+                    interarrival: Duration::ZERO,
+                },
+                // Serving traffic with a maintenance window mixed in,
+                // paced below system capacity: scrubs are whole-archive
+                // sweeps pinned to tenant 3 (`scrub_tenant` below — a
+                // sizeable corpus that shares no shard with the
+                // zipf-hot tenant 0), so a single shard backlogs
+                // *every* tenant's reads behind them while a pool
+                // confines the backlog to the maintenance shard. Scrubs
+                // are rare (1%) but long: a low duty cycle keeps bursts
+                // from overlapping, so queues drain between them and
+                // SLO misses trace to head-of-line blocking rather than
+                // steady-state load.
+                Phase {
+                    ops: serve_ops,
+                    mix: OpMix {
+                        put: 20,
+                        get: 79,
+                        scrub: 1,
+                    },
+                    interarrival,
+                },
+            ],
+            tenant_skew: zipf.then_some(0.99),
+            file_skew: zipf.then_some(0.99),
+            payload: (BLOCK, 12 * BLOCK),
+            scrub_tenant: Some(TenantId(3)),
+            seal_tail: false,
+        },
+    )
+}
+
+fn quantile_ns(report: &ServiceReport, kind: OpKind, q: f64) -> u64 {
+    report
+        .latency(kind)
+        .quantile(q)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Completions that met the SLO, per second of serving wall clock.
+fn goodput(report: &ServiceReport) -> f64 {
+    let secs = report.wall.as_secs_f64();
+    if secs == 0.0 {
+        return 0.0;
+    }
+    let met: u64 = OpKind::ALL
+        .iter()
+        .map(|&k| report.latency(k).count_at_most(SLO))
+        .sum();
+    met as f64 / secs
+}
+
+struct Trial {
+    report: ServiceReport,
+    saturated_retries: u64,
+}
+
+fn trial(make: SchemeFactory, shards: usize, phases: &[Workload]) -> Trial {
+    let backend: SharedBackend = Arc::new(MemStore::new());
+    let mut svc = ArchiveService::new(
+        backend,
+        ServiceConfig {
+            shards: Some(shards),
+            queue_depth: 1024,
+            inline: false,
+        },
+    );
+    for _ in 0..TENANTS {
+        svc.add_tenant(make(), BLOCK);
+    }
+    let (warm, _) = svc.run(|client| phases[0].drive(client));
+    assert!(
+        warm.clean(),
+        "warm phase failed: {:?}",
+        warm.failures.first()
+    );
+    let (outcome, report) = svc.run(|client| phases[1].drive(client));
+    assert!(
+        outcome.clean(),
+        "serving phase failed: {:?}",
+        outcome.failures.first()
+    );
+    assert!(svc.verify_all().is_empty());
+    Trial {
+        report,
+        saturated_retries: outcome.saturated_retries,
+    }
+}
+
+/// Measures a scheme's single-shard max-rate capacity (ops/sec) so the
+/// measured cells can be paced at a fixed utilisation of it. Pacing one
+/// absolute rate across schemes would leave the fastest baselines with
+/// empty queues (no isolation to measure) and the slowest saturated.
+fn calibrate(make: SchemeFactory, zipf: bool, serve_ops: usize, warm_ops: usize) -> f64 {
+    let phases = workload_phases(serve_ops, warm_ops, zipf, Duration::ZERO);
+    // Mean of two runs: pacing feeds every downstream number in the
+    // cell, so calibration noise would otherwise dominate the gate.
+    let a = trial(make, 1, &phases).report.ops_per_sec();
+    let b = trial(make, 1, &phases).report.ops_per_sec();
+    (a + b) / 2.0
+}
+
+/// One cell: scheme × popularity × shard count. Pools all [`TRIALS`]
+/// runs into one merged report (summed wall clock, merged histograms) —
+/// a pooled estimate is far steadier on a noisy single-core host than
+/// any single trial or a best-of pick. Returns (raw ops/sec, SLO
+/// goodput/sec) of the pooled cell.
+fn run_cell(
+    name: &str,
+    make: SchemeFactory,
+    zipf: bool,
+    shards: usize,
+    phases: &[Workload],
+) -> (f64, f64) {
+    let trials: Vec<Trial> = (0..TRIALS).map(|_| trial(make, shards, phases)).collect();
+    let mut report = trials[0].report.clone();
+    for t in &trials[1..] {
+        report.wall += t.report.wall;
+        for (into, from) in report.latency.iter_mut().zip(&t.report.latency) {
+            into.merge(from);
+        }
+        for (into, from) in report
+            .shard_completed
+            .iter_mut()
+            .zip(&t.report.shard_completed)
+        {
+            *into += from;
+        }
+        for (into, from) in report
+            .queue_highwater
+            .iter_mut()
+            .zip(&t.report.queue_highwater)
+        {
+            *into = (*into).max(*from);
+        }
+        report.saturated += t.report.saturated;
+    }
+    let saturated_retries: u64 = trials.iter().map(|t| t.saturated_retries).sum();
+    let report = &report;
+
+    let pop = if zipf { "zipf" } else { "uniform" };
+    let ops_per_sec = report.ops_per_sec();
+    let good = goodput(report);
+    println!(
+        "{{\"bench\":\"service/{name}/{pop}/shards{shards}\",\
+         \"ops\":{},\"wall_ns\":{},\"ops_per_sec\":{ops_per_sec:.0},\
+         \"slo_ms\":{},\"goodput_slo_ops_per_sec\":{good:.0},\
+         \"put_p50_ns\":{},\"put_p99_ns\":{},\
+         \"get_p50_ns\":{},\"get_p99_ns\":{},\
+         \"queue_highwater\":{},\"saturated_retries\":{}}}",
+        report.completed(),
+        report.wall.as_nanos(),
+        SLO.as_millis(),
+        quantile_ns(report, OpKind::Put, 0.5),
+        quantile_ns(report, OpKind::Put, 0.99),
+        quantile_ns(report, OpKind::Get, 0.5),
+        quantile_ns(report, OpKind::Get, 0.99),
+        report.queue_highwater.iter().max().copied().unwrap_or(0),
+        saturated_retries,
+    );
+    eprintln!(
+        "  {name:<10} {pop:<8} shards={shards}: {ops_per_sec:>8.0} op/s raw, \
+         {good:>8.0} op/s within {SLO:?}, get p99 {:?}",
+        report
+            .latency(OpKind::Get)
+            .quantile(0.99)
+            .unwrap_or_default(),
+    );
+    (ops_per_sec, good)
+}
+
+fn main() {
+    // `cargo bench` passes --bench (and possibly filters); ignore them.
+    let serve_ops: usize = std::env::var("AE_BENCH_SERVICE_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000);
+    // Target utilisation of each cell's calibrated capacity: high enough
+    // that scrub bursts backlog a single shard past the SLO, low enough
+    // that queues drain between bursts.
+    let util: f64 = std::env::var("AE_BENCH_SERVICE_UTIL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.7);
+    let pool = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    eprintln!(
+        "service bench: {TENANTS} tenants, {serve_ops} serving ops per cell \
+         paced at {:.0}% of calibrated capacity, {TRIALS} pooled trials, \
+         pool width {pool}",
+        util * 100.0
+    );
+
+    let mut gate_failures = Vec::new();
+    let (mut agg_good1, mut agg_goodn) = (0.0, 0.0);
+    let (mut agg_raw1, mut agg_rawn) = (0.0, 0.0);
+    for (name, make, warm_factor) in schemes() {
+        let warm_ops = (serve_ops as f64 * warm_factor) as usize;
+        for zipf in [false, true] {
+            let capacity = calibrate(make, zipf, serve_ops, warm_ops);
+            let interarrival = Duration::from_secs_f64(1.0 / (capacity * util));
+            eprintln!(
+                "  {name} {}: capacity {capacity:.0} op/s, pacing {interarrival:?}",
+                if zipf { "zipf" } else { "uniform" }
+            );
+            let phases = workload_phases(serve_ops, warm_ops, zipf, interarrival);
+            let (raw1, good1) = run_cell(name, make, zipf, 1, &phases);
+            let (rawn, goodn) = run_cell(name, make, zipf, pool, &phases);
+            agg_raw1 += raw1;
+            agg_rawn += rawn;
+            agg_good1 += good1;
+            agg_goodn += goodn;
+            let pop = if zipf { "zipf" } else { "uniform" };
+            eprintln!(
+                "  {name} {pop}: {pool}-shard raw {:.2}x, goodput {:.2}x",
+                rawn / raw1,
+                goodn / good1
+            );
+            if goodn <= good1 {
+                gate_failures.push(format!("{name}/{pop}"));
+            }
+        }
+    }
+    // Headline rows: cells summed per shard count. The aggregate damps
+    // the anticorrelated per-cell noise a single-core host produces and
+    // is the primary multi-vs-single comparison.
+    for (shards, raw, good) in [(1, agg_raw1, agg_good1), (pool, agg_rawn, agg_goodn)] {
+        println!(
+            "{{\"bench\":\"service/ALL/summed/shards{shards}\",\
+             \"ops_per_sec\":{raw:.0},\"slo_ms\":{},\
+             \"goodput_slo_ops_per_sec\":{good:.0}}}",
+            SLO.as_millis(),
+        );
+    }
+    eprintln!(
+        "aggregate: {pool}-shard raw {:.2}x, goodput {:.2}x single-shard",
+        agg_rawn / agg_raw1,
+        agg_goodn / agg_good1
+    );
+    if agg_goodn <= agg_good1 {
+        gate_failures.push("aggregate".into());
+    }
+    if gate_failures.is_empty() {
+        eprintln!("gate OK: every {pool}-shard cell beat its single-shard goodput");
+    } else {
+        eprintln!("gate MISSED in: {}", gate_failures.join(", "));
+    }
+}

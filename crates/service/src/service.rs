@@ -1,0 +1,864 @@
+//! The multi-tenant archive service: tenant-affine shards, bounded
+//! submission queues, typed per-op results.
+//!
+//! # Threading model
+//!
+//! [`ArchiveService`] owns one [`Archive`] per tenant, every tenant a view
+//! ([`TenantStore`]) of the **same shared backend**. [`ArchiveService::run`]
+//! raises a fixed pool of `std::thread::scope` workers — one per shard,
+//! defaulting to the [`ae_api::repair_threads`] width (so the
+//! `AE_REPAIR_THREADS` convention governs the service too) — hands the
+//! caller a [`ServiceClient`], and joins the pool when the caller's closure
+//! returns, yielding a [`ServiceReport`] of per-op latency histograms,
+//! completion counts, queue-depth highwaters and saturation rejections.
+//!
+//! # Shard affinity
+//!
+//! A tenant is pinned to shard `tenant % shards` for the service's
+//! lifetime. Each shard's worker is the **single writer** for every
+//! archive it owns, so no archive-level locking exists anywhere: mutation
+//! order per tenant is exactly submission order, whatever the other
+//! shards do. Cross-shard traffic still lands on the one shared backend —
+//! that is where contention is real and measured. Reads of the shared
+//! backend may cross shards freely through the existing `Sync` snapshot
+//! surface.
+//!
+//! # Backpressure
+//!
+//! Every shard has a bounded submission queue. [`ServiceClient`] submission
+//! never blocks: a full queue answers a typed
+//! [`ServiceError::Saturated`] immediately, and the caller decides whether
+//! to retry, shed or slow down. Queue-depth highwater and the number of
+//! saturation rejections are part of the run's report.
+//!
+//! # Determinism
+//!
+//! Because sharding is tenant-affine and queues are FIFO, each tenant's
+//! operations execute in submission order no matter how many shards run.
+//! Tenants' id spaces are disjoint ([`TenantStore`]), so the final archive
+//! and backend state after a run is **byte-identical** to executing every
+//! tenant's subsequence serially — the property the parity suite pins by
+//! replaying seeded workloads with [`crate::Workload::replay`] against the
+//! `serial-service` in-line path.
+
+use crate::stats::{OpKind, ServiceReport, ShardStats};
+use crate::tenant::{SharedBackend, TenantId, TenantStore};
+use ae_api::RedundancyScheme;
+use ae_blocks::BlockId;
+use ae_store::archive::{Archive, ArchiveError, Entry};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for [`ArchiveService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards; `None` resolves to [`ae_api::repair_threads`] (the
+    /// `AE_REPAIR_THREADS` convention). Ignored in in-line mode, which is
+    /// always one worker.
+    pub shards: Option<usize>,
+    /// Bounded submission-queue capacity per shard; a full queue rejects
+    /// with [`ServiceError::Saturated`].
+    pub queue_depth: usize,
+    /// Execute every operation on the submitting thread instead of a
+    /// worker pool — the reference serial path. Forced on by the
+    /// `serial-service` cargo feature.
+    pub inline: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: None,
+            queue_depth: 64,
+            inline: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config pinned to `shards` worker shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ServiceConfig {
+            shards: Some(shards),
+            ..Self::default()
+        }
+    }
+
+    /// The reference serial configuration: one in-line worker.
+    pub fn serial() -> Self {
+        ServiceConfig {
+            inline: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors from service submission or completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No tenant with that id was added to the service.
+    UnknownTenant(TenantId),
+    /// The tenant's shard has a full submission queue — backpressure.
+    /// Submission never blocks; retry, shed or slow down.
+    Saturated {
+        /// The saturated shard.
+        shard: usize,
+        /// Its queue capacity.
+        capacity: usize,
+    },
+    /// The worker pool is gone (the run ended before the reply arrived).
+    Shutdown,
+    /// The archive operation itself failed; the wrapped error names
+    /// exactly what went wrong (missing tuple members, checksum, seal).
+    Archive(ArchiveError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(t) => write!(f, "no tenant {t}"),
+            ServiceError::Saturated { shard, capacity } => {
+                write!(f, "shard {shard} submission queue full ({capacity} deep)")
+            }
+            ServiceError::Shutdown => write!(f, "service worker pool has shut down"),
+            ServiceError::Archive(e) => write!(f, "archive operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Archive(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A pending typed result for one submitted operation.
+///
+/// The worker resolves the ticket when the operation completes; dropping
+/// an unwanted ticket is fine (the result is discarded).
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: Receiver<Result<T, ArchiveError>>,
+}
+
+impl<T> Ticket<T> {
+    fn new() -> (SyncSender<Result<T, ArchiveError>>, Self) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        (tx, Ticket { rx })
+    }
+
+    /// Blocks until the operation completes.
+    pub fn wait(self) -> Result<T, ServiceError> {
+        match self.rx.recv() {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(ServiceError::Archive(e)),
+            Err(_) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Waits up to `timeout`; on timeout the ticket comes back unresolved
+    /// so the caller can keep waiting — the fairness suite uses this to
+    /// prove one shard's progress while another is wedged.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<T, ServiceError>, Ticket<T>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(v)) => Ok(Ok(v)),
+            Ok(Err(e)) => Ok(Err(ServiceError::Archive(e))),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+            Err(RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::Shutdown)),
+        }
+    }
+}
+
+/// One queued operation (tenant resolved to its shard-local slot).
+enum Request {
+    Put {
+        local: usize,
+        name: String,
+        contents: Vec<u8>,
+        submitted: Instant,
+        reply: SyncSender<Result<Entry, ArchiveError>>,
+    },
+    Get {
+        local: usize,
+        name: String,
+        submitted: Instant,
+        reply: SyncSender<Result<Vec<u8>, ArchiveError>>,
+    },
+    Scrub {
+        local: usize,
+        submitted: Instant,
+        reply: SyncSender<Result<u64, ArchiveError>>,
+    },
+    Seal {
+        local: usize,
+        submitted: Instant,
+        reply: SyncSender<Result<Vec<BlockId>, ArchiveError>>,
+    },
+}
+
+/// A tenant archive paired with its service-wide tenant index.
+type Slot = (usize, Archive<TenantStore>);
+
+fn execute(archives: &mut [Slot], req: Request, stats: &mut ShardStats) {
+    match req {
+        Request::Put {
+            local,
+            name,
+            contents,
+            submitted,
+            reply,
+        } => {
+            let res = archives[local].1.put(&name, &contents);
+            stats.record(OpKind::Put, submitted.elapsed());
+            let _ = reply.send(res);
+        }
+        Request::Get {
+            local,
+            name,
+            submitted,
+            reply,
+        } => {
+            let res = archives[local].1.get(&name);
+            stats.record(OpKind::Get, submitted.elapsed());
+            let _ = reply.send(res);
+        }
+        Request::Scrub {
+            local,
+            submitted,
+            reply,
+        } => {
+            let repaired = archives[local].1.scrub();
+            stats.record(OpKind::Scrub, submitted.elapsed());
+            let _ = reply.send(Ok(repaired));
+        }
+        Request::Seal {
+            local,
+            submitted,
+            reply,
+        } => {
+            let res = archives[local].1.seal();
+            stats.record(OpKind::Seal, submitted.elapsed());
+            let _ = reply.send(res);
+        }
+    }
+}
+
+/// Per-shard queue pressure gauges, shared between client and report.
+struct ShardQueue {
+    depth: AtomicI64,
+    highwater: AtomicI64,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            depth: AtomicI64::new(0),
+            highwater: AtomicI64::new(0),
+            capacity,
+        }
+    }
+
+    fn enqueued(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.highwater.fetch_max(d, Ordering::Relaxed);
+    }
+
+    fn dequeued(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// In-line execution state: every tenant behind one lock, operations run
+/// on the submitting thread — the reference serial worker.
+struct InlineState {
+    archives: Vec<Slot>,
+    stats: ShardStats,
+}
+
+enum Mode<'a> {
+    Pool {
+        senders: Vec<SyncSender<Request>>,
+        queues: &'a [ShardQueue],
+    },
+    Inline {
+        state: &'a Mutex<InlineState>,
+    },
+}
+
+/// The submission handle [`ArchiveService::run`] lends its driver closure.
+///
+/// Submission is non-blocking: each call routes the operation to the
+/// tenant's shard and answers a typed [`Ticket`] (or
+/// [`ServiceError::Saturated`] when the shard's bounded queue is full).
+pub struct ServiceClient<'a> {
+    mode: Mode<'a>,
+    /// tenant index → (shard, shard-local slot)
+    route: &'a [(usize, usize)],
+    saturated: &'a AtomicU64,
+}
+
+impl ServiceClient<'_> {
+    fn route(&self, tenant: TenantId) -> Result<(usize, usize), ServiceError> {
+        self.route
+            .get(tenant.0 as usize)
+            .copied()
+            .ok_or(ServiceError::UnknownTenant(tenant))
+    }
+
+    fn enqueue(&self, shard: usize, req: Request) -> Result<(), ServiceError> {
+        let Mode::Pool { senders, queues } = &self.mode else {
+            unreachable!("enqueue is only called in pool mode");
+        };
+        match senders[shard].try_send(req) {
+            Ok(()) => {
+                queues[shard].enqueued();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.saturated.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Saturated {
+                    shard,
+                    capacity: queues[shard].capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    fn inline_run<T>(
+        state: &Mutex<InlineState>,
+        reply: SyncSender<Result<T, ArchiveError>>,
+        kind: OpKind,
+        op: impl FnOnce(&mut Archive<TenantStore>) -> Result<T, ArchiveError>,
+        local: usize,
+    ) {
+        let mut st = state.lock();
+        let submitted = Instant::now();
+        let res = op(&mut st.archives[local].1);
+        st.stats.record(kind, submitted.elapsed());
+        let _ = reply.send(res);
+    }
+
+    /// Archives `contents` under `name` in `tenant`'s archive.
+    pub fn put(
+        &self,
+        tenant: TenantId,
+        name: &str,
+        contents: &[u8],
+    ) -> Result<Ticket<Entry>, ServiceError> {
+        let (shard, local) = self.route(tenant)?;
+        let (reply, ticket) = Ticket::new();
+        match &self.mode {
+            Mode::Pool { .. } => self.enqueue(
+                shard,
+                Request::Put {
+                    local,
+                    name: name.to_string(),
+                    contents: contents.to_vec(),
+                    submitted: Instant::now(),
+                    reply,
+                },
+            )?,
+            Mode::Inline { state } => Self::inline_run(
+                state,
+                reply,
+                OpKind::Put,
+                |ar| ar.put(name, contents),
+                local,
+            ),
+        }
+        Ok(ticket)
+    }
+
+    /// Reads `name` back from `tenant`'s archive (degraded reads repair
+    /// missing blocks on the fly, read-only).
+    pub fn get(&self, tenant: TenantId, name: &str) -> Result<Ticket<Vec<u8>>, ServiceError> {
+        let (shard, local) = self.route(tenant)?;
+        let (reply, ticket) = Ticket::new();
+        match &self.mode {
+            Mode::Pool { .. } => self.enqueue(
+                shard,
+                Request::Get {
+                    local,
+                    name: name.to_string(),
+                    submitted: Instant::now(),
+                    reply,
+                },
+            )?,
+            Mode::Inline { state } => {
+                Self::inline_run(state, reply, OpKind::Get, |ar| ar.get(name), local)
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Scrubs `tenant`'s archive: repairs every block its backend view
+    /// should hold but lost, journal records included. Resolves to the
+    /// number of blocks restored.
+    pub fn scrub(&self, tenant: TenantId) -> Result<Ticket<u64>, ServiceError> {
+        let (shard, local) = self.route(tenant)?;
+        let (reply, ticket) = Ticket::new();
+        match &self.mode {
+            Mode::Pool { .. } => self.enqueue(
+                shard,
+                Request::Scrub {
+                    local,
+                    submitted: Instant::now(),
+                    reply,
+                },
+            )?,
+            Mode::Inline { state } => {
+                Self::inline_run(state, reply, OpKind::Scrub, |ar| Ok(ar.scrub()), local)
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Seals `tenant`'s archive: flushes buffered redundancy and freezes
+    /// it. Resolves to the ids the flush stored.
+    pub fn seal(&self, tenant: TenantId) -> Result<Ticket<Vec<BlockId>>, ServiceError> {
+        let (shard, local) = self.route(tenant)?;
+        let (reply, ticket) = Ticket::new();
+        match &self.mode {
+            Mode::Pool { .. } => self.enqueue(
+                shard,
+                Request::Seal {
+                    local,
+                    submitted: Instant::now(),
+                    reply,
+                },
+            )?,
+            Mode::Inline { state } => {
+                Self::inline_run(state, reply, OpKind::Seal, |ar| ar.seal(), local)
+            }
+        }
+        Ok(ticket)
+    }
+}
+
+/// A multi-tenant archive service over one shared backend.
+///
+/// See the [module docs](self) for the threading model, shard affinity
+/// and determinism guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use ae_service::{ArchiveService, ServiceConfig, SharedBackend};
+/// use ae_store::MemStore;
+/// use ae_core::Code;
+/// use ae_lattice::Config;
+/// use std::sync::Arc;
+///
+/// let backend: SharedBackend = Arc::new(MemStore::new());
+/// let mut svc = ArchiveService::new(backend, ServiceConfig::with_shards(2));
+/// let a = svc.add_tenant(Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 64)), 64);
+/// let b = svc.add_tenant(Arc::new(Code::new(Config::new(2, 2, 5).unwrap(), 64)), 64);
+///
+/// let (done, report) = svc.run(|client| {
+///     let ta = client.put(a, "a.bin", b"alpha").unwrap();
+///     let tb = client.put(b, "b.bin", b"bravo").unwrap();
+///     ta.wait().unwrap();
+///     tb.wait().unwrap();
+///     client.get(a, "a.bin").unwrap().wait().unwrap()
+/// });
+/// assert_eq!(done, b"alpha");
+/// assert_eq!(report.completed(), 3);
+/// ```
+pub struct ArchiveService {
+    backend: SharedBackend,
+    /// Tenant archives by id; `None` only while a run has them out on
+    /// loan to the worker pool (unobservable: `run` takes `&mut self`).
+    tenants: Vec<Option<Archive<TenantStore>>>,
+    config: ServiceConfig,
+}
+
+impl ArchiveService {
+    /// An empty service over `backend`.
+    pub fn new(backend: SharedBackend, config: ServiceConfig) -> Self {
+        ArchiveService {
+            backend,
+            tenants: Vec::new(),
+            config,
+        }
+    }
+
+    /// Whether operations execute in-line on the submitting thread (the
+    /// `serial-service` feature forces this on).
+    pub fn is_inline(&self) -> bool {
+        cfg!(feature = "serial-service") || self.config.inline
+    }
+
+    /// Worker shards a run will raise (1 in in-line mode).
+    pub fn shard_count(&self) -> usize {
+        if self.is_inline() {
+            return 1;
+        }
+        self.config
+            .shards
+            .unwrap_or_else(ae_api::repair_threads)
+            .max(1)
+    }
+
+    /// Adds a tenant with a fresh archive: `scheme` over this service's
+    /// shared backend, viewed through the tenant's private namespace.
+    ///
+    /// The tenant is pinned to shard `tenant % shards` for the service's
+    /// lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not fresh, the tenant's namespace already
+    /// holds an archive, or the tenant roster is full (2^16 tenants).
+    pub fn add_tenant(&mut self, scheme: Arc<dyn RedundancyScheme>, block_size: usize) -> TenantId {
+        assert!(self.tenants.len() < u16::MAX as usize, "tenant roster full");
+        let id = TenantId(self.tenants.len() as u16);
+        let view = Arc::new(TenantStore::new(Arc::clone(&self.backend), id));
+        self.tenants
+            .push(Some(Archive::with_scheme(scheme, block_size, view)));
+        id
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// All tenant ids, in slot order.
+    pub fn tenant_ids(&self) -> impl Iterator<Item = TenantId> + '_ {
+        (0..self.tenants.len()).map(|i| TenantId(i as u16))
+    }
+
+    /// The shared backend all tenants write through.
+    pub fn backend(&self) -> &SharedBackend {
+        &self.backend
+    }
+
+    /// A tenant's archive (idle access, e.g. for verification between
+    /// runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tenant.
+    pub fn archive(&self, tenant: TenantId) -> &Archive<TenantStore> {
+        self.tenants[tenant.0 as usize]
+            .as_ref()
+            .expect("tenant archives are home between runs")
+    }
+
+    /// Mutable idle access to a tenant's archive — the serial-replay path
+    /// ([`crate::Workload::replay`]) drives archives directly through
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tenant.
+    pub fn archive_mut(&mut self, tenant: TenantId) -> &mut Archive<TenantStore> {
+        self.tenants[tenant.0 as usize]
+            .as_mut()
+            .expect("tenant archives are home between runs")
+    }
+
+    /// Verifies every tenant end to end; returns the tenants with failing
+    /// files and which files failed.
+    pub fn verify_all(&self) -> Vec<(TenantId, Vec<String>)> {
+        self.tenant_ids()
+            .filter_map(|t| {
+                let bad = self.archive(t).verify_all();
+                (!bad.is_empty()).then_some((t, bad))
+            })
+            .collect()
+    }
+
+    /// Raises the worker pool, lends the driver closure a
+    /// [`ServiceClient`], and joins the pool when the closure returns —
+    /// every submitted operation completes before `run` does. Returns the
+    /// closure's result and the run's [`ServiceReport`].
+    ///
+    /// In in-line mode (the `serial-service` feature, or
+    /// [`ServiceConfig::serial`]) no threads are raised: operations
+    /// execute on the submitting thread in submission order.
+    pub fn run<R>(&mut self, f: impl FnOnce(&ServiceClient<'_>) -> R) -> (R, ServiceReport) {
+        let start = Instant::now();
+        let saturated = AtomicU64::new(0);
+        if self.is_inline() {
+            let route: Vec<(usize, usize)> = (0..self.tenants.len()).map(|i| (0, i)).collect();
+            let archives: Vec<Slot> = self
+                .tenants
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| (i, slot.take().expect("archives are home")))
+                .collect();
+            let state = Mutex::new(InlineState {
+                archives,
+                stats: ShardStats::new(),
+            });
+            let client = ServiceClient {
+                mode: Mode::Inline { state: &state },
+                route: &route,
+                saturated: &saturated,
+            };
+            let r = f(&client);
+            // The vendored parking_lot has no `into_inner`; swap the
+            // contents out under the (uncontended) lock instead.
+            let InlineState { archives, stats } = std::mem::replace(
+                &mut *state.lock(),
+                InlineState {
+                    archives: Vec::new(),
+                    stats: ShardStats::new(),
+                },
+            );
+            for (i, ar) in archives {
+                self.tenants[i] = Some(ar);
+            }
+            let report = ServiceReport {
+                wall: start.elapsed(),
+                latency: stats.latency.clone(),
+                shard_completed: vec![stats.total_completed()],
+                queue_highwater: vec![0],
+                saturated: saturated.load(Ordering::Relaxed),
+            };
+            return (r, report);
+        }
+
+        let shards = self.shard_count();
+        let mut route = vec![(0usize, 0usize); self.tenants.len()];
+        let mut parts: Vec<Vec<Slot>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, slot) in self.tenants.iter_mut().enumerate() {
+            let shard = i % shards;
+            route[i] = (shard, parts[shard].len());
+            parts[shard].push((i, slot.take().expect("archives are home")));
+        }
+        let queues: Vec<ShardQueue> = (0..shards)
+            .map(|_| ShardQueue::new(self.config.queue_depth))
+            .collect();
+
+        let (r, joined) = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for (shard, mut part) in parts.into_iter().enumerate() {
+                let (tx, rx) = mpsc::sync_channel::<Request>(self.config.queue_depth);
+                senders.push(tx);
+                let queue = &queues[shard];
+                handles.push(scope.spawn(move || {
+                    let mut stats = ShardStats::new();
+                    while let Ok(req) = rx.recv() {
+                        queue.dequeued();
+                        execute(&mut part, req, &mut stats);
+                    }
+                    (part, stats)
+                }));
+            }
+            let client = ServiceClient {
+                mode: Mode::Pool {
+                    senders,
+                    queues: &queues,
+                },
+                route: &route,
+                saturated: &saturated,
+            };
+            let r = f(&client);
+            // Dropping the client drops the senders; workers drain their
+            // queues and exit, so joining here means every accepted
+            // operation has completed.
+            drop(client);
+            let joined: Vec<(Vec<Slot>, ShardStats)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("service worker panicked"))
+                .collect();
+            (r, joined)
+        });
+
+        let mut latency = ShardStats::new().latency;
+        let mut shard_completed = Vec::with_capacity(shards);
+        for (part, stats) in joined {
+            for (i, ar) in part {
+                self.tenants[i] = Some(ar);
+            }
+            for (merged, shard_hist) in latency.iter_mut().zip(&stats.latency) {
+                merged.merge(shard_hist);
+            }
+            shard_completed.push(stats.total_completed());
+        }
+        let report = ServiceReport {
+            wall: start.elapsed(),
+            latency,
+            shard_completed,
+            queue_highwater: queues
+                .iter()
+                .map(|q| q.highwater.load(Ordering::Relaxed).max(0) as usize)
+                .collect(),
+            saturated: saturated.load(Ordering::Relaxed),
+        };
+        (r, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_core::Code;
+    use ae_lattice::Config;
+    use ae_store::MemStore;
+
+    fn ae_scheme() -> Arc<dyn RedundancyScheme> {
+        Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 64))
+    }
+
+    fn service(shards: usize, tenants: usize) -> ArchiveService {
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        let mut svc = ArchiveService::new(backend, ServiceConfig::with_shards(shards));
+        for _ in 0..tenants {
+            svc.add_tenant(ae_scheme(), 64);
+        }
+        svc
+    }
+
+    #[test]
+    fn concurrent_tenants_round_trip_on_one_backend() {
+        let mut svc = service(3, 7);
+        let payload =
+            |t: u16, i: usize| vec![(t as u8).wrapping_mul(31).wrapping_add(i as u8); 200];
+        let (_, report) = svc.run(|client| {
+            let mut tickets = Vec::new();
+            for t in 0..7u16 {
+                for i in 0..4 {
+                    tickets.push(
+                        client
+                            .put(TenantId(t), &format!("f{i}"), &payload(t, i))
+                            .unwrap(),
+                    );
+                }
+            }
+            for ticket in tickets {
+                ticket.wait().unwrap();
+            }
+        });
+        assert_eq!(report.completed(), 28);
+        // One stats row per shard (a single row under serial-service).
+        assert_eq!(report.shard_completed.len(), svc.shard_count());
+        assert!(report.latency(OpKind::Put).count() == 28);
+        // Every tenant's files read back through idle access too.
+        for t in 0..7u16 {
+            for i in 0..4 {
+                assert_eq!(
+                    svc.archive(TenantId(t)).get(&format!("f{i}")).unwrap(),
+                    payload(t, i)
+                );
+            }
+        }
+        assert!(svc.verify_all().is_empty());
+    }
+
+    #[test]
+    fn typed_archive_errors_come_back_through_tickets() {
+        let mut svc = service(2, 2);
+        svc.run(|client| {
+            client.put(TenantId(0), "x", b"1").unwrap().wait().unwrap();
+            let dup = client.put(TenantId(0), "x", b"2").unwrap().wait();
+            assert!(matches!(
+                dup,
+                Err(ServiceError::Archive(ArchiveError::DuplicateName(_)))
+            ));
+            let missing = client.get(TenantId(1), "nope").unwrap().wait();
+            assert!(matches!(
+                missing,
+                Err(ServiceError::Archive(ArchiveError::UnknownFile(_)))
+            ));
+        });
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected_at_submission() {
+        let mut svc = service(2, 1);
+        svc.run(|client| {
+            assert_eq!(
+                client.get(TenantId(9), "f").unwrap_err(),
+                ServiceError::UnknownTenant(TenantId(9))
+            );
+        });
+    }
+
+    #[test]
+    fn seal_and_scrub_flow_through_the_service() {
+        use ae_baselines::ReedSolomon;
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        let mut svc = ArchiveService::new(backend, ServiceConfig::with_shards(2));
+        let rs = svc.add_tenant(Arc::new(ReedSolomon::new(4, 2).unwrap()), 64);
+        svc.run(|client| {
+            // 300 bytes = 5 blocks of 64: one full RS(4,2) stripe plus a
+            // buffered partial that only seal flushes.
+            client.put(rs, "f", &[7u8; 300]).unwrap().wait().unwrap();
+            let flushed = client.seal(rs).unwrap().wait().unwrap();
+            assert!(!flushed.is_empty(), "partial stripe flushed");
+            assert_eq!(client.scrub(rs).unwrap().wait().unwrap(), 0);
+            let late = client.put(rs, "late", b"no").unwrap().wait();
+            assert!(matches!(
+                late,
+                Err(ServiceError::Archive(ArchiveError::Sealed(_)))
+            ));
+        });
+        assert!(svc.archive(rs).is_sealed());
+    }
+
+    #[test]
+    fn inline_mode_serves_identically_on_the_submitting_thread() {
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        let mut svc = ArchiveService::new(backend, ServiceConfig::serial());
+        assert!(svc.is_inline());
+        assert_eq!(svc.shard_count(), 1);
+        let t = svc.add_tenant(ae_scheme(), 64);
+        let (bytes, report) = svc.run(|client| {
+            client.put(t, "f", b"inline").unwrap().wait().unwrap();
+            client.get(t, "f").unwrap().wait().unwrap()
+        });
+        assert_eq!(bytes, b"inline");
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.queue_highwater, vec![0]);
+    }
+
+    #[test]
+    fn runs_can_repeat_and_archives_come_home() {
+        let mut svc = service(4, 5);
+        svc.run(|client| {
+            for t in 0..5u16 {
+                client
+                    .put(TenantId(t), "a", &[t as u8; 100])
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            }
+        });
+        let (_, second) = svc.run(|client| {
+            for t in 0..5u16 {
+                assert_eq!(
+                    client.get(TenantId(t), "a").unwrap().wait().unwrap(),
+                    vec![t as u8; 100]
+                );
+            }
+        });
+        assert_eq!(second.completed(), 5);
+        assert_eq!(svc.tenant_count(), 5);
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        let e = ServiceError::Saturated {
+            shard: 2,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(ServiceError::UnknownTenant(TenantId(3))
+            .to_string()
+            .contains("t3"));
+        assert!(ServiceError::Shutdown.to_string().contains("shut down"));
+    }
+}

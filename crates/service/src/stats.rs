@@ -1,0 +1,337 @@
+//! Latency and saturation accounting for the serving layer.
+//!
+//! Workers record each operation's submit-to-complete latency into a
+//! log-scaled [`LatencyHistogram`] (64 power-of-two decades × 4
+//! sub-buckets — ~19% worst-case relative error on a percentile, constant
+//! memory, lock-free to merge); [`ServiceReport`] aggregates the per-shard
+//! histograms, completion counts, queue-depth highwaters and saturation
+//! rejections for one [`crate::ArchiveService::run`].
+
+use std::fmt;
+use std::time::Duration;
+
+/// Operation kinds the service admits, as a dense index for stats tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// [`crate::ServiceClient::put`]
+    Put,
+    /// [`crate::ServiceClient::get`]
+    Get,
+    /// [`crate::ServiceClient::scrub`]
+    Scrub,
+    /// [`crate::ServiceClient::seal`]
+    Seal,
+}
+
+impl OpKind {
+    /// All kinds, in dense-index order.
+    pub const ALL: [OpKind; 4] = [OpKind::Put, OpKind::Get, OpKind::Scrub, OpKind::Seal];
+
+    /// Dense index into per-kind tables.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Put => 0,
+            OpKind::Get => 1,
+            OpKind::Scrub => 2,
+            OpKind::Seal => 3,
+        }
+    }
+
+    /// Lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Put => "put",
+            OpKind::Get => "get",
+            OpKind::Scrub => "scrub",
+            OpKind::Seal => "seal",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sub-buckets per power-of-two decade: index = (exponent << 2) | top two
+/// mantissa bits, giving ≤ 2^-2 relative bucket width.
+const SUBS: usize = 4;
+const BUCKETS: usize = 64 * SUBS;
+
+/// A log-scaled latency histogram over nanoseconds.
+///
+/// Recording is O(1); percentile extraction returns the lower bound of the
+/// bucket holding the requested rank, so reported percentiles are
+/// conservative (never above the true value by more than one bucket
+/// width).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        if ns < SUBS as u64 {
+            return ns as usize;
+        }
+        let exp = 63 - ns.leading_zeros() as usize;
+        let sub = ((ns >> (exp - 2)) & 0b11) as usize;
+        (exp << 2) | sub
+    }
+
+    /// Lower bound in ns of bucket `i` — what percentiles report.
+    fn bucket_floor(i: usize) -> u64 {
+        if i < SUBS {
+            return i as u64;
+        }
+        let exp = i >> 2;
+        let sub = (i & 0b11) as u64;
+        (1u64 << exp) | (sub << (exp - 2))
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency, `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            (self.sum_ns / self.total as u128) as u64,
+        ))
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Number of recorded samples at or below `limit` (bucket-granular:
+    /// the bucket containing `limit` counts in full). The service bench
+    /// computes SLO-bounded goodput from this.
+    pub fn count_at_most(&self, limit: Duration) -> u64 {
+        let ns = limit.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[..=Self::bucket(ns)].iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), `None` when empty. `0.5` is p50,
+    /// `0.99` is p99.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_nanos(Self::bucket_floor(i)));
+            }
+        }
+        Some(self.max())
+    }
+}
+
+/// Per-shard worker accounting, collected when the pool joins.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Operations this shard completed, by kind.
+    pub completed: [u64; 4],
+    /// Latency histograms by kind (submit to completion).
+    pub latency: [LatencyHistogram; 4],
+}
+
+impl ShardStats {
+    /// Empty per-shard stats.
+    pub fn new() -> Self {
+        ShardStats {
+            completed: [0; 4],
+            latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+        }
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, kind: OpKind, latency: Duration) {
+        self.completed[kind.index()] += 1;
+        self.latency[kind.index()].record(latency);
+    }
+
+    /// Total operations completed across kinds.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+}
+
+/// What one [`crate::ArchiveService::run`] measured: merged latency
+/// histograms, throughput inputs, per-shard queue pressure.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Wall-clock time the driver closure held the service.
+    pub wall: Duration,
+    /// Per-kind latency histograms merged across shards.
+    pub latency: [LatencyHistogram; 4],
+    /// Operations completed per shard.
+    pub shard_completed: Vec<u64>,
+    /// Highest submission-queue depth each shard reached.
+    pub queue_highwater: Vec<usize>,
+    /// Submissions rejected with [`crate::ServiceError::Saturated`].
+    pub saturated: u64,
+}
+
+impl ServiceReport {
+    /// Latency histogram for one op kind.
+    pub fn latency(&self, kind: OpKind) -> &LatencyHistogram {
+        &self.latency[kind.index()]
+    }
+
+    /// Total operations completed across all shards.
+    pub fn completed(&self) -> u64 {
+        self.shard_completed.iter().sum()
+    }
+
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+
+    /// One-line human summary (completed ops, throughput, worst queue).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ops in {:.1?} ({:.0} op/s), queue highwater {:?}, {} saturated",
+            self.completed(),
+            self.wall,
+            self.ops_per_sec(),
+            self.queue_highwater,
+            self.saturated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_conservative() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        assert!(p99 <= h.max());
+        // Conservative: the p50 bucket floor sits within one bucket (≤25%)
+        // of the true median of 500µs.
+        assert!(p50 >= Duration::from_micros(375) && p50 <= Duration::from_micros(500));
+        assert!(h.mean().unwrap() > Duration::from_micros(400));
+    }
+
+    #[test]
+    fn histogram_merge_equals_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..100u64 {
+            let d = Duration::from_nanos(i * i + 1);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(d);
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn tiny_latencies_use_exact_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_nanos(3));
+        assert_eq!(h.quantile(0.01).unwrap(), Duration::from_nanos(0));
+        assert_eq!(h.quantile(1.0).unwrap(), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn op_kind_table_is_dense() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(OpKind::Scrub.to_string(), "scrub");
+    }
+
+    #[test]
+    fn shard_stats_record_by_kind() {
+        let mut s = ShardStats::new();
+        s.record(OpKind::Put, Duration::from_micros(5));
+        s.record(OpKind::Put, Duration::from_micros(7));
+        s.record(OpKind::Get, Duration::from_micros(1));
+        assert_eq!(s.completed[OpKind::Put.index()], 2);
+        assert_eq!(s.total_completed(), 3);
+        assert_eq!(s.latency[OpKind::Get.index()].count(), 1);
+    }
+}

@@ -578,6 +578,17 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
         self.manifest.get(name)
     }
 
+    /// Number of archived files.
+    pub fn file_count(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// The full manifest in name order: `(name, entry)` pairs. Parity
+    /// harnesses compare two archives manifest-first through this.
+    pub fn manifest(&self) -> impl Iterator<Item = (&str, &Entry)> {
+        self.manifest.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
     /// Every id written through this archive (data + redundancy + sealed),
     /// in write order — exactly what the backend should hold right now.
     /// Disaster drills pick victims from this list; [`Archive::scrub`]

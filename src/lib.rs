@@ -14,6 +14,8 @@
 //! * [`core`] — the AE(α, s, p) encoder, decoder and repair engine.
 //! * [`baselines`] — Reed-Solomon and replication comparison codes.
 //! * [`store`] — the simulated distributed storage substrate.
+//! * [`service`] — the multi-tenant archive serving layer and its
+//!   deterministic workload engine.
 //! * [`sim`] — the disaster-recovery simulation framework, built on one
 //!   generic scheme plane.
 //!
@@ -55,5 +57,6 @@ pub use ae_blocks as blocks;
 pub use ae_core as core;
 pub use ae_gf as gf;
 pub use ae_lattice as lattice;
+pub use ae_service as service;
 pub use ae_sim as sim;
 pub use ae_store as store;
