@@ -40,6 +40,20 @@ impl SnapshotWriter {
         self
     }
 
+    /// Appends a variable-length byte field, `u32`-length-prefixed — the
+    /// shape nested payloads take (an embedded snapshot inside a
+    /// checkpoint record, a pending block's contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `u32::MAX` bytes.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        let len = u32::try_from(v.len()).expect("snapshot field over u32::MAX bytes");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
     /// The finished snapshot bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -130,6 +144,18 @@ impl<'a> SnapshotReader<'a> {
         ))
     }
 
+    /// Reads a `u32`-length-prefixed byte field written by
+    /// [`SnapshotWriter::bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`AeError::CorruptFrontier`] when the snapshot is exhausted or the
+    /// prefix names more bytes than remain.
+    pub fn bytes(&mut self) -> Result<&'a [u8], AeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
     /// Asserts every byte was consumed — trailing garbage means the
     /// snapshot is not what the scheme wrote.
     ///
@@ -178,6 +204,26 @@ mod tests {
         ));
         let mut r = SnapshotReader::new(&snap[..5], 3, "test").unwrap();
         let err = r.u64().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn byte_fields_roundtrip_and_fail_typed() {
+        let snap = SnapshotWriter::new(2)
+            .bytes(b"nested payload")
+            .bytes(b"")
+            .u8(9)
+            .finish();
+        let mut r = SnapshotReader::new(&snap, 2, "test").unwrap();
+        assert_eq!(r.bytes().unwrap(), b"nested payload");
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
+        // A length prefix that overruns the buffer is truncation, typed.
+        let mut lying = SnapshotWriter::new(2).u32(1000).finish();
+        lying.extend_from_slice(b"short");
+        let mut r = SnapshotReader::new(&lying, 2, "test").unwrap();
+        let err = r.bytes().unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
     }
 

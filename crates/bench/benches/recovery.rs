@@ -1,0 +1,197 @@
+//! Recovery-path cost: `Archive::open` latency as the journal grows —
+//! with checkpointing (O(checkpoint) replay) vs without (O(history)
+//! replay) — and the scrub cost of healing lost or garbled metadata
+//! copies back to full n-way redundancy.
+//!
+//! The open benches hold the archive's *content* fixed — the same total
+//! bytes under the same scheme — and vary only the journal length: the
+//! bytes arrive as 32 ten-block files (33 records) or as 320 one-block
+//! files (321 records). A cold `Archive::open` from the backend alone —
+//! journal fetch, CRC validation across the copy set, replay, frontier
+//! restore — is timed for each. With checkpointing (every 16 records)
+//! open latency must stay flat across the 10× journal growth: replay is
+//! bounded by the cadence and the snapshot decode is O(live state),
+//! which is held constant. Without it, open replays every record and
+//! grows linearly with the journal. Recorded numbers live in
+//! `BENCH_recovery.json`.
+
+use ae_core::Code;
+use ae_lattice::Config;
+use ae_store::{archive::Archive, meta::MetaConfig, MemStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BLOCK: usize = 256;
+const FILE_LEN: usize = 2 * BLOCK;
+
+fn scheme() -> Arc<dyn ae_api::RedundancyScheme> {
+    Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), BLOCK))
+}
+
+fn sample_file(seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..FILE_LEN)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// Total archived payload held constant across journal lengths: the
+/// journal-length cells differ only in how many records carry it.
+const TOTAL_BLOCKS: usize = 320;
+
+/// A sealed archive lifetime carrying [`TOTAL_BLOCKS`] blocks of data in
+/// `records` equal puts under `meta`, returning the backend it
+/// journaled into.
+fn journaled_store(records: usize, meta: MetaConfig) -> Arc<MemStore> {
+    let file_len = TOTAL_BLOCKS / records * BLOCK;
+    let store = Arc::new(MemStore::new());
+    let mut ar = Archive::with_scheme_meta(scheme(), BLOCK, Arc::clone(&store), meta);
+    for k in 0..records {
+        let contents: Vec<u8> = sample_file(k as u64)
+            .into_iter()
+            .cycle()
+            .take(file_len)
+            .collect();
+        ar.put(&format!("f{k}"), &contents).expect("fresh name");
+    }
+    ar.seal().expect("flush");
+    store
+}
+
+/// Open latency vs journal length at fixed archive content: the same
+/// [`TOTAL_BLOCKS`] of data journaled as 32 vs 320 records, checkpointed
+/// (every 16) vs plain full replay. The O(checkpoint) open guarantee is
+/// the checkpointed cell staying flat across the 10× journal growth
+/// while the plain cell grows with it.
+fn bench_open(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/open");
+    let policies: [(&str, MetaConfig); 2] = [
+        (
+            "plain",
+            MetaConfig {
+                checkpoint_every: None,
+                ..MetaConfig::default()
+            },
+        ),
+        (
+            "ckpt16",
+            MetaConfig {
+                checkpoint_every: Some(16),
+                ..MetaConfig::default()
+            },
+        ),
+    ];
+    for records in [32usize, 320] {
+        for (tag, meta) in &policies {
+            let store = journaled_store(records, meta.clone());
+            let id = format!("j{records}/{tag}");
+            g.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| {
+                    let ar = Archive::open_with_meta(scheme(), Arc::clone(&store), meta.clone())
+                        .expect("journal replays");
+                    black_box(ar.replayed_records())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The suffix-replay cost in isolation: two archives with *identical*
+/// content (320 one-block files) and an identical last checkpoint at
+/// record 32 — but one journal ends there while the other grew 10×
+/// past the checkpoint threshold without re-checkpointing (the state a
+/// maintained cadence never lets happen). The latency gap is exactly
+/// the per-record replay work a fresh checkpoint folds away; with the
+/// cadence maintained, open replays at most `checkpoint_every` records
+/// no matter how old the archive grows.
+fn bench_open_suffix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/open_suffix");
+    let ckpt = MetaConfig {
+        checkpoint_every: Some(16),
+        ..MetaConfig::default()
+    };
+    let frozen = MetaConfig {
+        checkpoint_every: None,
+        ..MetaConfig::default()
+    };
+    for (tag, head, meta) in [("fresh", 320usize, &ckpt), ("stale10x", 32usize, &frozen)] {
+        // First `head` puts keep the checkpoint cadence; the rest run
+        // with checkpointing frozen, growing the replay suffix.
+        let store = Arc::new(MemStore::new());
+        let mut ar = Archive::with_scheme_meta(scheme(), BLOCK, Arc::clone(&store), ckpt.clone());
+        let file = sample_file(1);
+        for k in 0..head {
+            ar.put(&format!("f{k}"), &file[..BLOCK])
+                .expect("fresh name");
+        }
+        drop(ar);
+        let mut ar = Archive::open_with_meta(scheme(), Arc::clone(&store), meta.clone())
+            .expect("journal replays");
+        for k in head..320 {
+            ar.put(&format!("f{k}"), &file[..BLOCK])
+                .expect("fresh name");
+        }
+        drop(ar);
+        g.bench_function(BenchmarkId::from_parameter(tag), |b| {
+            b.iter(|| {
+                let ar = Archive::open_with_meta(scheme(), Arc::clone(&store), meta.clone())
+                    .expect("journal replays");
+                black_box(ar.replayed_records())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Scrub cost of re-materializing metadata copies: each iteration
+/// deletes one copy and garbles another of every live record, then
+/// scrubs the archive back to full n-way redundancy.
+fn bench_meta_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/meta_scrub");
+    let meta = MetaConfig {
+        checkpoint_every: Some(16),
+        ..MetaConfig::default()
+    };
+    let store = journaled_store(32, meta.clone());
+    let mut ar =
+        Archive::open_with_meta(scheme(), Arc::clone(&store), meta).expect("journal replays");
+    let live = ar.live_meta_ids();
+    let lost: Vec<_> = live.iter().copied().step_by(3).collect();
+    let garbled: Vec<_> = live.iter().copied().skip(1).step_by(3).collect();
+    let harmed = lost.len() + garbled.len();
+    // Baseline: a scrub with nothing to heal prices the verification
+    // sweep itself; the heal cell's delta over it is the meta-copy
+    // re-materialization cost.
+    g.bench_function(BenchmarkId::from_parameter("heal0_copies"), |b| {
+        b.iter(|| black_box(ar.scrub()))
+    });
+    g.bench_function(
+        BenchmarkId::from_parameter(format!("heal{harmed}_copies")),
+        |b| {
+            b.iter(|| {
+                use ae_api::BlockRepo;
+                let repo: &dyn BlockRepo = store.as_ref();
+                for id in &lost {
+                    repo.remove(*id);
+                }
+                for id in &garbled {
+                    repo.store(*id, ae_blocks::Block::from_vec(vec![0xAA; 40]));
+                }
+                let restored = ar.scrub();
+                assert!(restored as usize >= harmed);
+                black_box(restored)
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_open, bench_open_suffix, bench_meta_scrub);
+criterion_main!(benches);

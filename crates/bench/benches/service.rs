@@ -36,8 +36,8 @@ use ae_baselines::{ReedSolomon, Replication};
 use ae_core::Code;
 use ae_lattice::Config;
 use ae_service::{
-    ArchiveService, OpKind, OpMix, Phase, ServiceConfig, ServiceReport, SharedBackend, TenantId,
-    Workload, WorkloadConfig,
+    ArchiveService, MetaConfig, OpKind, OpMix, Phase, ServiceConfig, ServiceReport, SharedBackend,
+    TenantId, Workload, WorkloadConfig,
 };
 use ae_store::MemStore;
 use std::sync::Arc;
@@ -159,6 +159,7 @@ fn trial(make: SchemeFactory, shards: usize, phases: &[Workload]) -> Trial {
             shards: Some(shards),
             queue_depth: 1024,
             inline: false,
+            meta: MetaConfig::default(),
         },
     );
     for _ in 0..TENANTS {

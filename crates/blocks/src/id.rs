@@ -193,8 +193,8 @@ impl fmt::Display for ReplicaId {
     }
 }
 
-/// Identifier of an archive metadata record: position `seq` (0-based) in
-/// an archive's on-backend metadata journal.
+/// Identifier of an archive metadata block: a journal record **copy** or
+/// a checkpoint **pointer cell**.
 ///
 /// Metadata blocks live in a **reserved namespace** of the shared id
 /// space: no redundancy scheme ever emits a `Meta` id, every scheme
@@ -202,12 +202,82 @@ impl fmt::Display for ReplicaId {
 /// scheme ids — so an archive can persist its manifest, write-order id
 /// log and encoder frontier through the *same* backend that holds the
 /// blocks, without colliding with any code's universe.
+///
+/// # Bit layout
+///
+/// The raw `u64` packs three sub-fields, all kept below bit 48 because
+/// multi-tenant stores tag the tenant number into the high 16 bits of
+/// every id kind:
+///
+/// | bits   | field |
+/// |-------:|-------|
+/// | 0..40  | journal sequence number (records) or pointer slot |
+/// | 40..43 | copy index, `0..`[`MetaId::MAX_COPIES`] |
+/// | 43     | pointer-cell flag |
+///
+/// Copy 0 of record `seq` is the raw value `seq` itself, so journals
+/// written before metadata redundancy existed read back as a one-copy
+/// copy set unchanged.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MetaId(pub u64);
 
+impl MetaId {
+    /// Most copies a metadata record can be spread over (3 copy bits).
+    pub const MAX_COPIES: u16 = 8;
+    /// Width of the sequence-number field.
+    pub const SEQ_BITS: u32 = 40;
+    const COPY_SHIFT: u32 = Self::SEQ_BITS;
+    const POINTER_BIT: u64 = 1 << 43;
+    const SEQ_MASK: u64 = (1 << Self::SEQ_BITS) - 1;
+
+    /// The id of copy `copy` of journal record `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` overflows the 40-bit sequence space or `copy` is
+    /// not below [`MetaId::MAX_COPIES`].
+    pub fn record(seq: u64, copy: u16) -> Self {
+        assert!(seq <= Self::SEQ_MASK, "meta sequence {seq} overflows");
+        assert!(copy < Self::MAX_COPIES, "copy {copy} out of range");
+        MetaId(seq | ((copy as u64) << Self::COPY_SHIFT))
+    }
+
+    /// The id of copy `copy` of checkpoint-pointer cell `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`MetaId::record`] does on out-of-range fields.
+    pub fn pointer(slot: u64, copy: u16) -> Self {
+        MetaId(Self::record(slot, copy).0 | Self::POINTER_BIT)
+    }
+
+    /// Sequence number (records) or slot (pointer cells).
+    pub fn seq(self) -> u64 {
+        self.0 & Self::SEQ_MASK
+    }
+
+    /// Which copy of the record or pointer cell this is.
+    pub fn copy(self) -> u16 {
+        ((self.0 >> Self::COPY_SHIFT) & (Self::MAX_COPIES as u64 - 1)) as u16
+    }
+
+    /// Whether this id addresses a checkpoint-pointer cell.
+    pub fn is_pointer(self) -> bool {
+        self.0 & Self::POINTER_BIT != 0
+    }
+}
+
 impl fmt::Debug for MetaId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "meta#{}", self.0)
+        if self.is_pointer() {
+            write!(f, "meta-ptr#{}", self.seq())?;
+        } else {
+            write!(f, "meta#{}", self.seq())?;
+        }
+        if self.copy() != 0 {
+            write!(f, "~{}", self.copy())?;
+        }
+        Ok(())
     }
 }
 
@@ -377,6 +447,35 @@ mod tests {
         assert_eq!(p.as_data(), None);
         assert_eq!(p.as_parity().unwrap().left, NodeId(5));
         assert_eq!(d.as_parity(), None);
+    }
+
+    #[test]
+    fn meta_copy_addressing_roundtrips_below_the_tenant_bits() {
+        // Copy 0 of a record is the bare sequence number (v1 journals).
+        assert_eq!(MetaId::record(7, 0), MetaId(7));
+        let mut seen = std::collections::HashSet::new();
+        for seq in [0, 1, 7, (1 << MetaId::SEQ_BITS) - 1] {
+            for copy in 0..MetaId::MAX_COPIES {
+                let r = MetaId::record(seq, copy);
+                assert_eq!((r.seq(), r.copy(), r.is_pointer()), (seq, copy, false));
+                assert!(seen.insert(r.0), "{r:?} collides");
+                assert_eq!(r.0 >> 48, 0, "copy ids stay in the tenant-local space");
+                if seq < 2 {
+                    let p = MetaId::pointer(seq, copy);
+                    assert_eq!((p.seq(), p.copy(), p.is_pointer()), (seq, copy, true));
+                    assert!(seen.insert(p.0), "{p:?} collides");
+                    assert_eq!(p.0 >> 48, 0);
+                }
+            }
+        }
+        assert_eq!(MetaId::record(3, 2).to_string(), "meta#3~2");
+        assert_eq!(MetaId::pointer(1, 0).to_string(), "meta-ptr#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn meta_record_rejects_overflowing_sequences() {
+        MetaId::record(1 << MetaId::SEQ_BITS, 0);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod stats;
 pub mod tenant;
 pub mod workload;
 
+pub use ae_store::meta::MetaConfig;
 pub use rng::{SplitMix64, Zipf};
 pub use service::{ArchiveService, ServiceClient, ServiceConfig, ServiceError, Ticket};
 pub use stats::{LatencyHistogram, OpKind, ServiceReport, ShardStats};

@@ -45,7 +45,8 @@ use crate::stats::{OpKind, ServiceReport, ShardStats};
 use crate::tenant::{SharedBackend, TenantId, TenantStore};
 use ae_api::RedundancyScheme;
 use ae_blocks::BlockId;
-use ae_store::archive::{Archive, ArchiveError, Entry};
+use ae_store::archive::{Archive, ArchiveError, Entry, RecoveryError};
+use ae_store::meta::MetaConfig;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -67,6 +68,10 @@ pub struct ServiceConfig {
     /// worker pool — the reference serial path. Forced on by the
     /// `serial-service` cargo feature.
     pub inline: bool,
+    /// Default metadata durability policy for new tenants: copy-set width,
+    /// checkpoint cadence, checkpoint segment size. Per-tenant overrides
+    /// via [`ArchiveService::add_tenant_with_meta`].
+    pub meta: MetaConfig,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +80,7 @@ impl Default for ServiceConfig {
             shards: None,
             queue_depth: 64,
             inline: false,
+            meta: MetaConfig::default(),
         }
     }
 }
@@ -519,12 +525,69 @@ impl ArchiveService {
     /// Panics if the scheme is not fresh, the tenant's namespace already
     /// holds an archive, or the tenant roster is full (2^16 tenants).
     pub fn add_tenant(&mut self, scheme: Arc<dyn RedundancyScheme>, block_size: usize) -> TenantId {
+        let meta = self.config.meta.clone();
+        self.add_tenant_with_meta(scheme, block_size, meta)
+    }
+
+    /// [`ArchiveService::add_tenant`] with a per-tenant metadata policy —
+    /// one tenant can run wider copy sets or a tighter checkpoint cadence
+    /// than the service default.
+    ///
+    /// # Panics
+    ///
+    /// As [`ArchiveService::add_tenant`].
+    pub fn add_tenant_with_meta(
+        &mut self,
+        scheme: Arc<dyn RedundancyScheme>,
+        block_size: usize,
+        meta: MetaConfig,
+    ) -> TenantId {
         assert!(self.tenants.len() < u16::MAX as usize, "tenant roster full");
         let id = TenantId(self.tenants.len() as u16);
         let view = Arc::new(TenantStore::new(Arc::clone(&self.backend), id));
-        self.tenants
-            .push(Some(Archive::with_scheme(scheme, block_size, view)));
+        self.tenants.push(Some(Archive::with_scheme_meta(
+            scheme, block_size, view, meta,
+        )));
         id
+    }
+
+    /// Reopens a tenant archive that a **previous service process** left
+    /// on the shared backend: the tenant's namespaced metadata journal is
+    /// replayed checkpoint-first (O(checkpoint), exactly like
+    /// [`Archive::open`]) and the tenant joins this service's roster under
+    /// the next free id. `scheme` must be a fresh instance of the scheme
+    /// the tenant was created with; the service's
+    /// [`ServiceConfig::meta`] cadence governs future checkpoints while
+    /// the copy-set width is adopted from the tenant's genesis record.
+    ///
+    /// The caller supplies `previous` — the tenant id the archive had in
+    /// the crashed process (namespaces are positional) — and gets back
+    /// the id it holds **now**, plus the reopened archive's degraded-read
+    /// report length for observability.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] from the underlying [`Archive::open_with_meta`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not fresh or the roster is full.
+    pub fn open_tenant(
+        &mut self,
+        scheme: Arc<dyn RedundancyScheme>,
+        previous: TenantId,
+    ) -> Result<TenantId, RecoveryError> {
+        assert!(self.tenants.len() < u16::MAX as usize, "tenant roster full");
+        assert_eq!(
+            self.tenants.len(),
+            previous.0 as usize,
+            "tenant namespaces are positional: reopen tenants in their original order"
+        );
+        let view = Arc::new(TenantStore::new(Arc::clone(&self.backend), previous));
+        let ar = Archive::open_with_meta(scheme, view, self.config.meta.clone())?;
+        let id = TenantId(self.tenants.len() as u16);
+        self.tenants.push(Some(ar));
+        Ok(id)
     }
 
     /// Number of tenants.
@@ -847,6 +910,99 @@ mod tests {
         });
         assert_eq!(second.completed(), 5);
         assert_eq!(svc.tenant_count(), 5);
+    }
+
+    #[test]
+    fn a_new_service_process_reopens_its_tenants_from_the_backend() {
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        let mut config = ServiceConfig::with_shards(2);
+        config.meta.checkpoint_every = Some(3);
+        let payload = |t: u16, i: usize| vec![t as u8 ^ i as u8; 150];
+        {
+            let mut svc = ArchiveService::new(Arc::clone(&backend), config.clone());
+            for _ in 0..3 {
+                svc.add_tenant(ae_scheme(), 64);
+            }
+            svc.run(|client| {
+                for t in 0..3u16 {
+                    for i in 0..6 {
+                        client
+                            .put(TenantId(t), &format!("f{i}"), &payload(t, i))
+                            .unwrap()
+                            .wait()
+                            .unwrap();
+                    }
+                }
+            });
+            // The service process "crashes" here: nothing is flushed
+            // beyond what every put already journaled.
+        }
+        let mut svc = ArchiveService::new(backend, config);
+        for t in 0..3u16 {
+            let id = svc.open_tenant(ae_scheme(), TenantId(t)).unwrap();
+            assert_eq!(id, TenantId(t));
+            // Checkpoints fired under the cadence of 3, so reopen replayed
+            // a bounded suffix, not the whole history.
+            let ar = svc.archive(id);
+            assert!(ar.checkpoint_seq().is_some(), "tenant {t} checkpointed");
+            assert!(ar.replayed_records() < ar.meta_len());
+        }
+        svc.run(|client| {
+            for t in 0..3u16 {
+                for i in 0..6 {
+                    assert_eq!(
+                        client
+                            .get(TenantId(t), &format!("f{i}"))
+                            .unwrap()
+                            .wait()
+                            .unwrap(),
+                        payload(t, i)
+                    );
+                }
+            }
+        });
+        assert!(svc.verify_all().is_empty());
+    }
+
+    #[test]
+    fn per_tenant_meta_policy_overrides_the_service_default() {
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        let mut svc = ArchiveService::new(backend, ServiceConfig::default());
+        let default = svc.add_tenant(ae_scheme(), 64);
+        let custom = svc.add_tenant_with_meta(
+            ae_scheme(),
+            64,
+            MetaConfig {
+                copies: 2,
+                checkpoint_every: Some(1),
+                ..MetaConfig::default()
+            },
+        );
+        assert_eq!(svc.archive(default).meta_config().copies, 3);
+        assert_eq!(svc.archive(custom).meta_config().copies, 2);
+        svc.run(|client| {
+            client.put(custom, "f", b"eager").unwrap().wait().unwrap();
+        });
+        assert!(
+            svc.archive(custom).checkpoint_seq().is_some(),
+            "cadence of 1 checkpoints on the first put"
+        );
+        assert_eq!(svc.archive(default).checkpoint_seq(), None);
+    }
+
+    #[test]
+    fn reopening_out_of_order_is_refused() {
+        let backend: SharedBackend = Arc::new(MemStore::new());
+        {
+            let mut svc = ArchiveService::new(Arc::clone(&backend), ServiceConfig::default());
+            svc.add_tenant(ae_scheme(), 64);
+            svc.add_tenant(ae_scheme(), 64);
+        }
+        let mut svc = ArchiveService::new(backend, ServiceConfig::default());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = svc.open_tenant(ae_scheme(), TenantId(1));
+        }));
+        assert!(err.is_err(), "skipping tenant 0 must panic, typed");
     }
 
     #[test]

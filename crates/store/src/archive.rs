@@ -44,10 +44,23 @@
 //! crashed process stopped — a torn final journal record is detected and
 //! truncated ([`Archive::torn_tail`]), while damaged metadata surfaces as
 //! a typed [`RecoveryError`] naming what was lost.
+//!
+//! The metadata plane itself is **self-protecting** (see [`crate::meta`]
+//! and [`MetaConfig`]): every journal record is written as an n-way copy
+//! set across placement-distinct `Meta` ids, reads fall through copies
+//! with per-copy CRC validation (surviving copies degrade a read instead
+//! of failing it, reported via [`Archive::meta_damage`]), and past a
+//! configurable threshold the journal is folded into a **checkpoint** —
+//! manifest, write-order id log, sealed flag and encoder frontier in one
+//! snapshot — so `open` replays checkpoint + suffix in O(checkpoint)
+//! time however old the archive is, and the superseded prefix is
+//! garbage-collected only after the checkpoint is durably committed.
 
-use crate::meta::{meta_id, MetaRecord};
-use ae_api::{AeError, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError};
-use ae_blocks::{crc32, Block, BlockId};
+use crate::meta::{
+    meta_copy_id, pointer_id, CheckpointPayload, MetaConfig, MetaRecord, RecordError,
+};
+use ae_api::{AeError, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError, StoreError};
+use ae_blocks::{crc32, Block, BlockId, MetaId};
 use ae_core::Code;
 use ae_lattice::Config;
 use std::collections::BTreeMap;
@@ -190,6 +203,32 @@ impl std::error::Error for RecoveryError {
     }
 }
 
+/// One metadata copy that had to be skipped during a degraded read of
+/// the journal: the record (or pointer cell) was still served from a
+/// surviving copy, but this copy was missing or failed its validation.
+/// [`Archive::scrub`] re-materializes every damaged copy and clears the
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaDamage {
+    /// The damaged copy's id.
+    pub id: BlockId,
+    /// Journal sequence number (or pointer slot) of the record.
+    pub seq: u64,
+    /// Whether the damaged block is a checkpoint-pointer cell.
+    pub pointer: bool,
+    /// Which copy of the record was damaged.
+    pub copy: u16,
+    /// What failed: `"missing"`, or the first decode check that did not
+    /// pass.
+    pub detail: String,
+}
+
+impl fmt::Display for MetaDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.detail)
+    }
+}
+
 /// A read-only view that falls back to the scheme's single-block repair
 /// when the backend no longer holds a block — so restoring the encoder
 /// frontier survives a crash that *also* lost the frontier blocks, as
@@ -206,6 +245,24 @@ impl BlockSource for RepairingSource<'_> {
         self.base
             .fetch(id)
             .or_else(|| self.scheme.repair_block(self.base, id, self.written).ok())
+    }
+}
+
+/// Hides one id from a base source. Used to rebuild a block the backend
+/// still *returns* bytes for but reports as corrupted: the scheme must
+/// reconstruct it from redundancy, never echo the garbled bytes back.
+struct MaskOne<'a> {
+    base: &'a dyn BlockSource,
+    masked: BlockId,
+}
+
+impl BlockSource for MaskOne<'_> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        if id == self.masked {
+            None
+        } else {
+            self.base.fetch(id)
+        }
     }
 }
 
@@ -256,13 +313,41 @@ pub struct Archive<B: BlockRepo + ?Sized = dyn BlockRepo> {
     sealed: bool,
     /// Sequence number of the next metadata journal record.
     next_meta: u64,
-    /// The encoded journal records this archive wrote or replayed, by
-    /// sequence number — [`Archive::scrub`] re-materializes any the
-    /// backend lost, so a live archive's journal is self-healing.
-    meta_log: Vec<Block>,
+    /// Metadata durability policy; `copies` is pinned by the genesis
+    /// record, checkpoint cadence is this open's live policy.
+    meta: MetaConfig,
+    /// The **live** journal records (genesis, committed checkpoint parts
+    /// and the suffix) by sequence number — [`Archive::scrub`]
+    /// re-materializes any copy the backend lost, so a live archive's
+    /// journal is self-healing. GC'd prefix records leave the map.
+    journal: BTreeMap<u64, Block>,
+    /// Live checkpoint-pointer cells by slot.
+    pointers: BTreeMap<u64, Block>,
+    /// Part-0 seq and part count of the committed checkpoint, if any.
+    checkpoint: Option<(u64, u32)>,
+    /// Ping-pong slot the next checkpoint's pointer will overwrite.
+    next_pointer_slot: u64,
+    /// Put/seal records since the committed checkpoint — the
+    /// auto-checkpoint trigger counter.
+    records_since_checkpoint: u64,
     /// Set by [`Archive::open`] when a torn final journal record was
     /// detected and truncated.
     torn_tail: Option<u64>,
+    /// Metadata copies skipped during [`Archive::open`]'s degraded reads.
+    meta_damage: Vec<MetaDamage>,
+    /// Journal records actually replayed by [`Archive::open`] (suffix
+    /// past the checkpoint; the whole journal when none was usable).
+    replayed: u64,
+}
+
+/// Outcome of reading one record's copy set.
+enum CopyRead {
+    /// A copy validated; the decoded record and its canonical bytes.
+    Valid(MetaRecord, Block),
+    /// At least one copy exists but none validates — torn or corrupt.
+    Invalid(RecordError),
+    /// No copy exists at all.
+    Absent,
 }
 
 impl<B: BlockRepo + ?Sized> Archive<B> {
@@ -294,12 +379,32 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
         block_size: usize,
         store: Arc<B>,
     ) -> Self {
+        Self::with_scheme_meta(scheme, block_size, store, MetaConfig::default())
+    }
+
+    /// [`Archive::with_scheme`] with an explicit metadata durability
+    /// policy: copy-set width (pinned for the archive's life), checkpoint
+    /// cadence and checkpoint segment size.
+    ///
+    /// # Panics
+    ///
+    /// As [`Archive::with_scheme`].
+    pub fn with_scheme_meta(
+        scheme: Arc<dyn RedundancyScheme>,
+        block_size: usize,
+        store: Arc<B>,
+        meta: MetaConfig,
+    ) -> Self {
         assert_eq!(scheme.data_written(), 0, "archive schemes must start fresh");
         assert!(block_size > 0, "blocks must be non-empty");
         assert!(
-            store.fetch(meta_id(0)).is_none(),
+            (0..MetaId::MAX_COPIES).all(|c| store.fetch(meta_copy_id(0, c)).is_none()),
             "backend already holds an archive; reopen it with Archive::open"
         );
+        let meta = MetaConfig {
+            copies: meta.clamped_copies(),
+            ..meta
+        };
         let mut ar = Archive {
             scheme,
             store,
@@ -309,12 +414,20 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             stored_ids: Vec::new(),
             sealed: false,
             next_meta: 0,
-            meta_log: Vec::new(),
+            meta,
+            journal: BTreeMap::new(),
+            pointers: BTreeMap::new(),
+            checkpoint: None,
+            next_pointer_slot: 0,
+            records_since_checkpoint: 0,
             torn_tail: None,
+            meta_damage: Vec::new(),
+            replayed: 0,
         };
         ar.append_meta(MetaRecord::Genesis {
             scheme: ar.scheme.scheme_name(),
             block_size: block_size as u64,
+            copies: ar.meta.copies,
         });
         ar
     }
@@ -347,17 +460,62 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     ///
     /// Panics if `scheme` already encoded data.
     pub fn open(scheme: Arc<dyn RedundancyScheme>, store: Arc<B>) -> Result<Self, RecoveryError> {
+        Self::open_with_meta(scheme, store, MetaConfig::default())
+    }
+
+    /// [`Archive::open`] with an explicit metadata policy. The copy-set
+    /// width is **adopted from the genesis record** (it is a property of
+    /// the stored journal, not of this open); `meta` contributes the
+    /// live checkpoint cadence and segment size.
+    ///
+    /// # Errors / Panics
+    ///
+    /// As [`Archive::open`].
+    pub fn open_with_meta(
+        scheme: Arc<dyn RedundancyScheme>,
+        store: Arc<B>,
+        meta: MetaConfig,
+    ) -> Result<Self, RecoveryError> {
         assert_eq!(
             scheme.data_written(),
             0,
             "Archive::open requires a fresh scheme instance"
         );
-        let genesis = store.fetch(meta_id(0)).ok_or(RecoveryError::NoArchive)?;
-        let record = MetaRecord::decode(0, genesis.as_slice())
-            .map_err(|detail| RecoveryError::CorruptRecord { seq: 0, detail })?;
+        // Genesis: probe the widest possible copy set (the true width is
+        // *inside* the record); first copy that validates wins.
+        let mut genesis: Option<(MetaRecord, Block)> = None;
+        let mut copy_state: Vec<Option<RecordError>> = Vec::new();
+        for copy in 0..MetaId::MAX_COPIES {
+            match store.fetch(meta_copy_id(0, copy)) {
+                None => copy_state.push(Some("missing".to_string())),
+                Some(block) => match MetaRecord::decode(0, block.as_slice()) {
+                    Ok(record) => {
+                        if genesis.is_none() {
+                            genesis = Some((record, block));
+                        }
+                        copy_state.push(None);
+                    }
+                    Err(detail) => copy_state.push(Some(detail)),
+                },
+            }
+        }
+        let Some((record, genesis_block)) = genesis else {
+            // No valid genesis copy: corrupt if any bytes exist at all,
+            // otherwise there is simply no archive here.
+            let detail = copy_state
+                .iter()
+                .flatten()
+                .find(|d| d.as_str() != "missing")
+                .cloned();
+            return Err(match detail {
+                Some(detail) => RecoveryError::CorruptRecord { seq: 0, detail },
+                None => RecoveryError::NoArchive,
+            });
+        };
         let MetaRecord::Genesis {
             scheme: archived,
             block_size,
+            copies,
         } = record
         else {
             return Err(RecoveryError::CorruptRecord {
@@ -371,6 +529,14 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
                 given: scheme.scheme_name(),
             });
         }
+        let meta = MetaConfig {
+            copies: MetaConfig {
+                copies,
+                ..meta.clone()
+            }
+            .clamped_copies(),
+            ..meta
+        };
         let mut ar = Archive {
             scheme,
             store,
@@ -380,10 +546,94 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             stored_ids: Vec::new(),
             sealed: false,
             next_meta: 1,
-            meta_log: vec![genesis],
+            meta,
+            journal: BTreeMap::new(),
+            pointers: BTreeMap::new(),
+            checkpoint: None,
+            next_pointer_slot: 0,
+            records_since_checkpoint: 0,
             torn_tail: None,
+            meta_damage: Vec::new(),
+            replayed: 0,
         };
+        for (copy, state) in copy_state.iter().enumerate().take(ar.meta.copies as usize) {
+            if let Some(detail) = state {
+                ar.meta_damage.push(MetaDamage {
+                    id: meta_copy_id(0, copy as u16),
+                    seq: 0,
+                    pointer: false,
+                    copy: copy as u16,
+                    detail: detail.clone(),
+                });
+            }
+        }
+        ar.journal.insert(0, genesis_block);
+
+        // Checkpoint discovery: read the pointer cells, try candidates
+        // newest-first, fall back across them — a torn newer checkpoint
+        // must never cost data, only replay length.
+        let mut checkpoint_frontier = None;
+        let (candidates, poisoned_slot) = ar.read_pointers();
+        if candidates.is_empty() {
+            // No valid pointer: replay from genesis. A *poisoned* cell
+            // (bytes present, zero valid copies) is either a crash torn
+            // mid-pointer-write — the checkpoint never committed, nothing
+            // was GC'd, full replay is correct — or a committed pointer
+            // that rotted, where GC makes replay-from-genesis a silent
+            // rewind. The two are told apart below: GC always removes
+            // record 1 first, so a rotted pointer leaves a replay that
+            // cannot get past genesis.
+        } else {
+            let mut last_err = String::new();
+            let mut loaded = None;
+            for &(slot, cseq, parts) in &candidates {
+                match ar.load_checkpoint(cseq, parts) {
+                    Ok(payload) => {
+                        loaded = Some((slot, cseq, parts, payload));
+                        break;
+                    }
+                    Err(detail) => last_err = detail,
+                }
+            }
+            let Some((slot, cseq, parts, payload)) = loaded else {
+                let (_, cseq, _) = candidates[0];
+                return Err(RecoveryError::CorruptRecord {
+                    seq: cseq,
+                    detail: format!("checkpoint named by pointer is not loadable: {last_err}"),
+                });
+            };
+            checkpoint_frontier = Some(ar.apply_checkpoint(cseq, payload)?);
+            ar.checkpoint = Some((cseq, parts));
+            ar.next_pointer_slot = 1 - slot;
+            ar.next_meta = cseq + parts as u64;
+        }
+
         let frontier = ar.replay()?;
+        if let (Some(slot), None, true) = (poisoned_slot, ar.checkpoint, ar.next_meta == 1) {
+            // A poisoned pointer cell and a replay that never got past
+            // genesis: a committed checkpoint's pointer rotted after GC —
+            // opening would silently rewind the archive to empty.
+            return Err(RecoveryError::CorruptRecord {
+                seq: slot,
+                detail: "checkpoint pointer cell has no valid copy".into(),
+            });
+        }
+        if let Some(slot) = poisoned_slot {
+            // The survivable flavour (torn mid-commit): report it so
+            // scrub can clean the cell up.
+            for copy in 0..ar.meta.copies {
+                if ar.store.has(pointer_id(slot, copy)) {
+                    ar.meta_damage.push(MetaDamage {
+                        id: pointer_id(slot, copy),
+                        seq: slot,
+                        pointer: true,
+                        copy,
+                        detail: "no valid copy (uncommitted pointer write)".into(),
+                    });
+                }
+            }
+        }
+        let frontier = frontier.or(checkpoint_frontier);
         if let Some(snapshot) = frontier {
             let store: &B = &ar.store;
             let base: &dyn BlockSource = &store;
@@ -399,58 +649,271 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
         Ok(ar)
     }
 
+    /// Reads record `seq`'s copy set, falling through to the first copy
+    /// that validates. Copies skipped on the way to a valid one are
+    /// recorded in [`Archive::meta_damage`].
+    fn fetch_record(&mut self, seq: u64) -> CopyRead {
+        let mut valid: Option<(MetaRecord, Block)> = None;
+        let mut states: Vec<(u16, Option<RecordError>)> = Vec::new();
+        for copy in 0..self.meta.copies {
+            match self.store.fetch(meta_copy_id(seq, copy)) {
+                None => states.push((copy, Some("missing".to_string()))),
+                Some(block) => match MetaRecord::decode(seq, block.as_slice()) {
+                    Ok(record) => {
+                        if valid.is_none() {
+                            valid = Some((record, block));
+                        }
+                        states.push((copy, None));
+                    }
+                    Err(detail) => states.push((copy, Some(detail))),
+                },
+            }
+        }
+        match valid {
+            Some((record, block)) => {
+                for (copy, state) in states {
+                    if let Some(detail) = state {
+                        self.meta_damage.push(MetaDamage {
+                            id: meta_copy_id(seq, copy),
+                            seq,
+                            pointer: false,
+                            copy,
+                            detail,
+                        });
+                    }
+                }
+                CopyRead::Valid(record, block)
+            }
+            None => {
+                let detail = states
+                    .iter()
+                    .filter_map(|(_, s)| s.clone())
+                    .find(|d| d != "missing");
+                match detail {
+                    Some(detail) => CopyRead::Invalid(detail),
+                    None => CopyRead::Absent,
+                }
+            }
+        }
+    }
+
+    /// Reads both checkpoint-pointer cells. Returns the distinct valid
+    /// `(slot, checkpoint seq, parts)` candidates sorted newest-first,
+    /// and the slot of a cell that holds bytes but no valid copy (all
+    /// copies of a written pointer destroyed), if any.
+    fn read_pointers(&mut self) -> (Vec<(u64, u64, u32)>, Option<u64>) {
+        let mut candidates: Vec<(u64, u64, u32)> = Vec::new();
+        let mut poisoned = None;
+        for slot in 0..2u64 {
+            let mut best: Option<(u64, u32)> = None;
+            let mut states: Vec<(u16, Option<RecordError>)> = Vec::new();
+            let mut any_bytes = false;
+            for copy in 0..self.meta.copies {
+                match self.store.fetch(pointer_id(slot, copy)) {
+                    None => states.push((copy, Some("missing".to_string()))),
+                    Some(block) => {
+                        any_bytes = true;
+                        match MetaRecord::decode(slot, block.as_slice()) {
+                            Ok(MetaRecord::Pointer { checkpoint, parts }) => {
+                                if best.is_none() {
+                                    best = Some((checkpoint, parts));
+                                    self.pointers.entry(slot).or_insert(block);
+                                }
+                                states.push((copy, None));
+                            }
+                            Ok(_) => states.push((copy, Some("not a pointer record".into()))),
+                            Err(detail) => states.push((copy, Some(detail))),
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((checkpoint, parts)) => {
+                    for (copy, state) in states {
+                        if let Some(detail) = state {
+                            self.meta_damage.push(MetaDamage {
+                                id: pointer_id(slot, copy),
+                                seq: slot,
+                                pointer: true,
+                                copy,
+                                detail,
+                            });
+                        }
+                    }
+                    candidates.push((slot, checkpoint, parts));
+                }
+                None if any_bytes => poisoned = poisoned.or(Some(slot)),
+                None => {}
+            }
+        }
+        // Newest checkpoint first; mixed-generation copy sets are
+        // handled by falling through candidates.
+        candidates.sort_by_key(|&(_, cseq, _)| std::cmp::Reverse(cseq));
+        candidates.dedup_by_key(|&mut (_, cseq, parts)| (cseq, parts));
+        (candidates, poisoned)
+    }
+
+    /// Fetches and reassembles the checkpoint whose part 0 sits at
+    /// journal seq `cseq`, validating every part's framing. On success
+    /// the parts' canonical blocks join the live journal.
+    fn load_checkpoint(&mut self, cseq: u64, parts: u32) -> Result<CheckpointPayload, RecordError> {
+        if parts == 0 || cseq == 0 {
+            return Err(format!(
+                "pointer names impossible checkpoint {cseq}+{parts}"
+            ));
+        }
+        let mut bytes = Vec::new();
+        let mut blocks = Vec::new();
+        for i in 0..parts {
+            let seq = cseq + i as u64;
+            match self.fetch_record(seq) {
+                CopyRead::Valid(
+                    MetaRecord::Checkpoint {
+                        part,
+                        parts: p,
+                        chunk,
+                    },
+                    block,
+                ) if part == i && p == parts => {
+                    bytes.extend_from_slice(&chunk);
+                    blocks.push((seq, block));
+                }
+                CopyRead::Valid(..) => {
+                    return Err(format!("meta#{seq} is not checkpoint part {i}"));
+                }
+                CopyRead::Invalid(detail) => return Err(format!("meta#{seq}: {detail}")),
+                CopyRead::Absent => return Err(format!("meta#{seq}: missing")),
+            }
+        }
+        let payload = CheckpointPayload::decode(&bytes)?;
+        self.journal.extend(blocks);
+        Ok(payload)
+    }
+
+    /// Installs a checkpoint's state (manifest, id logs, sealed flag),
+    /// returning its frontier snapshot. Structural damage is a typed
+    /// error naming the checkpoint.
+    fn apply_checkpoint(
+        &mut self,
+        cseq: u64,
+        payload: CheckpointPayload,
+    ) -> Result<Vec<u8>, RecoveryError> {
+        let corrupt = |detail: String| RecoveryError::CorruptRecord { seq: cseq, detail };
+        self.data_ids = payload
+            .stored_ids
+            .iter()
+            .copied()
+            .filter(|id| id.is_data())
+            .collect();
+        for (name, byte_len, crc, first_block, block_count) in payload.manifest {
+            if first_block + block_count > self.data_ids.len() as u64 {
+                return Err(corrupt(format!(
+                    "checkpoint entry {name:?} extent exceeds its id log"
+                )));
+            }
+            let entry = Entry {
+                first_block,
+                block_count,
+                byte_len: byte_len as usize,
+                crc,
+            };
+            match self.manifest.entry(name) {
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    return Err(corrupt(format!("duplicate checkpoint entry {:?}", e.key())));
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(entry);
+                }
+            }
+        }
+        self.stored_ids = payload.stored_ids;
+        self.sealed = payload.sealed;
+        Ok(payload.frontier)
+    }
+
     /// How far past an invalid or missing record the replay looks for
     /// survivors before concluding the journal ended there. A gap longer
     /// than this with valid records beyond it is indistinguishable from
     /// end-of-journal (see the torn-write rules in [`crate::meta`]).
     const REPLAY_PROBE_WINDOW: u64 = 16;
 
-    /// Whether any journal record exists within the probe window after
-    /// `seq` — i.e. `seq` failing is mid-journal damage, not the tail.
+    /// Whether any journal record (any copy) exists within the probe
+    /// window after `seq` — i.e. `seq` failing is mid-journal damage,
+    /// not the tail.
     fn journal_continues(&self, seq: u64) -> bool {
-        (seq + 1..=seq + Self::REPLAY_PROBE_WINDOW).any(|s| self.store.has(meta_id(s)))
+        (seq + 1..=seq + Self::REPLAY_PROBE_WINDOW)
+            .any(|s| (0..self.meta.copies).any(|c| self.store.has(meta_copy_id(s, c))))
     }
 
-    /// Replays journal records from `next_meta` on, returning the last
-    /// frontier snapshot seen (`None` when the journal holds no mutations
-    /// — a freshly created archive).
+    /// Replays journal records from `next_meta` on — the suffix past the
+    /// checkpoint when one was loaded — returning the last frontier
+    /// snapshot seen (`None` when no record carried one).
     fn replay(&mut self) -> Result<Option<Vec<u8>>, RecoveryError> {
         let mut frontier = None;
         loop {
             let seq = self.next_meta;
-            let Some(block) = self.store.fetch(meta_id(seq)) else {
-                // End of journal — unless a later record exists within
-                // the probe window, in which case this one was lost
-                // mid-journal (damaged metadata, not a torn tail) and
-                // replaying past it would serve a silently rewound
-                // archive.
-                if self.journal_continues(seq) {
-                    return Err(RecoveryError::CorruptRecord {
-                        seq,
-                        detail: "record missing mid-journal".into(),
-                    });
+            let record = match self.fetch_record(seq) {
+                CopyRead::Valid(record, block) => {
+                    self.journal.insert(seq, block);
+                    record
                 }
-                break;
-            };
-            let record = match MetaRecord::decode(seq, block.as_slice()) {
-                Ok(record) => record,
-                Err(detail) => {
+                CopyRead::Absent => {
+                    // End of journal — unless a later record exists
+                    // within the probe window, in which case every copy
+                    // of this one was destroyed mid-journal (damaged
+                    // metadata beyond the redundancy, not a torn tail)
+                    // and replaying past it would serve a silently
+                    // rewound archive.
+                    if self.journal_continues(seq) {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: "all copies missing mid-journal".into(),
+                        });
+                    }
+                    break;
+                }
+                CopyRead::Invalid(detail) => {
                     if self.journal_continues(seq) {
                         return Err(RecoveryError::CorruptRecord { seq, detail });
                     }
                     // A torn final record: the crash cut the write short.
                     // Truncate the journal here — the mutation was never
-                    // acknowledged — and report it.
+                    // acknowledged — erase the unacknowledged bytes so the
+                    // next open starts clean, and report it.
+                    self.erase_record(seq);
                     self.torn_tail = Some(seq);
                     break;
                 }
             };
+            self.replayed += 1;
             match record {
                 MetaRecord::Genesis { .. } => {
                     return Err(RecoveryError::CorruptRecord {
                         seq,
                         detail: "unexpected genesis record mid-journal".into(),
                     });
+                }
+                MetaRecord::Pointer { .. } => {
+                    return Err(RecoveryError::CorruptRecord {
+                        seq,
+                        detail: "pointer record inside the journal".into(),
+                    });
+                }
+                MetaRecord::Checkpoint { part, parts, .. } => {
+                    // A checkpoint whose pointer never became readable:
+                    // validate the whole group, then skip it — the
+                    // records it folded were replayed on the way here.
+                    if part != 0 {
+                        return Err(RecoveryError::CorruptRecord {
+                            seq,
+                            detail: format!("checkpoint part {part} without part 0"),
+                        });
+                    }
+                    match self.skip_checkpoint_group(seq, parts) {
+                        Ok(()) => continue,
+                        Err(None) => break, // torn checkpoint tail
+                        Err(Some(err)) => return Err(err),
+                    }
                 }
                 MetaRecord::Put {
                     name,
@@ -495,6 +958,7 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
                         .extend(ids.iter().copied().filter(|id| id.is_data()));
                     self.stored_ids.extend(ids);
                     frontier = Some(snap);
+                    self.records_since_checkpoint += 1;
                 }
                 MetaRecord::Seal {
                     ids,
@@ -509,24 +973,165 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
                     self.stored_ids.extend(ids);
                     self.sealed = true;
                     frontier = Some(snap);
+                    self.records_since_checkpoint += 1;
                 }
             }
-            self.meta_log.push(block);
             self.next_meta += 1;
         }
         Ok(frontier)
     }
 
-    /// Appends a record to the on-backend metadata journal, keeping the
-    /// encoded block so [`Archive::scrub`] can re-materialize it if the
-    /// backend loses it.
+    /// Validates checkpoint parts `cseq..cseq + parts` encountered
+    /// in-line during replay (part 0 already read) and advances past
+    /// them. `Err(None)` means the group is a torn checkpoint tail —
+    /// the whole partial checkpoint is truncated; `Err(Some(_))` means
+    /// mid-journal damage.
+    fn skip_checkpoint_group(
+        &mut self,
+        cseq: u64,
+        parts: u32,
+    ) -> Result<(), Option<RecoveryError>> {
+        for i in 1..parts {
+            let seq = cseq + i as u64;
+            let bad = match self.fetch_record(seq) {
+                CopyRead::Valid(MetaRecord::Checkpoint { part, parts: p, .. }, block)
+                    if part == i && p == parts =>
+                {
+                    self.journal.insert(seq, block);
+                    continue;
+                }
+                CopyRead::Valid(..) => Some(format!("meta#{seq} is not checkpoint part {i}")),
+                CopyRead::Invalid(detail) => Some(detail),
+                CopyRead::Absent => None,
+            };
+            let continues = self.journal_continues(cseq + parts as u64 - 1);
+            if continues || bad.is_some() && self.journal_continues(seq) {
+                return Err(Some(RecoveryError::CorruptRecord {
+                    seq,
+                    detail: bad.unwrap_or_else(|| "checkpoint part missing".into()),
+                }));
+            }
+            // Torn checkpoint tail: drop the partial group entirely —
+            // the checkpoint was never committed (its pointer would have
+            // been written after the last part). The surviving parts are
+            // unacknowledged garbage: erase them so resumed appends can
+            // never interleave with stale part records, and retract any
+            // degraded-copy reports for records that no longer exist.
+            for s in cseq..cseq + parts as u64 {
+                self.journal.remove(&s);
+                self.erase_record(s);
+            }
+            self.meta_damage
+                .retain(|d| d.pointer || d.seq < cseq || d.seq >= cseq + parts as u64);
+            self.next_meta = cseq;
+            self.torn_tail = Some(cseq);
+            return Err(None);
+        }
+        self.next_meta = cseq + parts as u64;
+        Ok(())
+    }
+
+    /// Removes every copy of journal record `seq` from the backend —
+    /// used by replay to physically truncate torn, unacknowledged tail
+    /// records (plain WAL truncation, applied to the copy set).
+    fn erase_record(&self, seq: u64) {
+        for copy in 0..self.meta.copies {
+            self.store.remove(meta_copy_id(seq, copy));
+        }
+    }
+
+    /// Appends a record to the on-backend metadata journal — every copy
+    /// of its set — keeping the encoded block so [`Archive::scrub`] can
+    /// re-materialize copies the backend loses.
     fn append_meta(&mut self, record: MetaRecord) {
         let seq = self.next_meta;
         let block = Block::from_vec(record.encode(seq));
-        self.store.store(meta_id(seq), block.clone());
-        debug_assert_eq!(self.meta_log.len() as u64, seq, "log tracks the journal");
-        self.meta_log.push(block);
+        for copy in 0..self.meta.copies {
+            self.store.store(meta_copy_id(seq, copy), block.clone());
+        }
+        if matches!(record, MetaRecord::Put { .. } | MetaRecord::Seal { .. }) {
+            self.records_since_checkpoint += 1;
+        }
+        self.journal.insert(seq, block);
         self.next_meta += 1;
+    }
+
+    /// Folds the archive's entire state into a checkpoint, commits it,
+    /// and garbage-collects the superseded journal prefix: parts are
+    /// appended (n-way), the pointer cell flips to name them, and only
+    /// then are older records removed — a crash at any point leaves
+    /// either the previous checkpoint reachable or this one committed.
+    /// Returns the journal seq of the checkpoint's part 0.
+    ///
+    /// Called automatically past [`MetaConfig::checkpoint_every`] and on
+    /// [`Archive::seal`]; public so callers with their own policy can
+    /// checkpoint explicitly.
+    pub fn checkpoint(&mut self) -> u64 {
+        let payload = CheckpointPayload {
+            manifest: self
+                .manifest
+                .iter()
+                .map(|(name, e)| {
+                    (
+                        name.clone(),
+                        e.byte_len as u64,
+                        e.crc,
+                        e.first_block,
+                        e.block_count,
+                    )
+                })
+                .collect(),
+            stored_ids: self.stored_ids.clone(),
+            sealed: self.sealed,
+            frontier: self.scheme.frontier_snapshot(),
+        }
+        .encode();
+        let cseq = self.next_meta;
+        let seg = self.meta.segment_bytes.max(1);
+        let parts = payload.chunks(seg).count() as u32;
+        for (i, chunk) in payload.chunks(seg).enumerate() {
+            self.append_meta(MetaRecord::Checkpoint {
+                part: i as u32,
+                parts,
+                chunk: chunk.to_vec(),
+            });
+        }
+        // The pointer commit: all parts are durable, flip the ping-pong
+        // cell to them.
+        let slot = self.next_pointer_slot;
+        let pointer = Block::from_vec(
+            MetaRecord::Pointer {
+                checkpoint: cseq,
+                parts,
+            }
+            .encode(slot),
+        );
+        for copy in 0..self.meta.copies {
+            self.store.store(pointer_id(slot, copy), pointer.clone());
+        }
+        self.pointers.insert(slot, pointer);
+        self.next_pointer_slot = 1 - slot;
+        // Only now is the prefix garbage: every record between genesis
+        // and part 0, previous checkpoints included.
+        let dead: Vec<u64> = self.journal.range(1..cseq).map(|(&s, _)| s).collect();
+        for s in dead {
+            for copy in 0..self.meta.copies {
+                self.store.remove(meta_copy_id(s, copy));
+            }
+            self.journal.remove(&s);
+        }
+        self.checkpoint = Some((cseq, parts));
+        self.records_since_checkpoint = 0;
+        cseq
+    }
+
+    /// Checkpoints when the configured record threshold has accumulated.
+    fn maybe_checkpoint(&mut self) {
+        if let Some(every) = self.meta.checkpoint_every {
+            if self.records_since_checkpoint >= every.max(1) {
+                self.checkpoint();
+            }
+        }
     }
 
     /// The underlying backend.
@@ -554,16 +1159,71 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
         self.sealed
     }
 
-    /// Number of records in the on-backend metadata journal (genesis
-    /// included): `Meta(0)..Meta(meta_len()-1)` are live.
+    /// Total records ever appended to the metadata journal (genesis
+    /// included): the next record gets seq `meta_len()`. GC'd prefix
+    /// records still count — see [`Archive::live_meta_records`] for the
+    /// records the backend actually holds.
     pub fn meta_len(&self) -> u64 {
         self.next_meta
     }
 
+    /// Records currently live in the journal: genesis + committed
+    /// checkpoint parts + suffix. Checkpointing keeps this bounded while
+    /// [`Archive::meta_len`] grows with history.
+    pub fn live_meta_records(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    /// Every metadata block id the backend should currently hold: all
+    /// copies of every live journal record and pointer cell. Disaster
+    /// drills pick metadata victims from this list; [`Archive::scrub`]
+    /// heals against it.
+    pub fn live_meta_ids(&self) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        for &seq in self.journal.keys() {
+            for copy in 0..self.meta.copies {
+                ids.push(meta_copy_id(seq, copy));
+            }
+        }
+        for &slot in self.pointers.keys() {
+            for copy in 0..self.meta.copies {
+                ids.push(pointer_id(slot, copy));
+            }
+        }
+        ids
+    }
+
+    /// The metadata durability policy in effect: the genesis-pinned
+    /// copy-set width plus this open's checkpoint cadence.
+    pub fn meta_config(&self) -> &MetaConfig {
+        &self.meta
+    }
+
+    /// Part-0 journal seq of the committed checkpoint, if any.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        self.checkpoint.map(|(seq, _)| seq)
+    }
+
+    /// Journal records [`Archive::open`] actually replayed — the suffix
+    /// past the checkpoint, or the full journal without one. The
+    /// O(checkpoint)-open guarantee is this number staying bounded by
+    /// the checkpoint cadence while [`Archive::meta_len`] grows.
+    pub fn replayed_records(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Metadata copies [`Archive::open`] had to skip on the way to a
+    /// valid copy — the degraded-read report of the self-protecting
+    /// metadata plane. Empty for clean opens; [`Archive::scrub`] heals
+    /// the damage (subsequent opens report clean again).
+    pub fn meta_damage(&self) -> &[MetaDamage] {
+        &self.meta_damage
+    }
+
     /// The journal sequence number of a torn final record that
     /// [`Archive::open`] detected and truncated — the mutation the crash
-    /// cut short. `None` for archives that opened clean (or were never
-    /// reopened).
+    /// cut short (for a torn multi-part checkpoint: its part 0). `None`
+    /// for archives that opened clean (or were never reopened).
     pub fn torn_tail(&self) -> Option<u64> {
         self.torn_tail
     }
@@ -664,6 +1324,9 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
             .extend(report.ids.iter().copied().filter(|id| id.is_data()));
         self.stored_ids.extend(report.ids);
         self.manifest.insert(name.to_string(), entry.clone());
+        // Only after the archive state reflects the put may it be folded
+        // into a checkpoint.
+        self.maybe_checkpoint();
         Ok(entry)
     }
 
@@ -694,6 +1357,11 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
         });
         self.stored_ids.extend(flushed.iter().copied());
         self.sealed = true;
+        // A sealed archive never grows again: checkpoint it so every
+        // future open is O(checkpoint) regardless of its history.
+        if self.meta.checkpoint_every.is_some() {
+            self.checkpoint();
+        }
         Ok(flushed)
     }
 
@@ -734,33 +1402,86 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
 
     /// Scrubs the archive: round-based repair of every missing block the
     /// backend should hold, written back to the backend — **including the
-    /// metadata journal**: records the backend lost are re-stored from
-    /// the archive's in-memory log, so a live archive heals its own
-    /// persistence layer and stays reopenable. Returns how many blocks
-    /// were restored (data, redundancy and journal records).
-    pub fn scrub(&self) -> u64 {
+    /// metadata journal**: every copy of every live record and pointer
+    /// cell the backend lost *or corrupted* is re-stored from the
+    /// archive's in-memory log, so a live archive heals its own
+    /// persistence layer and stays reopenable at full copy-set strength.
+    /// Scheme blocks the backend reports as corrupted
+    /// ([`StoreError::Corrupted`]) are quarantined (removed) first so the
+    /// repair planners rebuild them from surviving redundancy. Returns
+    /// how many blocks were restored (data, redundancy and metadata
+    /// copies); clears the [`Archive::meta_damage`] report.
+    pub fn scrub(&mut self) -> u64 {
+        // Quarantine corrupt scheme blocks: a block whose read fails its
+        // integrity check is worse than a missing one (planners would
+        // trust its bytes), so drop it and let repair re-materialize it.
+        for &id in &self.stored_ids {
+            if matches!(self.store.read(id), Err(StoreError::Corrupted(_))) {
+                self.store.remove(id);
+            }
+        }
         let store: &B = &self.store;
         let repo: &dyn BlockRepo = &store;
         let summary =
             self.scheme
                 .repair_missing(repo, &self.stored_ids, self.scheme.data_written());
         let mut restored = summary.total_repaired() as u64;
-        for (seq, block) in self.meta_log.iter().enumerate() {
-            let id = meta_id(seq as u64);
-            if !self.store.has(id) {
-                self.store.store(id, block.clone());
-                restored += 1;
+        // Heal the metadata plane copy by copy: byte-compare against the
+        // canonical in-memory journal, so silently-garbled copies are
+        // rewritten too, not just missing ones.
+        let records = self
+            .journal
+            .iter()
+            .map(|(&seq, block)| (false, seq, block.clone()))
+            .chain(
+                self.pointers
+                    .iter()
+                    .map(|(&slot, block)| (true, slot, block.clone())),
+            )
+            .collect::<Vec<_>>();
+        for (pointer, seq, block) in records {
+            for copy in 0..self.meta.copies {
+                let id = if pointer {
+                    pointer_id(seq, copy)
+                } else {
+                    meta_copy_id(seq, copy)
+                };
+                let healthy = self
+                    .store
+                    .fetch(id)
+                    .is_some_and(|found| found.as_slice() == block.as_slice());
+                if !healthy {
+                    self.store.store(id, block.clone());
+                    restored += 1;
+                }
             }
         }
+        // Pointer cells the archive does not own (uncommitted writes a
+        // crash tore mid-commit, survived by open) are garbage: clear
+        // the bytes so future opens see a clean cell.
+        for slot in 0..2u64 {
+            if !self.pointers.contains_key(&slot) {
+                for copy in 0..self.meta.copies {
+                    self.store.remove(pointer_id(slot, copy));
+                }
+            }
+        }
+        self.meta_damage.clear();
         restored
     }
 
     fn fetch_or_repair(&self, id: BlockId) -> Result<Block, ArchiveError> {
-        if let Some(b) = self.store.fetch(id) {
+        // `read`, not `fetch`: a backend that verifies checksums reports
+        // tampered bytes as `Corrupted`, which to a decoder means the
+        // same as missing — rebuild from redundancy. Mask the id from
+        // the repair source so the garbled bytes cannot leak back in.
+        if let Ok(b) = self.store.read(id) {
             return Ok(b);
         }
         let store: &B = &self.store;
-        let source: &dyn BlockSource = &store;
+        let base: &dyn BlockSource = &store;
+        let masked = MaskOne { base, masked: id };
+        let source: &dyn BlockSource = &masked;
         let written = self.scheme.data_written();
         // Fast path: a single repair option from currently available
         // blocks (one XOR for entanglements, one stripe decode for RS).
@@ -787,6 +1508,7 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meta::meta_id;
     use crate::store::MemStore;
     use ae_blocks::NodeId;
 
@@ -1121,8 +1843,21 @@ mod tests {
                 if archived == "AE(3,2,5)" && given == "RS(4,2)"
         ));
 
-        // Scribbled genesis record.
+        // One scribbled genesis copy is survivable: a surviving copy wins
+        // and the damage is reported, not fatal.
         store.put(meta_id(0), Block::from_vec(vec![0xAB; 40]));
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(
+            ar.meta_damage().iter().any(|d| d.seq == 0 && !d.pointer),
+            "degraded genesis read is reported: {:?}",
+            ar.meta_damage()
+        );
+        drop(ar);
+
+        // Every genesis copy scribbled: typed corruption.
+        for copy in 0..MetaId::MAX_COPIES {
+            store.put(meta_copy_id(0, copy), Block::from_vec(vec![0xAB; 40]));
+        }
         assert!(matches!(
             Archive::open(ae_scheme(), Arc::clone(&store)),
             Err(RecoveryError::CorruptRecord { seq: 0, .. })
@@ -1138,12 +1873,15 @@ mod tests {
             ar.put("torn", &payload(500, 4)).unwrap();
             ar.meta_len() - 1
         };
-        // Tear the final journal record: keep a prefix of its bytes.
+        // Tear EVERY copy of the final journal record: keep a prefix of
+        // its bytes — the crash happened before any copy was complete.
         let full = store.get(meta_id(torn_seq)).unwrap();
-        store.put(
-            meta_id(torn_seq),
-            Block::copy_from_slice(&full.as_slice()[..10]),
-        );
+        for copy in 0..MetaConfig::default().copies {
+            store.put(
+                meta_copy_id(torn_seq, copy),
+                Block::copy_from_slice(&full.as_slice()[..10]),
+            );
+        }
 
         let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
         assert_eq!(ar.torn_tail(), Some(torn_seq), "truncation is reported");
@@ -1169,17 +1907,30 @@ mod tests {
             ar.put("c", &payload(200, 5)).unwrap();
             ar.put("d", &payload(200, 6)).unwrap();
         }
-        // Damage the FIRST put record (later records follow): replay must
-        // refuse rather than silently rewind past it.
+        let copies = MetaConfig::default().copies;
+        // Losing ONE copy of the first put record is survivable: the read
+        // falls through to a surviving copy and reports the damage.
         store.remove(meta_id(1));
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.names().count(), 4, "copy fall-through keeps the data");
+        assert!(ar.meta_damage().iter().any(|d| d.seq == 1 && !d.pointer));
+        drop(ar);
+        // Damage EVERY copy of the FIRST put record (later records
+        // follow): replay must refuse rather than silently rewind past it.
+        for copy in 0..copies {
+            store.remove(meta_copy_id(1, copy));
+        }
         assert!(matches!(
             Archive::open(ae_scheme(), Arc::clone(&store)),
             Err(RecoveryError::CorruptRecord { seq: 1, .. })
         ));
         // A *gap* of consecutive lost records with survivors beyond is
         // still mid-journal damage, not an end-of-journal.
-        store.remove(meta_id(2));
-        store.remove(meta_id(3));
+        for seq in [2u64, 3] {
+            for copy in 0..copies {
+                store.remove(meta_copy_id(seq, copy));
+            }
+        }
         assert!(matches!(
             Archive::open(ae_scheme(), Arc::clone(&store)),
             Err(RecoveryError::CorruptRecord { seq: 1, .. })
@@ -1214,5 +1965,235 @@ mod tests {
         drop(Archive::with_scheme(ae_scheme(), 64, Arc::clone(&store)));
         // Shadowing an existing archive must panic, pointing at open().
         let _ = Archive::with_scheme(ae_scheme(), 64, store);
+    }
+
+    fn meta_cfg(copies: u16, every: Option<u64>) -> MetaConfig {
+        MetaConfig {
+            copies,
+            checkpoint_every: every,
+            ..MetaConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_live_journal_and_gcs_the_prefix() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(3, Some(4)));
+        for i in 0..12u8 {
+            ar.put(&format!("f{i}"), &payload(150, i)).unwrap();
+        }
+        let cseq = ar.checkpoint_seq().expect("cadence of 4 must have fired");
+        assert!(
+            ar.live_meta_records() < ar.meta_len(),
+            "GC shrank the live journal ({} live, {} ever)",
+            ar.live_meta_records(),
+            ar.meta_len()
+        );
+        // The GC'd prefix is really gone from the backend, every copy.
+        for copy in 0..3 {
+            assert!(!store.contains(meta_copy_id(1, copy)), "copy {copy}");
+        }
+        // ... and everything the checkpoint superseded replays correctly.
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.checkpoint_seq(), Some(cseq), "pointer names the commit");
+        assert!(ar.meta_damage().is_empty());
+        for i in 0..12u8 {
+            assert_eq!(ar.get(&format!("f{i}")).unwrap(), payload(150, i));
+        }
+    }
+
+    #[test]
+    fn reopen_replays_the_suffix_not_the_history() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(3, Some(8)));
+        for i in 0..40u8 {
+            ar.put(&format!("f{i}"), &payload(100, i)).unwrap();
+        }
+        let history = ar.meta_len();
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(
+            ar.replayed_records() <= 8 + 2,
+            "open replayed {} records of a {history}-record history",
+            ar.replayed_records()
+        );
+        assert_eq!(ar.names().count(), 40);
+    }
+
+    #[test]
+    fn seal_checkpoints_and_further_checkpoints_are_stable() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(2, Some(100)));
+        ar.put("f", &payload(300, 7)).unwrap();
+        assert_eq!(ar.checkpoint_seq(), None, "threshold not reached");
+        ar.seal().unwrap();
+        let sealed_ckpt = ar.checkpoint_seq().expect("seal checkpoints");
+        drop(ar);
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(ar.is_sealed());
+        assert_eq!(ar.checkpoint_seq(), Some(sealed_ckpt));
+        assert_eq!(ar.get("f").unwrap(), payload(300, 7));
+        // An explicit re-checkpoint ping-pongs the pointer slot and stays
+        // reopenable (the previous checkpoint is GC'd as ordinary prefix).
+        let next = ar.checkpoint();
+        assert!(next > sealed_ckpt);
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.checkpoint_seq(), Some(next));
+        assert_eq!(ar.get("f").unwrap(), payload(300, 7));
+    }
+
+    #[test]
+    fn multi_part_checkpoints_roundtrip() {
+        let store = Arc::new(MemStore::new());
+        let cfg = MetaConfig {
+            copies: 2,
+            checkpoint_every: Some(6),
+            segment_bytes: 64, // force several parts per checkpoint
+        };
+        let mut ar = Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), cfg);
+        for i in 0..14u8 {
+            ar.put(&format!("part{i}"), &payload(200, i)).unwrap();
+        }
+        assert!(ar.checkpoint_seq().is_some());
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(ar.meta_damage().is_empty());
+        for i in 0..14u8 {
+            assert_eq!(ar.get(&format!("part{i}")).unwrap(), payload(200, i));
+        }
+    }
+
+    #[test]
+    fn single_copy_loss_of_any_live_meta_id_is_survivable_and_healable() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(3, Some(3)));
+        for i in 0..8u8 {
+            ar.put(&format!("f{i}"), &payload(120, i)).unwrap();
+        }
+        let live = ar.live_meta_ids();
+        drop(ar);
+        // Lose one copy (the first) of EVERY live record and pointer cell
+        // at once: n-way redundancy keeps every record readable.
+        for &id in &live {
+            if let BlockId::Meta(m) = id {
+                if m.copy() == 0 {
+                    assert!(store.remove(id), "{id:?} should have been live");
+                }
+            }
+        }
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(
+            !ar.meta_damage().is_empty(),
+            "degraded reads must be reported"
+        );
+        for i in 0..8u8 {
+            assert_eq!(ar.get(&format!("f{i}")).unwrap(), payload(120, i));
+        }
+        // Scrub heals every lost copy; the next open is clean.
+        assert!(ar.scrub() > 0);
+        for &id in &live {
+            assert!(store.contains(id), "{id:?} healed");
+        }
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(ar.meta_damage().is_empty(), "healed archive opens clean");
+    }
+
+    #[test]
+    fn scrub_rewrites_garbled_meta_copies() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(3, None));
+        ar.put("f", &payload(400, 9)).unwrap();
+        // Garble (not delete) the middle copy of the put record: scrub
+        // byte-compares against the canonical journal and rewrites it.
+        let victim = meta_copy_id(1, 1);
+        store.put(victim, Block::from_vec(vec![0x5A; 24]));
+        assert_eq!(ar.scrub(), 1, "exactly the garbled copy is rewritten");
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(ar.meta_damage().is_empty());
+        assert_eq!(ar.get("f").unwrap(), payload(400, 9));
+    }
+
+    #[test]
+    fn copy_width_is_pinned_by_genesis_not_by_the_reopener() {
+        let store = Arc::new(MemStore::new());
+        drop(Archive::with_scheme_meta(
+            ae_scheme(),
+            64,
+            Arc::clone(&store),
+            meta_cfg(2, None),
+        ));
+        // The reopener asks for 3 copies; the stored journal has 2 and
+        // that is what governs reads and future writes.
+        let ar = Archive::open_with_meta(ae_scheme(), Arc::clone(&store), meta_cfg(3, Some(10)))
+            .unwrap();
+        assert_eq!(ar.meta_config().copies, 2, "width adopted from genesis");
+        assert_eq!(
+            ar.meta_config().checkpoint_every,
+            Some(10),
+            "cadence is the reopener's policy"
+        );
+        assert!(!store.contains(meta_copy_id(0, 2)), "no third copy exists");
+    }
+
+    #[test]
+    fn an_uncommitted_torn_pointer_write_is_survivable_and_scrubbed() {
+        let store = Arc::new(MemStore::new());
+        {
+            let mut ar =
+                Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(3, None));
+            ar.put("f", &payload(250, 4)).unwrap();
+        }
+        // A crash tore the very first pointer-cell write: garbage bytes,
+        // zero valid copies, but nothing was ever GC'd — full replay is
+        // still the whole truth and open must take it.
+        store.put(pointer_id(0, 0), Block::from_vec(vec![0xCC; 9]));
+        let mut ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert_eq!(ar.get("f").unwrap(), payload(250, 4));
+        assert!(
+            ar.meta_damage().iter().any(|d| d.pointer),
+            "the poisoned cell is reported: {:?}",
+            ar.meta_damage()
+        );
+        // Scrub clears the uncommitted garbage; the next open is clean.
+        ar.scrub();
+        assert!(!store.contains(pointer_id(0, 0)), "garbage cell removed");
+        drop(ar);
+        let ar = Archive::open(ae_scheme(), Arc::clone(&store)).unwrap();
+        assert!(ar.meta_damage().is_empty());
+    }
+
+    #[test]
+    fn losing_every_pointer_copy_with_bytes_present_is_typed() {
+        let store = Arc::new(MemStore::new());
+        let mut ar =
+            Archive::with_scheme_meta(ae_scheme(), 64, Arc::clone(&store), meta_cfg(2, Some(2)));
+        for i in 0..5u8 {
+            ar.put(&format!("f{i}"), &payload(90, i)).unwrap();
+        }
+        assert!(ar.checkpoint_seq().is_some());
+        drop(ar);
+        // Scribble every copy of every pointer cell: the cell exists but
+        // no copy validates. Replaying from scratch could silently rewind
+        // past the GC'd prefix, so open must refuse, typed.
+        for slot in 0..2u64 {
+            for copy in 0..2 {
+                if store.contains(pointer_id(slot, copy)) {
+                    store.put(pointer_id(slot, copy), Block::from_vec(vec![0xEE; 16]));
+                }
+            }
+        }
+        assert!(matches!(
+            Archive::open(ae_scheme(), Arc::clone(&store)),
+            Err(RecoveryError::CorruptRecord { .. })
+        ));
     }
 }

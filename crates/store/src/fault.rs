@@ -1,14 +1,22 @@
 //! A fault-injecting backend wrapper for disaster drills.
 //!
 //! [`FaultyStore`] wraps any backend of the unified [`ae_api`] family and
-//! blackholes a chosen set of block ids: fetches of a failed block answer
-//! `None` (the block's hardware is gone) while the wrapped backend's other
-//! contents stay reachable. Repair flows heal naturally — a write to a
-//! failed id models replaced hardware, clearing the fault and storing the
-//! regenerated block — so archive disaster scenarios
-//! (put → fail → degraded get → scrub) run in tests and examples against
-//! **every** roster scheme, over any inner backend, with no scheme- or
-//! backend-specific plumbing.
+//! injects two kinds of fault into a chosen set of block ids:
+//!
+//! - **blackhole** ([`FaultyStore::fail`]): fetches of a failed block
+//!   answer `None` — the block's hardware is gone;
+//! - **corruption** ([`FaultyStore::corrupt`]): fetches return the stored
+//!   block with its bytes deterministically garbled (every byte XOR
+//!   `0x5A`) while [`BlockSource::read`] reports
+//!   [`StoreError::Corrupted`] — a bit-rotted or tampered block a
+//!   checksum-verifying reader catches and a naive reader would trust.
+//!
+//! The wrapped backend's other contents stay reachable. Repair flows heal
+//! naturally — a write to a failed or corrupted id models replaced
+//! hardware, clearing the fault and storing the regenerated block — so
+//! archive disaster scenarios (put → fail/corrupt → degraded get → scrub)
+//! run in tests and examples against **every** roster scheme, over any
+//! inner backend, with no scheme- or backend-specific plumbing.
 
 use ae_api::{BlockRepo, BlockSink, BlockSource, StoreError};
 use ae_blocks::{Block, BlockId};
@@ -16,10 +24,14 @@ use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// A backend wrapper that makes selected blocks unavailable.
+/// The deterministic tamper mask corruption applies to every byte.
+const GARBLE: u8 = 0x5A;
+
+/// A backend wrapper that makes selected blocks unavailable or garbled.
 #[derive(Debug)]
 pub struct FaultyStore<S: BlockRepo + Send + ?Sized> {
     down: RwLock<HashSet<BlockId>>,
+    garbled: RwLock<HashSet<BlockId>>,
     inner: Arc<S>,
 }
 
@@ -28,6 +40,7 @@ impl<S: BlockRepo + Send + ?Sized> FaultyStore<S> {
     pub fn new(inner: Arc<S>) -> Self {
         FaultyStore {
             down: RwLock::new(HashSet::new()),
+            garbled: RwLock::new(HashSet::new()),
             inner,
         }
     }
@@ -48,24 +61,56 @@ impl<S: BlockRepo + Send + ?Sized> FaultyStore<S> {
         down.extend(ids);
     }
 
-    /// Clears the fault on `id` (the hardware came back with its contents
-    /// intact). Returns whether a fault was present.
-    pub fn restore(&self, id: BlockId) -> bool {
-        self.down.write().remove(&id)
+    /// Garbles `id`: fetches return its stored bytes tampered (each byte
+    /// XOR `0x5A`) and [`BlockSource::read`] reports
+    /// [`StoreError::Corrupted`], until the block is rewritten or
+    /// restored. A blackhole fault on the same id takes precedence (gone
+    /// beats garbled).
+    pub fn corrupt(&self, id: BlockId) {
+        self.garbled.write().insert(id);
     }
 
-    /// Clears every injected fault.
+    /// Garbles every id in the iterator.
+    pub fn corrupt_all(&self, ids: impl IntoIterator<Item = BlockId>) {
+        let mut garbled = self.garbled.write();
+        garbled.extend(ids);
+    }
+
+    /// Clears the fault on `id` (the hardware came back with its contents
+    /// intact — the wrapped backend never lost the true bytes). Returns
+    /// whether a fault of either kind was present.
+    pub fn restore(&self, id: BlockId) -> bool {
+        let down = self.down.write().remove(&id);
+        let garbled = self.garbled.write().remove(&id);
+        down || garbled
+    }
+
+    /// Clears every injected fault, of both kinds.
     pub fn restore_all(&self) {
         self.down.write().clear();
+        self.garbled.write().clear();
     }
 
-    /// Number of currently failed ids.
+    /// Number of currently failed (blackholed) ids.
     pub fn failed_len(&self) -> usize {
         self.down.read().len()
     }
 
+    /// Number of currently garbled ids.
+    pub fn corrupted_len(&self) -> usize {
+        self.garbled.read().len()
+    }
+
     fn is_down(&self, id: BlockId) -> bool {
         self.down.read().contains(&id)
+    }
+
+    fn is_garbled(&self, id: BlockId) -> bool {
+        self.garbled.read().contains(&id)
+    }
+
+    fn tamper(block: Block) -> Block {
+        Block::from_vec(block.as_slice().iter().map(|b| b ^ GARBLE).collect())
     }
 }
 
@@ -74,7 +119,14 @@ impl<S: BlockRepo + Send + ?Sized> BlockSource for FaultyStore<S> {
         if self.is_down(id) {
             return None;
         }
-        self.inner.fetch(id)
+        let block = self.inner.fetch(id)?;
+        // A garbled block is still *there* — a naive fetch gets tampered
+        // bytes, exactly the hazard content-level CRCs exist to catch.
+        Some(if self.is_garbled(id) {
+            Self::tamper(block)
+        } else {
+            block
+        })
     }
 
     fn has(&self, id: BlockId) -> bool {
@@ -85,20 +137,27 @@ impl<S: BlockRepo + Send + ?Sized> BlockSource for FaultyStore<S> {
         if self.is_down(id) {
             return Err(StoreError::NotFound(id));
         }
-        self.inner.read(id)
+        let result = self.inner.read(id);
+        if result.is_ok() && self.is_garbled(id) {
+            return Err(StoreError::Corrupted(id));
+        }
+        result
     }
 }
 
 impl<S: BlockRepo + Send + ?Sized> BlockSink for FaultyStore<S> {
-    /// A write models replaced hardware: the fault clears and the block is
-    /// stored, so repair flows (scrub, re-encode) heal injected failures.
+    /// A write models replaced hardware: faults of both kinds clear and
+    /// the block is stored, so repair flows (scrub, re-encode) heal
+    /// injected failures.
     fn store(&self, id: BlockId, block: Block) {
         self.down.write().remove(&id);
+        self.garbled.write().remove(&id);
         self.inner.store(id, block);
     }
 
     fn remove(&self, id: BlockId) -> bool {
         self.down.write().remove(&id);
+        self.garbled.write().remove(&id);
         self.inner.remove(id)
     }
 }
@@ -147,5 +206,70 @@ mod tests {
         assert!(BlockSink::remove(&faulty, id(3)));
         assert_eq!(faulty.failed_len(), 0);
         assert!(!faulty.inner().contains(id(3)));
+    }
+
+    #[test]
+    fn corrupted_blocks_garble_fetch_and_fail_read() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.store(id(1), Block::from_vec(vec![1, 2, 3]));
+        faulty.corrupt(id(1));
+        assert_eq!(faulty.corrupted_len(), 1);
+        // fetch serves tampered bytes — present but wrong, deterministic.
+        let garbled = faulty.fetch(id(1)).unwrap();
+        assert_eq!(garbled.as_slice(), &[1 ^ 0x5A, 2 ^ 0x5A, 3 ^ 0x5A]);
+        assert!(faulty.has(id(1)), "a garbled block is still there");
+        // read catches it, typed.
+        assert_eq!(faulty.read(id(1)), Err(StoreError::Corrupted(id(1))));
+        // The wrapped store never lost the true bytes.
+        assert_eq!(faulty.inner().get(id(1)).unwrap().as_slice(), &[1, 2, 3]);
+        assert!(faulty.restore(id(1)));
+        assert_eq!(faulty.read(id(1)).unwrap().as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn corruption_of_an_absent_block_stays_absent() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.corrupt(id(9));
+        assert_eq!(faulty.fetch(id(9)), None);
+        assert_eq!(faulty.read(id(9)), Err(StoreError::NotFound(id(9))));
+    }
+
+    #[test]
+    fn blackhole_beats_corruption_and_writes_heal_both() {
+        let faulty = FaultyStore::new(Arc::new(MemStore::new()));
+        faulty.store(id(2), Block::from_vec(vec![7]));
+        faulty.corrupt_all([id(2), id(3)]);
+        faulty.fail(id(2));
+        assert_eq!(faulty.fetch(id(2)), None, "gone beats garbled");
+        assert_eq!(faulty.read(id(2)), Err(StoreError::NotFound(id(2))));
+        // A rewrite models replaced hardware: both faults clear.
+        faulty.store(id(2), Block::from_vec(vec![8]));
+        assert_eq!(faulty.read(id(2)).unwrap().as_slice(), &[8]);
+        assert_eq!(faulty.corrupted_len(), 1);
+        faulty.restore_all();
+        assert_eq!(faulty.corrupted_len(), 0);
+        // remove clears the corruption mark too.
+        faulty.store(id(4), Block::zero(1));
+        faulty.corrupt(id(4));
+        assert!(BlockSink::remove(&faulty, id(4)));
+        assert_eq!(faulty.corrupted_len(), 0);
+    }
+
+    #[test]
+    fn archive_reads_and_scrub_survive_corrupted_data_blocks() {
+        use crate::archive::Archive;
+        use ae_lattice::Config;
+        let faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
+        let mut ar = Archive::new(Config::new(3, 2, 5).unwrap(), 64, Arc::clone(&faulty));
+        let body: Vec<u8> = (0..400u16).map(|i| (i % 251) as u8).collect();
+        ar.put("f", &body).unwrap();
+        faulty.corrupt(id(1));
+        // Degraded read: the CRC-failing block is rebuilt from redundancy,
+        // never served garbled.
+        assert_eq!(ar.get("f").unwrap(), body);
+        // Scrub quarantines and re-materializes it; faults are gone.
+        assert!(ar.scrub() >= 1);
+        assert_eq!(faulty.corrupted_len(), 0);
+        assert_eq!(faulty.read(id(1)).unwrap().as_slice(), &body[..64]);
     }
 }

@@ -57,12 +57,13 @@ pub mod placement;
 pub mod store;
 pub mod tiered;
 
-pub use archive::{Archive, ArchiveError, RecoveryError};
+pub use archive::{Archive, ArchiveError, MetaDamage, RecoveryError};
 pub use chain::{ChainMode, EntangledChain, ExtremityWarning};
 pub use cluster::{Cluster, LocationId};
 pub use distributed::DistributedStore;
 pub use fault::FaultyStore;
 pub use geo::{Community, GeoBackup, GeoLattice};
+pub use meta::MetaConfig;
 pub use placement::{PlaceBlocks, Placement};
 pub use store::{MemStore, StoreError};
 pub use tiered::TieredStore;

@@ -1,23 +1,38 @@
 //! The archive's **on-backend metadata journal**: the persistent form of
-//! the manifest, the write-order id log and the encoder frontier.
+//! the manifest, the write-order id log and the encoder frontier —
+//! checkpointed, and as redundant as the data it describes.
 //!
 //! [`crate::Archive`] keeps its metadata as a sequence of records stored
 //! as ordinary blocks under the reserved [`BlockId::Meta`] namespace of
-//! the *same* backend that holds the data — `Meta(0)`, `Meta(1)`,
-//! `Meta(2)`, … — so a process crash loses nothing:
-//! [`crate::Archive::open`] replays the journal and resumes exactly where
-//! the crashed process stopped.
+//! the *same* backend that holds the data, so a process crash loses
+//! nothing: [`crate::Archive::open`] replays the journal and resumes
+//! exactly where the crashed process stopped. Two mechanisms keep the
+//! metadata plane as durable as the blocks it indexes:
 //!
-//! # Record layout (format version 1)
+//! * **Copy sets** — every record (and every checkpoint part and pointer
+//!   cell) is written to `n` placement-distinct ids (default `n = 3`,
+//!   [`MetaConfig::copies`]). Copy `c` of record `seq` lives at
+//!   [`MetaId::record`]`(seq, c)`; all copies carry identical bytes.
+//!   Readers fall through the copy set taking the first copy whose CRC32
+//!   checks out, losses below `n` degrade a read instead of failing it,
+//!   and [`crate::Archive::scrub`] re-materializes lost or corrupted
+//!   copies the way it heals data blocks.
+//! * **Checkpoints** — past a configurable record threshold (and on
+//!   `seal`) the archive folds its entire state into a checkpoint record,
+//!   commits it, and garbage-collects the superseded journal prefix, so
+//!   `open` replays *checkpoint + suffix* instead of the whole history:
+//!   O(checkpoint) open time, independent of archive age.
+//!
+//! # Record layout (format version 2)
 //!
 //! Every record is one block whose bytes are:
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `b"AEMJ"` |
-//! | 4      | 2    | format version, little-endian (`1`) |
-//! | 6      | 2    | record kind, little-endian (`0` genesis, `1` put, `2` seal) |
-//! | 8      | 8    | sequence number, little-endian — must equal the [`MetaId`] the record is stored under |
+//! | 4      | 2    | format version, little-endian (`2`; `1` still decodes) |
+//! | 6      | 2    | record kind, little-endian (below) |
+//! | 8      | 8    | sequence number, little-endian — must equal the [`MetaId::seq`] of the id the record is stored under (the pointer **slot** for pointer records) |
 //! | 16     | 4    | payload length `L`, little-endian |
 //! | 20     | `L`  | kind-specific payload (below) |
 //! | 20+L   | 4    | CRC32 (IEEE) over bytes `[0, 20+L)`, little-endian |
@@ -25,8 +40,11 @@
 //! Payloads (all integers little-endian; strings are UTF-8, length-prefixed
 //! with a `u16`; block ids use the tagged encoding of [`encode_block_id`]):
 //!
-//! * **Genesis** (`kind 0`, written once at archive creation, always at
-//!   `Meta(0)`): scheme display name (string), block size (`u64`).
+//! * **Genesis** (`kind 0`, written once at archive creation, copies of
+//!   journal seq 0): scheme display name (string), block size (`u64`),
+//!   and — version 2 — the copy-set width (`u16`), which pins
+//!   [`MetaConfig::copies`] for the archive's whole life. Version-1
+//!   genesis records have no width field and decode as one copy.
 //!   [`crate::Archive::open`] refuses to replay a journal whose scheme
 //!   name differs from the scheme it was given.
 //! * **Put** (`kind 1`, one per [`crate::Archive::put`]): file name
@@ -38,57 +56,162 @@
 //! * **Seal** (`kind 2`, at most one, written by
 //!   [`crate::Archive::seal`]): the ids the flush stored (`u32` count +
 //!   ids) and the post-seal frontier snapshot (`u32` length + bytes).
+//! * **Checkpoint** (`kind 3`): one *part* of a [`CheckpointPayload`]
+//!   snapshot — part index (`u32`), part count (`u32`), chunk bytes
+//!   (`u32` length + bytes). A snapshot larger than
+//!   [`MetaConfig::segment_bytes`] is split across `part count`
+//!   consecutive journal sequence numbers; concatenating the chunks of
+//!   parts `0..count` yields the payload.
+//! * **Pointer** (`kind 4`, stored at the [`MetaId::pointer`] cells, not
+//!   at journal sequence numbers): the journal seq of a fully-written
+//!   checkpoint's part 0 (`u64`) and its part count (`u32`). Pointer
+//!   cells are the journal's only **rewritable** blocks: two slots
+//!   alternate (ping-pong), so a crash mid-overwrite always leaves the
+//!   other slot's previous pointer intact.
+//!
+//! # Checkpoint commit and GC rules
+//!
+//! A checkpoint commits in three ordered steps, each step only started
+//! after the previous is fully stored:
+//!
+//! 1. **Parts** are appended to the journal at the next sequence numbers
+//!    (each part `n`-way, like any record).
+//! 2. The **pointer** naming part 0 is written to the ping-pong slot not
+//!    used by the previous checkpoint (all copies).
+//! 3. Only then is the superseded prefix — every journal record after
+//!    genesis and before part 0, including any older checkpoint's parts —
+//!    **garbage-collected**. Genesis and the pointer cells survive GC.
+//!
+//! A crash anywhere in that sequence is safe: before step 2 completes the
+//! old pointer still names the previous checkpoint (partially-written
+//! parts are a torn tail, truncated on replay); after step 2, replay uses
+//! the new checkpoint and any un-collected prefix records are ignored
+//! stale leftovers, removed by the next checkpoint's GC.
 //!
 //! # Versioning and torn-write rules
 //!
-//! * The journal is **append-only**: record `n` is written before record
-//!   `n + 1`, records are never rewritten, and each record is one
-//!   atomically-stored block. The sequence number inside the record must
-//!   match the id it is fetched from, so a block misdirected between
-//!   archives cannot be replayed silently.
-//! * A reader rejects any record whose magic, version, kind, sequence
+//! * The journal is **append-only** (pointer cells excepted): record `n`
+//!   is written before record `n + 1`, records are never rewritten, and
+//!   each copy is one atomically-stored block. The sequence number inside
+//!   the record must match the id it is fetched from, so a block
+//!   misdirected between archives cannot be replayed silently.
+//! * A reader rejects any copy whose magic, version, kind, sequence
 //!   number, length framing or CRC32 does not check out — with a typed
-//!   error, never a panic.
-//! * **Torn tail**: if the *final* record of the journal is invalid (a
-//!   write torn by the crash) and no record follows it, replay truncates
-//!   the journal there — the un-acknowledged mutation is dropped, the
-//!   archive reopens at the last durable state, and the truncation is
-//!   reported via [`crate::Archive::torn_tail`]. Blocks the torn mutation
-//!   already stored are orphans; the resumed encoder overwrites them.
-//! * **Mid-journal damage is fatal at open**: an invalid or missing
-//!   record that is *followed* by a valid one means the metadata itself
-//!   was damaged (not a torn write), and replay fails with
+//!   error, never a panic — and falls through to the next copy. Copies
+//!   that had to be skipped surface as a [`crate::MetaDamage`] report on
+//!   the opened archive, and scrub heals them.
+//! * **Torn tail**: if the *final* record of the journal has no valid
+//!   copy (a write torn by the crash) and no record follows it, replay
+//!   truncates the journal there — the un-acknowledged mutation is
+//!   dropped, the archive reopens at the last durable state, and the
+//!   truncation is reported via [`crate::Archive::torn_tail`]. A torn
+//!   checkpoint tail (some parts missing, nothing beyond) truncates the
+//!   *whole* partial checkpoint. Blocks the torn mutation already stored
+//!   are orphans; the resumed encoder overwrites them.
+//! * **Mid-journal damage is fatal at open only when a whole copy set is
+//!   lost**: a record with *no* valid copy that is followed by a valid
+//!   record means the metadata itself was destroyed beyond the
+//!   redundancy, and replay fails with
 //!   [`crate::archive::RecoveryError::CorruptRecord`] naming the record —
 //!   stale or reordered state is never served silently. Replay probes a
 //!   16-record window past a failure to distinguish damage from the
 //!   tail; only a gap of *more* than 16 consecutive destroyed records
 //!   with survivors beyond it is indistinguishable from end-of-journal.
-//!   A **live** archive, by contrast, keeps every record it wrote in
-//!   memory and [`crate::Archive::scrub`] re-stores any the backend
-//!   lost, so the journal heals with the data it describes.
+//!   Likewise, after GC the pointer cells are the only road to the
+//!   checkpoint: pointer cells that all decode invalid are a typed
+//!   error, and losing **every** copy of **both** pointer slots without
+//!   a trace is indistinguishable from an archive that never
+//!   checkpointed — the one configuration beyond the metadata plane's
+//!   `n - 1`-losses-per-record guarantee.
+//!   A **live** archive keeps every record it wrote in memory and
+//!   [`crate::Archive::scrub`] re-stores any copy the backend lost or
+//!   corrupted, so the journal heals with the data it describes.
 
 use ae_blocks::{crc32, BlockId, EdgeId, MetaId, NodeId, ReplicaId, ShardId, StrandClass};
 
 /// Magic prefix of every journal record: "AE Meta Journal".
 pub const MAGIC: [u8; 4] = *b"AEMJ";
 
-/// Journal format version written and accepted by this build.
-pub const FORMAT_VERSION: u16 = 1;
+/// Journal format version written by this build. Version-1 records (no
+/// copy-set width in genesis, no checkpoint/pointer kinds) still decode.
+pub const FORMAT_VERSION: u16 = 2;
 
-/// The id of journal record `seq`.
+/// The id of copy 0 of journal record `seq` — the id the whole record
+/// had before copy sets existed.
 pub fn meta_id(seq: u64) -> BlockId {
     BlockId::Meta(MetaId(seq))
+}
+
+/// The id of copy `copy` of journal record `seq`.
+pub fn meta_copy_id(seq: u64, copy: u16) -> BlockId {
+    BlockId::Meta(MetaId::record(seq, copy))
+}
+
+/// The id of copy `copy` of checkpoint-pointer cell `slot` (0 or 1).
+pub fn pointer_id(slot: u64, copy: u16) -> BlockId {
+    BlockId::Meta(MetaId::pointer(slot, copy))
+}
+
+/// Durability policy for an archive's metadata journal: how wide each
+/// record's copy set is and when the journal is checkpointed.
+///
+/// The copy-set width is **pinned at archive creation** (persisted in the
+/// genesis record); reopening with a different `copies` keeps the
+/// archive's own width. Checkpoint cadence, by contrast, is a live
+/// policy: each open chooses its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaConfig {
+    /// Copies per record, `1..=`[`MetaId::MAX_COPIES`]. Each copy lands
+    /// in a distinct placement slot; `copies - 1` losses per record
+    /// degrade reads instead of failing them.
+    pub copies: u16,
+    /// Checkpoint after this many records accumulate past the previous
+    /// checkpoint (and on `seal`). `None` disables checkpointing.
+    pub checkpoint_every: Option<u64>,
+    /// Maximum chunk of a [`CheckpointPayload`] carried by one checkpoint
+    /// part record — snapshots larger than this split into multiple
+    /// parts.
+    pub segment_bytes: usize,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig {
+            copies: 3,
+            checkpoint_every: Some(64),
+            segment_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl MetaConfig {
+    /// The pre-redundancy journal: one copy, never checkpointed.
+    pub fn single() -> Self {
+        MetaConfig {
+            copies: 1,
+            checkpoint_every: None,
+            segment_bytes: 64 * 1024,
+        }
+    }
+
+    /// Clamps the width into `1..=`[`MetaId::MAX_COPIES`].
+    pub(crate) fn clamped_copies(&self) -> u16 {
+        self.copies.clamp(1, MetaId::MAX_COPIES)
+    }
 }
 
 /// One decoded journal record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetaRecord {
-    /// Archive birth certificate (`Meta(0)`).
+    /// Archive birth certificate (journal seq 0).
     Genesis {
         /// Display name of the scheme the archive was created over.
         scheme: String,
         /// Chunk size in bytes.
         block_size: u64,
+        /// Copy-set width every record of this journal is written with
+        /// (1 for version-1 journals).
+        copies: u16,
     },
     /// One archived file.
     Put {
@@ -114,6 +237,94 @@ pub enum MetaRecord {
         /// Post-seal encoder-frontier snapshot.
         frontier: Vec<u8>,
     },
+    /// One part of a checkpoint snapshot (see [`CheckpointPayload`]).
+    Checkpoint {
+        /// 0-based index of this part.
+        part: u32,
+        /// Total parts in the snapshot.
+        parts: u32,
+        /// This part's slice of the encoded payload.
+        chunk: Vec<u8>,
+    },
+    /// A checkpoint-pointer cell naming the committed checkpoint. Framed
+    /// with the pointer **slot** as its sequence number.
+    Pointer {
+        /// Journal seq of the checkpoint's part 0.
+        checkpoint: u64,
+        /// The checkpoint's part count.
+        parts: u32,
+    },
+}
+
+/// The state a checkpoint folds into one snapshot: everything
+/// [`crate::Archive::open`] otherwise reconstructs record by record —
+/// the manifest, the full write-order id log, the sealed flag and the
+/// encoder-frontier snapshot. Encoded with a leading payload-version
+/// byte, chunked into [`MetaRecord::Checkpoint`] parts for storage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointPayload {
+    /// Manifest rows in name order: `(name, byte_len, crc, first_block,
+    /// block_count)` — the fields of [`crate::archive::Entry`].
+    pub manifest: Vec<(String, u64, u32, u64, u64)>,
+    /// Every id written through the archive, in write order.
+    pub stored_ids: Vec<BlockId>,
+    /// Whether the archive was sealed.
+    pub sealed: bool,
+    /// Encoder-frontier snapshot at checkpoint time.
+    pub frontier: Vec<u8>,
+}
+
+const PAYLOAD_VERSION: u8 = 1;
+
+impl CheckpointPayload {
+    /// Serializes the snapshot (version byte + fields, little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![PAYLOAD_VERSION];
+        buf.extend_from_slice(&(self.manifest.len() as u32).to_le_bytes());
+        for (name, byte_len, crc, first_block, block_count) in &self.manifest {
+            put_str(&mut buf, name);
+            buf.extend_from_slice(&byte_len.to_le_bytes());
+            buf.extend_from_slice(&crc.to_le_bytes());
+            buf.extend_from_slice(&first_block.to_le_bytes());
+            buf.extend_from_slice(&block_count.to_le_bytes());
+        }
+        put_ids(&mut buf, &self.stored_ids);
+        buf.push(self.sealed as u8);
+        put_bytes(&mut buf, &self.frontier);
+        buf
+    }
+
+    /// Parses a snapshot reassembled from checkpoint parts.
+    ///
+    /// # Errors
+    ///
+    /// A [`RecordError`] naming the first structural check that failed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RecordError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let version = r.u8()?;
+        if version != PAYLOAD_VERSION {
+            return Err(format!("checkpoint payload version {version}"));
+        }
+        let rows = r.u32()? as usize;
+        let mut manifest = Vec::with_capacity(rows.min(1 << 16));
+        for _ in 0..rows {
+            manifest.push((r.string()?, r.u64()?, r.u32()?, r.u64()?, r.u64()?));
+        }
+        let stored_ids = r.ids()?;
+        let sealed = match r.u8()? {
+            0 => false,
+            1 => true,
+            b => return Err(format!("bad sealed flag {b}")),
+        };
+        let frontier = r.bytes()?;
+        r.finish()?;
+        Ok(CheckpointPayload {
+            manifest,
+            stored_ids,
+            sealed,
+            frontier,
+        })
+    }
 }
 
 /// Why a record's bytes could not be decoded. The string names the exact
@@ -268,6 +479,8 @@ impl MetaRecord {
             MetaRecord::Genesis { .. } => 0,
             MetaRecord::Put { .. } => 1,
             MetaRecord::Seal { .. } => 2,
+            MetaRecord::Checkpoint { .. } => 3,
+            MetaRecord::Pointer { .. } => 4,
         }
     }
 
@@ -276,9 +489,14 @@ impl MetaRecord {
     pub fn encode(&self, seq: u64) -> Vec<u8> {
         let mut payload = Vec::new();
         match self {
-            MetaRecord::Genesis { scheme, block_size } => {
+            MetaRecord::Genesis {
+                scheme,
+                block_size,
+                copies,
+            } => {
                 put_str(&mut payload, scheme);
                 payload.extend_from_slice(&block_size.to_le_bytes());
+                payload.extend_from_slice(&copies.to_le_bytes());
             }
             MetaRecord::Put {
                 name,
@@ -300,6 +518,15 @@ impl MetaRecord {
             MetaRecord::Seal { ids, frontier } => {
                 put_ids(&mut payload, ids);
                 put_bytes(&mut payload, frontier);
+            }
+            MetaRecord::Checkpoint { part, parts, chunk } => {
+                payload.extend_from_slice(&part.to_le_bytes());
+                payload.extend_from_slice(&parts.to_le_bytes());
+                put_bytes(&mut payload, chunk);
+            }
+            MetaRecord::Pointer { checkpoint, parts } => {
+                payload.extend_from_slice(&checkpoint.to_le_bytes());
+                payload.extend_from_slice(&parts.to_le_bytes());
             }
         }
         let mut out = Vec::with_capacity(24 + payload.len());
@@ -336,9 +563,9 @@ impl MetaRecord {
             return Err("bad magic".to_string());
         }
         let version = r.u16()?;
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(format!(
-                "format version {version}, expected {FORMAT_VERSION}"
+                "format version {version}, expected 1..={FORMAT_VERSION}"
             ));
         }
         let kind = r.u16()?;
@@ -357,6 +584,8 @@ impl MetaRecord {
             0 => MetaRecord::Genesis {
                 scheme: r.string()?,
                 block_size: r.u64()?,
+                // Version-1 journals predate copy sets: width 1.
+                copies: if version >= 2 { r.u16()? } else { 1 },
             },
             1 => MetaRecord::Put {
                 name: r.string()?,
@@ -370,6 +599,15 @@ impl MetaRecord {
             2 => MetaRecord::Seal {
                 ids: r.ids()?,
                 frontier: r.bytes()?,
+            },
+            3 => MetaRecord::Checkpoint {
+                part: r.u32()?,
+                parts: r.u32()?,
+                chunk: r.bytes()?,
+            },
+            4 => MetaRecord::Pointer {
+                checkpoint: r.u64()?,
+                parts: r.u32()?,
             },
             k => return Err(format!("unknown record kind {k}")),
         };
@@ -404,6 +642,7 @@ mod tests {
             MetaRecord::Genesis {
                 scheme: "AE(3,2,5)".into(),
                 block_size: 64,
+                copies: 3,
             },
             MetaRecord::Put {
                 name: "report.pdf".into(),
@@ -417,6 +656,15 @@ mod tests {
             MetaRecord::Seal {
                 ids: sample_ids(),
                 frontier: vec![],
+            },
+            MetaRecord::Checkpoint {
+                part: 1,
+                parts: 3,
+                chunk: vec![0xAE; 100],
+            },
+            MetaRecord::Pointer {
+                checkpoint: 41,
+                parts: 3,
             },
         ];
         for (seq, record) in records.iter().enumerate() {
@@ -454,6 +702,7 @@ mod tests {
         let good = MetaRecord::Genesis {
             scheme: "RS(4,2)".into(),
             block_size: 32,
+            copies: 3,
         }
         .encode(0);
         // Flip one byte anywhere: the CRC (or, for the CRC bytes
@@ -465,5 +714,107 @@ mod tests {
         }
         // A record replayed under the wrong sequence number is rejected.
         assert!(MetaRecord::decode(1, &good).is_err());
+    }
+
+    #[test]
+    fn version_1_genesis_decodes_as_one_copy() {
+        // Hand-build a v1 record: same framing, version 1, no width field.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "AE(3,2,5)");
+        payload.extend_from_slice(&64u64.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            MetaRecord::decode(0, &bytes),
+            Ok(MetaRecord::Genesis {
+                scheme: "AE(3,2,5)".into(),
+                block_size: 64,
+                copies: 1,
+            })
+        );
+        // Versions from the future are rejected, version 0 too.
+        let mut future = bytes.clone();
+        future[4] = 9;
+        assert!(MetaRecord::decode(0, &future).is_err());
+    }
+
+    #[test]
+    fn checkpoint_payload_roundtrips_and_rejects_damage() {
+        let payload = CheckpointPayload {
+            manifest: vec![
+                ("a.txt".into(), 1000, 0xAB, 0, 16),
+                ("b.txt".into(), 64, 0xCD, 16, 1),
+            ],
+            stored_ids: sample_ids(),
+            sealed: true,
+            frontier: vec![7; 33],
+        };
+        let bytes = payload.encode();
+        assert_eq!(CheckpointPayload::decode(&bytes), Ok(payload.clone()));
+        // Chunked through checkpoint part records and reassembled.
+        let parts: Vec<&[u8]> = bytes.chunks(10).collect();
+        let mut reassembled = Vec::new();
+        for (i, chunk) in parts.iter().enumerate() {
+            let rec = MetaRecord::Checkpoint {
+                part: i as u32,
+                parts: parts.len() as u32,
+                chunk: chunk.to_vec(),
+            };
+            let seq = 40 + i as u64;
+            match MetaRecord::decode(seq, &rec.encode(seq)).unwrap() {
+                MetaRecord::Checkpoint { chunk, .. } => reassembled.extend_from_slice(&chunk),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(CheckpointPayload::decode(&reassembled), Ok(payload));
+        // Truncations and trailing garbage are typed errors.
+        for cut in 0..bytes.len() {
+            assert!(CheckpointPayload::decode(&bytes[..cut]).is_err(), "{cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CheckpointPayload::decode(&long).is_err());
+    }
+
+    #[test]
+    fn meta_config_defaults_and_clamping() {
+        let cfg = MetaConfig::default();
+        assert_eq!(cfg.copies, 3);
+        assert_eq!(cfg.checkpoint_every, Some(64));
+        assert_eq!(MetaConfig::single().copies, 1);
+        assert_eq!(MetaConfig::single().checkpoint_every, None);
+        let wide = MetaConfig {
+            copies: 99,
+            ..MetaConfig::default()
+        };
+        assert_eq!(wide.clamped_copies(), MetaId::MAX_COPIES);
+        let zero = MetaConfig {
+            copies: 0,
+            ..MetaConfig::default()
+        };
+        assert_eq!(zero.clamped_copies(), 1);
+    }
+
+    #[test]
+    fn copy_and_pointer_ids_are_disjoint_namespaces() {
+        let mut all = std::collections::HashSet::new();
+        for seq in 0..50 {
+            for copy in 0..3 {
+                assert!(all.insert(meta_copy_id(seq, copy)));
+            }
+        }
+        for slot in 0..2 {
+            for copy in 0..3 {
+                assert!(all.insert(pointer_id(slot, copy)));
+            }
+        }
+        assert_eq!(meta_copy_id(7, 0), meta_id(7), "copy 0 is the v1 id");
     }
 }

@@ -42,8 +42,22 @@ fn block_key(id: BlockId) -> u64 {
         BlockId::Parity(EdgeId { class, left }) => (left.0 << 2) | (class.index() as u64 + 1),
         BlockId::Shard(s) => FOREIGN_BASE | (s.stripe << 9) | s.index as u64,
         BlockId::Replica(r) => (FOREIGN_BASE << 1) | (r.node.0 << 9) | r.copy as u64,
-        BlockId::Meta(m) => (FOREIGN_BASE | (FOREIGN_BASE << 1)) | m.0,
+        BlockId::Meta(m) => (FOREIGN_BASE | (FOREIGN_BASE << 1)) | meta_sequence(m),
     }
+}
+
+/// Round-robin frame for metadata ids: the copies of one record (or
+/// pointer cell) occupy **consecutive** slots, so an n-way copy set lands
+/// in n distinct failure domains whenever the store has that many
+/// locations — keying by the raw id would collapse copies of a record
+/// onto one location for power-of-two location counts, defeating the
+/// redundancy. Records use offsets `0..MAX_COPIES` within their frame,
+/// pointer cells the `MAX_COPIES..` half, so the two families never
+/// collide.
+fn meta_sequence(m: ae_blocks::MetaId) -> u64 {
+    let half = ae_blocks::MetaId::MAX_COPIES as u64;
+    let base = if m.is_pointer() { half } else { 0 };
+    m.seq() * 2 * half + base + m.copy() as u64
 }
 
 /// Sequential index for round-robin: interleave node and its parities in
@@ -54,8 +68,9 @@ fn sequence_index(id: BlockId) -> u64 {
         BlockId::Parity(EdgeId { class, left }) => left.0 * 4 + 1 + class.index() as u64,
         BlockId::Shard(s) => s.stripe * 4 + s.index as u64,
         BlockId::Replica(r) => r.node.0 * 4 + r.copy as u64,
-        // Metadata records spread over locations like any other sequence.
-        BlockId::Meta(m) => m.0,
+        // Metadata records spread over locations like any other sequence,
+        // copies of one record in consecutive (distinct) slots.
+        BlockId::Meta(m) => meta_sequence(m),
     }
 }
 
@@ -141,6 +156,40 @@ mod tests {
             p.place(data(2), 4),
             "4 slots per node, n=4"
         );
+    }
+
+    #[test]
+    fn meta_copies_of_one_record_land_in_distinct_locations() {
+        use ae_blocks::MetaId;
+        let copies = 3u16;
+        for n in [3u32, 4, 8, 16] {
+            for seq in [0u64, 1, 5, 100] {
+                let spots: std::collections::HashSet<_> = (0..copies)
+                    .map(|c| Placement::RoundRobin.place(BlockId::Meta(MetaId::record(seq, c)), n))
+                    .collect();
+                assert_eq!(spots.len(), copies as usize, "seq {seq}, {n} locations");
+                let ptr_spots: std::collections::HashSet<_> = (0..copies)
+                    .map(|c| {
+                        Placement::RoundRobin.place(BlockId::Meta(MetaId::pointer(seq % 2, c)), n)
+                    })
+                    .collect();
+                assert_eq!(
+                    ptr_spots.len(),
+                    copies as usize,
+                    "pointer slot, {n} locations"
+                );
+            }
+        }
+        // Random placement keys every copy distinctly too.
+        let keys: std::collections::HashSet<u64> = (0..copies)
+            .flat_map(|c| {
+                [
+                    super::block_key(BlockId::Meta(MetaId::record(9, c))),
+                    super::block_key(BlockId::Meta(MetaId::pointer(0, c))),
+                ]
+            })
+            .collect();
+        assert_eq!(keys.len(), 2 * copies as usize);
     }
 
     #[test]

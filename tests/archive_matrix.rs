@@ -109,7 +109,7 @@ fn every_roster_scheme_round_trips_through_the_archive() {
 fn every_roster_scheme_survives_fast_tier_damage_when_tiered() {
     for s in Scheme::extended_lineup() {
         let tiered = Arc::new(TieredStore::new(Arc::new(MemStore::new())));
-        let ar = filled_archive(&s, Arc::clone(&tiered));
+        let mut ar = filled_archive(&s, Arc::clone(&tiered));
         let name = ar.scheme().scheme_name();
 
         // Lose every 20th *data* block off the fast tier.
@@ -134,7 +134,7 @@ fn every_roster_scheme_survives_fast_tier_damage_when_tiered() {
 fn every_roster_scheme_heals_injected_faults() {
     for s in Scheme::extended_lineup() {
         let faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
-        let ar = filled_archive(&s, Arc::clone(&faulty));
+        let mut ar = filled_archive(&s, Arc::clone(&faulty));
         let name = ar.scheme().scheme_name();
 
         let victims = scattered_victims(&ar, 20);
@@ -249,7 +249,7 @@ proptest! {
     ) {
         let roster = Scheme::extended_lineup();
         let store = Arc::new(MemStore::new());
-        let ar = filled_archive(&roster[pick], Arc::clone(&store));
+        let mut ar = filled_archive(&roster[pick], Arc::clone(&store));
         let name = ar.scheme().scheme_name();
 
         // Pseudo-random damage over everything the archive wrote.

@@ -4,17 +4,25 @@
 //! tiered and fault-injecting backends, at every possible cut point —
 //! and the result must be **block-for-block identical** to an
 //! uninterrupted run: same manifest, same stored-id log, same backend
-//! bytes. Proptests pin the journal's failure modes: a torn final record
-//! is truncated and reported (never stale data), a damaged mid-journal
-//! record is a typed error naming the record (never a panic).
+//! bytes. The checkpoint era adds two sweeps: a [`PowerCut`] store tears
+//! the archive's write stream at every position — mid-checkpoint,
+//! between parts and pointer, mid-GC — and the reopened archive must
+//! always serve exactly what it acknowledged; and a metadata copy-loss
+//! matrix deletes or corrupts one/two of the three `Meta` copies of
+//! every live record, which must degrade (typed report) but never
+//! escalate. Proptests pin the journal's failure modes: a torn final
+//! record is truncated and reported (never stale data), a record with
+//! **all** copies damaged mid-journal is a typed error naming the record
+//! (never a panic), single-copy damage anywhere is survivable.
 
-use aecodes::api::{BlockRepo, BlockSink, BlockSource, RedundancyScheme};
+use aecodes::api::{BlockRepo, BlockSink, BlockSource, RedundancyScheme, StoreError};
 use aecodes::blocks::{Block, BlockId};
 use aecodes::sim::Scheme;
 use aecodes::store::archive::{Archive, ArchiveError, RecoveryError};
-use aecodes::store::meta::meta_id;
+use aecodes::store::meta::{meta_copy_id, meta_id, MetaConfig};
 use aecodes::store::{FaultyStore, MemStore, TieredStore};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const BLOCK: usize = 32;
@@ -117,7 +125,7 @@ fn every_roster_scheme_recovers_from_a_crash_over_mem() {
         let (reference, ref_store) = uninterrupted(&s);
         for cut in 0..=files().len() {
             let store = Arc::new(MemStore::new());
-            let ar = crash_and_resume(&s, &store, cut);
+            let mut ar = crash_and_resume(&s, &store, cut);
             assert_block_identical(&s, &ar, &store, &reference, &ref_store);
 
             // Disaster after recovery: scattered erasures, then repair.
@@ -142,7 +150,7 @@ fn every_roster_scheme_recovers_from_a_crash_over_tiered() {
     for s in Scheme::extended_lineup() {
         let (reference, ref_store) = uninterrupted(&s);
         let tiered = Arc::new(TieredStore::new(Arc::new(MemStore::new())));
-        let ar = crash_and_resume(&s, &tiered, 2);
+        let mut ar = crash_and_resume(&s, &tiered, 2);
         assert_block_identical(&s, &ar, &tiered, &reference, &ref_store);
 
         let victims: Vec<BlockId> = ar.data_ids().iter().copied().step_by(20).collect();
@@ -165,7 +173,7 @@ fn every_roster_scheme_recovers_from_a_crash_over_faulty() {
     for s in Scheme::extended_lineup() {
         let (reference, ref_store) = uninterrupted(&s);
         let faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
-        let ar = crash_and_resume(&s, &faulty, 3);
+        let mut ar = crash_and_resume(&s, &faulty, 3);
         assert_block_identical(&s, &ar, &faulty, &reference, &ref_store);
 
         let victims: Vec<BlockId> = ar.stored_ids().iter().copied().step_by(20).collect();
@@ -236,9 +244,16 @@ proptest! {
             }
             ar.meta_len() - 1 // the final put's record
         };
+        // The crash must beat every copy of the record: tear them all at
+        // the same byte (one copy surviving would make the put durable).
         let full = store.fetch(meta_id(torn_seq)).unwrap();
         let cut = (full.len() as u64 * cut_pct / 100) as usize;
-        store.store(meta_id(torn_seq), Block::copy_from_slice(&full.as_slice()[..cut]));
+        for copy in 0..MetaConfig::default().copies {
+            store.store(
+                meta_copy_id(torn_seq, copy),
+                Block::copy_from_slice(&full.as_slice()[..cut]),
+            );
+        }
 
         let mut ar = Archive::open(build(s), Arc::clone(&store)).expect("torn tail is not fatal");
         prop_assert_eq!(ar.torn_tail(), Some(torn_seq), "{}: truncation reported", s);
@@ -258,9 +273,10 @@ proptest! {
         prop_assert!(ar.verify_all().is_empty(), "{}", s);
     }
 
-    /// A damaged manifest/journal record with records after it — scrambled
-    /// bytes or a missing block — is a typed error naming the record:
-    /// never a panic, never a silently rewound archive.
+    /// A mid-journal record with **every** copy damaged — scrambled bytes
+    /// or missing blocks — is a typed error naming the record: never a
+    /// panic, never a silently rewound archive. (Checkpointing is off so
+    /// the whole history stays live and any record can be the victim.)
     #[test]
     fn corrupt_mid_journal_record_is_a_typed_error(
         pick in any_roster_index(),
@@ -270,8 +286,9 @@ proptest! {
     ) {
         let s = &Scheme::extended_lineup()[pick];
         let store = Arc::new(MemStore::new());
+        let cfg = MetaConfig { checkpoint_every: None, ..MetaConfig::default() };
         let records = {
-            let mut ar = Archive::with_scheme(build(s), BLOCK, Arc::clone(&store));
+            let mut ar = Archive::with_scheme_meta(build(s), BLOCK, Arc::clone(&store), cfg);
             for (name, contents) in files() {
                 ar.put(name, &contents).unwrap();
             }
@@ -281,11 +298,13 @@ proptest! {
         // Any record but the last (a successor must exist to make the
         // damage mid-journal); 0 is the genesis record.
         let seq = victim_offset as u64 % (records - 1);
-        if scramble {
-            let garbage: Vec<u8> = (0..40u64).map(|i| (noise.wrapping_mul(i + 1) >> 24) as u8).collect();
-            store.store(meta_id(seq), Block::from_vec(garbage));
-        } else {
-            store.remove(meta_id(seq));
+        for copy in 0..MetaConfig::default().copies {
+            if scramble {
+                let garbage: Vec<u8> = (0..40u64).map(|i| (noise.wrapping_mul(i + 1) >> 24) as u8).collect();
+                store.store(meta_copy_id(seq, copy), Block::from_vec(garbage));
+            } else {
+                store.remove(meta_copy_id(seq, copy));
+            }
         }
 
         match Archive::open(build(s), Arc::clone(&store)) {
@@ -293,7 +312,7 @@ proptest! {
                 prop_assert_eq!(reported, seq, "{}: error names the damaged record", s)
             }
             Err(RecoveryError::NoArchive) => {
-                // Removing the genesis record looks like no archive at
+                // Removing every genesis copy looks like no archive at
                 // all — equally typed, equally loud.
                 prop_assert!(!scramble && seq == 0, "{}", s)
             }
@@ -301,4 +320,412 @@ proptest! {
             Ok(_) => prop_assert!(false, "{}: damaged journal must not open", s),
         }
     }
+
+    /// The same damage against a **single** copy of any record is always
+    /// survivable: the read falls through to a surviving copy, the damage
+    /// is reported (typed, per copy), every file verifies, and scrub
+    /// restores the full copy set.
+    #[test]
+    fn single_copy_damage_anywhere_is_survivable(
+        pick in any_roster_index(),
+        victim_offset in 0usize..6,
+        copy in 0u16..3,
+        scramble: bool,
+        noise: u64,
+    ) {
+        let s = &Scheme::extended_lineup()[pick];
+        let store = Arc::new(MemStore::new());
+        let cfg = MetaConfig { checkpoint_every: None, ..MetaConfig::default() };
+        let records = {
+            let mut ar = Archive::with_scheme_meta(build(s), BLOCK, Arc::clone(&store), cfg);
+            for (name, contents) in files() {
+                ar.put(name, &contents).unwrap();
+            }
+            ar.seal().unwrap();
+            ar.meta_len()
+        };
+        let seq = victim_offset as u64 % records;
+        let id = meta_copy_id(seq, copy);
+        if scramble {
+            let garbage: Vec<u8> = (0..40u64).map(|i| (noise.wrapping_mul(i + 3) >> 24) as u8).collect();
+            store.store(id, Block::from_vec(garbage));
+        } else {
+            store.remove(id);
+        }
+
+        let mut ar = Archive::open(build(s), Arc::clone(&store))
+            .expect("single-copy damage must never escalate");
+        prop_assert!(
+            ar.meta_damage().iter().any(|d| d.seq == seq && d.copy == copy),
+            "{}: damage to copy {} of record {} reported: {:?}",
+            s, copy, seq, ar.meta_damage()
+        );
+        prop_assert!(ar.verify_all().is_empty(), "{}", s);
+        prop_assert!(ar.scrub() >= 1, "{}: scrub restores the copy", s);
+        drop(ar);
+        let ar = Archive::open(build(s), Arc::clone(&store)).unwrap();
+        prop_assert!(ar.meta_damage().is_empty(), "{}: healed copy set", s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-era recovery: power-cut sweeps and metadata copy loss.
+// ---------------------------------------------------------------------------
+
+/// A store whose write stream dies mid-flight: the first `fuse - 1`
+/// writes succeed, write number `fuse` is **torn** (a prefix of the block
+/// is persisted — the sector the crash caught mid-write), and everything
+/// after is lost. Removes count against the fuse too (a GC delete the
+/// crash never issued stays un-deleted). Reads are untouched — recovery
+/// reopens from the inner store.
+struct PowerCut<B: BlockRepo + Send + ?Sized> {
+    fuse: AtomicU64,
+    attempted: AtomicU64,
+    inner: Arc<B>,
+}
+
+impl<B: BlockRepo + Send + ?Sized> PowerCut<B> {
+    fn new(inner: Arc<B>, fuse: u64) -> Self {
+        PowerCut {
+            fuse: AtomicU64::new(fuse),
+            attempted: AtomicU64::new(0),
+            inner,
+        }
+    }
+
+    /// Total writes + removes the archive attempted (fuse or no fuse).
+    fn attempted(&self) -> u64 {
+        self.attempted.load(Ordering::Relaxed)
+    }
+
+    /// Burns one unit of fuse; answers 2 = full write, 1 = torn, 0 = lost.
+    fn burn(&self) -> u64 {
+        self.attempted.fetch_add(1, Ordering::Relaxed);
+        let left = self.fuse.load(Ordering::Relaxed);
+        if left == 0 {
+            return 0;
+        }
+        self.fuse.store(left - 1, Ordering::Relaxed);
+        if left == 1 {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+impl<B: BlockRepo + Send + ?Sized> BlockSource for PowerCut<B> {
+    fn fetch(&self, id: BlockId) -> Option<Block> {
+        self.inner.fetch(id)
+    }
+
+    fn has(&self, id: BlockId) -> bool {
+        self.inner.has(id)
+    }
+
+    fn read(&self, id: BlockId) -> Result<Block, StoreError> {
+        self.inner.read(id)
+    }
+}
+
+impl<B: BlockRepo + Send + ?Sized> BlockSink for PowerCut<B> {
+    fn store(&self, id: BlockId, block: Block) {
+        match self.burn() {
+            2 => self.inner.store(id, block),
+            1 => {
+                let torn = &block.as_slice()[..block.len() / 2];
+                self.inner.store(id, Block::copy_from_slice(torn));
+            }
+            _ => {}
+        }
+    }
+
+    fn remove(&self, id: BlockId) -> bool {
+        if self.burn() == 2 {
+            self.inner.remove(id)
+        } else {
+            false
+        }
+    }
+}
+
+/// Aggressive checkpointing so a short lifetime crosses several
+/// checkpoint commits and multi-part groups: every cut position lands
+/// somewhere interesting.
+fn sweep_cfg() -> MetaConfig {
+    MetaConfig {
+        copies: 3,
+        checkpoint_every: Some(2),
+        segment_bytes: 64,
+    }
+}
+
+/// One archive lifetime over `store`: every file put, then sealed.
+fn run_lifetime<B: BlockRepo + Send + ?Sized>(s: &Scheme, store: &Arc<B>) {
+    let mut ar = Archive::with_scheme_meta(build(s), BLOCK, Arc::clone(store), sweep_cfg());
+    for (name, contents) in files() {
+        ar.put(name, &contents).unwrap();
+    }
+    ar.seal().unwrap();
+}
+
+/// Cuts the write stream at every swept position, reopens from what
+/// actually hit the backend, and requires: open succeeds (except inside
+/// the genesis write itself), every manifested file reads back, scrub
+/// heals, and the healed archive reopens clean.
+fn power_cut_sweep<B: BlockRepo + Send + ?Sized>(s: &Scheme, make: impl Fn() -> Arc<B>) {
+    // Measure the lifetime's write count with an unlimited fuse.
+    let probe = Arc::new(PowerCut::new(make(), u64::MAX));
+    run_lifetime(s, &probe);
+    let total = probe.attempted();
+    let stride = (total / 10).max(1);
+
+    let mut cut = 0;
+    while cut <= total + 1 {
+        let inner = make();
+        let pc = Arc::new(PowerCut::new(Arc::clone(&inner), cut));
+        run_lifetime(s, &pc);
+        drop(pc);
+        match Archive::open_with_meta(build(s), Arc::clone(&inner), sweep_cfg()) {
+            Ok(mut ar) => {
+                assert!(
+                    ar.verify_all().is_empty(),
+                    "{s} cut {cut}/{total}: every acknowledged file must read"
+                );
+                ar.scrub();
+                drop(ar);
+                let ar = Archive::open_with_meta(build(s), Arc::clone(&inner), sweep_cfg())
+                    .unwrap_or_else(|e| panic!("{s} cut {cut}: reopen after scrub: {e}"));
+                assert!(
+                    ar.meta_damage().is_empty(),
+                    "{s} cut {cut}: healed, got {:?}",
+                    ar.meta_damage()
+                );
+                assert!(ar.verify_all().is_empty(), "{s} cut {cut}");
+            }
+            // The only cuts allowed to fail are inside the very creation
+            // of the archive: nothing was ever acknowledged.
+            Err(RecoveryError::NoArchive) => {
+                assert_eq!(cut, 0, "{s}: NoArchive only before any write")
+            }
+            Err(RecoveryError::CorruptRecord { seq: 0, .. }) => {
+                assert!(
+                    cut <= 1,
+                    "{s} cut {cut}: genesis corruption beyond its own write"
+                )
+            }
+            Err(other) => panic!("{s} cut {cut}/{total}: unexpected {other}"),
+        }
+        cut += stride;
+    }
+}
+
+#[test]
+fn power_cut_at_every_position_recovers_over_mem() {
+    for s in Scheme::extended_lineup() {
+        power_cut_sweep(&s, || Arc::new(MemStore::new()));
+    }
+}
+
+#[test]
+fn power_cut_at_every_position_recovers_over_tiered() {
+    for s in Scheme::extended_lineup() {
+        power_cut_sweep(&s, || Arc::new(TieredStore::new(Arc::new(MemStore::new()))));
+    }
+}
+
+#[test]
+fn power_cut_at_every_position_recovers_over_faulty() {
+    for s in Scheme::extended_lineup() {
+        power_cut_sweep(&s, || Arc::new(FaultyStore::new(Arc::new(MemStore::new()))));
+    }
+}
+
+/// How metadata victims die in the copy-loss matrix.
+#[derive(Clone, Copy, Debug)]
+enum MetaHarm {
+    Delete,
+    Corrupt,
+}
+
+/// Builds a checkpointed archive over `store`, then deletes or corrupts
+/// `loss` of the 3 copies of **every** live metadata record and pointer
+/// cell at once. The reopened archive must degrade — typed damage
+/// report, all files intact — and scrub must restore the full copy sets.
+fn copy_loss_round<B: BlockRepo + Send + ?Sized>(
+    s: &Scheme,
+    store: &Arc<B>,
+    harm: MetaHarm,
+    loss: u16,
+) {
+    run_lifetime(s, store);
+    let live = {
+        let ar = Archive::open_with_meta(build(s), Arc::clone(store), sweep_cfg())
+            .expect("pristine reopen");
+        assert!(ar.checkpoint_seq().is_some(), "{s}: lifetime checkpointed");
+        ar.live_meta_ids()
+    };
+    let mut harmed = 0;
+    for &id in &live {
+        let BlockId::Meta(m) = id else { unreachable!() };
+        if m.copy() >= loss {
+            continue;
+        }
+        harmed += 1;
+        match harm {
+            MetaHarm::Delete => {
+                store.remove(id);
+            }
+            MetaHarm::Corrupt => store.store(id, Block::from_vec(vec![0xA7; 21])),
+        }
+    }
+    assert!(harmed > 0, "{s}: matrix must actually harm something");
+
+    let mut ar = Archive::open_with_meta(build(s), Arc::clone(store), sweep_cfg())
+        .unwrap_or_else(|e| panic!("{s} {harm:?} loss {loss}: must degrade, not escalate: {e}"));
+    assert!(
+        !ar.meta_damage().is_empty(),
+        "{s} {harm:?} loss {loss}: degraded reads are reported"
+    );
+    assert!(ar.verify_all().is_empty(), "{s} {harm:?} loss {loss}");
+    assert!(
+        ar.scrub() >= harmed,
+        "{s}: scrub restores every harmed copy"
+    );
+    drop(ar);
+    let ar = Archive::open_with_meta(build(s), Arc::clone(store), sweep_cfg()).unwrap();
+    assert!(ar.meta_damage().is_empty(), "{s}: healed copy sets");
+    assert!(ar.verify_all().is_empty(), "{s}");
+}
+
+#[test]
+fn meta_copy_loss_matrix_over_mem() {
+    for s in Scheme::extended_lineup() {
+        for harm in [MetaHarm::Delete, MetaHarm::Corrupt] {
+            for loss in [1u16, 2] {
+                copy_loss_round(&s, &Arc::new(MemStore::new()), harm, loss);
+            }
+        }
+    }
+}
+
+#[test]
+fn meta_copy_loss_matrix_over_tiered() {
+    for s in Scheme::extended_lineup() {
+        for harm in [MetaHarm::Delete, MetaHarm::Corrupt] {
+            for loss in [1u16, 2] {
+                let store = Arc::new(TieredStore::new(Arc::new(MemStore::new())));
+                copy_loss_round(&s, &store, harm, loss);
+            }
+        }
+    }
+}
+
+/// Over the fault injector the harm is injected (blackhole / CRC-failing
+/// tamper) rather than applied to the bytes, exercising the
+/// `StoreError::Corrupted` path end to end; scrub's rewrites clear the
+/// injected faults (replaced hardware).
+#[test]
+fn meta_copy_loss_matrix_over_faulty() {
+    for s in Scheme::extended_lineup() {
+        for loss in [1u16, 2] {
+            let faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
+            run_lifetime(&s, &faulty);
+            let live = {
+                let ar =
+                    Archive::open_with_meta(build(&s), Arc::clone(&faulty), sweep_cfg()).unwrap();
+                ar.live_meta_ids()
+            };
+            let mut blackholed = 0;
+            let mut tampered = 0;
+            for &id in &live {
+                let BlockId::Meta(m) = id else { unreachable!() };
+                if m.copy() >= loss {
+                    continue;
+                }
+                // Alternate the two fault kinds across the victims.
+                if (m.seq() + m.copy() as u64).is_multiple_of(2) {
+                    faulty.fail(id);
+                    blackholed += 1;
+                } else {
+                    faulty.corrupt(id);
+                    tampered += 1;
+                }
+            }
+            let mut ar = Archive::open_with_meta(build(&s), Arc::clone(&faulty), sweep_cfg())
+                .unwrap_or_else(|e| panic!("{s} loss {loss}: must degrade, not escalate: {e}"));
+            assert!(!ar.meta_damage().is_empty(), "{s} loss {loss}");
+            assert!(ar.verify_all().is_empty(), "{s} loss {loss}");
+            assert!(
+                ar.scrub() >= blackholed + tampered,
+                "{s}: scrub heals every injected meta fault"
+            );
+            assert_eq!(faulty.failed_len(), 0, "{s}: blackholes healed");
+            assert_eq!(faulty.corrupted_len(), 0, "{s}: tampered copies healed");
+            drop(ar);
+            let ar = Archive::open_with_meta(build(&s), Arc::clone(&faulty), sweep_cfg()).unwrap();
+            assert!(ar.meta_damage().is_empty(), "{s}: healed");
+        }
+    }
+}
+
+/// Losing **all** copies of a committed checkpoint record is the one
+/// thing redundancy cannot forgive — and it must be a typed error, never
+/// a silent rewind past garbage-collected history.
+#[test]
+fn losing_every_copy_of_a_checkpoint_record_is_typed() {
+    for s in Scheme::extended_lineup() {
+        let store = Arc::new(MemStore::new());
+        run_lifetime(&s, &store);
+        let cseq = {
+            let ar = Archive::open_with_meta(build(&s), Arc::clone(&store), sweep_cfg()).unwrap();
+            ar.checkpoint_seq().expect("lifetime checkpointed")
+        };
+        for copy in 0..sweep_cfg().copies {
+            assert!(store.remove(meta_copy_id(cseq, copy)), "{s}: part 0 live");
+        }
+        assert!(
+            matches!(
+                Archive::open_with_meta(build(&s), Arc::clone(&store), sweep_cfg()),
+                Err(RecoveryError::CorruptRecord { .. })
+            ),
+            "{s}: all-copy checkpoint loss must escalate typed"
+        );
+    }
+}
+
+/// The O(checkpoint) open guarantee: as the journal's history grows 10x
+/// past the checkpoint threshold, the records `open` replays (and the
+/// live journal the backend holds) stay bounded by the cadence, not the
+/// history.
+#[test]
+fn open_replays_o_checkpoint_not_o_history() {
+    let store = Arc::new(MemStore::new());
+    let cfg = MetaConfig {
+        copies: 3,
+        checkpoint_every: Some(4),
+        ..MetaConfig::default()
+    };
+    let s = &Scheme::extended_lineup()[0];
+    {
+        let mut ar = Archive::with_scheme_meta(build(s), BLOCK, Arc::clone(&store), cfg.clone());
+        for i in 0..40u32 {
+            ar.put(&format!("f{i}"), &i.to_le_bytes().repeat(9))
+                .unwrap();
+        }
+    }
+    let ar = Archive::open_with_meta(build(s), Arc::clone(&store), cfg).unwrap();
+    assert!(ar.meta_len() > 40, "history grew with every put");
+    assert!(
+        ar.replayed_records() <= 8,
+        "open replayed {} records of a {}-record history",
+        ar.replayed_records(),
+        ar.meta_len()
+    );
+    assert!(
+        ar.live_meta_records() <= 16,
+        "{} live records should be bounded by the cadence",
+        ar.live_meta_records()
+    );
+    assert_eq!(ar.names().count(), 40, "nothing lost to GC");
 }

@@ -21,8 +21,8 @@ use aecodes::blocks::BlockId;
 use aecodes::core::Code;
 use aecodes::lattice::Config;
 use aecodes::service::{
-    ArchiveService, OpMix, Phase, ServiceConfig, ServiceError, SharedBackend, TenantId, Workload,
-    WorkloadConfig,
+    ArchiveService, MetaConfig, OpMix, Phase, ServiceConfig, ServiceError, SharedBackend, TenantId,
+    Workload, WorkloadConfig,
 };
 use aecodes::store::{FaultyStore, MemStore};
 use std::collections::BTreeMap;
@@ -247,6 +247,7 @@ fn full_queue_answers_saturated_without_blocking() {
             shards: Some(1),
             queue_depth: 2,
             inline: false,
+            meta: MetaConfig::default(),
         },
     );
     let t0 = svc.add_tenant(Arc::new(Replication::new(2)), 64);
@@ -301,6 +302,7 @@ fn wedged_shard_does_not_starve_other_shards() {
             shards: Some(2),
             queue_depth: 8,
             inline: false,
+            meta: MetaConfig::default(),
         },
     );
     let t0 = svc.add_tenant(Arc::new(Replication::new(2)), 64); // shard 0
@@ -351,6 +353,7 @@ fn repair_heavy_tenant_does_not_starve_other_shards() {
             shards: Some(2),
             queue_depth: 64,
             inline: false,
+            meta: MetaConfig::default(),
         },
     );
     let t0 = svc.add_tenant(Arc::new(Code::new(Config::new(3, 2, 5).unwrap(), 64)), 64);
