@@ -13,7 +13,17 @@
 
 use ae_gf::{field, Gf256, Matrix};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// Cap on memoized decode matrices; when full the cache is reset.
+///
+/// The bound only matters under adversarial erasure-pattern churn: one
+/// entry costs k·k bytes plus the key, and a (k, m) code has at most
+/// C(k+m, k) distinct patterns. A reset (rather than LRU bookkeeping) keeps
+/// the lock hold time constant.
+const DECODE_CACHE_MAX: usize = 128;
 
 /// Errors from Reed-Solomon operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +109,12 @@ pub struct ReedSolomon {
     /// partial stripe — behind one lock, so an instance can be shared
     /// (`Arc<dyn RedundancyScheme>`) between writers and repair workers.
     pub(crate) enc: Mutex<RsEncoderState>,
+    /// Inverted decode submatrices memoized per erasure pattern (keyed by
+    /// the k surviving generator rows selected for the solve). Steady-state
+    /// repair traffic repeats a handful of patterns — a single lost shard
+    /// in particular always selects the same rows — so repairs after the
+    /// first skip the O(k³) Gauss-Jordan inversion entirely.
+    decode_cache: Mutex<HashMap<Vec<usize>, Arc<Matrix>>>,
 }
 
 /// The mutable half of a streaming [`ReedSolomon`] encoder.
@@ -117,6 +133,7 @@ impl Clone for ReedSolomon {
             m: self.m,
             generator: self.generator.clone(),
             enc: Mutex::new(self.enc.lock().clone()),
+            decode_cache: Mutex::new(self.decode_cache.lock().clone()),
         }
     }
 }
@@ -139,7 +156,37 @@ impl ReedSolomon {
             m,
             generator,
             enc: Mutex::new(RsEncoderState::default()),
+            decode_cache: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The inverted k×k decode submatrix for the given surviving rows,
+    /// memoized per erasure pattern.
+    ///
+    /// The inversion runs outside the lock: a concurrent miss on the same
+    /// pattern duplicates the work once but never serializes repairs
+    /// behind an O(k³) critical section.
+    fn cached_decode_matrix(&self, rows: &[usize]) -> Arc<Matrix> {
+        if let Some(inv) = self.decode_cache.lock().get(rows) {
+            return Arc::clone(inv);
+        }
+        let sub = self.generator.select_rows(rows);
+        let inv = Arc::new(
+            sub.inverse()
+                .expect("every k x k generator submatrix is invertible"),
+        );
+        let mut cache = self.decode_cache.lock();
+        if cache.len() >= DECODE_CACHE_MAX {
+            cache.clear();
+        }
+        cache.insert(rows.to_vec(), Arc::clone(&inv));
+        inv
+    }
+
+    /// Memoized decode matrices currently cached (exposed for tests).
+    #[cfg(test)]
+    fn decode_cache_len(&self) -> usize {
+        self.decode_cache.lock().len()
     }
 
     /// Data shards per stripe.
@@ -229,13 +276,11 @@ impl ReedSolomon {
         }
         let len = shards[present[0]].as_ref().expect("present").len();
 
-        // Invert the k×k submatrix of the generator for k surviving shards;
-        // its product with those shards yields the data shards.
+        // Invert the k×k submatrix of the generator for k surviving shards
+        // (memoized per erasure pattern); its product with those shards
+        // yields the data shards.
         let rows: Vec<usize> = present.iter().take(self.k).copied().collect();
-        let sub = self.generator.select_rows(&rows);
-        let inv = sub
-            .inverse()
-            .expect("every k x k generator submatrix is invertible");
+        let inv = self.cached_decode_matrix(&rows);
 
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
         for r in 0..self.k {
@@ -416,6 +461,33 @@ mod tests {
             );
             assert_eq!(rs.single_failure_reads(), k, "SF cost of RS({k},{m})");
         }
+    }
+
+    #[test]
+    fn decode_matrix_is_memoized_per_erasure_pattern() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+        assert_eq!(rs.decode_cache_len(), 0);
+
+        // Same erasure pattern twice: one cache entry, correct repairs.
+        for _ in 0..2 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[1] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[1].as_ref().unwrap(), &full[1]);
+            assert_eq!(rs.decode_cache_len(), 1);
+        }
+
+        // A different pattern adds a second entry and still repairs.
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[5] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &full[0]);
+        assert_eq!(shards[5].as_ref().unwrap(), &full[5]);
+        assert_eq!(rs.decode_cache_len(), 2);
     }
 
     #[test]

@@ -1,56 +1,74 @@
-//! Substrate micro-benchmarks: the XOR kernel that is the entire
-//! arithmetic of AE codes (§VII: "essentially based on exclusive-or
-//! operations"), versus the GF(2^8) multiply-accumulate RS needs.
+//! Kernel micro-benchmarks: the scalar reference against every SIMD tier
+//! the host supports, for each data-path kernel — XOR (the entire
+//! arithmetic of AE codes, §VII), GF(2^8) multiply-accumulate (the RS
+//! inner loop) and CRC32 (the per-fetch integrity check) — plus the
+//! `Block::verify` path they feed through the default dispatch.
+//!
+//! Tier labels come from [`ae_kernels::supported_sets`]: `scalar` is
+//! always present; `sse2`/`avx2` (x86-64) or `neon` (AArch64) appear when
+//! the host supports them, so scalar-vs-dispatched speedups can be read
+//! directly out of one recording.
 
-use ae_blocks::{crc32, xor, Block};
-use ae_gf::{field, Gf256};
+use ae_blocks::Block;
+use ae_kernels::supported_sets;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+const SIZES: [usize; 3] = [256, 4096, 65536];
+
 fn bench_xor(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/xor");
-    for size in [256usize, 4096, 65536] {
-        let a = vec![0xA5u8; size];
-        let b = vec![0x5Au8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(BenchmarkId::from_parameter(size), |bch| {
-            let mut dst = a.clone();
-            bch.iter(|| {
-                xor::xor_into(&mut dst, &b);
-                black_box(&dst);
-            })
-        });
+    for set in supported_sets() {
+        for size in SIZES {
+            let b = vec![0x5Au8; size];
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(BenchmarkId::new(set.name, size), |bch| {
+                let mut dst = vec![0xA5u8; size];
+                bch.iter(|| {
+                    set.xor_into(&mut dst, &b);
+                    black_box(&dst);
+                })
+            });
+        }
     }
     g.finish();
 }
 
 fn bench_gf_mul_slice(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/gf_mul_acc");
-    for size in [256usize, 4096, 65536] {
-        let data = vec![0x37u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(BenchmarkId::from_parameter(size), |bch| {
-            let mut acc = vec![0u8; size];
-            bch.iter(|| {
-                field::mul_slice_acc(Gf256(0x1D), &data, &mut acc);
-                black_box(&acc);
-            })
-        });
+    for set in supported_sets() {
+        for size in SIZES {
+            let data = vec![0x37u8; size];
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(BenchmarkId::new(set.name, size), |bch| {
+                let mut acc = vec![0u8; size];
+                bch.iter(|| {
+                    set.mul_slice_acc(0x1D, &data, &mut acc);
+                    black_box(&acc);
+                })
+            });
+        }
     }
     g.finish();
 }
 
 fn bench_crc(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/crc32");
-    let data = vec![0xC3u8; 4096];
-    g.throughput(Throughput::Bytes(4096));
-    g.bench_function("4096", |b| b.iter(|| black_box(crc32(&data))));
+    for set in supported_sets() {
+        for size in SIZES {
+            let data = vec![0xC3u8; size];
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_function(BenchmarkId::new(set.name, size), |b| {
+                b.iter(|| black_box(set.crc32_update(0xFFFF_FFFF, &data)))
+            });
+        }
+    }
     g.finish();
 }
 
 /// `Block::verify` is a checksum recomputation over the contents — the
-/// per-fetch cost every repair pays before trusting a remote block, and
-/// the direct beneficiary of the slice-by-8 CRC tables.
+/// per-fetch cost every repair pays before trusting a remote block. Runs
+/// through the default dispatch (the production configuration).
 fn bench_block_verify(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/block_verify");
     for size in [512usize, 4096, 65536] {

@@ -1,4 +1,4 @@
-//! CRC32 (IEEE 802.3 polynomial) implemented from scratch.
+//! CRC32 (IEEE 802.3 polynomial) over the dispatched kernel layer.
 //!
 //! Entangled storage systems place parity blocks on untrusted remote nodes
 //! (§IV.A). Before a fetched block participates in a repair XOR, the store
@@ -6,9 +6,12 @@
 //! block reconstructed from it. CRC32 is not cryptographic — the paper's
 //! anti-tampering property comes from redundancy propagation, not from the
 //! checksum — but it reliably catches accidental corruption.
-
-/// The reflected IEEE 802.3 polynomial.
-const POLY: u32 = 0xEDB8_8320;
+//!
+//! The state update is [`ae_kernels::crc32_update`]: PCLMULQDQ folding on
+//! x86-64, the ARMv8 CRC32 instructions on AArch64, slice-by-16 tables
+//! otherwise. This module keeps the protocol pieces — init/final inversion,
+//! streaming, and the XOR-linearity identity behind [`crc32_of_xor`] that
+//! lets `Block::xor` derive the parity checksum in O(1).
 
 /// A streaming CRC32 hasher.
 ///
@@ -27,34 +30,6 @@ pub struct Crc32 {
     state: u32,
 }
 
-/// Slice-by-8 lookup tables, generated once at first use.
-///
-/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k][b]` is the
-/// CRC of byte `b` followed by `k` zero bytes, so eight table lookups
-/// advance the state by eight input bytes at once (Intel's slicing-by-8
-/// construction).
-fn tables() -> &'static [[u32; 256]; 8] {
-    use std::sync::OnceLock;
-    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
-    TABLES.get_or_init(|| {
-        let mut t = [[0u32; 256]; 8];
-        for (i, entry) in t[0].iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
-            }
-            *entry = c;
-        }
-        for k in 1..8 {
-            for i in 0..256 {
-                let prev = t[k - 1][i];
-                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
-            }
-        }
-        t
-    })
-}
-
 impl Crc32 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
@@ -63,28 +38,11 @@ impl Crc32 {
 
     /// Feeds `data` into the hasher.
     ///
-    /// The body advances eight bytes per step through the slice-by-8
-    /// tables (~4-5× the byte-at-a-time loop on `Block::verify` sized
-    /// inputs); the sub-8-byte tail falls back to the classic loop.
+    /// Advances the raw state through the runtime-dispatched kernel:
+    /// hardware carry-less-multiply folding where the host supports it,
+    /// slice-by-16 tables otherwise.
     pub fn update(&mut self, data: &[u8]) {
-        let t = tables();
-        let mut c = self.state;
-        let mut chunks = data.chunks_exact(8);
-        for chunk in chunks.by_ref() {
-            let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4-byte half")) ^ c;
-            c = t[7][(lo & 0xFF) as usize]
-                ^ t[6][((lo >> 8) & 0xFF) as usize]
-                ^ t[5][((lo >> 16) & 0xFF) as usize]
-                ^ t[4][(lo >> 24) as usize]
-                ^ t[3][chunk[4] as usize]
-                ^ t[2][chunk[5] as usize]
-                ^ t[1][chunk[6] as usize]
-                ^ t[0][chunk[7] as usize];
-        }
-        for &b in chunks.remainder() {
-            c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-        }
-        self.state = c;
+        self.state = ae_kernels::crc32_update(self.state, data);
     }
 
     /// Returns the checksum of everything fed so far.
@@ -172,6 +130,7 @@ mod tests {
 
     /// Bitwise (table-free) reference implementation.
     fn crc32_bitwise(data: &[u8]) -> u32 {
+        const POLY: u32 = 0xEDB8_8320;
         let mut c = 0xFFFF_FFFFu32;
         for &b in data {
             c ^= b as u32;

@@ -19,9 +19,12 @@
 //!
 //! The paper's encoder and decoder are "lightweight — essentially based on
 //! exclusive-or operations" (§VII). The hot path is XORing two equal-length
-//! slices; [`xor::xor_into`] processes 8 bytes per step on the aligned body
-//! of the slices and falls back to byte-at-a-time on the unaligned tail, with
-//! a portable implementation that the compiler autovectorizes.
+//! slices; the byte-moving loops behind [`xor`] and [`crc`] live in the
+//! [`ae_kernels`] crate, which detects the host CPU once at first use and
+//! installs the widest supported implementation (AVX2/SSE2 XOR and PCLMULQDQ
+//! CRC folding on x86-64, NEON and the ARMv8 CRC32 instructions on AArch64,
+//! an autovectorized portable fallback elsewhere). This crate stays
+//! `forbid(unsafe_code)`; all `unsafe` is confined to the kernel crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,12 +5,19 @@
 //! every repair — of a data block from a pp-tuple or of a parity block from a
 //! dp-tuple — is again a single XOR of two blocks. These kernels are the
 //! entire arithmetic of the code.
+//!
+//! The byte-moving bodies live in [`ae_kernels`], which selects the widest
+//! implementation the host supports at first use (AVX2/SSE2 on x86-64, NEON
+//! on AArch64, an autovectorized portable loop elsewhere or under
+//! `AE_KERNEL=scalar`). This module contributes the block-level contracts:
+//! equal-length validation, the zero-block identity of [`xor_all`], and the
+//! allocation discipline of [`xor_of`]/[`xor_of_owned`].
 
 /// XORs `src` into `dst` in place: `dst[i] ^= src[i]`.
 ///
-/// Processes the aligned body of the slices 32 bytes (four `u64` lanes) at
-/// a time — one full AVX2 register when the compiler autovectorizes, which
-/// it does on all mainstream targets — with an 8-byte then byte-wise tail.
+/// Delegates to the runtime-dispatched [`ae_kernels::xor_into`] kernel —
+/// four-register unrolled AVX2/SSE2/NEON where available, a 32-byte-per-step
+/// portable loop otherwise.
 ///
 /// # Panics
 ///
@@ -23,44 +30,44 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
         src.len(),
         "xor_into requires equal-length blocks"
     );
-    let mut dst_wide = dst.chunks_exact_mut(32);
-    let mut src_wide = src.chunks_exact(32);
-    for (d, s) in dst_wide.by_ref().zip(src_wide.by_ref()) {
-        for lane in 0..4 {
-            let at = lane * 8;
-            let x = u64::from_ne_bytes(d[at..at + 8].try_into().expect("lane of 8"))
-                ^ u64::from_ne_bytes(s[at..at + 8].try_into().expect("lane of 8"));
-            d[at..at + 8].copy_from_slice(&x.to_ne_bytes());
-        }
-    }
-    let mut dst_chunks = dst_wide.into_remainder().chunks_exact_mut(8);
-    let mut src_chunks = src_wide.remainder().chunks_exact(8);
-    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
-        let x = u64::from_ne_bytes(d.try_into().expect("chunk of 8"))
-            ^ u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
-        d.copy_from_slice(&x.to_ne_bytes());
-    }
-    for (d, s) in dst_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *d ^= *s;
-    }
+    ae_kernels::xor_into(dst, src);
 }
 
 /// Returns the XOR of two equal-length slices as a fresh vector.
 ///
 /// This is the exact cost of a single-failure repair in an entangled storage
-/// system: `SF = 2` block reads plus one `xor_of` (§V.C.3, Table IV).
+/// system: `SF = 2` block reads plus one `xor_of` (§V.C.3, Table IV). The
+/// output is produced in one fused pass ([`ae_kernels::xor3`]) rather than
+/// copy-then-XOR, so each operand byte is read once and each output byte
+/// written once.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn xor_of(a: &[u8], b: &[u8]) -> Vec<u8> {
-    let mut out = a.to_vec();
-    xor_into(&mut out, b);
+    assert_eq!(a.len(), b.len(), "xor_of requires equal-length blocks");
+    let mut out = vec![0u8; a.len()];
+    ae_kernels::xor3(&mut out, a, b);
     out
+}
+
+/// Returns `a XOR b`, consuming `a` as the output buffer.
+///
+/// When the caller already owns one operand — the encoder's pad cache hands
+/// over an owned block on the entanglement hot path — the XOR happens in
+/// place and no new allocation or copy is made at all.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_of_owned(mut a: Vec<u8>, b: &[u8]) -> Vec<u8> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "xor_of_owned requires equal-length blocks"
+    );
+    ae_kernels::xor_into(&mut a, b);
+    a
 }
 
 /// XORs all `srcs` together into a fresh vector of `len` bytes.

@@ -204,6 +204,11 @@ impl From<u8> for Gf256 {
 /// Multiplies every byte of `data` by the constant `c`, accumulating
 /// (`acc[i] += c * data[i]`) — the inner kernel of RS encoding and decoding.
 ///
+/// Delegates to the runtime-dispatched [`ae_kernels::mul_slice_acc`]: a
+/// split-nibble `PSHUFB`/`TBL` vector multiply on x86-64/AArch64, the
+/// branch-free two-level table loop elsewhere. The kernel layer also short
+/// circuits `c = 0` (no-op) and `c = 1` (plain XOR).
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -213,21 +218,38 @@ pub fn mul_slice_acc(c: Gf256, data: &[u8], acc: &mut [u8]) {
         acc.len(),
         "mul_slice_acc requires equal lengths"
     );
+    ae_kernels::mul_slice_acc(c.0, data, acc);
+}
+
+/// Reference implementation of [`mul_slice_acc`] on the log/exp tables,
+/// kept for parity tests against the dispatched kernels.
+///
+/// The naive loop pays a `d != 0` branch per byte (zero has no logarithm).
+/// Here that branch is hoisted out: a 256-entry product row is built once
+/// per call — `row[d] = exp[log c + log d]` with `row[0] = 0`, the doubled
+/// `exp` table absorbing the mod-255 reduction — and the inner loop is a
+/// single unconditional lookup-XOR per byte.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice_acc_ref(c: Gf256, data: &[u8], acc: &mut [u8]) {
+    assert_eq!(
+        data.len(),
+        acc.len(),
+        "mul_slice_acc requires equal lengths"
+    );
     if c.is_zero() {
-        return;
-    }
-    if c == Gf256::ONE {
-        for (a, d) in acc.iter_mut().zip(data) {
-            *a ^= *d;
-        }
         return;
     }
     let t = tables();
     let lc = t.log[c.0 as usize] as usize;
+    let mut row = [0u8; 256];
+    for (d, slot) in row.iter_mut().enumerate().skip(1) {
+        *slot = t.exp[lc + t.log[d] as usize];
+    }
     for (a, &d) in acc.iter_mut().zip(data) {
-        if d != 0 {
-            *a ^= t.exp[lc + t.log[d as usize] as usize];
-        }
+        *a ^= row[d as usize];
     }
 }
 

@@ -141,6 +141,11 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Each output row is a linear combination of `rhs` rows, so the inner
+    /// step is one [`crate::field::mul_slice_acc`] over a contiguous byte
+    /// row — the same runtime-dispatched vector kernel the RS data path
+    /// uses, rather than an element-at-a-time log/exp loop.
+    ///
     /// # Errors
     ///
     /// Fails if `self.cols != rhs.rows`.
@@ -148,17 +153,22 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(MatrixError::DimensionMismatch { op: "mul" });
         }
+        let rhs_rows: Vec<Vec<u8>> = (0..rhs.rows)
+            .map(|r| rhs.row(r).iter().map(|g| g.0).collect())
+            .collect();
         let mut out = Matrix::zero(self.rows, rhs.cols);
+        let mut acc = vec![0u8; rhs.cols];
         for r in 0..self.rows {
-            for k in 0..self.cols {
+            acc.fill(0);
+            for (k, rhs_row) in rhs_rows.iter().enumerate() {
                 let a = self[(r, k)];
                 if a.is_zero() {
                     continue;
                 }
-                for c in 0..rhs.cols {
-                    let v = a * rhs[(k, c)];
-                    out[(r, c)] += v;
-                }
+                crate::field::mul_slice_acc(a, rhs_row, &mut acc);
+            }
+            for (c, &v) in acc.iter().enumerate() {
+                out[(r, c)] = Gf256(v);
             }
         }
         Ok(out)

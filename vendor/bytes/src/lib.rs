@@ -8,23 +8,27 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable byte buffer (reference counted).
+///
+/// Backed by `Arc<Vec<u8>>` so that [`From<Vec<u8>>`] is zero-copy — the
+/// vector's allocation is adopted, never duplicated — matching the real
+/// `bytes` crate's `Bytes::from(Vec<u8>)` semantics.
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
         }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -41,7 +45,7 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -74,6 +78,14 @@ impl std::fmt::Debug for Bytes {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_vec_adopts_the_allocation() {
+        let v = vec![1u8, 2, 3];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p, "From<Vec<u8>> must not copy");
+    }
 
     #[test]
     fn clones_share_allocation() {
