@@ -1,0 +1,211 @@
+//! Bounded-in-flight pipelining: [`OrderedWindow`] runs a sequence of
+//! lazily-created operations with at most `window` in flight at once and
+//! yields their results **in issue order**.
+//!
+//! Laziness is load-bearing: the latency model computes each operation's
+//! timing plan (queue slot, jitter draws) at *future creation*, so the
+//! window must defer creation until a slot opens — handing it a `Vec` of
+//! already-created futures would both unbound the in-flight count in the
+//! model's eyes and fix every plan at the same instant. Hence the factory
+//! closures ([`OpFactory`]).
+//!
+//! Issue-order result collection is equally load-bearing: the pipelined
+//! archive paths commit repair writes and collect answers in the same
+//! deterministic order the serial path would, whatever order the futures
+//! actually complete in, which is what makes the async paths
+//! byte-identical to their sync counterparts.
+
+use ae_api::BoxFuture;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// A deferred operation: invoked only when a window slot opens.
+pub type OpFactory<'a, T> = Box<dyn FnOnce() -> BoxFuture<'a, T> + Send + 'a>;
+
+enum Slot<'a, T> {
+    Pending(BoxFuture<'a, T>),
+    Done(T),
+}
+
+/// A future running `ops` with a bounded in-flight window, resolving to
+/// their results in issue order. Built by [`windowed`] / [`windowed_map`].
+pub struct OrderedWindow<'a, T> {
+    factories: std::vec::IntoIter<OpFactory<'a, T>>,
+    window: usize,
+    slots: VecDeque<Slot<'a, T>>,
+    out: Vec<T>,
+}
+
+impl<T> std::fmt::Debug for OrderedWindow<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedWindow")
+            .field("window", &self.window)
+            .field("in_flight", &self.slots.len())
+            .field("collected", &self.out.len())
+            .field("remaining", &self.factories.len())
+            .finish()
+    }
+}
+
+/// Runs the deferred `ops` with at most `window` in flight (clamped to a
+/// minimum of 1), collecting results in issue order.
+pub fn windowed<'a, T: Send>(ops: Vec<OpFactory<'a, T>>, window: usize) -> OrderedWindow<'a, T> {
+    let expected = ops.len();
+    OrderedWindow {
+        factories: ops.into_iter(),
+        window: window.max(1),
+        slots: VecDeque::new(),
+        out: Vec::with_capacity(expected),
+    }
+}
+
+/// [`windowed`] over a list of items and one operation builder: `f(item)`
+/// is called when the item's window slot opens and must create that
+/// item's future then.
+pub fn windowed_map<'a, T, U, F>(items: Vec<T>, window: usize, f: F) -> OrderedWindow<'a, U>
+where
+    T: Send + 'a,
+    U: Send,
+    F: Fn(T) -> BoxFuture<'a, U> + Send + Sync + 'a,
+{
+    let f = Arc::new(f);
+    let ops = items
+        .into_iter()
+        .map(|item| {
+            let f = Arc::clone(&f);
+            Box::new(move || f(item)) as OpFactory<'a, U>
+        })
+        .collect();
+    windowed(ops, window)
+}
+
+// All fields are boxed/owned and never pinned through — result values
+// are moved in and out freely — so the combinator is Unpin regardless of
+// `T` and the poll body can use plain `&mut self` state.
+impl<T> Unpin for OrderedWindow<'_, T> {}
+
+impl<T: Send> Future for OrderedWindow<'_, T> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<T>> {
+        let this = self.get_mut();
+        loop {
+            let mut progress = false;
+            // Top up the window, creating deferred ops as slots open.
+            while this.slots.len() < this.window {
+                match this.factories.next() {
+                    Some(make) => {
+                        this.slots.push_back(Slot::Pending(make()));
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+            // Poll everything in flight.
+            for slot in this.slots.iter_mut() {
+                if let Slot::Pending(fut) = slot {
+                    if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+                        *slot = Slot::Done(v);
+                        progress = true;
+                    }
+                }
+            }
+            // Collect from the front only: results leave in issue order,
+            // and a completed slot behind a pending head keeps occupying
+            // the window until the head resolves.
+            while matches!(this.slots.front(), Some(Slot::Done(_))) {
+                match this.slots.pop_front() {
+                    Some(Slot::Done(v)) => this.out.push(v),
+                    _ => unreachable!("front was just matched as Done"),
+                }
+                progress = true;
+            }
+            if this.slots.is_empty() && this.factories.len() == 0 {
+                return Poll::Ready(std::mem::take(&mut this.out));
+            }
+            if !progress {
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Runtime;
+    use crate::time::Clock;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_arrive_in_issue_order_whatever_the_completion_order() {
+        let rt = Runtime::new(Clock::virtual_time());
+        // Later ops finish earlier (descending sleeps).
+        let out = rt.block_on(windowed_map((0..6u64).collect(), 3, |i| {
+            let rt = rt.clone();
+            Box::pin(async move {
+                rt.sleep(Duration::from_millis(10 - i)).await;
+                i
+            })
+        }));
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_the_window() {
+        let rt = Runtime::new(Clock::virtual_time());
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let out = rt.block_on(windowed_map((0..20u64).collect(), 4, |i| {
+            let rt = rt.clone();
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            // Factory invocation = issue: count concurrency from here.
+            let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(n, Ordering::SeqCst);
+            Box::pin(async move {
+                rt.sleep(Duration::from_millis(1 + i % 3)).await;
+                live.fetch_sub(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        assert_eq!(out.len(), 20);
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {peak:?}");
+        assert!(peak.load(Ordering::SeqCst) >= 2, "window actually used");
+    }
+
+    #[test]
+    fn window_collapses_total_latency() {
+        let run = |window: usize| {
+            let rt = Runtime::new(Clock::virtual_time());
+            rt.block_on(windowed_map((0..8u64).collect(), window, |i| {
+                let rt = rt.clone();
+                Box::pin(async move {
+                    rt.sleep(Duration::from_millis(10)).await;
+                    i
+                })
+            }));
+            rt.now()
+        };
+        let serial = run(1);
+        let piped = run(8);
+        assert_eq!(serial, 8 * 10_000_000, "serial pays every RTT");
+        assert_eq!(piped, 10_000_000, "full window pays one RTT");
+    }
+
+    #[test]
+    fn empty_and_single_item_windows_work() {
+        let rt = Runtime::new(Clock::virtual_time());
+        let none: Vec<u8> = rt.block_on(windowed_map(Vec::<u8>::new(), 5, |b| {
+            Box::pin(async move { b })
+        }));
+        assert!(none.is_empty());
+        // window = 0 clamps to 1.
+        let one = rt.block_on(windowed_map(vec![7u8], 0, |b| Box::pin(async move { b })));
+        assert_eq!(one, vec![7]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Time for the vendored runtime: the [`Clock`] (real or virtual) and the
+//! hierarchical timer wheel behind [`crate::Runtime`]'s sleeps.
+//!
+//! All timestamps are `u64` nanoseconds since the clock's creation, so
+//! the latency model and the executor share one monotonic axis whichever
+//! clock is in use:
+//!
+//! * a **real** clock reads [`std::time::Instant`] — benchmarks measure
+//!   genuine wall-clock collapse from pipelining;
+//! * a **virtual** clock is an atomic counter the executor advances to
+//!   the next timer deadline whenever nothing is runnable — tests run
+//!   simulated seconds in microseconds, **deterministically**: with
+//!   seeded jitter and single-threaded driving, every run of a test sees
+//!   the identical sequence of timestamps.
+//!
+//! The wheel files each timer into one of [`SLOTS`] per-millisecond
+//! buckets within its horizon and into an overflow map beyond it;
+//! advancing the cursor drains whole buckets and migrates overflow
+//! entries as they come into range. Firing is **exact-deadline**: the
+//! bucket owning the current millisecond is partially drained up to `now`
+//! (not rounded to the tick), so a virtual clock advanced to a deadline
+//! always fires it — no quantization, no spin.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+/// Wheel bucket count: with [`GRANULARITY`]-nanosecond ticks this covers
+/// a 256 ms horizon before timers spill into the overflow map.
+const SLOTS: usize = 256;
+
+/// Nanoseconds per wheel tick (1 ms).
+const GRANULARITY: u64 = 1_000_000;
+
+/// A monotonic nanosecond clock, real or virtual.
+#[derive(Debug)]
+pub struct Clock {
+    /// `Some` = virtual: the counter **is** the time. `None` = real.
+    virtual_now: Option<AtomicU64>,
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A real clock: `now` is wall time elapsed since creation.
+    pub fn real() -> Self {
+        Clock {
+            virtual_now: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A virtual clock starting at zero: time advances only when the
+    /// executor moves it to the next timer deadline. Deterministic — the
+    /// footing of the subsystem's parity tests.
+    pub fn virtual_time() -> Self {
+        Clock {
+            virtual_now: Some(AtomicU64::new(0)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether this is a virtual clock.
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_now.is_some()
+    }
+
+    /// Nanoseconds since the clock was created.
+    pub fn now(&self) -> u64 {
+        match &self.virtual_now {
+            Some(v) => v.load(Ordering::Acquire),
+            None => self.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Advances a virtual clock to `t` (never backwards); no-op on a real
+    /// clock.
+    pub(crate) fn advance_to(&self, t: u64) {
+        if let Some(v) = &self.virtual_now {
+            v.fetch_max(t, Ordering::AcqRel);
+        }
+    }
+}
+
+/// One registered timer: a deadline plus the waker of whoever sleeps on
+/// it. Shared between the [`Sleep`] future and the wheel.
+#[derive(Debug)]
+struct TimerSlot {
+    deadline: u64,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl TimerSlot {
+    fn fire(&self) {
+        if let Some(w) = self.waker.lock().take() {
+            w.wake();
+        }
+    }
+}
+
+/// The wheel state behind one mutex.
+#[derive(Debug, Default)]
+struct Wheel {
+    /// Near timers, bucketed by `tick % SLOTS`. Invariant: every entry in
+    /// bucket `b` has `tick == cursor'` for the unique not-yet-drained
+    /// tick `cursor' ≡ b (mod SLOTS)` within the horizon.
+    buckets: Vec<Vec<Arc<TimerSlot>>>,
+    /// First tick whose bucket has not been fully drained.
+    cursor: u64,
+    /// Timers beyond the horizon, keyed by tick.
+    overflow: BTreeMap<u64, Vec<Arc<TimerSlot>>>,
+}
+
+/// The timer wheel: registration plus exact-deadline firing.
+#[derive(Debug)]
+pub(crate) struct Timers {
+    wheel: Mutex<Wheel>,
+}
+
+impl Timers {
+    pub(crate) fn new() -> Self {
+        Timers {
+            wheel: Mutex::new(Wheel {
+                buckets: (0..SLOTS).map(|_| Vec::new()).collect(),
+                cursor: 0,
+                overflow: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Files `slot`; if its deadline already passed (relative to the
+    /// cursor's fully-drained region) the caller must re-check the clock,
+    /// which the [`Sleep`] future does on every poll.
+    fn register(&self, slot: Arc<TimerSlot>) {
+        let mut wheel = self.wheel.lock();
+        let tick = slot.deadline / GRANULARITY;
+        let tick = tick.max(wheel.cursor);
+        if tick < wheel.cursor + SLOTS as u64 {
+            let b = (tick % SLOTS as u64) as usize;
+            wheel.buckets[b].push(slot);
+        } else {
+            wheel.overflow.entry(tick).or_default().push(slot);
+        }
+    }
+
+    /// Fires every timer with `deadline <= now`. Whole ticks before
+    /// `now`'s tick are drained outright; the current tick's bucket is
+    /// partially drained by exact deadline.
+    pub(crate) fn fire_due(&self, now: u64) {
+        let mut due: Vec<Arc<TimerSlot>> = Vec::new();
+        {
+            let mut wheel = self.wheel.lock();
+            let target = now / GRANULARITY;
+            while wheel.cursor < target {
+                let b = (wheel.cursor % SLOTS as u64) as usize;
+                due.append(&mut wheel.buckets[b]);
+                wheel.cursor += 1;
+                // Pull overflow timers that just came into the horizon.
+                let horizon = wheel.cursor + SLOTS as u64;
+                while let Some(entry) = wheel.overflow.first_entry() {
+                    if *entry.key() >= horizon {
+                        break;
+                    }
+                    let (tick, slots) = entry.remove_entry();
+                    let b = (tick % SLOTS as u64) as usize;
+                    wheel.buckets[b].extend(slots);
+                }
+            }
+            // Partial drain of the current tick: exact deadlines only.
+            let b = (target % SLOTS as u64) as usize;
+            let bucket = &mut wheel.buckets[b];
+            let mut k = 0;
+            while k < bucket.len() {
+                if bucket[k].deadline <= now {
+                    due.push(bucket.swap_remove(k));
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        for slot in due {
+            slot.fire();
+        }
+    }
+
+    /// The earliest registered deadline, if any — what the executor
+    /// advances a virtual clock to (or parks a real one until).
+    pub(crate) fn next_deadline(&self) -> Option<u64> {
+        let wheel = self.wheel.lock();
+        wheel
+            .buckets
+            .iter()
+            .flatten()
+            .map(|s| s.deadline)
+            .chain(wheel.overflow.values().flatten().map(|s| s.deadline))
+            .min()
+    }
+}
+
+/// A future that resolves once the runtime's clock reaches its deadline —
+/// the primitive under the latency model's RTT waits, timeouts and
+/// backoffs. Created by [`crate::Runtime::sleep_until`] /
+/// [`crate::Runtime::sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: u64,
+    clock: Arc<Clock>,
+    timers: Arc<Timers>,
+    slot: Option<Arc<TimerSlot>>,
+}
+
+impl Sleep {
+    pub(crate) fn new(deadline: u64, clock: Arc<Clock>, timers: Arc<Timers>) -> Self {
+        Sleep {
+            deadline,
+            clock,
+            timers,
+            slot: None,
+        }
+    }
+
+    /// The absolute deadline (nanoseconds on the runtime's clock).
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.clock.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        match &self.slot {
+            Some(slot) => {
+                // Refresh the waker (the future may have moved tasks).
+                *slot.waker.lock() = Some(cx.waker().clone());
+            }
+            None => {
+                let slot = Arc::new(TimerSlot {
+                    deadline: self.deadline,
+                    waker: Mutex::new(Some(cx.waker().clone())),
+                });
+                self.timers.register(Arc::clone(&slot));
+                self.slot = Some(slot);
+            }
+        }
+        // Re-check: the clock may have crossed the deadline while we
+        // registered (real clock, racing driver thread).
+        if self.clock.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances_monotonically() {
+        let c = Clock::virtual_time();
+        assert!(c.is_virtual());
+        assert_eq!(c.now(), 0);
+        c.advance_to(5_000);
+        assert_eq!(c.now(), 5_000);
+        c.advance_to(1_000); // never backwards
+        assert_eq!(c.now(), 5_000);
+    }
+
+    #[test]
+    fn real_clock_moves_forward() {
+        let c = Clock::real();
+        assert!(!c.is_virtual());
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wheel_fires_exact_deadlines_including_overflow() {
+        let timers = Timers::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        // Deadlines inside the horizon, on a tick boundary, and far past
+        // the horizon (overflow path).
+        let deadlines = [1_500u64, 2 * GRANULARITY, 300 * GRANULARITY + 7];
+        for &d in &deadlines {
+            let slot = Arc::new(TimerSlot {
+                deadline: d,
+                waker: Mutex::new(Some(counting_waker(&fired))),
+            });
+            timers.register(slot);
+        }
+        assert_eq!(timers.next_deadline(), Some(1_500));
+        timers.fire_due(1_499);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        timers.fire_due(1_500); // exact, same tick: partial drain
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        timers.fire_due(2 * GRANULARITY);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(timers.next_deadline(), Some(300 * GRANULARITY + 7));
+        timers.fire_due(400 * GRANULARITY);
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        assert_eq!(timers.next_deadline(), None);
+    }
+
+    fn counting_waker(count: &Arc<AtomicU64>) -> Waker {
+        struct Counting(Arc<AtomicU64>);
+        impl std::task::Wake for Counting {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(Counting(Arc::clone(count))))
+    }
+}

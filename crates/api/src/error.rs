@@ -119,6 +119,12 @@ pub enum StoreError {
     /// The stored block failed checksum verification — corruption or
     /// tampering detected at read time.
     Corrupted(BlockId),
+    /// The backend gave up waiting on a remote that stopped answering:
+    /// every per-operation timeout and typed retry was exhausted (see
+    /// `ae_aio`'s latency-injecting store). A dead remote degrades to
+    /// this error instead of a hang; to a decoder it still means "not
+    /// available", but callers and log readers see *why*.
+    TimedOut(BlockId),
 }
 
 impl fmt::Display for StoreError {
@@ -126,6 +132,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::NotFound(id) => write!(f, "block {id} not found"),
             StoreError::Corrupted(id) => write!(f, "block {id} failed integrity verification"),
+            StoreError::TimedOut(id) => {
+                write!(f, "block {id} timed out: remote exhausted every retry")
+            }
         }
     }
 }

@@ -66,6 +66,21 @@ pub trait BlockSource: Sync {
     fn read(&self, id: BlockId) -> Result<Block, StoreError> {
         self.fetch(id).ok_or(StoreError::NotFound(id))
     }
+
+    /// The backend's **native async interior**, if it has one.
+    ///
+    /// Purely-sync backends (everything in `ae_store`, the in-memory
+    /// [`BlockMap`]) keep the `None` default: their operations complete
+    /// at call time, so there is nothing to pipeline. A sync-facing
+    /// wrapper around a natively-async backend (an executor-owning
+    /// adapter such as `ae_aio::BlockOn`) overrides this to expose the
+    /// async repo plus a driver for its futures, and latency-aware
+    /// callers — the archive's degraded `get` and `scrub` — switch to a
+    /// pipelined, bounded-in-flight fetch path when the hook answers
+    /// `Some` (byte-identical outcomes, collapsed wall-clock).
+    fn as_async(&self) -> Option<crate::aio::AsyncHandle<'_>> {
+        None
+    }
 }
 
 /// Something blocks can be written to.
@@ -105,6 +120,10 @@ impl<S: BlockSource + ?Sized> BlockSource for &S {
     fn read(&self, id: BlockId) -> Result<Block, StoreError> {
         (**self).read(id)
     }
+
+    fn as_async(&self) -> Option<crate::aio::AsyncHandle<'_>> {
+        (**self).as_async()
+    }
 }
 
 impl<S: BlockSink + ?Sized> BlockSink for &S {
@@ -128,6 +147,10 @@ impl<S: BlockSource + Send + ?Sized> BlockSource for Arc<S> {
 
     fn read(&self, id: BlockId) -> Result<Block, StoreError> {
         (**self).read(id)
+    }
+
+    fn as_async(&self) -> Option<crate::aio::AsyncHandle<'_>> {
+        (**self).as_async()
     }
 }
 

@@ -27,6 +27,12 @@
 //!   encode, repair and archival never care where bytes live — and there
 //!   is no adapter layer between "repair-facing" and "store-facing" trait
 //!   families, because there is only one family.
+//! * [`AsyncBlockSource`] / [`AsyncBlockSink`] / [`AsyncBlockRepo`] — the
+//!   object-safe **async mirror** of the backend family, with a blanket
+//!   sync→async adapter (every `&S` of the sync family is a
+//!   ready-immediate async backend) and the [`BlockSource::as_async`]
+//!   discovery hook through which latency-aware wrappers expose their
+//!   native async interior to pipelined callers (see `ae_aio`).
 //! * [`Placement`] — the canonical placement policies shared by the store
 //!   and simulation layers.
 //! * [`AeError`] / [`RepairError`] / [`StoreError`] — the error hierarchy.
@@ -40,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aio;
 pub mod error;
 pub mod frontier;
 pub mod io;
@@ -47,6 +54,9 @@ pub mod par;
 pub mod placement;
 pub mod scheme;
 
+pub use aio::{
+    AsyncBlockRepo, AsyncBlockSink, AsyncBlockSource, AsyncHandle, BlockOnDriver, BoxFuture,
+};
 pub use error::{AeError, RepairError, StoreError};
 pub use frontier::{SnapshotReader, SnapshotWriter};
 pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};

@@ -21,4 +21,4 @@ pub mod scheme;
 
 pub use ae_api::RedundancyScheme;
 pub use replication::Replication;
-pub use rs::{ReedSolomon, RsError};
+pub use rs::{ReedSolomon, RsError, DEFAULT_DECODE_CACHE_MAX};

@@ -15,15 +15,17 @@ use ae_gf::{field, Gf256, Matrix};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cap on memoized decode matrices; when full the cache is reset.
+/// Default cap on memoized decode matrices; when full the cache is reset.
+/// Override per instance with [`ReedSolomon::with_decode_cache_cap`].
 ///
 /// The bound only matters under adversarial erasure-pattern churn: one
 /// entry costs k·k bytes plus the key, and a (k, m) code has at most
 /// C(k+m, k) distinct patterns. A reset (rather than LRU bookkeeping) keeps
 /// the lock hold time constant.
-const DECODE_CACHE_MAX: usize = 128;
+pub const DEFAULT_DECODE_CACHE_MAX: usize = 128;
 
 /// Errors from Reed-Solomon operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +117,12 @@ pub struct ReedSolomon {
     /// in particular always selects the same rows — so repairs after the
     /// first skip the O(k³) Gauss-Jordan inversion entirely.
     decode_cache: Mutex<HashMap<Vec<usize>, Arc<Matrix>>>,
+    /// Per-instance cap on `decode_cache`; 0 disables memoization.
+    decode_cache_cap: usize,
+    /// Lookups served from `decode_cache`.
+    cache_hits: AtomicU64,
+    /// Lookups that had to run the O(k³) inversion.
+    cache_misses: AtomicU64,
 }
 
 /// The mutable half of a streaming [`ReedSolomon`] encoder.
@@ -134,6 +142,9 @@ impl Clone for ReedSolomon {
             generator: self.generator.clone(),
             enc: Mutex::new(self.enc.lock().clone()),
             decode_cache: Mutex::new(self.decode_cache.lock().clone()),
+            decode_cache_cap: self.decode_cache_cap,
+            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+            cache_misses: AtomicU64::new(self.cache_misses.load(Ordering::Relaxed)),
         }
     }
 }
@@ -157,7 +168,45 @@ impl ReedSolomon {
             generator,
             enc: Mutex::new(RsEncoderState::default()),
             decode_cache: Mutex::new(HashMap::new()),
+            decode_cache_cap: DEFAULT_DECODE_CACHE_MAX,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         })
+    }
+
+    /// Sets the decode-matrix memoization cap for this instance.
+    ///
+    /// `0` disables memoization: every repair pays the O(k³) inversion,
+    /// which is the right trade when erasure patterns never repeat (e.g.
+    /// one-shot disaster sweeps) and the k·k-byte entries would only
+    /// accumulate. The existing cache is trimmed to fit immediately.
+    #[must_use]
+    pub fn with_decode_cache_cap(self, cap: usize) -> Self {
+        if self.decode_cache.lock().len() > cap {
+            self.decode_cache.lock().clear();
+        }
+        ReedSolomon {
+            decode_cache_cap: cap,
+            ..self
+        }
+    }
+
+    /// The decode-matrix memoization cap currently in force.
+    pub fn decode_cache_cap(&self) -> usize {
+        self.decode_cache_cap
+    }
+
+    /// Decode-cache effectiveness counters as `(hits, misses)`.
+    ///
+    /// Hits served the inverted decode matrix from the per-pattern memo;
+    /// misses ran the O(k³) Gauss-Jordan inversion. Counters are
+    /// monotonic over the instance's lifetime (clones inherit a snapshot)
+    /// and count lookups even when the cap is 0.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The inverted k×k decode submatrix for the given surviving rows,
@@ -168,18 +217,22 @@ impl ReedSolomon {
     /// behind an O(k³) critical section.
     fn cached_decode_matrix(&self, rows: &[usize]) -> Arc<Matrix> {
         if let Some(inv) = self.decode_cache.lock().get(rows) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(inv);
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let sub = self.generator.select_rows(rows);
         let inv = Arc::new(
             sub.inverse()
                 .expect("every k x k generator submatrix is invertible"),
         );
-        let mut cache = self.decode_cache.lock();
-        if cache.len() >= DECODE_CACHE_MAX {
-            cache.clear();
+        if self.decode_cache_cap > 0 {
+            let mut cache = self.decode_cache.lock();
+            if cache.len() >= self.decode_cache_cap {
+                cache.clear();
+            }
+            cache.insert(rows.to_vec(), Arc::clone(&inv));
         }
-        cache.insert(rows.to_vec(), Arc::clone(&inv));
         inv
     }
 
@@ -488,6 +541,68 @@ mod tests {
         assert_eq!(shards[0].as_ref().unwrap(), &full[0]);
         assert_eq!(shards[5].as_ref().unwrap(), &full[5]);
         assert_eq!(rs.decode_cache_len(), 2);
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        assert_eq!(rs.decode_cache_cap(), DEFAULT_DECODE_CACHE_MAX);
+        let data = sample_data(4, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+
+        let lose = |idx: usize| {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[idx] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[idx].as_ref().unwrap(), &full[idx]);
+        };
+        lose(1);
+        lose(1);
+        lose(1);
+        lose(2);
+        // Pattern {1} misses once then hits twice; pattern {2} misses once.
+        assert_eq!(rs.decode_cache_stats(), (2, 2));
+        // Clones inherit a snapshot and count independently from there.
+        let twin = rs.clone();
+        assert_eq!(twin.decode_cache_stats(), (2, 2));
+        lose(2);
+        assert_eq!(rs.decode_cache_stats(), (3, 2));
+        assert_eq!(twin.decode_cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn cache_cap_bounds_the_memo_and_zero_disables_it() {
+        let rs = ReedSolomon::new(4, 2).unwrap().with_decode_cache_cap(2);
+        assert_eq!(rs.decode_cache_cap(), 2);
+        let data = sample_data(4, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+
+        let lose = |code: &ReedSolomon, idx: usize| {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[idx] = None;
+            code.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[idx].as_ref().unwrap(), &full[idx]);
+        };
+        // Three distinct patterns against cap 2: the cache resets when
+        // full, so it never exceeds the cap, and repairs stay correct.
+        lose(&rs, 0);
+        lose(&rs, 1);
+        assert_eq!(rs.decode_cache_len(), 2);
+        lose(&rs, 2);
+        assert!(rs.decode_cache_len() <= 2);
+
+        // Cap 0 never memoizes: every repair is a miss, zero entries.
+        let cold = ReedSolomon::new(4, 2).unwrap().with_decode_cache_cap(0);
+        lose(&cold, 1);
+        lose(&cold, 1);
+        assert_eq!(cold.decode_cache_len(), 0);
+        assert_eq!(cold.decode_cache_stats(), (0, 2));
+
+        // Lowering the cap trims an over-full cache immediately.
+        let shrunk = rs.with_decode_cache_cap(1);
+        assert!(shrunk.decode_cache_len() <= 1);
     }
 
     #[test]

@@ -5,21 +5,30 @@
 //! The archive is the layer a user actually touches; these benches price
 //! the full path — chunking, batch encode, manifest bookkeeping, backend
 //! routing — rather than a bare kernel. `put` archives a fresh file per
-//! iteration, `get` reads a healthy file back (manifest CRC verified),
-//! `scrub` repairs a scattered 5% disaster injected before each
-//! iteration. Recorded numbers live in `BENCH_archive.json`.
+//! iteration into one *growing* archive (its per-iteration mean depends
+//! on how many iterations the harness ran, so it is not comparable
+//! across recordings); `put_probe` is the fixed-size mode that fixes
+//! that caveat — each iteration puts one file into a freshly built
+//! archive pre-filled to a constant size, with setup excluded from the
+//! timing, so per-put means compare cleanly across recordings. `get`
+//! reads a healthy file back (manifest CRC verified), `scrub` repairs a
+//! scattered 5% disaster injected before each iteration. Recorded
+//! numbers live in `BENCH_archive.json`.
 
 use ae_api::{BlockRepo, RedundancyScheme};
 use ae_baselines::{ReedSolomon, Replication};
 use ae_core::Code;
 use ae_lattice::Config;
 use ae_store::{archive::Archive, MemStore, TieredStore};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
 const BLOCK: usize = 4096;
 const FILE_LEN: usize = 64 * BLOCK; // 256 KiB per archived file
+
+/// Files pre-loaded before the probe put in the fixed-size mode.
+const PROBE_PREFILL: usize = 4;
 
 fn sample_file(seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
@@ -79,6 +88,48 @@ fn bench_put(c: &mut Criterion) {
     g.finish();
 }
 
+/// A named constructor for a fresh backend instance.
+type BackendFactory = (&'static str, fn() -> Arc<dyn BlockRepo>);
+
+/// Fresh-backend factories for benches that rebuild state per iteration.
+fn backend_factories() -> Vec<BackendFactory> {
+    vec![
+        ("mem", || Arc::new(MemStore::new())),
+        ("tiered", || {
+            Arc::new(TieredStore::new(Arc::new(MemStore::new())))
+        }),
+    ]
+}
+
+/// Fixed-size probe: every iteration puts one file into an archive
+/// pre-filled to exactly `PROBE_PREFILL` files, and only the probe put is
+/// timed. Unlike `archive/put`, the measured state never grows, so these
+/// cells are directly comparable across recordings.
+fn bench_put_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive/put_probe");
+    g.throughput(Throughput::Bytes(FILE_LEN as u64));
+    for make_scheme in schemes() {
+        for (backend, make_store) in backend_factories() {
+            let name = format!("{}/{backend}", make_scheme().scheme_name());
+            let file = sample_file(7);
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter_batched(
+                    || {
+                        let mut ar = Archive::with_scheme(make_scheme(), BLOCK, make_store());
+                        for i in 0..PROBE_PREFILL {
+                            ar.put(&format!("pre{i}"), &file).expect("fresh name");
+                        }
+                        ar
+                    },
+                    |mut ar| black_box(ar.put("probe", &file).expect("fresh name")),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_get(c: &mut Criterion) {
     let mut g = c.benchmark_group("archive/get");
     g.throughput(Throughput::Bytes(FILE_LEN as u64));
@@ -125,5 +176,5 @@ fn bench_scrub(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_put, bench_get, bench_scrub);
+criterion_group!(benches, bench_put, bench_put_probe, bench_get, bench_scrub);
 criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Network-latency cost: degraded reads and disaster repair through the
+//! async block I/O subsystem (`ae-aio`), AE vs Reed-Solomon vs
+//! replication, across injected RTT × in-flight window.
+//!
+//! Each cell archives one file into a `LatencyStore`-wrapped `MemStore`
+//! on a **real-clock** runtime at zero RTT, then raises the link to the
+//! target RTT (`set_link`) and measures wall-clock for (a) a degraded
+//! `get` against persistent scattered damage and (b) a `scrub` repairing
+//! a scattered disaster injected before each iteration (injection runs
+//! in `iter_batched` setup, outside the timing). The in-flight window is
+//! driven through `AE_AIO_WINDOW`, so the same pipelined code path runs
+//! at every width; window=1 is the serial schedule. The headline story:
+//! at 10 ms RTT repair collapses from O(blocks × RTT) at window=1 to
+//! O(blocks × RTT / window) at window=8.
+//!
+//! Recorded numbers live in `BENCH_netlat.json`. Smoke knobs:
+//! `AE_BENCH_NETLAT_BLOCKS` (data blocks per file, default 16) and
+//! `AE_BENCH_NETLAT_VICTIMS` (cap on the victim list) shrink the cells
+//! for CI.
+
+use ae_aio::{BlockOn, Clock, LatencyStore, LinkSpec, Runtime, Tier};
+use ae_api::RedundancyScheme;
+use ae_blocks::BlockId;
+use ae_store::{archive::Archive, MemStore};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BLOCK: usize = 4096;
+const RTTS_MS: [u64; 3] = [0, 1, 10];
+const WINDOWS: [usize; 3] = [1, 8, 32];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn sample_file(seed: u64) -> Vec<u8> {
+    let len = env_usize("AE_BENCH_NETLAT_BLOCKS", 16) * BLOCK;
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+type SchemeFactory = fn() -> Arc<dyn RedundancyScheme>;
+
+fn schemes() -> Vec<SchemeFactory> {
+    vec![
+        || {
+            Arc::new(ae_core::Code::new(
+                ae_lattice::Config::new(3, 2, 5).unwrap(),
+                BLOCK,
+            ))
+        },
+        || Arc::new(ae_baselines::ReedSolomon::new(10, 4).unwrap()),
+        || Arc::new(ae_baselines::Replication::new(3)),
+    ]
+}
+
+type NetStore = BlockOn<LatencyStore<MemStore>>;
+
+/// One archived file behind a real-clock latency wrapper, built at zero
+/// RTT so setup costs nothing; callers raise the link before measuring.
+fn net_archive(
+    make_scheme: SchemeFactory,
+    seed: u64,
+) -> (Archive<NetStore>, Arc<NetStore>, Arc<MemStore>) {
+    let inner = Arc::new(MemStore::new());
+    let rt = Runtime::new(Clock::real());
+    let net = Arc::new(
+        LatencyStore::uniform(Arc::clone(&inner), rt, LinkSpec::rtt(Duration::ZERO), seed)
+            .into_sync(),
+    );
+    let mut ar = Archive::with_scheme(make_scheme(), BLOCK, Arc::clone(&net));
+    ar.put("f", &sample_file(seed)).expect("fresh name");
+    ar.seal().expect("flush");
+    (ar, net, inner)
+}
+
+/// Every 20th stored block — at most one shard per RS stripe, so damage
+/// stays repairable for every contender — capped by the smoke knob.
+fn scattered_victims(ar: &Archive<NetStore>) -> Vec<BlockId> {
+    let cap = env_usize("AE_BENCH_NETLAT_VICTIMS", usize::MAX);
+    ar.stored_ids()
+        .iter()
+        .copied()
+        .step_by(20)
+        .take(cap)
+        .collect()
+}
+
+/// Sweeps the RTT × window grid, pointing the link and the in-flight
+/// window at each cell before invoking the bench body.
+fn for_each_cell(net: &NetStore, scheme_name: &str, mut body: impl FnMut(BenchmarkId)) {
+    for rtt_ms in RTTS_MS {
+        net.inner()
+            .set_link(Tier::Local, LinkSpec::rtt(Duration::from_millis(rtt_ms)));
+        for window in WINDOWS {
+            std::env::set_var("AE_AIO_WINDOW", window.to_string());
+            body(BenchmarkId::from_parameter(format!(
+                "{scheme_name}/rtt{rtt_ms}ms/w{window}"
+            )));
+        }
+    }
+    std::env::remove_var("AE_AIO_WINDOW");
+}
+
+fn bench_degraded_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlat/degraded_get");
+    for make_scheme in schemes() {
+        let (ar, net, inner) = net_archive(make_scheme, 11);
+        let name = ar.scheme().scheme_name();
+        // Persistent scattered damage: degraded reads repair in-memory
+        // (never write back), so every iteration exercises repair.
+        for v in scattered_victims(&ar) {
+            inner.remove(v);
+        }
+        for_each_cell(&net, &name, |id| {
+            g.bench_function(id, |b| {
+                b.iter(|| black_box(ar.get("f").expect("degraded read succeeds")))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_disaster_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlat/disaster_scrub");
+    for make_scheme in schemes() {
+        let (mut ar, net, inner) = net_archive(make_scheme, 13);
+        let name = ar.scheme().scheme_name();
+        let victims = scattered_victims(&ar);
+        for_each_cell(&net, &name, |id| {
+            g.bench_function(id, |b| {
+                b.iter_batched(
+                    || {
+                        for v in &victims {
+                            inner.remove(*v);
+                        }
+                    },
+                    |()| {
+                        let restored = ar.scrub();
+                        assert_eq!(restored as usize, victims.len());
+                        black_box(restored)
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_degraded_get, bench_disaster_scrub);
+criterion_main!(benches);

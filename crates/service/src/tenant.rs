@@ -123,6 +123,7 @@ impl BlockSource for TenantStore {
         self.inner.read(self.global(id)).map_err(|e| match e {
             StoreError::NotFound(_) => StoreError::NotFound(id),
             StoreError::Corrupted(_) => StoreError::Corrupted(id),
+            StoreError::TimedOut(_) => StoreError::TimedOut(id),
         })
     }
 }

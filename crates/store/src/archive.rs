@@ -59,7 +59,11 @@
 use crate::meta::{
     meta_copy_id, pointer_id, CheckpointPayload, MetaConfig, MetaRecord, RecordError,
 };
-use ae_api::{AeError, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError, StoreError};
+use ae_aio::{in_flight_window, windowed_map, Replay};
+use ae_api::{
+    AeError, AsyncHandle, BlockRepo, BlockSource, Overlay, RedundancyScheme, RepairError,
+    StoreError,
+};
 use ae_blocks::{crc32, Block, BlockId, MetaId};
 use ae_core::Code;
 use ae_lattice::Config;
@@ -1368,16 +1372,75 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     /// Reads a file back, repairing missing blocks on the fly (a degraded
     /// read; repaired blocks are **not** written back — use
     /// [`Self::scrub`]), and verifying the manifest checksum.
+    ///
+    /// When the backend advertises a native async interior
+    /// ([`BlockSource::as_async`] — e.g. `ae_aio::BlockOn` around a
+    /// latency-wrapped store), the read runs **pipelined**: the file's
+    /// blocks and any repair traffic move through a bounded in-flight
+    /// window (`ae_aio::in_flight_window`) instead of paying one round
+    /// trip per block, with results and error typing byte-identical to
+    /// the serial path.
     pub fn get(&self, name: &str) -> Result<Vec<u8>, ArchiveError> {
-        let entry = self
-            .manifest
-            .get(name)
-            .ok_or_else(|| ArchiveError::UnknownFile(name.to_string()))?;
+        let store: &B = &self.store;
+        match store.as_async() {
+            Some(handle) => self.get_pipelined(handle, name),
+            None => self.get_serial(name),
+        }
+    }
+
+    fn get_serial(&self, name: &str) -> Result<Vec<u8>, ArchiveError> {
+        let entry = self.manifest_entry(name)?;
         let mut out = Vec::with_capacity(entry.byte_len);
         for k in entry.first_block..entry.first_block + entry.block_count {
             let block = self.fetch_or_repair(self.data_id(k))?;
             out.extend_from_slice(block.as_slice());
         }
+        Self::finish_read(name, entry, out)
+    }
+
+    /// The pipelined degraded read: prefetch the file's data blocks
+    /// through the window, then replay the serial read logic against the
+    /// recorded answers, resolving any repair traffic it demands through
+    /// the window too (see `ae_aio::Replay` for the byte-equivalence
+    /// argument).
+    fn get_pipelined(&self, handle: AsyncHandle<'_>, name: &str) -> Result<Vec<u8>, ArchiveError> {
+        let entry = self.manifest_entry(name)?;
+        let ids: Vec<BlockId> = (entry.first_block..entry.first_block + entry.block_count)
+            .map(|k| self.data_id(k))
+            .collect();
+        let window = in_flight_window();
+        let repo = handle.repo;
+        let mut replay = Replay::new(handle, window);
+        let reads = handle.run(Box::pin(windowed_map(ids.clone(), window, move |id| {
+            repo.read_async(id)
+        })));
+        for (&id, read) in ids.iter().zip(reads) {
+            replay.seed_read(id, read);
+        }
+        let (result, writes) = replay.run(|src| {
+            let mut out = Vec::with_capacity(entry.byte_len);
+            for &id in &ids {
+                let block = self.repair_from(src.read(id), src, id)?;
+                out.extend_from_slice(block.as_slice());
+            }
+            Ok(out)
+        });
+        debug_assert!(
+            writes.is_empty(),
+            "degraded reads never write to the backend"
+        );
+        Self::finish_read(name, entry, result?)
+    }
+
+    fn manifest_entry(&self, name: &str) -> Result<&Entry, ArchiveError> {
+        self.manifest
+            .get(name)
+            .ok_or_else(|| ArchiveError::UnknownFile(name.to_string()))
+    }
+
+    /// Shared tail of both read paths: truncate the padded tail block and
+    /// verify the manifest checksum.
+    fn finish_read(name: &str, entry: &Entry, mut out: Vec<u8>) -> Result<Vec<u8>, ArchiveError> {
         out.truncate(entry.byte_len);
         let actual = crc32(&out);
         if actual != entry.crc {
@@ -1411,7 +1474,23 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
     /// repair planners rebuild them from surviving redundancy. Returns
     /// how many blocks were restored (data, redundancy and metadata
     /// copies); clears the [`Archive::meta_damage`] report.
+    /// When the backend advertises a native async interior
+    /// ([`BlockSource::as_async`]), the scrub runs **pipelined**: the
+    /// integrity sweep, repair traffic, write-back, metadata compare and
+    /// heal all move through the bounded in-flight window, restoring the
+    /// byte-identical final backend state the serial scrub would.
     pub fn scrub(&mut self) -> u64 {
+        let store = Arc::clone(&self.store);
+        let probe: &B = &store;
+        let restored = match probe.as_async() {
+            Some(handle) => self.scrub_pipelined(handle),
+            None => self.scrub_serial(),
+        };
+        self.meta_damage.clear();
+        restored
+    }
+
+    fn scrub_serial(&self) -> u64 {
         // Quarantine corrupt scheme blocks: a block whose read fails its
         // integrity check is worse than a missing one (planners would
         // trust its bytes), so drop it and let repair re-materialize it.
@@ -1466,20 +1545,120 @@ impl<B: BlockRepo + ?Sized> Archive<B> {
                 }
             }
         }
-        self.meta_damage.clear();
+        restored
+    }
+
+    /// The pipelined scrub: same four stages as [`Self::scrub_serial`],
+    /// each moved through the bounded in-flight window — (1) one read
+    /// sweep of everything the backend should hold, quarantining corrupt
+    /// blocks; (2) round-based repair replayed against the sweep's
+    /// answers with its write log committed in deterministic order;
+    /// (3) metadata compare-and-heal; (4) stale pointer-cell clearing.
+    fn scrub_pipelined(&self, handle: AsyncHandle<'_>) -> u64 {
+        let window = in_flight_window();
+        let repo = handle.repo;
+        // Stage 1: integrity sweep + quarantine.
+        let sweep: Vec<BlockId> = self.stored_ids.clone();
+        let reads = handle.run(Box::pin(windowed_map(sweep.clone(), window, move |id| {
+            repo.read_async(id)
+        })));
+        let corrupt: Vec<BlockId> = sweep
+            .iter()
+            .zip(&reads)
+            .filter(|(_, r)| matches!(r, Err(StoreError::Corrupted(_))))
+            .map(|(&id, _)| id)
+            .collect();
+        handle.run(Box::pin(windowed_map(corrupt.clone(), window, move |id| {
+            repo.remove_async(id)
+        })));
+        // Stage 2: replayed repair. The sweep's answers describe the
+        // post-quarantine backend, so the planners see exactly what the
+        // serial path's would.
+        let mut replay = Replay::new(handle, window);
+        let corrupt_set: std::collections::HashSet<BlockId> = corrupt.into_iter().collect();
+        for (&id, read) in sweep.iter().zip(reads) {
+            if corrupt_set.contains(&id) {
+                replay.seed_absent(id);
+            } else {
+                replay.seed_read(id, read);
+            }
+        }
+        let written = self.scheme.data_written();
+        let (summary, writes) = replay.run(|src| {
+            let repo: &dyn BlockRepo = src;
+            self.scheme.repair_missing(repo, &self.stored_ids, written)
+        });
+        replay.commit(writes);
+        let mut restored = summary.total_repaired() as u64;
+        // Stage 3: metadata compare-and-heal, in the serial path's record
+        // order (journal by sequence, then pointers by slot, copies
+        // innermost).
+        let mut meta: Vec<(BlockId, Block)> = Vec::new();
+        for (&seq, block) in &self.journal {
+            for copy in 0..self.meta.copies {
+                meta.push((meta_copy_id(seq, copy), block.clone()));
+            }
+        }
+        for (&slot, block) in &self.pointers {
+            for copy in 0..self.meta.copies {
+                meta.push((pointer_id(slot, copy), block.clone()));
+            }
+        }
+        let meta_ids: Vec<BlockId> = meta.iter().map(|(id, _)| *id).collect();
+        let found = handle.run(Box::pin(windowed_map(meta_ids, window, move |id| {
+            repo.fetch_async(id)
+        })));
+        let unhealthy: Vec<(BlockId, Block)> = meta
+            .into_iter()
+            .zip(found)
+            .filter(|((_, canon), f)| f.as_ref().is_none_or(|b| b.as_slice() != canon.as_slice()))
+            .map(|(rec, _)| rec)
+            .collect();
+        restored += unhealthy.len() as u64;
+        handle.run(Box::pin(windowed_map(
+            unhealthy,
+            window,
+            move |(id, block)| repo.store_async(id, block),
+        )));
+        // Stage 4: clear pointer cells the archive does not own.
+        let mut clears: Vec<BlockId> = Vec::new();
+        for slot in 0..2u64 {
+            if !self.pointers.contains_key(&slot) {
+                for copy in 0..self.meta.copies {
+                    clears.push(pointer_id(slot, copy));
+                }
+            }
+        }
+        handle.run(Box::pin(windowed_map(clears, window, move |id| {
+            repo.remove_async(id)
+        })));
         restored
     }
 
     fn fetch_or_repair(&self, id: BlockId) -> Result<Block, ArchiveError> {
+        let store: &B = &self.store;
+        let base: &dyn BlockSource = &store;
+        self.repair_from(self.store.read(id), base, id)
+    }
+
+    /// The degraded-read core, factored over its block source so the
+    /// serial path (the backend itself) and the pipelined path (the
+    /// replay recorder) run it verbatim: take the already-probed read
+    /// result and, on failure, rebuild from redundancy reachable through
+    /// `base` with the target id masked.
+    fn repair_from(
+        &self,
+        read: Result<Block, StoreError>,
+        base: &dyn BlockSource,
+        id: BlockId,
+    ) -> Result<Block, ArchiveError> {
         // `read`, not `fetch`: a backend that verifies checksums reports
         // tampered bytes as `Corrupted`, which to a decoder means the
         // same as missing — rebuild from redundancy. Mask the id from
         // the repair source so the garbled bytes cannot leak back in.
-        if let Ok(b) = self.store.read(id) {
+        if let Ok(b) = read {
             return Ok(b);
         }
-        let store: &B = &self.store;
-        let base: &dyn BlockSource = &store;
         let masked = MaskOne { base, masked: id };
         let source: &dyn BlockSource = &masked;
         let written = self.scheme.data_written();

@@ -18,6 +18,9 @@
 //!   deterministic workload engine.
 //! * [`sim`] — the disaster-recovery simulation framework, built on one
 //!   generic scheme plane.
+//! * [`aio`] — the async block I/O subsystem: vendored executor +
+//!   virtual clock, latency-faithful network backends
+//!   ([`aio::LatencyStore`]) and pipelined bounded-in-flight repair.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 //! assert!(!err.missing_blocks().is_empty());
 //! ```
 
+pub use ae_aio as aio;
 pub use ae_api as api;
 pub use ae_baselines as baselines;
 pub use ae_blocks as blocks;

@@ -1,0 +1,279 @@
+//! Async/sync parity: every roster scheme from `Scheme::extended_lineup()`
+//! drives the generic `Archive` twice — once over a plain in-memory
+//! backend (the serial reference) and once over the same backend wrapped
+//! in `ae_aio`'s latency model (`BlockOn<LatencyStore<MemStore>>`, virtual
+//! clock, seeded jitter), where degraded reads and scrubs take the
+//! pipelined bounded-in-flight path. Every file read, every error, every
+//! scrub count and the final backend state must be **byte-identical**:
+//! pipelining changes wall-clock, never outcomes. Dead-remote tests pin
+//! the typed timeout semantics (`StoreError::TimedOut`, never a hang —
+//! the virtual-clock executor panics on a hung future, so mere completion
+//! is the no-hang proof), and a `FaultyStore` composition proves the
+//! latency wrapper stacks cleanly on fault injection.
+
+use aecodes::aio::{BlockOn, Clock, LatencyStore, LinkSpec, RetryPolicy, Runtime, Tier};
+use aecodes::api::{BlockRepo, BlockSink, BlockSource, RedundancyScheme, StoreError};
+use aecodes::blocks::BlockId;
+use aecodes::sim::Scheme;
+use aecodes::store::archive::{Archive, ArchiveError};
+use aecodes::store::{FaultyStore, MemStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BLOCK: usize = 32;
+
+/// A few files of awkward sizes (empty, sub-block, exact multiple, large)
+/// — the same roster `archive_matrix.rs` uses.
+fn files() -> Vec<(&'static str, Vec<u8>)> {
+    let content = |len: usize, seed: u64| -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    };
+    vec![
+        ("empty.flag", Vec::new()),
+        ("tiny.txt", content(11, 3)),
+        ("exact.bin", content(BLOCK * 4, 5)),
+        ("report.pdf", content(2_000, 7)),
+        ("trace.log", content(700, 9)),
+    ]
+}
+
+fn filled_archive<B: BlockRepo + ?Sized>(scheme: &Scheme, store: Arc<B>) -> Archive<B> {
+    let scheme: Arc<dyn RedundancyScheme> = Arc::from(scheme.build(BLOCK));
+    let mut ar = Archive::with_scheme(scheme, BLOCK, store);
+    for (name, contents) in files() {
+        ar.put(name, &contents).expect("fresh name");
+    }
+    ar.seal().expect("flush buffered redundancy");
+    ar
+}
+
+type NetStore<S> = BlockOn<LatencyStore<S>>;
+
+/// A latency-wrapped backend on a fresh virtual-clock runtime: 1 ms RTT
+/// with seeded jitter, so pipelined and serial schedules genuinely differ
+/// while outcomes must not.
+fn wrap<S: BlockRepo + Send + Sync + 'static>(inner: Arc<S>, seed: u64) -> Arc<NetStore<S>> {
+    let rt = Runtime::new(Clock::virtual_time());
+    let spec = LinkSpec {
+        rtt: Duration::from_millis(1),
+        jitter: Duration::from_micros(50),
+        bytes_per_sec: None,
+    };
+    Arc::new(LatencyStore::uniform(inner, rt, spec, seed).into_sync())
+}
+
+/// Byte-for-byte backend equality.
+fn assert_same_state(reference: &MemStore, network: &MemStore, ctx: &str) {
+    let mut a = reference.ids();
+    let mut b = network.ids();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "{ctx}: backends hold different id sets");
+    for id in &a {
+        assert_eq!(reference.get(*id), network.get(*id), "{ctx}: {id}");
+    }
+}
+
+/// The core matrix: erasure damage, degraded reads, scrub — every roster
+/// scheme, serial vs pipelined, byte-identical throughout.
+#[test]
+fn every_roster_scheme_reads_and_scrubs_identically_over_the_network() {
+    for s in Scheme::extended_lineup() {
+        let plain = Arc::new(MemStore::new());
+        let mut reference = filled_archive(&s, Arc::clone(&plain));
+        let inner = Arc::new(MemStore::new());
+        let net = wrap(Arc::clone(&inner), 0xA1CE);
+        let mut piped = filled_archive(&s, Arc::clone(&net));
+        let name = reference.scheme().scheme_name();
+
+        assert_eq!(reference.stored_ids(), piped.stored_ids(), "{name}");
+        assert_same_state(&plain, &inner, &format!("{name}: after seal"));
+
+        // Scattered erasures behind both archives' backs.
+        let victims: Vec<BlockId> = reference.stored_ids().iter().copied().step_by(20).collect();
+        assert!(!victims.is_empty());
+        for v in &victims {
+            assert!(plain.remove(*v), "{name}: {v}");
+            assert!(inner.remove(*v), "{name}: {v}");
+        }
+
+        // Degraded reads: identical bytes, and the pipelined path stays
+        // read-only on the backend just like the serial one.
+        for (file, contents) in files() {
+            assert_eq!(reference.get(file).expect(file), contents, "{name}");
+            assert_eq!(piped.get(file).expect(file), contents, "{name}");
+        }
+        assert!(
+            !inner.contains(victims[0]),
+            "{name}: pipelined get wrote back"
+        );
+
+        // Scrub: same restoration count, byte-identical final state.
+        let restored_ref = reference.scrub();
+        let restored_net = piped.scrub();
+        assert_eq!(restored_ref, restored_net, "{name}: scrub counts diverge");
+        assert_eq!(restored_ref as usize, victims.len(), "{name}");
+        assert_same_state(&plain, &inner, &format!("{name}: after scrub"));
+        assert_eq!(piped.scrub(), 0, "{name}: pipelined scrub is idempotent");
+        assert!(piped.verify_all().is_empty(), "{name}");
+    }
+}
+
+/// The latency wrapper composes with fault injection: corruption (the
+/// case where `fetch` and `read` answers disagree, which the replay
+/// machinery must not conflate) heals identically through the network.
+#[test]
+fn corruption_heals_identically_through_the_latency_wrapper() {
+    for s in Scheme::extended_lineup() {
+        let plain_faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
+        let mut reference = filled_archive(&s, Arc::clone(&plain_faulty));
+        let net_faulty = Arc::new(FaultyStore::new(Arc::new(MemStore::new())));
+        let net = wrap(Arc::clone(&net_faulty), 0xFA17);
+        let mut piped = filled_archive(&s, Arc::clone(&net));
+        let name = reference.scheme().scheme_name();
+
+        let victims: Vec<BlockId> = reference.stored_ids().iter().copied().step_by(20).collect();
+        plain_faulty.corrupt_all(victims.iter().copied());
+        net_faulty.corrupt_all(victims.iter().copied());
+
+        for (file, contents) in files() {
+            assert_eq!(reference.get(file).expect(file), contents, "{name}");
+            assert_eq!(piped.get(file).expect(file), contents, "{name}");
+        }
+        assert_eq!(
+            net_faulty.corrupted_len(),
+            victims.len(),
+            "{name}: degraded reads must not heal"
+        );
+
+        let restored_ref = reference.scrub();
+        let restored_net = piped.scrub();
+        assert_eq!(restored_ref, restored_net, "{name}");
+        assert_eq!(
+            net_faulty.corrupted_len(),
+            0,
+            "{name}: scrub heals corruption"
+        );
+        assert_same_state(
+            plain_faulty.inner(),
+            net_faulty.inner(),
+            &format!("{name}: after scrub"),
+        );
+        assert!(piped.verify_all().is_empty(), "{name}");
+    }
+}
+
+/// A dead remote degrades to typed errors — `StoreError::TimedOut` on the
+/// store surface, `BlockUnavailable` on the archive surface — and never
+/// hangs: the virtual-clock executor panics on a deadlocked future, so
+/// completion of every call below *is* the no-hang proof. Reviving the
+/// link restores full service.
+#[test]
+fn dead_remote_degrades_to_typed_errors_and_revival_restores_service() {
+    let inner = Arc::new(MemStore::new());
+    let rt = Runtime::new(Clock::virtual_time());
+    let net = Arc::new(
+        LatencyStore::uniform(
+            Arc::clone(&inner),
+            rt,
+            LinkSpec::rtt(Duration::from_millis(1)),
+            7,
+        )
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            timeout: Duration::from_millis(5),
+            backoff: Duration::from_millis(2),
+            multiplier: 2,
+        })
+        .into_sync(),
+    );
+    let lineup = Scheme::extended_lineup();
+    let ar = filled_archive(&lineup[0], Arc::clone(&net));
+
+    net.inner().set_dead(Tier::Local, true);
+    // Store surface: typed, exhaustive, no hang.
+    let probe = *ar.stored_ids().first().expect("archive wrote blocks");
+    assert_eq!(net.read(probe), Err(StoreError::TimedOut(probe)));
+    assert_eq!(net.fetch(probe), None);
+    assert!(!net.has(probe));
+    // Archive surface: the pipelined degraded read completes with the
+    // typed unavailability error, never a hang.
+    match ar.get("exact.bin") {
+        Err(ArchiveError::BlockUnavailable { .. }) => {}
+        other => panic!("expected BlockUnavailable from a dead remote, got {other:?}"),
+    }
+
+    net.inner().set_dead(Tier::Local, false);
+    for (file, contents) in files() {
+        assert_eq!(ar.get(file).expect(file), contents, "revived remote serves");
+    }
+}
+
+fn any_roster_index() -> impl Strategy<Value = usize> {
+    0..Scheme::extended_lineup().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary random damage — including damage heavy enough that
+    /// reads fail — the pipelined path returns **exactly** the serial
+    /// path's result for every file: same bytes on success, same typed
+    /// error (same missing tuple members) on failure, same scrub count,
+    /// same final backend bytes.
+    #[test]
+    fn pipelined_and_serial_paths_agree_under_random_damage(
+        pick in any_roster_index(),
+        damage_seed: u64,
+        damage_pct in 5u64..45,
+    ) {
+        let roster = Scheme::extended_lineup();
+        let plain = Arc::new(MemStore::new());
+        let mut reference = filled_archive(&roster[pick], Arc::clone(&plain));
+        let inner = Arc::new(MemStore::new());
+        let net = wrap(Arc::clone(&inner), damage_seed ^ 0xA1CE);
+        let mut piped = filled_archive(&roster[pick], Arc::clone(&net));
+        let name = reference.scheme().scheme_name();
+
+        // Identical pseudo-random damage on both backends.
+        let mut state = damage_seed | 1;
+        for id in reference.stored_ids() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 33) % 100 < damage_pct {
+                plain.remove(*id);
+                inner.remove(*id);
+            }
+        }
+
+        for (file, contents) in files() {
+            let serial = reference.get(file);
+            let pipelined = piped.get(file);
+            prop_assert_eq!(&serial, &pipelined, "{}: {}", name, file);
+            if let Ok(bytes) = serial {
+                prop_assert_eq!(bytes, contents, "{}: {}", name, file);
+            }
+        }
+
+        prop_assert_eq!(reference.scrub(), piped.scrub(), "{}", name);
+        let mut a = plain.ids();
+        let mut b = inner.ids();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(&a, &b, "{}: id sets", name);
+        for id in &a {
+            prop_assert_eq!(plain.get(*id), inner.get(*id), "{}: {}", name, id);
+        }
+        prop_assert_eq!(reference.verify_all(), piped.verify_all(), "{}", name);
+    }
+}

@@ -156,14 +156,17 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `f`: warm-up, then a measurement window.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let quick = std::env::var("CRITERION_QUICK").is_ok();
-        let (warmup, measure) = if quick {
+    fn windows() -> (Duration, Duration) {
+        if std::env::var("CRITERION_QUICK").is_ok() {
             (Duration::from_millis(5), Duration::from_millis(20))
         } else {
             (Duration::from_millis(100), Duration::from_millis(400))
-        };
+        }
+    }
+
+    /// Times `f`: warm-up, then a measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let (warmup, measure) = Self::windows();
         // Warm-up: also estimates per-iteration cost.
         let start = Instant::now();
         let mut warm_iters = 0u64;
@@ -184,6 +187,56 @@ impl Bencher {
         self.total = start.elapsed();
         self.iters = iters;
     }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement — for routines that consume or mutate
+    /// their input (a fresh archive to damage, a buffer to drain).
+    ///
+    /// The vendored harness runs setup before every routine call
+    /// regardless of `size` (batching only changes amortization in real
+    /// criterion; correctness-wise per-iteration setup is the strictest
+    /// interpretation), timing only the routine body.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let (warmup, measure) = Self::windows();
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters > 1_000_000_000 {
+                break;
+            }
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let window = Instant::now();
+        while window.elapsed() < measure || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.total = timed;
+        self.iters = iters;
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the vendored harness always sets up per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: batch many per setup in real criterion.
+    SmallInput,
+    /// Large inputs: one per setup.
+    LargeInput,
+    /// Inputs of each batch fit in memory exactly once.
+    PerIteration,
 }
 
 /// Declares a group of benchmark functions.
