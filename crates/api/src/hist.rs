@@ -1,0 +1,209 @@
+//! A log-scaled histogram over unit-less `u64` samples.
+//!
+//! One bucket scheme serves every distribution the workspace summarizes:
+//! the serving layer's latency accounting (`ae_service::LatencyHistogram`
+//! wraps this type with `Duration` conversions) and the sweep harness's
+//! per-cell repair-cost distributions. 64 power-of-two decades × 4
+//! sub-buckets give ≤ 25% worst-case relative bucket width in constant
+//! memory; recording is O(1) and histograms merge by bucket-wise addition,
+//! so shards and sweep cells can be folded together losslessly.
+
+/// Sub-buckets per power-of-two decade: index = (exponent << 2) | top two
+/// mantissa bits, giving ≤ 2^-2 relative bucket width.
+const SUBS: usize = 4;
+const BUCKETS: usize = 64 * SUBS;
+
+/// A log-scaled histogram over `u64` values.
+///
+/// Recording is O(1); quantile extraction returns the lower bound of the
+/// bucket holding the requested rank, so reported quantiles are
+/// conservative (never above the true value by more than one bucket
+/// width). Values below the sub-bucket count (4) get exact unit buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v < SUBS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (exp - 2)) & 0b11) as usize;
+        (exp << 2) | sub
+    }
+
+    /// Lower bound of bucket `i` — what quantiles report.
+    fn bucket_floor(i: usize) -> u64 {
+        if i < SUBS {
+            return i as u64;
+        }
+        let exp = i >> 2;
+        let sub = (i & 0b11) as u64;
+        (1u64 << exp) | (sub << (exp - 2))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value in O(1) — how callers with
+    /// pre-aggregated counts (a repair round that fixed `n` blocks at the
+    /// same per-block cost) feed the histogram without a loop.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket(value)] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean value, `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some((self.sum / self.total as u128) as u64)
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of recorded samples at or below `limit` (bucket-granular:
+    /// the bucket containing `limit` counts in full).
+    pub fn count_at_most(&self, limit: u64) -> u64 {
+        self.counts[..=Self::bucket(limit)].iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), `None` when empty. `0.5` is p50,
+    /// `0.99` is p99.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_conservative() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max());
+        // Conservative: the p50 bucket floor sits within one bucket (≤25%)
+        // of the true median of 500_000.
+        assert!((375_000..=500_000).contains(&p50));
+        assert!(h.mean().unwrap() > 400_000);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..100u64 {
+            let v = i * i + 1;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_matches_a_loop() {
+        let mut bulk = LogHistogram::new();
+        bulk.record_n(37, 5);
+        bulk.record_n(37, 0); // no-op
+        let mut looped = LogHistogram::new();
+        for _ in 0..5 {
+            looped.record(37);
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.sum(), 5 * 37);
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn tiny_values_use_exact_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(3);
+        assert_eq!(h.quantile(0.01).unwrap(), 0);
+        assert_eq!(h.quantile(1.0).unwrap(), 3);
+        assert_eq!(h.count_at_most(0), 1);
+        assert_eq!(h.count_at_most(3), 2);
+    }
+}

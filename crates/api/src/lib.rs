@@ -49,6 +49,7 @@
 pub mod aio;
 pub mod error;
 pub mod frontier;
+pub mod hist;
 pub mod io;
 pub mod par;
 pub mod placement;
@@ -59,7 +60,8 @@ pub use aio::{
 };
 pub use error::{AeError, RepairError, StoreError};
 pub use frontier::{SnapshotReader, SnapshotWriter};
+pub use hist::LogHistogram;
 pub use io::{BlockMap, BlockRepo, BlockSink, BlockSource, Overlay};
 pub use par::repair_threads;
-pub use placement::Placement;
+pub use placement::{mix64, Placement};
 pub use scheme::{EncodeReport, RedundancyScheme, RepairCost, RepairSummary, RoundStats};

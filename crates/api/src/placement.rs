@@ -59,14 +59,22 @@ impl Placement {
     pub fn place_key(&self, key: u64, n: u32) -> u32 {
         assert!(n > 0, "placement needs at least one location");
         match self {
-            Placement::Random { seed } => (mix(key, *seed) % n as u64) as u32,
+            Placement::Random { seed } => (mix64(key, *seed) % n as u64) as u32,
             Placement::RoundRobin => (key % n as u64) as u32,
         }
     }
 }
 
-/// SplitMix64 finalizer: a well-distributed 64-bit mix.
-fn mix(x: u64, seed: u64) -> u64 {
+/// SplitMix64 finalizer: a well-distributed 64-bit mix of `x` under
+/// `seed`.
+///
+/// This is the workspace's canonical seeded hash — random placement keys
+/// through it, and the simulation layer's seeded failure models (bit-rot
+/// sampling, placement-group shuffles, per-epoch churn seeds) derive
+/// their streams from it, so a `(seed, config)` pair names one exact
+/// outcome everywhere with no external RNG crate in the contract.
+#[inline]
+pub fn mix64(x: u64, seed: u64) -> u64 {
     let mut z = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -82,6 +82,11 @@ pub struct RoundStats {
     pub repaired: usize,
     /// Of which data blocks.
     pub data_repaired: usize,
+    /// Blocks read to execute this round's repairs
+    /// ([`RedundancyScheme::repair_traffic`] over the round's commit set) —
+    /// per-round traffic, so callers can report repair-cost distributions
+    /// instead of a bare total.
+    pub blocks_read: u64,
 }
 
 /// Outcome of a round-based [`RedundancyScheme::repair_missing`].
@@ -302,11 +307,13 @@ pub trait RedundancyScheme: Send + Sync {
             if planned.is_empty() {
                 break; // fixpoint: a dead pattern remains
             }
-            blocks_read +=
+            let round_reads =
                 self.repair_traffic(&planned.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+            blocks_read += round_reads;
             let stats = RoundStats {
                 repaired: planned.len(),
                 data_repaired: planned.iter().filter(|(id, _)| id.is_data()).count(),
+                blocks_read: round_reads,
             };
             // ...then commit them together, making them visible next round.
             for (id, block) in planned {
@@ -594,10 +601,12 @@ fn repair_missing_worklist<S: RedundancyScheme + ?Sized>(
             break; // fixpoint: a dead pattern remains
         }
         let planned_ids: Vec<BlockId> = planned.iter().map(|&(i, _)| missing[i as usize]).collect();
-        blocks_read += scheme.repair_traffic(&planned_ids);
+        let round_reads = scheme.repair_traffic(&planned_ids);
+        blocks_read += round_reads;
         let stats = RoundStats {
             repaired: planned.len(),
             data_repaired: planned_ids.iter().filter(|id| id.is_data()).count(),
+            blocks_read: round_reads,
         };
         // Commit together in plan order, making the repairs visible next
         // round and re-arming their waiters.

@@ -307,6 +307,7 @@ impl RedundancyScheme for ReedSolomon {
             vec![RoundStats {
                 repaired,
                 data_repaired,
+                blocks_read,
             }]
         } else {
             Vec::new()

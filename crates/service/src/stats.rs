@@ -5,8 +5,12 @@
 //! sub-buckets — ~19% worst-case relative error on a percentile, constant
 //! memory, lock-free to merge); [`ServiceReport`] aggregates the per-shard
 //! histograms, completion counts, queue-depth highwaters and saturation
-//! rejections for one [`crate::ArchiveService::run`].
+//! rejections for one [`crate::ArchiveService::run`]. The bucket engine
+//! itself is [`ae_api::LogHistogram`] — shared with the sweep harness's
+//! repair-cost distributions — and this module only adds the
+//! nanosecond/`Duration` framing.
 
+use ae_api::LogHistogram;
 use std::fmt;
 use std::time::Duration;
 
@@ -54,124 +58,71 @@ impl fmt::Display for OpKind {
     }
 }
 
-/// Sub-buckets per power-of-two decade: index = (exponent << 2) | top two
-/// mantissa bits, giving ≤ 2^-2 relative bucket width.
-const SUBS: usize = 4;
-const BUCKETS: usize = 64 * SUBS;
-
-/// A log-scaled latency histogram over nanoseconds.
+/// A log-scaled latency histogram over nanoseconds: the shared
+/// [`LogHistogram`] bucket engine with `Duration` framing.
 ///
 /// Recording is O(1); percentile extraction returns the lower bound of the
 /// bucket holding the requested rank, so reported percentiles are
 /// conservative (never above the true value by more than one bucket
 /// width).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: LogHistogram,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            sum_ns: 0,
-            max_ns: 0,
+            inner: LogHistogram::new(),
         }
     }
 
-    fn bucket(ns: u64) -> usize {
-        if ns < SUBS as u64 {
-            return ns as usize;
-        }
-        let exp = 63 - ns.leading_zeros() as usize;
-        let sub = ((ns >> (exp - 2)) & 0b11) as usize;
-        (exp << 2) | sub
-    }
-
-    /// Lower bound in ns of bucket `i` — what percentiles report.
-    fn bucket_floor(i: usize) -> u64 {
-        if i < SUBS {
-            return i as u64;
-        }
-        let exp = i >> 2;
-        let sub = (i & 0b11) as u64;
-        (1u64 << exp) | (sub << (exp - 2))
+    fn ns(latency: Duration) -> u64 {
+        latency.as_nanos().min(u64::MAX as u128) as u64
     }
 
     /// Records one latency.
     pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.counts[Self::bucket(ns)] += 1;
-        self.total += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
+        self.inner.record(Self::ns(latency));
     }
 
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
+        self.inner.merge(&other.inner);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Mean latency, `None` when empty.
     pub fn mean(&self) -> Option<Duration> {
-        if self.total == 0 {
+        if self.inner.count() == 0 {
             return None;
         }
         Some(Duration::from_nanos(
-            (self.sum_ns / self.total as u128) as u64,
+            (self.inner.sum() / self.inner.count() as u128) as u64,
         ))
     }
 
     /// Largest recorded latency.
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns)
+        Duration::from_nanos(self.inner.max())
     }
 
     /// Number of recorded samples at or below `limit` (bucket-granular:
     /// the bucket containing `limit` counts in full). The service bench
     /// computes SLO-bounded goodput from this.
     pub fn count_at_most(&self, limit: Duration) -> u64 {
-        let ns = limit.as_nanos().min(u64::MAX as u128) as u64;
-        self.counts[..=Self::bucket(ns)].iter().sum()
+        self.inner.count_at_most(Self::ns(limit))
     }
 
     /// The `q`-quantile (`0.0..=1.0`), `None` when empty. `0.5` is p50,
     /// `0.99` is p99.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Duration::from_nanos(Self::bucket_floor(i)));
-            }
-        }
-        Some(self.max())
+        self.inner.quantile(q).map(Duration::from_nanos)
     }
 }
 

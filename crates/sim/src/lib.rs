@@ -46,5 +46,8 @@ pub use ae_plane::AeSimulation;
 pub use bitset::BitSet;
 pub use repl_plane::ReplicationSimulation;
 pub use rs_plane::RsSimulation;
-pub use scheme_plane::{IndexMode, SchemePlane, SimPlacement};
+pub use scheme_plane::{
+    failed_location_groups, failed_locations, upgrade_wave, FullRepairOutcome, IndexMode,
+    MinimalRepairOutcome, RoundStats, SchemePlane, SimPlacement,
+};
 pub use schemes::Scheme;

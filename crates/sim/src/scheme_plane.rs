@@ -84,6 +84,18 @@ pub struct RoundStats {
     pub data: u64,
     /// Redundancy blocks repaired this round.
     pub parity: u64,
+    /// Blocks read to execute this round's repairs (the scheme's
+    /// [`ae_api::RedundancyScheme::repair_traffic`] over the round's
+    /// commit set) — per-round traffic, so sweeps can report repair-cost
+    /// distributions instead of a bare total.
+    pub reads: u64,
+}
+
+impl RoundStats {
+    /// Blocks written this round (every repair writes its block back).
+    pub fn writes(&self) -> u64 {
+        self.data + self.parity
+    }
 }
 
 /// Outcome of a full round-based repair.
@@ -112,6 +124,12 @@ impl FullRepairOutcome {
     /// Total blocks read during the repair.
     pub fn blocks_read(&self) -> u64 {
         self.traffic
+    }
+
+    /// Total blocks written during the repair (data + redundancy
+    /// repaired — every successful repair writes one block back).
+    pub fn blocks_written(&self) -> u64 {
+        self.rounds.iter().map(|r| r.writes()).sum()
     }
 
     /// Total data blocks repaired.
@@ -340,6 +358,28 @@ impl SchemePlane {
         self.data_blocks
     }
 
+    /// Failure-domain locations blocks are placed on.
+    pub fn locations(&self) -> u32 {
+        self.locations
+    }
+
+    /// Currently missing blocks as `(data, redundancy)` counts — the
+    /// irrecoverable remainder after repairs have run to fixpoint. Sweep
+    /// harnesses use this to close the conservation law
+    /// `failed = repaired + still missing` across multi-event scenarios.
+    pub fn missing_counts(&self) -> (u64, u64) {
+        let mut data = 0;
+        let mut parity = 0;
+        for k in self.avail.iter_zeros() {
+            if self.id_at(k as u32).is_data() {
+                data += 1;
+            } else {
+                parity += 1;
+            }
+        }
+        (data, parity)
+    }
+
     /// Total stored blocks (the placement universe).
     pub fn total_blocks(&self) -> u64 {
         u64::from(self.universe_len)
@@ -361,6 +401,25 @@ impl SchemePlane {
     /// Returns `(missing data, missing redundancy)` counts.
     pub fn inject_disaster(&mut self, fraction: f64, disaster_seed: u64) -> (u64, u64) {
         let failed = failed_locations(self.locations, fraction, disaster_seed);
+        self.fail_locations(&failed)
+    }
+
+    /// Fails exactly the locations marked in `failed` (one flag per
+    /// location), marking every *currently available* block stored there
+    /// unavailable — the generic hook behind every location-grained
+    /// failure model (i.i.d. disasters, correlated rack/region knockouts,
+    /// rolling-upgrade waves). Returns `(newly missing data, newly missing
+    /// redundancy)` counts; blocks already missing are not re-counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `failed.len()` differs from the plane's location count.
+    pub fn fail_locations(&mut self, failed: &[bool]) -> (u64, u64) {
+        assert_eq!(
+            failed.len(),
+            self.locations as usize,
+            "one failure flag per location"
+        );
         let mut missing_data = 0;
         let mut missing_redundancy = 0;
         for k in 0..self.universe_len {
@@ -374,6 +433,55 @@ impl SchemePlane {
             }
         }
         (missing_data, missing_redundancy)
+    }
+
+    /// Correlated rack/region knockout: partitions the locations into
+    /// `groups` contiguous placement groups and fails `floor(fraction ·
+    /// groups)` whole groups, chosen uniformly by `seed` (SplitMix64
+    /// shuffle). Every block on a failed group's locations goes missing
+    /// together — the correlated failure mode a per-location i.i.d. model
+    /// cannot express. Returns `(newly missing data, newly missing
+    /// redundancy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `groups` is zero, exceeds the location count, or
+    /// `fraction` is outside `[0, 1]`.
+    pub fn inject_group_disaster(&mut self, groups: u32, fraction: f64, seed: u64) -> (u64, u64) {
+        let failed = failed_location_groups(self.locations, groups, fraction, seed);
+        self.fail_locations(&failed)
+    }
+
+    /// Silent bit rot through the tamper plane: each *currently available*
+    /// block independently rots with probability `fraction`, keyed by
+    /// `mix64(position, seed)` — per-block corruption that no
+    /// location-grained disaster can model (a rotten block's neighbours on
+    /// the same drive are fine). A rotten block is unusable for repairs
+    /// exactly like a lost one: scrubbing detects the bad checksum and
+    /// discards it. Returns `(newly rotten data, newly rotten
+    /// redundancy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]`.
+    pub fn inject_bit_rot(&mut self, fraction: f64, seed: u64) -> (u64, u64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        // P(rot) = fraction via a 64-bit threshold test on the per-position
+        // SplitMix64 stream: deterministic, order-independent, O(1) state.
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut rotten_data = 0;
+        let mut rotten_redundancy = 0;
+        for k in 0..self.universe_len {
+            if self.avail.get(k as usize) && ae_api::mix64(u64::from(k), seed) < threshold {
+                self.avail.set(k as usize, false);
+                if self.id_at(k).is_data() {
+                    rotten_data += 1;
+                } else {
+                    rotten_redundancy += 1;
+                }
+            }
+        }
+        (rotten_data, rotten_redundancy)
     }
 
     /// Whether `id` is available in the current state (the oracle handed
@@ -422,8 +530,37 @@ impl SchemePlane {
     /// Round-based repair of everything until fixpoint (§V.C.4). Each
     /// round plans against the round-start snapshot — in parallel — so it
     /// models one wave of distributed repairs; commits are sequential and
-    /// deterministic.
+    /// deterministic. Equivalent to
+    /// [`SchemePlane::repair_rounds`]`(None, None)`.
     pub fn repair_full(&mut self) -> FullRepairOutcome {
+        self.repair_rounds(None, None)
+    }
+
+    /// [`SchemePlane::repair_full`] with operational limits, for churn
+    /// and rolling-upgrade models:
+    ///
+    /// * `bandwidth_cap` — at most this many repairs commit per round
+    ///   (cluster repair bandwidth). The planned set is truncated in
+    ///   deterministic plan order, so capped runs stay bit-identical
+    ///   across thread counts. Must be positive when given.
+    /// * `max_rounds` — stop after this many rounds even short of
+    ///   fixpoint (the time budget between failure events).
+    ///
+    /// With both `None` this runs to fixpoint and is exactly
+    /// [`SchemePlane::repair_full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bandwidth_cap` is `Some(0)` — a zero-bandwidth round
+    /// can never make progress.
+    pub fn repair_rounds(
+        &mut self,
+        bandwidth_cap: Option<u64>,
+        max_rounds: Option<usize>,
+    ) -> FullRepairOutcome {
+        if let Some(cap) = bandwidth_cap {
+            assert!(cap > 0, "bandwidth cap must be positive");
+        }
         let mut missing = self.missing_indices(false);
         // Judge single failures against the disaster state, before any
         // repair lands (Fig 13's denominator is all repaired data blocks).
@@ -445,13 +582,19 @@ impl SchemePlane {
         let mut rounds = Vec::new();
         let mut traffic = 0;
         let mut repaired_singles = 0;
-        loop {
-            let fix = self.plan_repairable(&missing);
+        while max_rounds.is_none_or(|m| rounds.len() < m) {
+            let mut fix = self.plan_repairable(&missing);
             if fix.is_empty() {
                 break;
             }
+            if let Some(cap) = bandwidth_cap {
+                // Deterministic plan order, so the capped prefix is the
+                // same regardless of how planning was chunked.
+                fix.truncate(cap.min(fix.len() as u64) as usize);
+            }
             let fixed_ids: Vec<BlockId> = fix.iter().map(|&k| self.id_at(k)).collect();
-            traffic += self.scheme.repair_traffic(&fixed_ids);
+            let round_reads = self.scheme.repair_traffic(&fixed_ids);
+            traffic += round_reads;
             let data = fixed_ids.iter().filter(|id| id.is_data()).count() as u64;
             if rounds.is_empty() {
                 repaired_singles = fix
@@ -465,6 +608,7 @@ impl SchemePlane {
             rounds.push(RoundStats {
                 data,
                 parity: fixed_ids.len() as u64 - data,
+                reads: round_reads,
             });
             missing.retain(|&k| !self.avail.get(k as usize));
         }
@@ -552,6 +696,69 @@ pub fn failed_locations(locations: u32, fraction: f64, seed: u64) -> Vec<bool> {
     let mut failed = vec![false; locations as usize];
     for &l in ids.iter().take(count) {
         failed[l as usize] = true;
+    }
+    failed
+}
+
+/// Chooses `floor(fraction · groups)` failed *placement groups*
+/// deterministically from the seed: the locations are partitioned into
+/// `groups` contiguous ranges (racks / regions), whole groups fail
+/// together. Pure SplitMix64 ([`ae_api::mix64`]) partial Fisher–Yates, so
+/// the same `(locations, groups, fraction, seed)` names the same mask on
+/// every platform. Shared by all schemes so a correlated disaster hits the
+/// same groups everywhere.
+///
+/// # Panics
+///
+/// Panics when `groups` is zero or exceeds `locations`, or when `fraction`
+/// is outside `[0, 1]`.
+pub fn failed_location_groups(locations: u32, groups: u32, fraction: f64, seed: u64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    assert!(
+        groups > 0 && groups <= locations,
+        "need 1..=locations placement groups"
+    );
+    let count = (groups as f64 * fraction).floor() as usize;
+    let mut ids: Vec<u32> = (0..groups).collect();
+    // Partial Fisher–Yates over the group ids, one mix64 draw per slot.
+    for k in 0..count.min(groups as usize) {
+        let span = groups as usize - k;
+        let pick = k + (ae_api::mix64(k as u64, seed) % span as u64) as usize;
+        ids.swap(k, pick);
+    }
+    let mut failed = vec![false; locations as usize];
+    for &g in ids.iter().take(count) {
+        // Contiguous group g covers locations [g·L/G, (g+1)·L/G).
+        let lo = (g as u64 * locations as u64 / groups as u64) as usize;
+        let hi = ((g as u64 + 1) * locations as u64 / groups as u64) as usize;
+        for flag in &mut failed[lo..hi] {
+            *flag = true;
+        }
+    }
+    failed
+}
+
+/// The location mask for wave `wave` of a rolling upgrade split into
+/// `waves` contiguous waves: wave `w` covers locations
+/// `[w·L/waves, (w+1)·L/waves)`. The sweep harness reimages one wave at a
+/// time (fail the wave's locations, repair, move on), modeling an
+/// operator-driven fleet upgrade rather than a random disaster.
+///
+/// # Panics
+///
+/// Panics when `waves` is zero or exceeds `locations`, or `wave` is not
+/// below `waves`.
+pub fn upgrade_wave(locations: u32, waves: u32, wave: u32) -> Vec<bool> {
+    assert!(
+        waves > 0 && waves <= locations,
+        "need 1..=locations upgrade waves"
+    );
+    assert!(wave < waves, "wave index out of range");
+    let lo = (wave as u64 * locations as u64 / waves as u64) as usize;
+    let hi = ((wave as u64 + 1) * locations as u64 / waves as u64) as usize;
+    let mut failed = vec![false; locations as usize];
+    for flag in &mut failed[lo..hi] {
+        *flag = true;
     }
     failed
 }
@@ -735,6 +942,134 @@ mod tests {
         }
         .build(0);
         assert_eq!(open_scheme.repair_cost().extremity_exposed, 2);
+    }
+
+    #[test]
+    fn capped_rounds_converge_to_the_same_fixpoint() {
+        let run = |cap| {
+            let code = ae(Config::new(3, 2, 5).unwrap());
+            let mut p = SchemePlane::new(
+                Box::new(code),
+                10_000,
+                100,
+                SimPlacement::Random { seed: 5 },
+            );
+            p.inject_disaster(0.3, 9);
+            p.repair_rounds(cap, None)
+        };
+        let free = run(None);
+        let capped = run(Some(500));
+        // Same repairs land, just spread over more, smaller rounds.
+        assert_eq!(capped.data_lost, free.data_lost);
+        assert_eq!(capped.data_repaired(), free.data_repaired());
+        assert_eq!(capped.blocks_written(), free.blocks_written());
+        assert!(capped.round_count() > free.round_count());
+        assert!(capped.rounds.iter().all(|r| r.writes() <= 500));
+        // Uncapped equals the plain entry point exactly.
+        assert_eq!(free, {
+            let code = ae(Config::new(3, 2, 5).unwrap());
+            let mut p = SchemePlane::new(
+                Box::new(code),
+                10_000,
+                100,
+                SimPlacement::Random { seed: 5 },
+            );
+            p.inject_disaster(0.3, 9);
+            p.repair_full()
+        });
+    }
+
+    #[test]
+    fn max_rounds_truncates_and_missing_counts_close_the_books() {
+        let code = ae(Config::new(3, 2, 5).unwrap());
+        let mut p = SchemePlane::new(
+            Box::new(code),
+            10_000,
+            100,
+            SimPlacement::Random { seed: 5 },
+        );
+        let (fd, fp) = p.inject_disaster(0.3, 9);
+        let out = p.repair_rounds(Some(200), Some(3));
+        assert_eq!(out.round_count(), 3);
+        // Conservation: failed = repaired + still missing, even mid-flight.
+        let (md, mp) = p.missing_counts();
+        let repaired: u64 = out.rounds.iter().map(|r| r.writes()).sum();
+        assert_eq!(fd + fp, repaired + md + mp);
+        // Per-round reads sum to the outcome's traffic total.
+        assert_eq!(out.traffic, out.rounds.iter().map(|r| r.reads).sum::<u64>());
+        assert!(out.rounds.iter().all(|r| r.reads >= r.writes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth cap")]
+    fn zero_bandwidth_cap_rejected() {
+        let code = ae(Config::new(2, 2, 5).unwrap());
+        let mut p = SchemePlane::new(Box::new(code), 100, 10, SimPlacement::RoundRobin);
+        p.repair_rounds(Some(0), None);
+    }
+
+    #[test]
+    fn group_disaster_fails_whole_contiguous_groups() {
+        let mask = failed_location_groups(100, 10, 0.3, 7);
+        assert_eq!(mask.iter().filter(|&&x| x).count(), 30, "3 groups of 10");
+        assert_eq!(mask, failed_location_groups(100, 10, 0.3, 7));
+        // Each failed group is a contiguous run of 10.
+        for g in 0..10 {
+            let group = &mask[g * 10..(g + 1) * 10];
+            assert!(
+                group.iter().all(|&x| x) || group.iter().all(|&x| !x),
+                "group {g} split"
+            );
+        }
+        assert_ne!(
+            failed_location_groups(100, 10, 0.3, 7),
+            failed_location_groups(100, 10, 0.3, 8),
+            "seed matters"
+        );
+        // Correlated knockout through the plane: a group hit fails every
+        // block on its locations, and fail_locations only counts each
+        // block once across overlapping events.
+        let code = ae(Config::new(2, 2, 5).unwrap());
+        let mut p = SchemePlane::new(Box::new(code), 5_000, 100, SimPlacement::Random { seed: 1 });
+        let (d1, p1) = p.inject_group_disaster(10, 0.3, 7);
+        assert!(d1 > 0 && p1 > 0);
+        let again = p.inject_group_disaster(10, 0.3, 7);
+        assert_eq!(again, (0, 0), "same groups already failed");
+    }
+
+    #[test]
+    fn upgrade_waves_tile_the_locations_exactly_once() {
+        let mut seen = vec![0u32; 103];
+        for w in 0..7 {
+            for (l, &hit) in upgrade_wave(103, 7, w).iter().enumerate() {
+                seen[l] += hit as u32;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "waves partition locations");
+    }
+
+    #[test]
+    fn bit_rot_is_per_block_and_deterministic() {
+        let run = || {
+            let code = ae(Config::new(3, 2, 5).unwrap());
+            let mut p = SchemePlane::new(
+                Box::new(code),
+                20_000,
+                100,
+                SimPlacement::Random { seed: 2 },
+            );
+            let rotten = p.inject_bit_rot(0.05, 11);
+            let out = p.repair_full();
+            (rotten, out.data_lost, out.data_repaired())
+        };
+        let (rotten, lost, repaired) = run();
+        assert_eq!(run(), (rotten, lost, repaired));
+        let total = rotten.0 + rotten.1;
+        // ~5% of 80k stored blocks, binomial-concentrated.
+        assert!((3_500..4_500).contains(&total), "rotted {total}");
+        // Scattered single-block rot is the easy case: everything repairs.
+        assert_eq!(lost, 0);
+        assert_eq!(repaired, rotten.0);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Human-readable summary: per-scheme frontier lines over the whole grid.
+//!
+//! The *frontier* view answers the paper's central trade-off question —
+//! how much durability does each point of storage overhead buy — by
+//! collapsing every cell of a scheme into its worst case across failure
+//! models and seeds: worst data-loss share, repair read amplification,
+//! deepest round count. Schemes keep roster order, so the report reads as
+//! Table IV extended with the sweep's failure models.
+
+use crate::run::{CellResult, SweepResult};
+use std::fmt::Write as _;
+
+/// One scheme's row on the storage/durability frontier: its cells
+/// collapsed to worst-case durability and aggregate repair cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeFrontier {
+    /// Roster label.
+    pub scheme: String,
+    /// Additional storage as a percent of the data.
+    pub storage_overhead_pct: f64,
+    /// Worst data-loss share across all cells, in percent of data blocks.
+    pub worst_loss_pct: f64,
+    /// Label of the failure model that produced the worst loss.
+    pub worst_failure: String,
+    /// Total blocks repaired across all cells.
+    pub repaired: u64,
+    /// Reads per repaired block, aggregated over all cells.
+    pub reads_per_repair: f64,
+    /// Deepest round count any single cell needed.
+    pub max_rounds: u64,
+}
+
+impl SchemeFrontier {
+    fn from_cells(cells: &[&CellResult]) -> SchemeFrontier {
+        let first = cells.first().expect("at least one cell per scheme");
+        let worst = cells
+            .iter()
+            .max_by(|a, b| {
+                (a.lost_data, &a.failure, a.seed).cmp(&(b.lost_data, &b.failure, b.seed))
+            })
+            .expect("at least one cell per scheme");
+        let repaired: u64 = cells.iter().map(|c| c.repaired).sum();
+        let read: u64 = cells.iter().map(|c| c.blocks_read).sum();
+        SchemeFrontier {
+            scheme: first.scheme.clone(),
+            storage_overhead_pct: first.storage_overhead_pct,
+            worst_loss_pct: worst.lost_data as f64 / worst.data_blocks as f64 * 100.0,
+            worst_failure: worst.failure.clone(),
+            repaired,
+            reads_per_repair: if repaired == 0 {
+                0.0
+            } else {
+                read as f64 / repaired as f64
+            },
+            max_rounds: cells.iter().map(|c| c.rounds).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Collapses a sweep into per-scheme frontier rows, in roster order.
+pub fn scheme_frontiers(result: &SweepResult) -> Vec<SchemeFrontier> {
+    result
+        .config
+        .schemes
+        .iter()
+        .map(|scheme| {
+            let name = scheme.name();
+            let cells: Vec<&CellResult> =
+                result.cells.iter().filter(|c| c.scheme == name).collect();
+            SchemeFrontier::from_cells(&cells)
+        })
+        .collect()
+}
+
+/// The human-readable sweep report: grid shape, per-failure-model scheme
+/// tables, then one frontier line per scheme. Deterministic text — CI
+/// uploads it next to the CSV.
+pub fn frontier_report(result: &SweepResult) -> String {
+    let cfg = &result.config;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "reliability-frontier sweep: {} schemes x {} failure models x {} seeds \
+         ({} cells, {} data blocks, {} locations, placement seed {})",
+        cfg.schemes.len(),
+        cfg.failures.len(),
+        cfg.seeds.len(),
+        result.cells.len(),
+        cfg.data_blocks,
+        cfg.locations,
+        cfg.placement_seed,
+    )
+    .expect("write to String");
+    for failure in &cfg.failures {
+        let label = failure.label();
+        writeln!(out, "\n== {label} ==").expect("write to String");
+        for cell in result.cells.iter().filter(|c| c.failure == label) {
+            writeln!(
+                out,
+                "  {:<18} seed {:>6}  failed {:>7}  repaired {:>7}  lost data {:>6} \
+                 ({:.3}%)  rounds {:>3}  reads/repair p50 {} p99 {}",
+                cell.scheme,
+                cell.seed,
+                cell.failed_data + cell.failed_redundancy,
+                cell.repaired,
+                cell.lost_data,
+                cell.lost_data as f64 / cell.data_blocks as f64 * 100.0,
+                cell.rounds,
+                cell.read_cost_p50,
+                cell.read_cost_p99,
+            )
+            .expect("write to String");
+        }
+    }
+    writeln!(out, "\n== frontier (storage vs worst-case durability) ==").expect("write to String");
+    for f in scheme_frontiers(result) {
+        writeln!(
+            out,
+            "  {:<18} overhead {:>6.1}%  worst loss {:>7.3}% ({})  \
+             reads/repair {:>5.2}  max rounds {:>3}",
+            f.scheme,
+            f.storage_overhead_pct,
+            f.worst_loss_pct,
+            f.worst_failure,
+            f.reads_per_repair,
+            f.max_rounds,
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// The machine-readable summary in the workspace's `BENCH_*.json`
+/// JSON-lines convention: one object per scheme frontier row.
+pub fn bench_json(result: &SweepResult) -> String {
+    let mut out = String::new();
+    for f in scheme_frontiers(result) {
+        writeln!(
+            out,
+            "{{\"bench\":\"sweep/frontier/{}\",\"overhead_pct\":{:.1},\
+             \"worst_loss_pct\":{:.3},\"worst_failure\":\"{}\",\
+             \"repaired\":{},\"reads_per_repair\":{:.3},\"max_rounds\":{}}}",
+            f.scheme,
+            f.storage_overhead_pct,
+            f.worst_loss_pct,
+            f.worst_failure,
+            f.repaired,
+            f.reads_per_repair,
+            f.max_rounds,
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tiny;
+    use crate::run::run_sweep;
+
+    #[test]
+    fn frontier_covers_every_scheme_once_in_roster_order() {
+        let result = run_sweep(&tiny()).unwrap();
+        let rows = scheme_frontiers(&result);
+        assert_eq!(rows.len(), result.config.schemes.len());
+        for (row, scheme) in rows.iter().zip(&result.config.schemes) {
+            assert_eq!(row.scheme, scheme.name());
+            assert_eq!(row.storage_overhead_pct, scheme.additional_storage_pct());
+            assert!(row.repaired > 0);
+            assert!(row.reads_per_repair >= 1.0);
+        }
+    }
+
+    #[test]
+    fn report_mentions_every_cell_and_model() {
+        let result = run_sweep(&tiny()).unwrap();
+        let report = frontier_report(&result);
+        for failure in &result.config.failures {
+            assert!(report.contains(&format!("== {} ==", failure.label())));
+        }
+        assert!(report.contains("frontier (storage vs worst-case durability)"));
+        // Deterministic text.
+        assert_eq!(report, frontier_report(&run_sweep(&tiny()).unwrap()));
+    }
+
+    #[test]
+    fn bench_json_is_one_object_per_scheme() {
+        let result = run_sweep(&tiny()).unwrap();
+        let json = bench_json(&result);
+        assert_eq!(json.lines().count(), result.config.schemes.len());
+        for line in json.lines() {
+            assert!(line.starts_with("{\"bench\":\"sweep/frontier/"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+}

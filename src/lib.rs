@@ -18,6 +18,8 @@
 //!   deterministic workload engine.
 //! * [`sim`] — the disaster-recovery simulation framework, built on one
 //!   generic scheme plane.
+//! * [`sweep`] — the reliability-frontier sweep harness: scheme roster ×
+//!   failure models into one seeded, byte-stable CSV.
 //! * [`aio`] — the async block I/O subsystem: vendored executor +
 //!   virtual clock, latency-faithful network backends
 //!   ([`aio::LatencyStore`]) and pipelined bounded-in-flight repair.
@@ -64,3 +66,4 @@ pub use ae_lattice as lattice;
 pub use ae_service as service;
 pub use ae_sim as sim;
 pub use ae_store as store;
+pub use ae_sweep as sweep;
